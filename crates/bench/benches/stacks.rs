@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks of the simulator itself: how fast (in
+//! wall-clock time) each stack's collectives simulate. Useful for
+//! keeping the harness usable as the repository grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hw::EnvKind;
+
+use bench::{msccl_allreduce, mscclpp_allreduce, nccl_allreduce, Target};
+
+fn stacks(c: &mut Criterion) {
+    let t = Target {
+        env: EnvKind::A100_40G,
+        nodes: 1,
+    };
+    let mut g = c.benchmark_group("simulate_allreduce_64KB");
+    g.sample_size(10);
+    g.bench_function("mscclpp", |b| {
+        b.iter(|| mscclpp_allreduce(t, 64 << 10, None))
+    });
+    g.bench_function("msccl", |b| b.iter(|| msccl_allreduce(t, 64 << 10)));
+    g.bench_function("nccl_tuned", |b| b.iter(|| nccl_allreduce(t, 64 << 10)));
+    g.finish();
+
+    let mut g = c.benchmark_group("simulate_allreduce_16MB");
+    g.sample_size(10);
+    g.bench_function("mscclpp", |b| {
+        b.iter(|| mscclpp_allreduce(t, 16 << 20, None))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, stacks);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates the design-choice ablations: §5.1 gain breakdown,
+//! §2.2.2 copy modes, §5.1 DSL overhead, §4.4 rotating buffers, and
+//! §5.3 loop order. Pass `--full` for larger sizes.
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    bench::figures::gain_breakdown(full);
+    bench::figures::ablation_copy_modes(full);
+    bench::figures::ablation_dsl(full);
+    bench::figures::ablation_rotation();
+    bench::figures::ablation_loop_order(full);
+    bench::figures::utilization_report(full);
+}

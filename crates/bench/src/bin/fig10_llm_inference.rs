@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig10 output. Pass `--full` for the full
+//! message-size sweep (slower, more memory).
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    bench::figures::fig10(full);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig12 output. Pass `--full` for the full
+//! message-size sweep (slower, more memory).
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    bench::figures::fig12(full);
+}

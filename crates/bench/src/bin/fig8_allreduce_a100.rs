@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig8 output. Pass `--full` for the full
+//! message-size sweep (slower, more memory).
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    bench::figures::fig8(full);
+}

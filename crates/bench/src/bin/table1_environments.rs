@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 output. Pass `--full` for the full
+//! message-size sweep (slower, more memory).
+
+fn main() {
+    bench::figures::table1();
+}

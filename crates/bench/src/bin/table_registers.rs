@@ -1,0 +1,6 @@
+//! Regenerates the paper's table_registers output. Pass `--full` for the full
+//! message-size sweep (slower, more memory).
+
+fn main() {
+    bench::figures::table_registers();
+}

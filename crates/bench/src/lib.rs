@@ -1,0 +1,384 @@
+//! Benchmark harness utilities: verified collective timing across the
+//! three stacks (NCCL, MSCCL, MSCCL++) on any Table-1 environment.
+//!
+//! Every measurement in this crate follows the same discipline:
+//!
+//! 1. build a fresh simulated cluster for the point;
+//! 2. fill the input buffers with deterministic values chosen so FP16
+//!    reductions are exact;
+//! 3. run the collective **and verify the output** (fully up to 16 MB,
+//!    sampled above) — a timing is only reported for a correct result;
+//! 4. report latency (µs) and algorithm bandwidth
+//!    (`message bytes / latency`, the paper's AlgoBW).
+//!
+//! Baselines are *fine-tuned* per point as in §5.1: NCCL/MSCCL timings
+//! take the best over the stack's tuning candidates.
+
+pub mod figures;
+
+use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};
+use mscclpp::Setup;
+use sim::Engine;
+
+/// Deterministic input element: values 0..7 so that 8-, 16- and 32-rank
+/// FP16 sums stay exact.
+pub fn input_val(rank: usize, i: usize) -> f32 {
+    ((rank + i) % 8) as f32
+}
+
+/// One measured sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Message size in bytes.
+    pub bytes: usize,
+    /// Latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Point {
+    /// Algorithm bandwidth in GB/s (message bytes / latency).
+    pub fn algbw_gbps(&self) -> f64 {
+        self.bytes as f64 / (self.latency_us * 1e3)
+    }
+}
+
+/// A benchmark target: one environment and node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Target {
+    /// The hardware environment.
+    pub env: EnvKind,
+    /// Number of nodes (8 GPUs each).
+    pub nodes: usize,
+}
+
+impl Target {
+    /// World size.
+    pub fn world(&self) -> usize {
+        self.nodes * 8
+    }
+
+    /// Label like `1n8g`.
+    pub fn label(&self) -> String {
+        format!("{}n{}g", self.nodes, self.nodes * 8)
+    }
+}
+
+fn fresh_engine(t: Target) -> Engine<Machine> {
+    let mut e = Engine::new(Machine::new(t.env.spec(t.nodes)));
+    hw::wire(&mut e);
+    e
+}
+
+fn alloc_filled(e: &mut Engine<Machine>, world: usize, bytes: usize) -> Vec<BufferId> {
+    (0..world)
+        .map(|r| {
+            let b = e.world_mut().pool_mut().alloc(Rank(r), bytes);
+            e.world_mut()
+                .pool_mut()
+                .fill_with(b, DataType::F16, move |i| input_val(r, i));
+            b
+        })
+        .collect()
+}
+
+/// Verification sampling threshold: fully verify up to this size.
+const FULL_VERIFY_BYTES: usize = 16 << 20;
+
+fn verify_allreduce(e: &Engine<Machine>, outs: &[BufferId], bytes: usize, world: usize, tag: &str) {
+    let count = bytes / 2;
+    let idxs: Vec<usize> = if bytes <= FULL_VERIFY_BYTES {
+        (0..count).collect()
+    } else {
+        (0..4096).map(|k| k * (count / 4096)).collect()
+    };
+    for (r, &out) in outs.iter().enumerate() {
+        let data = e.world().pool().bytes(out, 0, bytes);
+        for &i in &idxs {
+            let got = DataType::F16.decode(data, i * 2);
+            let want: f32 = (0..world).map(|s| input_val(s, i)).sum();
+            assert_eq!(got, want, "{tag}: allreduce rank {r} elem {i}");
+        }
+    }
+}
+
+fn verify_allgather(
+    e: &Engine<Machine>,
+    outs: &[BufferId],
+    chunk_bytes: usize,
+    world: usize,
+    tag: &str,
+) {
+    let chunk_elems = chunk_bytes / 2;
+    let idxs: Vec<usize> = if chunk_bytes <= FULL_VERIFY_BYTES / 8 {
+        (0..chunk_elems).collect()
+    } else {
+        (0..512).map(|k| k * (chunk_elems / 512)).collect()
+    };
+    for (r, &out) in outs.iter().enumerate() {
+        let data = e.world().pool().bytes(out, 0, chunk_bytes * world);
+        for src in 0..world {
+            for &i in &idxs {
+                let got = DataType::F16.decode(data, (src * chunk_elems + i) * 2);
+                assert_eq!(got, input_val(src, i), "{tag}: allgather rank {r} chunk {src}");
+            }
+        }
+    }
+}
+
+/// NCCL AllReduce, fine-tuned: best over the tuner candidates.
+pub fn nccl_allreduce(t: Target, bytes: usize) -> Point {
+    let count = bytes / 2;
+    let mut best = f64::MAX;
+    for choice in size_filtered_candidates(t.nodes, bytes) {
+        let mut e = fresh_engine(t);
+        let comm = {
+            let mut setup = Setup::new(&mut e);
+            ncclsim::NcclComm::new(&mut setup, ncclsim::NcclConfig::nccl())
+        };
+        let ins = alloc_filled(&mut e, t.world(), bytes);
+        let outs: Vec<BufferId> = (0..t.world())
+            .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes))
+            .collect();
+        let timing = comm
+            .all_reduce(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum, choice)
+            .expect("nccl allreduce");
+        verify_allreduce(&e, &outs, bytes, t.world(), "nccl");
+        best = best.min(timing.elapsed().as_us());
+    }
+    Point {
+        bytes,
+        latency_us: best,
+    }
+}
+
+/// Keeps the candidate set tractable for very large messages (the LL
+/// protocol is never competitive there and costs the most to simulate).
+fn size_filtered_candidates(nodes: usize, bytes: usize) -> Vec<ncclsim::Choice> {
+    ncclsim::tuning_candidates(nodes)
+        .into_iter()
+        .filter(|c| bytes <= (8 << 20) || c.proto == ncclsim::Proto::Simple)
+        .filter(|c| bytes >= (64 << 10) || c.channels == 1)
+        .collect()
+}
+
+/// MSCCL AllReduce with its internal tuner.
+pub fn msccl_allreduce(t: Target, bytes: usize) -> Point {
+    let count = bytes / 2;
+    let mut e = fresh_engine(t);
+    let comm = {
+        let mut setup = Setup::new(&mut e);
+        msccl::MscclComm::new(&mut setup, msccl::MscclConfig::default())
+    };
+    let ins = alloc_filled(&mut e, t.world(), bytes);
+    let outs: Vec<BufferId> = (0..t.world())
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes))
+        .collect();
+    let timing = comm
+        .all_reduce(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum, None)
+        .expect("msccl allreduce");
+    verify_allreduce(&e, &outs, bytes, t.world(), "msccl");
+    Point {
+        bytes,
+        latency_us: timing.elapsed().as_us(),
+    }
+}
+
+/// MSCCL++ AllReduce with the default algorithm selection; `algo`
+/// overrides it for ablations.
+pub fn mscclpp_allreduce(
+    t: Target,
+    bytes: usize,
+    algo: Option<collective::AllReduceAlgo>,
+) -> Point {
+    let count = bytes / 2;
+    let mut e = fresh_engine(t);
+    let comm = collective::CollComm::new();
+    let ins = alloc_filled(&mut e, t.world(), bytes);
+    let outs: Vec<BufferId> = (0..t.world())
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes))
+        .collect();
+    let timing = match algo {
+        None => comm.all_reduce(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum),
+        Some(a) => {
+            comm.all_reduce_with(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum, a)
+        }
+    }
+    .expect("mscclpp allreduce");
+    verify_allreduce(&e, &outs, bytes, t.world(), "mscclpp");
+    Point {
+        bytes,
+        latency_us: timing.elapsed().as_us(),
+    }
+}
+
+/// NCCL AllGather (ring), fine-tuned. `bytes` is the per-rank chunk.
+pub fn nccl_allgather(t: Target, bytes: usize) -> Point {
+    let count = bytes / 2;
+    let mut best = f64::MAX;
+    for choice in size_filtered_candidates(t.nodes, bytes * t.world()) {
+        if choice.algo != ncclsim::Algo::Ring {
+            continue;
+        }
+        let mut e = fresh_engine(t);
+        let comm = {
+            let mut setup = Setup::new(&mut e);
+            ncclsim::NcclComm::new(&mut setup, ncclsim::NcclConfig::nccl())
+        };
+        let ins = alloc_filled(&mut e, t.world(), bytes);
+        let outs: Vec<BufferId> = (0..t.world())
+            .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes * t.world()))
+            .collect();
+        let timing = comm
+            .all_gather(&mut e, &ins, &outs, count, DataType::F16, choice)
+            .expect("nccl allgather");
+        verify_allgather(&e, &outs, bytes, t.world(), "nccl");
+        best = best.min(timing.elapsed().as_us());
+    }
+    Point {
+        bytes: bytes * t.world(),
+        latency_us: best,
+    }
+}
+
+/// MSCCL AllGather (all-pairs / hierarchical over the NCCL transport).
+pub fn msccl_allgather(t: Target, bytes: usize) -> Point {
+    let count = bytes / 2;
+    let mut e = fresh_engine(t);
+    let comm = {
+        let mut setup = Setup::new(&mut e);
+        msccl::MscclComm::new(&mut setup, msccl::MscclConfig::default())
+    };
+    let ins = alloc_filled(&mut e, t.world(), bytes);
+    let outs: Vec<BufferId> = (0..t.world())
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes * t.world()))
+        .collect();
+    let timing = comm
+        .all_gather(&mut e, &ins, &outs, count, DataType::F16, None)
+        .expect("msccl allgather");
+    verify_allgather(&e, &outs, bytes, t.world(), "msccl");
+    Point {
+        bytes: bytes * t.world(),
+        latency_us: timing.elapsed().as_us(),
+    }
+}
+
+/// MSCCL++ AllGather with default selection.
+pub fn mscclpp_allgather(t: Target, bytes: usize) -> Point {
+    let count = bytes / 2;
+    let mut e = fresh_engine(t);
+    let comm = collective::CollComm::new();
+    let ins = alloc_filled(&mut e, t.world(), bytes);
+    let outs: Vec<BufferId> = (0..t.world())
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes * t.world()))
+        .collect();
+    let timing = comm
+        .all_gather(&mut e, &ins, &outs, count, DataType::F16)
+        .expect("mscclpp allgather");
+    verify_allgather(&e, &outs, bytes, t.world(), "mscclpp");
+    Point {
+        bytes: bytes * t.world(),
+        latency_us: timing.elapsed().as_us(),
+    }
+}
+
+/// Formats a byte count like the paper's axis labels.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 30 {
+        format!("{}GB", b >> 30)
+    } else if b >= 1 << 20 {
+        format!("{}MB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// The small-message sizes (latency plots): 1 KB – 1 MB.
+pub fn small_sizes() -> Vec<usize> {
+    (10..=20).map(|p| 1usize << p).collect()
+}
+
+/// The large-message sizes (AlgoBW plots): 1 MB – `max`.
+pub fn large_sizes(max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut b = 1usize << 20;
+    while b <= max {
+        v.push(b);
+        b <<= 2;
+    }
+    v
+}
+
+/// Prints one sweep table with NCCL / MSCCL / MSCCL++ columns.
+pub fn print_sweep(
+    title: &str,
+    unit: &str,
+    rows: &[(usize, f64, f64, f64)],
+    speedup_of: impl Fn(&(usize, f64, f64, f64)) -> (f64, f64),
+) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>8} | {:>12} {:>12} {:>12} | {:>9} {:>9}",
+        "size",
+        format!("NCCL {unit}"),
+        format!("MSCCL {unit}"),
+        format!("MSCCL++ {unit}"),
+        "vs NCCL",
+        "vs MSCCL"
+    );
+    for row in rows {
+        let (s_nccl, s_msccl) = speedup_of(row);
+        println!(
+            "{:>8} | {:>12.2} {:>12.2} {:>12.2} | {:>8.2}x {:>8.2}x",
+            fmt_bytes(row.0),
+            row.1,
+            row.2,
+            row.3,
+            s_nccl,
+            s_msccl
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_report_consistent_bandwidth() {
+        let p = Point {
+            bytes: 1 << 20,
+            latency_us: 100.0,
+        };
+        // 1 MiB in 100 us = ~10.49 GB/s.
+        assert!((p.algbw_gbps() - 10.49).abs() < 0.01);
+    }
+
+    #[test]
+    fn sizes_cover_paper_ranges() {
+        let s = small_sizes();
+        assert_eq!(*s.first().unwrap(), 1 << 10);
+        assert_eq!(*s.last().unwrap(), 1 << 20);
+        let l = large_sizes(256 << 20);
+        assert_eq!(*l.first().unwrap(), 1 << 20);
+        assert_eq!(*l.last().unwrap(), 256 << 20);
+    }
+
+    #[test]
+    fn fmt_bytes_matches_axis_labels() {
+        assert_eq!(fmt_bytes(1 << 10), "1KB");
+        assert_eq!(fmt_bytes(256 << 20), "256MB");
+        assert_eq!(fmt_bytes(1 << 30), "1GB");
+    }
+
+    #[test]
+    fn verified_point_smoke() {
+        let t = Target {
+            env: EnvKind::A100_40G,
+            nodes: 1,
+        };
+        let p = mscclpp_allreduce(t, 4096, None);
+        assert!(p.latency_us > 1.0 && p.latency_us < 100.0);
+    }
+}

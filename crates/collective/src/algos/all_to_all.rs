@@ -1,0 +1,150 @@
+//! AllToAll: every rank sends a distinct chunk to every other rank —
+//! the fourth collective pattern the paper's introduction lists. The
+//! all-pairs structure maps directly onto one-sided puts: rank `a`'s
+//! chunk `b` lands in rank `b`'s output slot `a`.
+
+#![allow(clippy::needless_range_loop)] // channel grids are indexed by construction
+use hw::{BufferId, Rank};
+use mscclpp::{Error, Kernel, KernelBuilder, Protocol, Result, Setup};
+
+use crate::wiring::{split_range, MemMesh, PortMesh};
+
+fn peers(n: usize, me: usize, tb: usize) -> impl Iterator<Item = usize> {
+    (0..n - 1).map(move |j| (me + 1 + (tb + j) % (n - 1)) % n)
+}
+
+/// All-pairs AllToAll over memory channels (intra-node) and RDMA port
+/// channels (cross-node).
+#[derive(Debug)]
+pub(crate) struct AllPairsAllToAll {
+    world: Vec<Rank>,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    /// Per-pair chunk capacity in bytes.
+    cap: usize,
+    tbs: usize,
+    protocol: Protocol,
+    mesh: MemMesh,
+    cross: Option<PortMesh>,
+    gpn: usize,
+    same_node_only: bool,
+}
+
+impl AllPairsAllToAll {
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+        protocol: Protocol,
+    ) -> Result<AllPairsAllToAll> {
+        let topo = setup.topology();
+        let world: Vec<Rank> = topo.ranks().collect();
+        let n = world.len();
+        let same_node_only = topo.nodes() == 1;
+        let mesh = if same_node_only {
+            MemMesh::build(setup, &world, inputs, outputs, protocol, tbs)?
+        } else {
+            let mut grid = vec![vec![vec![None; n]; n]; tbs];
+            for node in 0..topo.nodes() {
+                let ranks: Vec<Rank> = (0..topo.gpus_per_node())
+                    .map(|l| topo.rank_at(node, l))
+                    .collect();
+                let sub = MemMesh::build(setup, &ranks, inputs, outputs, protocol, tbs)?;
+                for t in 0..tbs {
+                    for (ia, &a) in ranks.iter().enumerate() {
+                        for (ib, &b) in ranks.iter().enumerate() {
+                            if ia != ib {
+                                grid[t][a.0][b.0] = Some(sub.at(t, ia, ib).clone());
+                            }
+                        }
+                    }
+                }
+            }
+            MemMesh {
+                ranks: world.clone(),
+                chans: grid,
+            }
+        };
+        let cross = if same_node_only {
+            None
+        } else {
+            Some(PortMesh::build(setup, &world, inputs, outputs, tbs)?)
+        };
+        Ok(AllPairsAllToAll {
+            world,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            tbs,
+            protocol,
+            mesh,
+            cross,
+            gpn: topo.gpus_per_node(),
+            same_node_only,
+        })
+    }
+
+    /// Kernels exchanging `bytes` per (src, dst) pair: inputs and outputs
+    /// hold `N * bytes` each, chunk `i` addressed to / received from
+    /// rank `i`.
+    pub fn kernels(&self, bytes: usize) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "chunk of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let n = self.world.len();
+        let gpn = self.gpn;
+        let same = |a: Rank, b: Rank| self.same_node_only || (a.0 / gpn == b.0 / gpn);
+        let mut out = Vec::with_capacity(n);
+        for (ig, &g) in self.world.iter().enumerate() {
+            let mut kb = KernelBuilder::new(g);
+            for t in 0..self.tbs {
+                let mut tb = kb.block(t);
+                let (ms, ml) = split_range(bytes, self.tbs, t);
+                let plist: Vec<usize> = peers(n, ig, t).collect();
+                for &p in &plist {
+                    // My chunk p lands in p's output slot ig.
+                    let src_off = p * bytes + ms;
+                    let dst_off = ig * bytes + ms;
+                    if same(g, self.world[p]) {
+                        match self.protocol {
+                            Protocol::LL => {
+                                tb.put(self.mesh.at(t, ig, p), dst_off, src_off, ml);
+                            }
+                            Protocol::HB => {
+                                tb.put_with_signal(self.mesh.at(t, ig, p), dst_off, src_off, ml);
+                            }
+                        }
+                    } else {
+                        let cross = self.cross.as_ref().expect("cross mesh missing");
+                        tb.port_put_with_signal(cross.at(t, ig, p), dst_off, src_off, ml);
+                    }
+                }
+                tb.copy(
+                    self.inputs[g.0],
+                    ig * bytes + ms,
+                    self.outputs[g.0],
+                    ig * bytes + ms,
+                    ml,
+                );
+                for &p in &plist {
+                    if same(g, self.world[p]) {
+                        match self.protocol {
+                            Protocol::LL => tb.wait_data(self.mesh.at(t, ig, p)),
+                            Protocol::HB => tb.wait(self.mesh.at(t, ig, p)),
+                        };
+                    } else {
+                        let cross = self.cross.as_ref().expect("cross mesh missing");
+                        tb.port_wait(cross.at(t, ig, p));
+                    }
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,897 @@
+//! The AllReduce algorithm zoo of §4.4: one-phase all-pairs (1PA),
+//! two-phase all-pairs (2PA) in LL / HB / Port / Switch variants, and
+//! two-phase hierarchical (2PH) in LL / HB variants.
+//!
+//! Every algorithm is a *prepared* object: channel sets are constructed
+//! once (bound to the user buffers, as MSCCL++ channels are) and kernels
+//! are emitted per launch. The LL-protocol algorithms rotate between two
+//! scratch sets across launches — the paper's rotating-buffer
+//! optimization that removes the consumer-side barrier (§4.4).
+
+use std::cell::Cell;
+
+use hw::{BufferId, DataType, Rank, ReduceOp};
+use mscclpp::{
+    DeviceBarrier, Error, Kernel, KernelBuilder, Protocol, Result, Setup, SwitchChannel,
+};
+
+use crate::wiring::{split_range, MemMesh, PortMesh};
+
+/// How an LL-protocol algorithm makes its scratch safe for the next
+/// launch (the rotating-buffers ablation of §4.4).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub enum ScratchReuse {
+    /// Two scratch sets used alternately; no end-of-collective barrier.
+    #[default]
+    Rotate,
+    /// One scratch set protected by a device-wide barrier per launch.
+    Barrier,
+}
+
+/// Iterates peers of `me` (indices `0..n`, excluding `me`) staggered by
+/// thread block so concurrent blocks start on different peers — the
+/// MI300x mesh loop-order consideration of §5.3.
+fn peers_staggered(n: usize, me: usize, tb: usize) -> impl Iterator<Item = usize> {
+    (0..n - 1).map(move |j| (me + 1 + (tb + j) % (n - 1)) % n)
+}
+
+/// Peers visited in a fixed order regardless of thread block — the
+/// *wrong* loop order for a mesh, kept for the loop-order ablation.
+fn peers_sequential(n: usize, me: usize, _tb: usize) -> impl Iterator<Item = usize> {
+    (0..n - 1).map(move |j| (me + 1 + j) % n)
+}
+
+/// Loop order across peers (ablation knob; see §5.3).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub enum PeerOrder {
+    /// Stagger peers across thread blocks (all mesh links busy at once).
+    #[default]
+    Staggered,
+    /// Same order in every thread block (serializes on one mesh link).
+    Sequential,
+}
+
+/// Chunk size for pipelined PortChannel transfers.
+const PORT_CHUNK: usize = 1 << 20;
+/// Chunk size for interleaved switch reduce/broadcast.
+const SWITCH_CHUNK: usize = 512 << 10;
+
+/// Yields `(offset, len)` pieces of `total` bytes in `chunk`-sized steps
+/// (at least one piece, even for `total == 0`).
+fn chunks(total: usize, chunk: usize) -> Vec<(usize, usize)> {
+    if total == 0 {
+        return vec![(0, 0)];
+    }
+    let mut out = Vec::with_capacity(total.div_ceil(chunk));
+    let mut off = 0;
+    while off < total {
+        let len = chunk.min(total - off);
+        out.push((off, len));
+        off += len;
+    }
+    out
+}
+
+fn peer_iter(order: PeerOrder, n: usize, me: usize, tb: usize) -> Vec<usize> {
+    match order {
+        PeerOrder::Staggered => peers_staggered(n, me, tb).collect(),
+        PeerOrder::Sequential => peers_sequential(n, me, tb).collect(),
+    }
+}
+
+/// One-phase all-pairs AllReduce (1PA) over the LL protocol: every GPU
+/// broadcasts its whole input to all peers and reduces everything
+/// locally. One synchronization-free phase; bandwidth-wasteful, ideal
+/// for very small messages (§4.4).
+#[derive(Debug)]
+pub(crate) struct OnePhaseAllPairs {
+    ranks: Vec<Rank>,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    cap: usize,
+    meshes: [MemMesh; 2],
+    scratch: [Vec<BufferId>; 2],
+    calls: Cell<usize>,
+}
+
+impl OnePhaseAllPairs {
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        ranks: &[Rank],
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+    ) -> Result<OnePhaseAllPairs> {
+        let n = ranks.len();
+        let mut scratch_sets = Vec::new();
+        let mut meshes = Vec::new();
+        for _ in 0..2 {
+            let mut set = Vec::with_capacity(setup.world_size());
+            for r in 0..setup.world_size() {
+                // Slot per sender, only meaningful on participating ranks.
+                set.push(setup.alloc(Rank(r), n * cap));
+            }
+            meshes.push(MemMesh::build(setup, ranks, inputs, &set, Protocol::LL, 1)?);
+            scratch_sets.push(set);
+        }
+        let m1 = meshes.pop().unwrap();
+        let m0 = meshes.pop().unwrap();
+        let s1 = scratch_sets.pop().unwrap();
+        let s0 = scratch_sets.pop().unwrap();
+        Ok(OnePhaseAllPairs {
+            ranks: ranks.to_vec(),
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            meshes: [m0, m1],
+            scratch: [s0, s1],
+            calls: Cell::new(0),
+        })
+    }
+
+    pub fn kernels(&self, bytes: usize, dtype: DataType, op: ReduceOp) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let set = self.calls.get() % 2;
+        self.calls.set(self.calls.get() + 1);
+        let mesh = &self.meshes[set];
+        let scratch = &self.scratch[set];
+        let n = self.ranks.len();
+        let mut out = Vec::with_capacity(n);
+        for (ig, &g) in self.ranks.iter().enumerate() {
+            let mut kb = KernelBuilder::new(g);
+            {
+                let mut tb = kb.block(0);
+                for p in peers_staggered(n, ig, 0) {
+                    // My data lands in peer p's slot `ig`.
+                    tb.put(mesh.at(0, ig, p), ig * self.cap, 0, bytes);
+                }
+                tb.copy(self.inputs[g.0], 0, self.outputs[g.0], 0, bytes);
+                for p in peers_staggered(n, ig, 0) {
+                    tb.wait_data(mesh.at(0, ig, p));
+                    tb.reduce(
+                        scratch[g.0],
+                        p * self.cap,
+                        self.outputs[g.0],
+                        0,
+                        bytes,
+                        dtype,
+                        op,
+                    );
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}
+
+/// Two-phase all-pairs AllReduce (2PA) over the LL protocol:
+/// ReduceScatter into per-sender scratch slots, then AllGather, both in
+/// the all-pairs pattern, sliced across thread blocks (§4.4).
+#[derive(Debug)]
+pub(crate) struct TwoPhaseAllPairsLl {
+    ranks: Vec<Rank>,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    cap_elems_times_es: usize,
+    slot_cap: usize,
+    tbs: usize,
+    reuse: ScratchReuse,
+    order: PeerOrder,
+    meshes_rs: [MemMesh; 2],
+    meshes_ag: [MemMesh; 2],
+    scratch: [Vec<BufferId>; 2],
+    barriers: Vec<DeviceBarrier>,
+    calls: Cell<usize>,
+}
+
+impl TwoPhaseAllPairsLl {
+    #[allow(clippy::too_many_arguments)]
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        ranks: &[Rank],
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+        reuse: ScratchReuse,
+        order: PeerOrder,
+    ) -> Result<TwoPhaseAllPairsLl> {
+        let n = ranks.len();
+        let slot_cap = cap.div_ceil(n).next_multiple_of(16);
+        let mut meshes_rs = Vec::new();
+        let mut meshes_ag = Vec::new();
+        let mut scratch_sets = Vec::new();
+        for _ in 0..2 {
+            let mut set = Vec::with_capacity(setup.world_size());
+            for r in 0..setup.world_size() {
+                set.push(setup.alloc(Rank(r), n * slot_cap));
+            }
+            meshes_rs.push(MemMesh::build(setup, ranks, inputs, &set, Protocol::LL, tbs)?);
+            meshes_ag.push(MemMesh::build(
+                setup,
+                ranks,
+                outputs,
+                outputs,
+                Protocol::LL,
+                tbs,
+            )?);
+            scratch_sets.push(set);
+        }
+        let barriers = setup.device_barrier(ranks);
+        let m1 = meshes_rs.pop().unwrap();
+        let m0 = meshes_rs.pop().unwrap();
+        let a1 = meshes_ag.pop().unwrap();
+        let a0 = meshes_ag.pop().unwrap();
+        let s1 = scratch_sets.pop().unwrap();
+        let s0 = scratch_sets.pop().unwrap();
+        Ok(TwoPhaseAllPairsLl {
+            ranks: ranks.to_vec(),
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap_elems_times_es: cap,
+            slot_cap,
+            tbs,
+            reuse,
+            order,
+            meshes_rs: [m0, m1],
+            meshes_ag: [a0, a1],
+            scratch: [s0, s1],
+            barriers,
+            calls: Cell::new(0),
+        })
+    }
+
+    pub fn kernels(&self, bytes: usize, dtype: DataType, op: ReduceOp) -> Result<Vec<Kernel>> {
+        if bytes > self.cap_elems_times_es {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap_elems_times_es
+            )));
+        }
+        let set = match self.reuse {
+            ScratchReuse::Rotate => {
+                let s = self.calls.get() % 2;
+                self.calls.set(self.calls.get() + 1);
+                s
+            }
+            ScratchReuse::Barrier => 0,
+        };
+        let mesh_rs = &self.meshes_rs[set];
+        let mesh_ag = &self.meshes_ag[set];
+        let scratch = &self.scratch[set];
+        let n = self.ranks.len();
+        let es = dtype.size();
+        let count = bytes / es;
+        let shard = |i: usize| split_range(count, n, i);
+        let mut out = Vec::with_capacity(n);
+        for (ig, &g) in self.ranks.iter().enumerate() {
+            let mut kb = KernelBuilder::new(g);
+            for t in 0..self.tbs {
+                let mut tb = kb.block(t);
+                let peers = peer_iter(self.order, n, ig, t);
+                // ReduceScatter: send slice t of each peer's shard into
+                // their scratch at my sender slot.
+                for &p in &peers {
+                    let (ps, pl) = shard(p);
+                    let (sl, sll) = split_range(pl, self.tbs, t);
+                    tb.put(
+                        mesh_rs.at(t, ig, p),
+                        ig * self.slot_cap + (sl) * es,
+                        (ps + sl) * es,
+                        sll * es,
+                    );
+                }
+                // My own contribution to my shard.
+                let (gs, gl) = shard(ig);
+                let (ms, ml) = split_range(gl, self.tbs, t);
+                tb.copy(
+                    self.inputs[g.0],
+                    (gs + ms) * es,
+                    self.outputs[g.0],
+                    (gs + ms) * es,
+                    ml * es,
+                );
+                for &p in &peers {
+                    tb.wait_data(mesh_rs.at(t, ig, p));
+                    tb.reduce(
+                        scratch[g.0],
+                        p * self.slot_cap + ms * es,
+                        self.outputs[g.0],
+                        (gs + ms) * es,
+                        ml * es,
+                        dtype,
+                        op,
+                    );
+                }
+                // AllGather: push my reduced shard slice to every peer.
+                for &p in &peers {
+                    tb.put(mesh_ag.at(t, ig, p), (gs + ms) * es, (gs + ms) * es, ml * es);
+                }
+                for &p in &peers {
+                    tb.wait_data(mesh_ag.at(t, ig, p));
+                }
+                if self.reuse == ScratchReuse::Barrier && t == 0 {
+                    tb.barrier(&self.barriers[ig]);
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}
+
+/// Two-phase all-pairs AllReduce over the HB protocol, zero-copy: each
+/// thread block *reads* its shard slice directly from every peer's input
+/// and reduces in registers (no scratch at all), then AllGathers with
+/// `putWithSignal` (§4.4's "single thread group reads data from multiple
+/// other GPUs at the same time").
+#[derive(Debug)]
+pub(crate) struct TwoPhaseAllPairsHb {
+    ranks: Vec<Rank>,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    cap: usize,
+    tbs: usize,
+    order: PeerOrder,
+    mesh_read: MemMesh,
+    mesh_ag: MemMesh,
+}
+
+impl TwoPhaseAllPairsHb {
+    #[allow(clippy::too_many_arguments)]
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        ranks: &[Rank],
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+        order: PeerOrder,
+    ) -> Result<TwoPhaseAllPairsHb> {
+        let mesh_read = MemMesh::build(setup, ranks, inputs, inputs, Protocol::HB, tbs)?;
+        let mesh_ag = MemMesh::build(setup, ranks, outputs, outputs, Protocol::HB, tbs)?;
+        Ok(TwoPhaseAllPairsHb {
+            ranks: ranks.to_vec(),
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            tbs,
+            order,
+            mesh_read,
+            mesh_ag,
+        })
+    }
+
+    pub fn kernels(&self, bytes: usize, dtype: DataType, op: ReduceOp) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let n = self.ranks.len();
+        let es = dtype.size();
+        let count = bytes / es;
+        let shard = |i: usize| split_range(count, n, i);
+        let mut out = Vec::with_capacity(n);
+        for (ig, &g) in self.ranks.iter().enumerate() {
+            let mut kb = KernelBuilder::new(g);
+            for t in 0..self.tbs {
+                let mut tb = kb.block(t);
+                let peers = peer_iter(self.order, n, ig, t);
+                let (gs, gl) = shard(ig);
+                let (ms, ml) = split_range(gl, self.tbs, t);
+                let off = (gs + ms) * es;
+                let len = ml * es;
+                // Seed with my own input, then fold in each peer by
+                // direct remote read (zero-copy ReduceScatter).
+                tb.copy(self.inputs[g.0], off, self.outputs[g.0], off, len);
+                for &p in &peers {
+                    tb.read_reduce(
+                        self.mesh_read.at(t, ig, p),
+                        off,
+                        self.outputs[g.0],
+                        off,
+                        len,
+                        dtype,
+                        op,
+                    );
+                }
+                // AllGather my completed slice to every peer.
+                for &p in &peers {
+                    tb.put_with_signal(self.mesh_ag.at(t, ig, p), off, off, len);
+                }
+                for &p in &peers {
+                    tb.wait(self.mesh_ag.at(t, ig, p));
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}
+
+/// Two-phase all-pairs AllReduce over PortChannels: the DMA engines move
+/// the data (263 GB/s vs thread-copy's 227 GB/s on A100), freeing GPU
+/// threads — the variant that wins at 1 GB single-node by 6.2% (§5.1).
+#[derive(Debug)]
+pub(crate) struct TwoPhaseAllPairsPort {
+    ranks: Vec<Rank>,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    cap: usize,
+    slot_cap: usize,
+    tbs: usize,
+    mesh_rs: PortMesh,
+    mesh_ag: PortMesh,
+    scratch: Vec<BufferId>,
+}
+
+impl TwoPhaseAllPairsPort {
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        ranks: &[Rank],
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+    ) -> Result<TwoPhaseAllPairsPort> {
+        let n = ranks.len();
+        let slot_cap = cap.div_ceil(n).next_multiple_of(16);
+        let mut scratch = Vec::with_capacity(setup.world_size());
+        for r in 0..setup.world_size() {
+            scratch.push(setup.alloc(Rank(r), n * slot_cap));
+        }
+        let mesh_rs = PortMesh::build(setup, ranks, inputs, &scratch, tbs)?;
+        let mesh_ag = PortMesh::build(setup, ranks, outputs, outputs, tbs)?;
+        Ok(TwoPhaseAllPairsPort {
+            ranks: ranks.to_vec(),
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            slot_cap,
+            tbs,
+            mesh_rs,
+            mesh_ag,
+            scratch,
+        })
+    }
+
+    pub fn kernels(&self, bytes: usize, dtype: DataType, op: ReduceOp) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let n = self.ranks.len();
+        let es = dtype.size();
+        let count = bytes / es;
+        let shard = |i: usize| split_range(count, n, i);
+        let mut out = Vec::with_capacity(n);
+        for (ig, &g) in self.ranks.iter().enumerate() {
+            let mut kb = KernelBuilder::new(g);
+            for t in 0..self.tbs {
+                let mut tb = kb.block(t);
+                let peers = peer_iter(PeerOrder::Staggered, n, ig, t);
+                // Large transfers are posted in PORT_CHUNK pieces so the
+                // DMA engines and ports pipeline (as the real proxy does).
+                for &p in &peers {
+                    let (ps, pl) = shard(p);
+                    let (sl, sll) = split_range(pl, self.tbs, t);
+                    for (coff, clen) in chunks(sll * es, PORT_CHUNK) {
+                        tb.port_put_with_signal(
+                            self.mesh_rs.at(t, ig, p),
+                            ig * self.slot_cap + sl * es + coff,
+                            (ps + sl) * es + coff,
+                            clen,
+                        );
+                    }
+                }
+                let (gs, gl) = shard(ig);
+                let (ms, ml) = split_range(gl, self.tbs, t);
+                tb.copy(
+                    self.inputs[g.0],
+                    (gs + ms) * es,
+                    self.outputs[g.0],
+                    (gs + ms) * es,
+                    ml * es,
+                );
+                for &p in &peers {
+                    for _ in chunks(ml * es, PORT_CHUNK) {
+                        tb.port_wait(self.mesh_rs.at(t, ig, p));
+                    }
+                    tb.reduce(
+                        self.scratch[g.0],
+                        p * self.slot_cap + ms * es,
+                        self.outputs[g.0],
+                        (gs + ms) * es,
+                        ml * es,
+                        dtype,
+                        op,
+                    );
+                }
+                for &p in &peers {
+                    for (coff, clen) in chunks(ml * es, PORT_CHUNK) {
+                        tb.port_put_with_signal(
+                            self.mesh_ag.at(t, ig, p),
+                            (gs + ms) * es + coff,
+                            (gs + ms) * es + coff,
+                            clen,
+                        );
+                    }
+                }
+                for &p in &peers {
+                    for _ in chunks(ml * es, PORT_CHUNK) {
+                        tb.port_wait(self.mesh_ag.at(t, ig, p));
+                    }
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}
+
+/// Two-phase AllReduce over the SwitchChannel (NVLink SHARP): each GPU
+/// multimem-load-reduces its shard through the switch, then
+/// multimem-store-broadcasts the result — the 15-line algorithm of §5.3.
+#[derive(Debug)]
+pub(crate) struct TwoPhaseSwitch {
+    ranks: Vec<Rank>,
+    outputs: Vec<BufferId>,
+    cap: usize,
+    tbs: usize,
+    reduce_ch: Vec<SwitchChannel>,
+    bcast_ch: Vec<SwitchChannel>,
+    barriers: Vec<DeviceBarrier>,
+}
+
+impl TwoPhaseSwitch {
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        ranks: &[Rank],
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+    ) -> Result<TwoPhaseSwitch> {
+        let in_members: Vec<_> = ranks.iter().map(|&r| (r, inputs[r.0])).collect();
+        let out_members: Vec<_> = ranks.iter().map(|&r| (r, outputs[r.0])).collect();
+        let reduce_ch = setup.switch_channel(&in_members)?;
+        let bcast_ch = setup.switch_channel(&out_members)?;
+        let barriers = setup.device_barrier(ranks);
+        Ok(TwoPhaseSwitch {
+            ranks: ranks.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            tbs,
+            reduce_ch,
+            bcast_ch,
+            barriers,
+        })
+    }
+
+    pub fn kernels(&self, bytes: usize, dtype: DataType, op: ReduceOp) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let n = self.ranks.len();
+        let es = dtype.size();
+        let count = bytes / es;
+        let shard = |i: usize| split_range(count, n, i);
+        let mut out = Vec::with_capacity(n);
+        for (ig, &g) in self.ranks.iter().enumerate() {
+            let mut kb = KernelBuilder::new(g);
+            for t in 0..self.tbs {
+                let mut tb = kb.block(t);
+                let (gs, gl) = shard(ig);
+                let (ms, ml) = split_range(gl, self.tbs, t);
+                let off = (gs + ms) * es;
+                let len = ml * es;
+                // Interleave load-reduce and store-broadcast per chunk:
+                // the reduce phase is egress-heavy and the broadcast phase
+                // ingress-heavy, so chunked interleaving keeps both
+                // directions of every port busy (the NVLS win).
+                for (coff, clen) in chunks(len, SWITCH_CHUNK) {
+                    tb.switch_reduce(
+                        &self.reduce_ch[ig],
+                        off + coff,
+                        self.outputs[g.0],
+                        off + coff,
+                        clen,
+                        dtype,
+                        op,
+                    );
+                    tb.switch_broadcast(&self.bcast_ch[ig], self.outputs[g.0], off + coff, off + coff, clen);
+                }
+                if t == 0 {
+                    // Completion semantics: a rank's kernel may not exit
+                    // before every broadcast into its output has landed.
+                    tb.barrier(&self.barriers[ig]);
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}
+
+/// Two-phase hierarchical AllReduce (2PH) for multi-node clusters:
+/// node-local ReduceScatter, all-pairs cross-node exchange over RDMA
+/// port channels between corresponding GPUs, node-local AllGather
+/// (§4.4). The `hb` flag selects the large-message variant (zero-copy
+/// local phases, sub-shard cross-node ReduceScatter + AllGather) versus
+/// the small-message LL variant (whole-shard cross-node all-pairs).
+#[derive(Debug)]
+pub(crate) struct TwoPhaseHierarchical {
+    world: Vec<Rank>,
+    nodes: usize,
+    gpn: usize,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    cap: usize,
+    shard_cap: usize,
+    tbs: usize,
+    hb: bool,
+    /// LL variant: local RS put targets; HB variant: unused.
+    local_rs: Option<Vec<MemMesh>>,
+    /// HB variant: zero-copy local read meshes per node.
+    local_read: Option<Vec<MemMesh>>,
+    /// Local AG: acc -> output.
+    local_ag: Vec<MemMesh>,
+    /// Cross-node RS: acc -> scratch_b, per local index.
+    cross_rs: Vec<PortMesh>,
+    /// Cross-node AG (HB variant): acc -> acc, per local index.
+    cross_ag: Option<Vec<PortMesh>>,
+    /// Per-rank local-RS scratch (slot per local sender), LL variant.
+    scratch_a: Option<Vec<BufferId>>,
+    /// Per-rank accumulator holding my shard.
+    acc: Vec<BufferId>,
+    /// Per-rank cross-node receive scratch (slot per node).
+    scratch_b: Vec<BufferId>,
+}
+
+impl TwoPhaseHierarchical {
+    #[allow(clippy::too_many_arguments)]
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+        hb: bool,
+    ) -> Result<TwoPhaseHierarchical> {
+        let topo = setup.topology();
+        let nodes = topo.nodes();
+        let gpn = topo.gpus_per_node();
+        if nodes < 2 {
+            return Err(Error::InvalidArgument(
+                "hierarchical allreduce needs at least two nodes".into(),
+            ));
+        }
+        let world: Vec<Rank> = topo.ranks().collect();
+        let shard_cap = cap.div_ceil(gpn).next_multiple_of(16);
+        let acc: Vec<BufferId> = (0..world.len())
+            .map(|r| setup.alloc(Rank(r), shard_cap))
+            .collect();
+        let scratch_b: Vec<BufferId> = (0..world.len())
+            .map(|r| setup.alloc(Rank(r), nodes * shard_cap))
+            .collect();
+        let mut scratch_a = None;
+        let mut local_rs = None;
+        let mut local_read = None;
+        let mut local_ag = Vec::new();
+        if hb {
+            let mut reads = Vec::new();
+            for node in 0..nodes {
+                let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
+                reads.push(MemMesh::build(setup, &ranks, inputs, inputs, Protocol::HB, tbs)?);
+            }
+            local_read = Some(reads);
+        } else {
+            let sa: Vec<BufferId> = (0..world.len())
+                .map(|r| setup.alloc(Rank(r), gpn * shard_cap))
+                .collect();
+            let mut rss = Vec::new();
+            for node in 0..nodes {
+                let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
+                rss.push(MemMesh::build(setup, &ranks, inputs, &sa, Protocol::LL, tbs)?);
+            }
+            scratch_a = Some(sa);
+            local_rs = Some(rss);
+        }
+        let proto = if hb { Protocol::HB } else { Protocol::LL };
+        for node in 0..nodes {
+            let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
+            local_ag.push(MemMesh::build(setup, &ranks, &acc, outputs, proto, tbs)?);
+        }
+        let mut cross_rs = Vec::new();
+        let mut cross_ag_v = Vec::new();
+        for l in 0..gpn {
+            let ranks: Vec<Rank> = (0..nodes).map(|a| topo.rank_at(a, l)).collect();
+            cross_rs.push(PortMesh::build(setup, &ranks, &acc, &scratch_b, tbs)?);
+            if hb {
+                cross_ag_v.push(PortMesh::build(setup, &ranks, &acc, &acc, tbs)?);
+            }
+        }
+        Ok(TwoPhaseHierarchical {
+            world,
+            nodes,
+            gpn,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            shard_cap,
+            tbs,
+            hb,
+            local_rs,
+            local_read,
+            local_ag,
+            cross_rs,
+            cross_ag: if hb { Some(cross_ag_v) } else { None },
+            scratch_a,
+            acc,
+        scratch_b,
+        })
+    }
+
+    pub fn kernels(&self, bytes: usize, dtype: DataType, op: ReduceOp) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let es = dtype.size();
+        let count = bytes / es;
+        let shard = |i: usize| split_range(count, self.gpn, i);
+        let mut out = Vec::with_capacity(self.world.len());
+        for &g in &self.world {
+            let node = g.0 / self.gpn;
+            let li = g.0 % self.gpn; // local index = my shard index
+            let mut kb = KernelBuilder::new(g);
+            for t in 0..self.tbs {
+                let mut tb = kb.block(t);
+                let (gs, gl) = shard(li);
+                let (ms, ml) = split_range(gl, self.tbs, t);
+                let off = (gs + ms) * es; // my shard slice, input coords
+                let acc_off = ms * es; // same slice, acc coords
+                let len = ml * es;
+
+                // Phase 1: node-local ReduceScatter of shard `li`.
+                if self.hb {
+                    let mesh = &self.local_read.as_ref().unwrap()[node];
+                    tb.copy(self.inputs[g.0], off, self.acc[g.0], acc_off, len);
+                    for p in peers_staggered(self.gpn, li, t) {
+                        tb.read_reduce(mesh.at(t, li, p), off, self.acc[g.0], acc_off, len, dtype, op);
+                    }
+                } else {
+                    let mesh = &self.local_rs.as_ref().unwrap()[node];
+                    let sa = self.scratch_a.as_ref().unwrap();
+                    for p in peers_staggered(self.gpn, li, t) {
+                        // Send peer p's shard slice into their slot `li`.
+                        let (ps, pl) = shard(p);
+                        let (sl, sll) = split_range(pl, self.tbs, t);
+                        tb.put(
+                            mesh.at(t, li, p),
+                            li * self.shard_cap + sl * es,
+                            (ps + sl) * es,
+                            sll * es,
+                        );
+                    }
+                    tb.copy(self.inputs[g.0], off, self.acc[g.0], acc_off, len);
+                    for p in peers_staggered(self.gpn, li, t) {
+                        tb.wait_data(mesh.at(t, li, p));
+                        tb.reduce(
+                            sa[g.0],
+                            p * self.shard_cap + ms * es,
+                            self.acc[g.0],
+                            acc_off,
+                            len,
+                            dtype,
+                            op,
+                        );
+                    }
+                }
+
+                // Phase 2: cross-node exchange among corresponding GPUs.
+                let cross = &self.cross_rs[li];
+                if self.hb {
+                    // Sub-shard ReduceScatter + AllGather across nodes.
+                    let subs = |b: usize| split_range(ml, self.nodes, b);
+                    for b in peers_staggered(self.nodes, node, t) {
+                        let (bs, bl) = subs(b);
+                        tb.port_put_with_signal(
+                            cross.at(t, node, b),
+                            node * self.shard_cap + acc_off + bs * es,
+                            acc_off + bs * es,
+                            bl * es,
+                        );
+                    }
+                    let (mys, myl) = subs(node);
+                    for b in peers_staggered(self.nodes, node, t) {
+                        tb.port_wait(cross.at(t, node, b));
+                        tb.reduce(
+                            self.scratch_b[g.0],
+                            b * self.shard_cap + acc_off + mys * es,
+                            self.acc[g.0],
+                            acc_off + mys * es,
+                            myl * es,
+                            dtype,
+                            op,
+                        );
+                    }
+                    // Cross-node AllGather of my global sub-shard.
+                    let cag = &self.cross_ag.as_ref().unwrap()[li];
+                    for b in peers_staggered(self.nodes, node, t) {
+                        tb.port_put_with_signal(
+                            cag.at(t, node, b),
+                            acc_off + mys * es,
+                            acc_off + mys * es,
+                            myl * es,
+                        );
+                    }
+                    for b in peers_staggered(self.nodes, node, t) {
+                        tb.port_wait(cag.at(t, node, b));
+                    }
+                } else {
+                    // Whole-shard all-pairs (redundant reduction, fewer
+                    // synchronization steps — the small-message tradeoff).
+                    for b in peers_staggered(self.nodes, node, t) {
+                        tb.port_put_with_signal(
+                            cross.at(t, node, b),
+                            node * self.shard_cap + acc_off,
+                            acc_off,
+                            len,
+                        );
+                    }
+                    for b in peers_staggered(self.nodes, node, t) {
+                        tb.port_wait(cross.at(t, node, b));
+                        tb.reduce(
+                            self.scratch_b[g.0],
+                            b * self.shard_cap + acc_off,
+                            self.acc[g.0],
+                            acc_off,
+                            len,
+                            dtype,
+                            op,
+                        );
+                    }
+                }
+
+                // Phase 3: node-local AllGather of the global shard.
+                let mesh = &self.local_ag[node];
+                for p in peers_staggered(self.gpn, li, t) {
+                    match self.hb {
+                        true => {
+                            tb.put_with_signal(mesh.at(t, li, p), off, acc_off, len);
+                        }
+                        false => {
+                            tb.put(mesh.at(t, li, p), off, acc_off, len);
+                        }
+                    }
+                }
+                tb.copy(self.acc[g.0], acc_off, self.outputs[g.0], off, len);
+                for p in peers_staggered(self.gpn, li, t) {
+                    if self.hb {
+                        tb.wait(mesh.at(t, li, p));
+                    } else {
+                        tb.wait_data(mesh.at(t, li, p));
+                    }
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}

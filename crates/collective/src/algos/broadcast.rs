@@ -1,0 +1,200 @@
+//! Broadcast: direct all-pairs puts from the root within a node, with a
+//! node-leader relay for multi-node clusters, and an NVSwitch multicast
+//! variant on hardware with multimem support.
+
+use hw::{BufferId, Rank};
+use mscclpp::{
+    Error, Kernel, KernelBuilder, Protocol, Result, Setup, SwitchChannel,
+};
+
+use crate::wiring::{split_range, MemMesh, PortMesh};
+
+/// Broadcast from a root rank.
+///
+/// Single node: the root's thread blocks put slices directly into every
+/// peer's output. Multi-node: the root first RDMAs the message to one
+/// leader per remote node (its corresponding GPU), then each node's
+/// leader distributes locally.
+#[derive(Debug)]
+pub(crate) struct AllPairsBroadcast {
+    world: Vec<Rank>,
+    root: Rank,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    cap: usize,
+    tbs: usize,
+    /// Local distribution mesh per node (output -> output, plus the
+    /// root's input as source on the root's node).
+    local: Vec<MemMesh>,
+    /// Root -> remote node leaders.
+    cross: Option<PortMesh>,
+    gpn: usize,
+    nodes: usize,
+}
+
+impl AllPairsBroadcast {
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        root: Rank,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+    ) -> Result<AllPairsBroadcast> {
+        let topo = setup.topology();
+        let (nodes, gpn) = (topo.nodes(), topo.gpus_per_node());
+        // Source vector: every rank "sends" from its output copy except
+        // the root, which sends from its input.
+        let mut src = outputs.to_vec();
+        src[root.0] = inputs[root.0];
+        let mut local = Vec::new();
+        for node in 0..nodes {
+            let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
+            local.push(MemMesh::build(setup, &ranks, &src, outputs, Protocol::HB, tbs)?);
+        }
+        let cross = if nodes > 1 {
+            let li = topo.local_index(root);
+            let ranks: Vec<Rank> = (0..nodes).map(|a| topo.rank_at(a, li)).collect();
+            Some(PortMesh::build(setup, &ranks, &src, outputs, tbs)?)
+        } else {
+            None
+        };
+        Ok(AllPairsBroadcast {
+            world: topo.ranks().collect(),
+            root,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            tbs,
+            local,
+            cross,
+            gpn,
+            nodes,
+        })
+    }
+
+    /// Kernels broadcasting `bytes` from the root.
+    pub fn kernels(&self, bytes: usize) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let root_node = self.root.0 / self.gpn;
+        let root_li = self.root.0 % self.gpn;
+        let mut out = Vec::with_capacity(self.world.len());
+        for &g in &self.world {
+            let node = g.0 / self.gpn;
+            let li = g.0 % self.gpn;
+            let is_leader = li == root_li;
+            let mut kb = KernelBuilder::new(g);
+            for t in 0..self.tbs {
+                let mut tb = kb.block(t);
+                let (ms, ml) = split_range(bytes, self.tbs, t);
+                if g == self.root {
+                    // Phase 1: RDMA to each remote node's leader.
+                    if let Some(cross) = &self.cross {
+                        for b in 0..self.nodes {
+                            if b != root_node {
+                                tb.port_put_with_signal(cross.at(t, root_node, b), ms, ms, ml);
+                            }
+                        }
+                    }
+                    tb.copy(self.inputs[g.0], ms, self.outputs[g.0], ms, ml);
+                } else if is_leader && self.nodes > 1 {
+                    let cross = self.cross.as_ref().unwrap();
+                    tb.port_wait(cross.at(t, node, root_node));
+                }
+                // Phase 2: node-local distribution by the leader (the
+                // root on its own node).
+                let leader = (g == self.root) || (is_leader && node != root_node);
+                if leader {
+                    let mesh = &self.local[node];
+                    for p in 0..self.gpn {
+                        if p != li {
+                            tb.put_with_signal(mesh.at(t, li, p), ms, ms, ml);
+                        }
+                    }
+                } else {
+                    // Wait for my node's leader (the root's local index
+                    // on every node) to push my slice.
+                    let mesh = &self.local[node];
+                    tb.wait(mesh.at(t, li, root_li));
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}
+
+/// NVSwitch multicast broadcast: the root multimem-stores its buffer into
+/// every member's output in one pass (§4.2.3's `broadcast` primitive).
+#[derive(Debug)]
+pub(crate) struct SwitchBroadcast {
+    ranks: Vec<Rank>,
+    root: Rank,
+    inputs: Vec<BufferId>,
+    cap: usize,
+    tbs: usize,
+    chan: Vec<SwitchChannel>,
+    barriers: Vec<mscclpp::DeviceBarrier>,
+}
+
+impl SwitchBroadcast {
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        root: Rank,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+    ) -> Result<SwitchBroadcast> {
+        let topo = setup.topology();
+        if topo.nodes() != 1 {
+            return Err(Error::InvalidArgument(
+                "switch broadcast is single-node".into(),
+            ));
+        }
+        let ranks: Vec<Rank> = topo.ranks().collect();
+        let members: Vec<_> = ranks.iter().map(|&r| (r, outputs[r.0])).collect();
+        let chan = setup.switch_channel(&members)?;
+        let barriers = setup.device_barrier(&ranks);
+        Ok(SwitchBroadcast {
+            ranks,
+            root,
+            inputs: inputs.to_vec(),
+            cap,
+            tbs,
+            chan,
+            barriers,
+        })
+    }
+
+    /// Kernels broadcasting `bytes` from the root through the switch.
+    pub fn kernels(&self, bytes: usize) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let mut out = Vec::with_capacity(self.ranks.len());
+        for (ig, &g) in self.ranks.iter().enumerate() {
+            let mut kb = KernelBuilder::new(g);
+            for t in 0..self.tbs {
+                let mut tb = kb.block(t);
+                let (ms, ml) = split_range(bytes, self.tbs, t);
+                if g == self.root {
+                    tb.switch_broadcast(&self.chan[ig], self.inputs[g.0], ms, ms, ml);
+                }
+                if t == 0 {
+                    tb.barrier(&self.barriers[ig]);
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}

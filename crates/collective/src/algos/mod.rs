@@ -1,0 +1,9 @@
+//! The collective algorithm implementations (§4.4).
+
+pub(crate) mod all_to_all;
+pub(crate) mod allgather;
+pub(crate) mod allreduce;
+pub(crate) mod broadcast;
+pub(crate) mod reduce_scatter;
+
+pub use allreduce::{PeerOrder, ScratchReuse};

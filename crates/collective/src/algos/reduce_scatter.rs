@@ -1,0 +1,185 @@
+//! ReduceScatter: all-pairs within a node (Figure 5's algorithm), with a
+//! mixed memory/port all-pairs variant for multi-node clusters.
+
+#![allow(clippy::needless_range_loop)] // channel grids are indexed by construction
+use hw::{BufferId, DataType, Rank, ReduceOp};
+use mscclpp::{Error, Kernel, KernelBuilder, Protocol, Result, Setup};
+
+use crate::wiring::{split_range, MemMesh, PortMesh};
+
+fn peers(n: usize, me: usize, tb: usize) -> impl Iterator<Item = usize> {
+    (0..n - 1).map(move |j| (me + 1 + (tb + j) % (n - 1)) % n)
+}
+
+/// All-pairs ReduceScatter: rank `r` receives every peer's `r`-th shard
+/// into per-sender scratch slots and reduces them into its output.
+/// Intra-node pairs ride memory channels; cross-node pairs (multi-node
+/// clusters) ride RDMA port channels.
+#[derive(Debug)]
+pub(crate) struct AllPairsReduceScatter {
+    world: Vec<Rank>,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    /// Total input capacity in bytes (output shard is `cap / N`).
+    cap: usize,
+    slot_cap: usize,
+    tbs: usize,
+    protocol: Protocol,
+    mesh: MemMesh,
+    cross: Option<PortMesh>,
+    scratch: Vec<BufferId>,
+    same_node_only: bool,
+    gpn: usize,
+}
+
+impl AllPairsReduceScatter {
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+        protocol: Protocol,
+    ) -> Result<AllPairsReduceScatter> {
+        let topo = setup.topology();
+        let world: Vec<Rank> = topo.ranks().collect();
+        let n = world.len();
+        let slot_cap = cap.div_ceil(n).next_multiple_of(16);
+        let mut scratch = Vec::with_capacity(n);
+        for r in 0..n {
+            scratch.push(setup.alloc(Rank(r), n * slot_cap));
+        }
+        let same_node_only = topo.nodes() == 1;
+        // Memory mesh covers intra-node pairs of each node; build per
+        // node and merge into one lookup keyed by global rank.
+        let mesh = if same_node_only {
+            MemMesh::build(setup, &world, inputs, &scratch, protocol, tbs)?
+        } else {
+            // Build a world-sized mesh with only intra-node channels by
+            // building per node and merging.
+            let mut grid = vec![vec![vec![None; n]; n]; tbs];
+            for node in 0..topo.nodes() {
+                let ranks: Vec<Rank> =
+                    (0..topo.gpus_per_node()).map(|l| topo.rank_at(node, l)).collect();
+                let sub = MemMesh::build(setup, &ranks, inputs, &scratch, protocol, tbs)?;
+                for t in 0..tbs {
+                    for (ia, &a) in ranks.iter().enumerate() {
+                        for (ib, &b) in ranks.iter().enumerate() {
+                            if ia != ib {
+                                grid[t][a.0][b.0] = Some(sub.at(t, ia, ib).clone());
+                            }
+                        }
+                    }
+                }
+            }
+            MemMesh {
+                ranks: world.clone(),
+                chans: grid,
+            }
+        };
+        let cross = if same_node_only {
+            None
+        } else {
+            // Port channels for every cross-node ordered pair: build an
+            // all-pairs port mesh over the world and only use the
+            // cross-node entries.
+            Some(PortMesh::build(setup, &world, inputs, &scratch, tbs)?)
+        };
+        let gpn = topo.gpus_per_node();
+        Ok(AllPairsReduceScatter {
+            world,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            slot_cap,
+            tbs,
+            protocol,
+            mesh,
+            cross,
+            scratch,
+            same_node_only,
+            gpn,
+        })
+    }
+
+    /// Kernels reducing `bytes` of total input per rank (each rank's
+    /// output shard is `bytes / N`, rank-indexed).
+    pub fn kernels(&self, bytes: usize, dtype: DataType, op: ReduceOp) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let n = self.world.len();
+        let es = dtype.size();
+        let count = bytes / es;
+        let shard = |i: usize| split_range(count, n, i);
+        let gpn = self.gpn;
+        let topo_same =
+            |a: Rank, b: Rank| self.same_node_only || (a.0 / gpn == b.0 / gpn);
+        let mut out = Vec::with_capacity(n);
+        for (ig, &g) in self.world.iter().enumerate() {
+            let mut kb = KernelBuilder::new(g);
+            for t in 0..self.tbs {
+                let mut tb = kb.block(t);
+                let plist: Vec<usize> = peers(n, ig, t).collect();
+                for &p in &plist {
+                    let (ps, pl) = shard(p);
+                    let (sl, sll) = split_range(pl, self.tbs, t);
+                    let dst_off = ig * self.slot_cap + sl * es;
+                    let src_off = (ps + sl) * es;
+                    if topo_same(g, self.world[p]) {
+                        match self.protocol {
+                            Protocol::LL => {
+                                tb.put(self.mesh.at(t, ig, p), dst_off, src_off, sll * es);
+                            }
+                            Protocol::HB => {
+                                tb.put_with_signal(
+                                    self.mesh.at(t, ig, p),
+                                    dst_off,
+                                    src_off,
+                                    sll * es,
+                                );
+                            }
+                        }
+                    } else {
+                        let cross = self.cross.as_ref().expect("cross mesh missing");
+                        tb.port_put_with_signal(cross.at(t, ig, p), dst_off, src_off, sll * es);
+                    }
+                }
+                let (gs, gl) = shard(ig);
+                let (ms, ml) = split_range(gl, self.tbs, t);
+                tb.copy(
+                    self.inputs[g.0],
+                    (gs + ms) * es,
+                    self.outputs[g.0],
+                    ms * es,
+                    ml * es,
+                );
+                for &p in &plist {
+                    if topo_same(g, self.world[p]) {
+                        match self.protocol {
+                            Protocol::LL => tb.wait_data(self.mesh.at(t, ig, p)),
+                            Protocol::HB => tb.wait(self.mesh.at(t, ig, p)),
+                        };
+                    } else {
+                        let cross = self.cross.as_ref().expect("cross mesh missing");
+                        tb.port_wait(cross.at(t, ig, p));
+                    }
+                    tb.reduce(
+                        self.scratch[g.0],
+                        p * self.slot_cap + ms * es,
+                        self.outputs[g.0],
+                        ms * es,
+                        ml * es,
+                        dtype,
+                        op,
+                    );
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}

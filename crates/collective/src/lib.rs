@@ -1,0 +1,661 @@
+//! The MSCCL++ **Collective API**: NCCL-compatible collectives built
+//! entirely from MSCCL++ primitives (§3.1, §4.4).
+//!
+//! This is the paper's drop-in replacement layer: applications that use
+//! NCCL's `allReduce` / `allGather` / `reduceScatter` / `broadcast` can
+//! switch to [`CollComm`] without code changes. Internally each collective
+//! is served by one of the algorithms of §4.4 — selected by message size
+//! and hardware, exactly as the paper's collective library does:
+//!
+//! | Algorithm | When |
+//! |---|---|
+//! | 1PA (one-phase all-pairs, LL) | single node, very small messages |
+//! | 2PA-LL (two-phase all-pairs, rotating scratch) | single node, small–medium |
+//! | 2PA-HB (zero-copy remote reads) | single node, large |
+//! | 2PA-Switch (NVLink SHARP multimem) | single node, large, H100 |
+//! | 2PA-Port (DMA engines) | single node, very large |
+//! | 2PH-LL / 2PH-HB (hierarchical) | multi-node small / large |
+//!
+//! Users can also plug in custom algorithms (the paper's extension
+//! point) via [`CollComm::set_custom_all_reduce`].
+//!
+//! # Example
+//!
+//! ```
+//! use collective::CollComm;
+//! use hw::{DataType, EnvKind, Machine, Rank, ReduceOp};
+//! use sim::Engine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut engine = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+//! hw::wire(&mut engine);
+//! let count = 256usize;
+//! let bufs: Vec<_> = (0..8)
+//!     .map(|r| engine.world_mut().pool_mut().alloc(Rank(r), count * 4))
+//!     .collect();
+//! for r in 0..8 {
+//!     engine.world_mut().pool_mut().fill_with(bufs[r], DataType::F32, |_| 1.0);
+//! }
+//! let comm = CollComm::new();
+//! let t = comm.all_reduce(&mut engine, &bufs, &bufs, count, DataType::F32, ReduceOp::Sum)?;
+//! assert_eq!(engine.world().pool().to_f32_vec(bufs[3], DataType::F32)[0], 8.0);
+//! println!("1 KB AllReduce: {}", t.elapsed());
+//! # Ok(())
+//! # }
+//! ```
+
+mod algos;
+mod selector;
+mod wiring;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use hw::{BufferId, DataType, Machine, Rank, ReduceOp};
+use mscclpp::{run_kernels, Kernel, KernelTiming, Overheads, Protocol, Result, Setup};
+use sim::Engine;
+
+pub use algos::{PeerOrder, ScratchReuse};
+pub use selector::{select_all_gather, select_all_reduce};
+
+use algos::allgather::{AllPairsAllGather, AllPairsAllGatherPort, HierAllGather};
+use algos::allreduce::{
+    OnePhaseAllPairs, TwoPhaseAllPairsHb, TwoPhaseAllPairsLl, TwoPhaseAllPairsPort,
+    TwoPhaseHierarchical, TwoPhaseSwitch,
+};
+use algos::all_to_all::AllPairsAllToAll;
+use algos::broadcast::{AllPairsBroadcast, SwitchBroadcast};
+use algos::reduce_scatter::AllPairsReduceScatter;
+
+/// An AllReduce algorithm choice (§4.4).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum AllReduceAlgo {
+    /// One-phase all-pairs over the LL protocol.
+    OnePhaseLl,
+    /// Two-phase all-pairs over the LL protocol with scratch slots.
+    TwoPhaseLl {
+        /// Rotate scratch or barrier per launch (ablation knob).
+        reuse: ScratchReuse,
+        /// Peer loop order (ablation knob, §5.3).
+        order: PeerOrder,
+    },
+    /// Two-phase all-pairs over HB with zero-copy remote reads.
+    TwoPhaseHb {
+        /// Peer loop order (ablation knob, §5.3).
+        order: PeerOrder,
+    },
+    /// Two-phase all-pairs over DMA port channels.
+    TwoPhasePort,
+    /// Two-phase over the NVSwitch multimem channel.
+    TwoPhaseSwitch,
+    /// Hierarchical, LL local phases (multi-node small messages).
+    HierLl,
+    /// Hierarchical, HB local phases with sub-shard cross-node exchange
+    /// (multi-node large messages).
+    HierHb,
+}
+
+/// An AllGather algorithm choice.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum AllGatherAlgo {
+    /// All-pairs over the LL protocol (single node, small).
+    AllPairsLl,
+    /// All-pairs over the HB protocol (single node, large).
+    AllPairsHb,
+    /// All-pairs over DMA port channels (single node, very large; the
+    /// §2.2.2 DMA-copy mode).
+    AllPairsPort,
+    /// Hierarchical with LL local distribution (multi-node small).
+    HierLl,
+    /// Hierarchical with HB local distribution (multi-node large).
+    HierHb,
+}
+
+/// A ReduceScatter algorithm choice.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum ReduceScatterAlgo {
+    /// All-pairs over the LL protocol.
+    AllPairsLl,
+    /// All-pairs over the HB protocol.
+    AllPairsHb,
+}
+
+/// An AllToAll algorithm choice.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum AllToAllAlgo {
+    /// All-pairs over the LL protocol (small chunks).
+    AllPairsLl,
+    /// All-pairs over the HB protocol (large chunks).
+    AllPairsHb,
+}
+
+/// A Broadcast algorithm choice.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum BroadcastAlgo {
+    /// Direct puts from the root (node-leader relay across nodes).
+    Direct,
+    /// NVSwitch multimem multicast (single node, multimem hardware).
+    Switch,
+}
+
+/// A user-supplied AllReduce implementation (the paper's "plug in their
+/// own algorithms written using the MSCCL++ DSL or Primitive APIs").
+pub trait CustomAllReduce {
+    /// Runs the custom collective and returns its timing.
+    ///
+    /// # Errors
+    ///
+    /// Implementations should propagate kernel deadlocks.
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    ) -> Result<KernelTiming>;
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Ar(AllReduceAlgo, Vec<BufferId>, Vec<BufferId>),
+    Ag(AllGatherAlgo, Vec<BufferId>, Vec<BufferId>),
+    Rs(ReduceScatterAlgo, Vec<BufferId>, Vec<BufferId>),
+    Bc(BroadcastAlgo, Rank, Vec<BufferId>, Vec<BufferId>),
+    A2a(AllToAllAlgo, Vec<BufferId>, Vec<BufferId>),
+}
+
+enum Prepared {
+    Ar1pa(Rc<OnePhaseAllPairs>),
+    Ar2paLl(Rc<TwoPhaseAllPairsLl>),
+    Ar2paHb(Rc<TwoPhaseAllPairsHb>),
+    Ar2paPort(Rc<TwoPhaseAllPairsPort>),
+    Ar2paSwitch(Rc<TwoPhaseSwitch>),
+    ArHier(Rc<TwoPhaseHierarchical>),
+    AgAp(Rc<AllPairsAllGather>),
+    AgPort(Rc<AllPairsAllGatherPort>),
+    AgHier(Rc<HierAllGather>),
+    RsAp(Rc<AllPairsReduceScatter>),
+    BcAp(Rc<AllPairsBroadcast>),
+    BcSwitch(Rc<SwitchBroadcast>),
+    A2aAp(Rc<AllPairsAllToAll>),
+}
+
+/// Thread-block counts used by the default kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollConfig {
+    /// Blocks for latency-bound (small-message) kernels.
+    pub tbs_small: usize,
+    /// Blocks for bandwidth-bound (large-message) kernels.
+    pub tbs_large: usize,
+}
+
+impl Default for CollConfig {
+    fn default() -> CollConfig {
+        CollConfig {
+            tbs_small: 1,
+            tbs_large: 4,
+        }
+    }
+}
+
+/// The NCCL-compatible communicator of the MSCCL++ Collective API.
+///
+/// Prepared channel sets are cached per `(algorithm, buffers)` so that
+/// repeated collectives on the same tensors (the LLM inference pattern)
+/// reuse their channels, exactly as a real communicator would.
+pub struct CollComm {
+    cfg: CollConfig,
+    ov: Overheads,
+    prepared: RefCell<HashMap<Key, (usize, Prepared)>>,
+    custom_all_reduce: Option<Box<dyn CustomAllReduce>>,
+}
+
+impl std::fmt::Debug for CollComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollComm")
+            .field("cfg", &self.cfg)
+            .field("prepared", &self.prepared.borrow().len())
+            .field("custom_all_reduce", &self.custom_all_reduce.is_some())
+            .finish()
+    }
+}
+
+impl Default for CollComm {
+    fn default() -> CollComm {
+        CollComm::new()
+    }
+}
+
+impl CollComm {
+    /// Creates a communicator with default configuration and the MSCCL++
+    /// primitive-stack overheads.
+    pub fn new() -> CollComm {
+        CollComm::with_overheads(Overheads::mscclpp())
+    }
+
+    /// Creates a communicator with explicit stack overheads (the DSL
+    /// executor passes [`Overheads::mscclpp_dsl`]).
+    pub fn with_overheads(ov: Overheads) -> CollComm {
+        CollComm {
+            cfg: CollConfig::default(),
+            ov,
+            prepared: RefCell::new(HashMap::new()),
+            custom_all_reduce: None,
+        }
+    }
+
+    /// The stack overheads in use.
+    pub fn overheads(&self) -> &Overheads {
+        &self.ov
+    }
+
+    /// Installs a user-supplied AllReduce that overrides the default
+    /// algorithm selection.
+    pub fn set_custom_all_reduce(&mut self, algo: Box<dyn CustomAllReduce>) {
+        self.custom_all_reduce = Some(algo);
+    }
+
+    fn run(&self, engine: &mut Engine<Machine>, kernels: &[Kernel]) -> Result<KernelTiming> {
+        run_kernels(engine, kernels, &self.ov)
+    }
+
+    /// AllReduce with automatic algorithm selection (the NCCL-API entry
+    /// point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    pub fn all_reduce(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    ) -> Result<KernelTiming> {
+        if let Some(custom) = &self.custom_all_reduce {
+            return custom.run(engine, inputs, outputs, count, dtype, op);
+        }
+        let algo = select_all_reduce(engine.world(), count * dtype.size());
+        self.all_reduce_with(engine, inputs, outputs, count, dtype, op, algo)
+    }
+
+    /// AllReduce with an explicit algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks; returns [`mscclpp::Error::Unsupported`]
+    /// for `TwoPhaseSwitch` without multimem hardware and
+    /// [`mscclpp::Error::InvalidArgument`] for single-node algorithms on
+    /// multi-node clusters (and vice versa).
+    #[allow(clippy::too_many_arguments)]
+    pub fn all_reduce_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        algo: AllReduceAlgo,
+    ) -> Result<KernelTiming> {
+        let bytes = count * dtype.size();
+        let key = Key::Ar(algo, inputs.to_vec(), outputs.to_vec());
+        self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
+        let prepared = self.prepared.borrow();
+        let (_, p) = prepared.get(&key).expect("just prepared");
+        let kernels = match p {
+            Prepared::Ar1pa(a) => a.kernels(bytes, dtype, op)?,
+            Prepared::Ar2paLl(a) => a.kernels(bytes, dtype, op)?,
+            Prepared::Ar2paHb(a) => a.kernels(bytes, dtype, op)?,
+            Prepared::Ar2paPort(a) => a.kernels(bytes, dtype, op)?,
+            Prepared::Ar2paSwitch(a) => a.kernels(bytes, dtype, op)?,
+            Prepared::ArHier(a) => a.kernels(bytes, dtype, op)?,
+            _ => unreachable!("allreduce key maps to allreduce algorithm"),
+        };
+        drop(prepared);
+        self.run(engine, &kernels)
+    }
+
+    /// AllGather with automatic algorithm selection. `count` is the
+    /// per-rank element count; outputs hold `count * world` elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    pub fn all_gather(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+    ) -> Result<KernelTiming> {
+        let algo = select_all_gather(engine.world(), count * dtype.size());
+        self.all_gather_with(engine, inputs, outputs, count, dtype, algo)
+    }
+
+    /// AllGather with an explicit algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn all_gather_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        algo: AllGatherAlgo,
+    ) -> Result<KernelTiming> {
+        let bytes = count * dtype.size();
+        let key = Key::Ag(algo, inputs.to_vec(), outputs.to_vec());
+        self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
+        let prepared = self.prepared.borrow();
+        let (_, p) = prepared.get(&key).expect("just prepared");
+        let kernels = match p {
+            Prepared::AgAp(a) => a.kernels(bytes, dtype)?,
+            Prepared::AgPort(a) => a.kernels(bytes)?,
+            Prepared::AgHier(a) => a.kernels(bytes, dtype)?,
+            _ => unreachable!("allgather key maps to allgather algorithm"),
+        };
+        drop(prepared);
+        self.run(engine, &kernels)
+    }
+
+    /// ReduceScatter with automatic algorithm selection. `count` is the
+    /// total per-rank input element count; each rank's output holds
+    /// `count / world` elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    pub fn reduce_scatter(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    ) -> Result<KernelTiming> {
+        let algo = if count * dtype.size() <= (1 << 20) {
+            ReduceScatterAlgo::AllPairsLl
+        } else {
+            ReduceScatterAlgo::AllPairsHb
+        };
+        self.reduce_scatter_with(engine, inputs, outputs, count, dtype, op, algo)
+    }
+
+    /// ReduceScatter with an explicit algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_scatter_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        algo: ReduceScatterAlgo,
+    ) -> Result<KernelTiming> {
+        let bytes = count * dtype.size();
+        let key = Key::Rs(algo, inputs.to_vec(), outputs.to_vec());
+        self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
+        let prepared = self.prepared.borrow();
+        let (_, p) = prepared.get(&key).expect("just prepared");
+        let kernels = match p {
+            Prepared::RsAp(a) => a.kernels(bytes, dtype, op)?,
+            _ => unreachable!("reducescatter key maps to reducescatter algorithm"),
+        };
+        drop(prepared);
+        self.run(engine, &kernels)
+    }
+
+    /// Broadcast `count` elements from `root` with automatic algorithm
+    /// selection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn broadcast(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        root: Rank,
+    ) -> Result<KernelTiming> {
+        let algo = if hw::supports_multimem(engine.world())
+            && engine.world().topology().nodes() == 1
+            && count * dtype.size() > (1 << 20)
+        {
+            BroadcastAlgo::Switch
+        } else {
+            BroadcastAlgo::Direct
+        };
+        self.broadcast_with(engine, inputs, outputs, count, dtype, root, algo)
+    }
+
+    /// Broadcast with an explicit algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn broadcast_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        root: Rank,
+        algo: BroadcastAlgo,
+    ) -> Result<KernelTiming> {
+        let bytes = count * dtype.size();
+        let key = Key::Bc(algo, root, inputs.to_vec(), outputs.to_vec());
+        self.ensure_prepared(engine, &key, bytes, inputs, outputs, root)?;
+        let prepared = self.prepared.borrow();
+        let (_, p) = prepared.get(&key).expect("just prepared");
+        let kernels = match p {
+            Prepared::BcAp(a) => a.kernels(bytes)?,
+            Prepared::BcSwitch(a) => a.kernels(bytes)?,
+            _ => unreachable!("broadcast key maps to broadcast algorithm"),
+        };
+        drop(prepared);
+        self.run(engine, &kernels)
+    }
+
+    /// AllToAll: rank `a`'s input chunk `b` (of `count` elements) lands
+    /// in rank `b`'s output chunk `a`. Buffers hold `count * world`
+    /// elements each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    pub fn all_to_all(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+    ) -> Result<KernelTiming> {
+        let algo = if count * dtype.size() <= (128 << 10) {
+            AllToAllAlgo::AllPairsLl
+        } else {
+            AllToAllAlgo::AllPairsHb
+        };
+        self.all_to_all_with(engine, inputs, outputs, count, dtype, algo)
+    }
+
+    /// AllToAll with an explicit algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    pub fn all_to_all_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        algo: AllToAllAlgo,
+    ) -> Result<KernelTiming> {
+        let bytes = count * dtype.size();
+        let key = Key::A2a(algo, inputs.to_vec(), outputs.to_vec());
+        self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
+        let prepared = self.prepared.borrow();
+        let (_, p) = prepared.get(&key).expect("just prepared");
+        let kernels = match p {
+            Prepared::A2aAp(a) => a.kernels(bytes)?,
+            _ => unreachable!("alltoall key maps to alltoall algorithm"),
+        };
+        drop(prepared);
+        self.run(engine, &kernels)
+    }
+
+    /// Builds (or rebuilds, when capacity grew) the prepared channel sets
+    /// for `key`.
+    fn ensure_prepared(
+        &self,
+        engine: &mut Engine<Machine>,
+        key: &Key,
+        bytes: usize,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        root: Rank,
+    ) -> Result<()> {
+        {
+            let prepared = self.prepared.borrow();
+            if let Some((cap, _)) = prepared.get(key) {
+                if *cap >= bytes {
+                    return Ok(());
+                }
+            }
+        }
+        let mut setup = Setup::with_overheads(engine, self.ov.clone());
+        let world: Vec<Rank> = setup.topology().ranks().collect();
+        let cap = bytes;
+        let (ts, tl) = (self.cfg.tbs_small, self.cfg.tbs_large);
+        let prepared = match key {
+            Key::Ar(algo, _, _) => match *algo {
+                AllReduceAlgo::OnePhaseLl => Prepared::Ar1pa(Rc::new(OnePhaseAllPairs::prepare(
+                    &mut setup, &world, inputs, outputs, cap,
+                )?)),
+                AllReduceAlgo::TwoPhaseLl { reuse, order } => {
+                    Prepared::Ar2paLl(Rc::new(TwoPhaseAllPairsLl::prepare(
+                        &mut setup, &world, inputs, outputs, cap, ts.max(2), reuse, order,
+                    )?))
+                }
+                AllReduceAlgo::TwoPhaseHb { order } => {
+                    Prepared::Ar2paHb(Rc::new(TwoPhaseAllPairsHb::prepare(
+                        &mut setup, &world, inputs, outputs, cap, tl, order,
+                    )?))
+                }
+                AllReduceAlgo::TwoPhasePort => Prepared::Ar2paPort(Rc::new(
+                    TwoPhaseAllPairsPort::prepare(&mut setup, &world, inputs, outputs, cap, tl)?,
+                )),
+                AllReduceAlgo::TwoPhaseSwitch => Prepared::Ar2paSwitch(Rc::new(
+                    TwoPhaseSwitch::prepare(&mut setup, &world, inputs, outputs, cap, tl)?,
+                )),
+                AllReduceAlgo::HierLl => Prepared::ArHier(Rc::new(
+                    TwoPhaseHierarchical::prepare(&mut setup, inputs, outputs, cap, 1, false)?,
+                )),
+                AllReduceAlgo::HierHb => Prepared::ArHier(Rc::new(
+                    TwoPhaseHierarchical::prepare(&mut setup, inputs, outputs, cap, tl, true)?,
+                )),
+            },
+            Key::Ag(algo, _, _) => match *algo {
+                AllGatherAlgo::AllPairsLl => Prepared::AgAp(Rc::new(AllPairsAllGather::prepare(
+                    &mut setup,
+                    &world,
+                    inputs,
+                    outputs,
+                    cap,
+                    ts,
+                    Protocol::LL,
+                    PeerOrder::Staggered,
+                )?)),
+                AllGatherAlgo::AllPairsHb => Prepared::AgAp(Rc::new(AllPairsAllGather::prepare(
+                    &mut setup,
+                    &world,
+                    inputs,
+                    outputs,
+                    cap,
+                    tl,
+                    Protocol::HB,
+                    PeerOrder::Staggered,
+                )?)),
+                AllGatherAlgo::AllPairsPort => Prepared::AgPort(Rc::new(
+                    AllPairsAllGatherPort::prepare(&mut setup, &world, inputs, outputs, cap, tl)?,
+                )),
+                AllGatherAlgo::HierLl => Prepared::AgHier(Rc::new(HierAllGather::prepare(
+                    &mut setup,
+                    inputs,
+                    outputs,
+                    cap,
+                    1,
+                    Protocol::LL,
+                )?)),
+                AllGatherAlgo::HierHb => Prepared::AgHier(Rc::new(HierAllGather::prepare(
+                    &mut setup,
+                    inputs,
+                    outputs,
+                    cap,
+                    tl,
+                    Protocol::HB,
+                )?)),
+            },
+            Key::Rs(algo, _, _) => {
+                let proto = match algo {
+                    ReduceScatterAlgo::AllPairsLl => Protocol::LL,
+                    ReduceScatterAlgo::AllPairsHb => Protocol::HB,
+                };
+                let tbs = match algo {
+                    ReduceScatterAlgo::AllPairsLl => ts,
+                    ReduceScatterAlgo::AllPairsHb => tl,
+                };
+                Prepared::RsAp(Rc::new(AllPairsReduceScatter::prepare(
+                    &mut setup, inputs, outputs, cap, tbs, proto,
+                )?))
+            }
+            Key::A2a(algo, _, _) => {
+                let (proto, tbs) = match algo {
+                    AllToAllAlgo::AllPairsLl => (Protocol::LL, ts),
+                    AllToAllAlgo::AllPairsHb => (Protocol::HB, tl),
+                };
+                Prepared::A2aAp(Rc::new(AllPairsAllToAll::prepare(
+                    &mut setup, inputs, outputs, cap, tbs, proto,
+                )?))
+            }
+            Key::Bc(algo, _, _, _) => match algo {
+                BroadcastAlgo::Direct => Prepared::BcAp(Rc::new(AllPairsBroadcast::prepare(
+                    &mut setup, root, inputs, outputs, cap, tl,
+                )?)),
+                BroadcastAlgo::Switch => Prepared::BcSwitch(Rc::new(SwitchBroadcast::prepare(
+                    &mut setup, root, inputs, outputs, cap, tl,
+                )?)),
+            },
+        };
+        self.prepared
+            .borrow_mut()
+            .insert(key.clone(), (cap, prepared));
+        Ok(())
+    }
+}

@@ -1,0 +1,105 @@
+//! Size- and hardware-based algorithm selection (§4.4, §5.1).
+//!
+//! Mirrors the paper's observed crossovers: 1PA wins up to 16 KB on a
+//! single node, 2PA variants take over from 32 KB (LL first, then HB),
+//! the SwitchChannel variant dominates large messages on multimem
+//! hardware, the PortChannel variant wins at ~1 GB, and hierarchical
+//! algorithms serve multi-node clusters (LL small, HB large).
+
+use hw::Machine;
+
+use crate::{AllGatherAlgo, AllReduceAlgo, PeerOrder, ScratchReuse};
+
+/// Picks the default AllReduce algorithm for a message of `bytes`.
+pub fn select_all_reduce(machine: &Machine, bytes: usize) -> AllReduceAlgo {
+    let topo = machine.topology();
+    if topo.nodes() > 1 {
+        return if bytes <= (512 << 10) {
+            AllReduceAlgo::HierLl
+        } else {
+            AllReduceAlgo::HierHb
+        };
+    }
+    if bytes <= (16 << 10) {
+        AllReduceAlgo::OnePhaseLl
+    } else if bytes <= (256 << 10) {
+        AllReduceAlgo::TwoPhaseLl {
+            reuse: ScratchReuse::Rotate,
+            order: PeerOrder::Staggered,
+        }
+    } else if hw::supports_multimem(machine) {
+        AllReduceAlgo::TwoPhaseSwitch
+    } else if bytes >= (512 << 20) {
+        AllReduceAlgo::TwoPhasePort
+    } else {
+        AllReduceAlgo::TwoPhaseHb {
+            order: PeerOrder::Staggered,
+        }
+    }
+}
+
+/// Picks the default AllGather algorithm for `bytes` contributed per
+/// rank.
+pub fn select_all_gather(machine: &Machine, bytes: usize) -> AllGatherAlgo {
+    let topo = machine.topology();
+    if topo.nodes() > 1 {
+        if bytes <= (128 << 10) {
+            AllGatherAlgo::HierLl
+        } else {
+            AllGatherAlgo::HierHb
+        }
+    } else if bytes <= (128 << 10) {
+        AllGatherAlgo::AllPairsLl
+    } else {
+        AllGatherAlgo::AllPairsHb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw::EnvKind;
+
+    #[test]
+    fn crossovers_match_the_paper() {
+        let a100 = Machine::new(EnvKind::A100_40G.spec(1));
+        assert_eq!(select_all_reduce(&a100, 1 << 10), AllReduceAlgo::OnePhaseLl);
+        assert_eq!(
+            select_all_reduce(&a100, 16 << 10),
+            AllReduceAlgo::OnePhaseLl,
+            "paper §5.1: 1PA used for 1KB-16KB"
+        );
+        assert!(matches!(
+            select_all_reduce(&a100, 32 << 10),
+            AllReduceAlgo::TwoPhaseLl { .. }
+        ));
+        assert!(matches!(
+            select_all_reduce(&a100, 64 << 20),
+            AllReduceAlgo::TwoPhaseHb { .. }
+        ));
+        assert_eq!(
+            select_all_reduce(&a100, 1 << 30),
+            AllReduceAlgo::TwoPhasePort,
+            "paper §5.1: PortChannel wins at 1GB single-node"
+        );
+    }
+
+    #[test]
+    fn h100_uses_switch_for_large() {
+        let h100 = Machine::new(EnvKind::H100.spec(1));
+        assert_eq!(
+            select_all_reduce(&h100, 64 << 20),
+            AllReduceAlgo::TwoPhaseSwitch
+        );
+        assert_eq!(select_all_reduce(&h100, 1 << 10), AllReduceAlgo::OnePhaseLl);
+    }
+
+    #[test]
+    fn multinode_uses_hierarchical() {
+        let two = Machine::new(EnvKind::A100_40G.spec(2));
+        assert_eq!(select_all_reduce(&two, 1 << 10), AllReduceAlgo::HierLl);
+        assert_eq!(select_all_reduce(&two, 256 << 20), AllReduceAlgo::HierHb);
+        assert_eq!(select_all_gather(&two, 1 << 10), AllGatherAlgo::HierLl);
+        assert_eq!(select_all_gather(&two, 16 << 20), AllGatherAlgo::HierHb);
+    }
+}

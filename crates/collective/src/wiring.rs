@@ -1,0 +1,155 @@
+//! Channel-set builders shared by the collective algorithms.
+//!
+//! MSCCL++ channels are bound to their source and destination buffers at
+//! construction (§4.2), so each algorithm prepares the channel sets it
+//! needs — per thread block and per peer pair, exactly as the real
+//! library instantiates device handles — and reuses them across launches.
+
+use hw::{BufferId, Rank};
+use mscclpp::{MemoryChannel, PortChannel, Protocol, Result, Setup};
+
+/// Per-thread-block, per-ordered-pair memory channels within one rank
+/// group: `chans[tb][a][b]` is the endpoint on rank `a` putting into (or
+/// reading from) rank `b`.
+#[derive(Debug)]
+pub(crate) struct MemMesh {
+    /// Participating ranks, in grid order (diagnostic).
+    #[allow(dead_code)]
+    pub ranks: Vec<Rank>,
+    /// Indexed `[tb][local index of a][local index of b]`.
+    pub chans: Vec<Vec<Vec<Option<MemoryChannel>>>>,
+}
+
+impl MemMesh {
+    /// Builds all-pairs channels among `ranks` where rank `a`'s endpoint
+    /// puts from `src[a]` into `dst[b]` on rank `b` (indices into the
+    /// full-world buffer vectors).
+    pub fn build(
+        setup: &mut Setup<'_>,
+        ranks: &[Rank],
+        src: &[BufferId],
+        dst: &[BufferId],
+        protocol: Protocol,
+        tbs: usize,
+    ) -> Result<MemMesh> {
+        let g = ranks.len();
+        let mut chans = Vec::with_capacity(tbs);
+        for _ in 0..tbs {
+            let mut grid: Vec<Vec<Option<MemoryChannel>>> = vec![vec![None; g]; g];
+            for ia in 0..g {
+                for ib in (ia + 1)..g {
+                    let (a, b) = (ranks[ia], ranks[ib]);
+                    let (ca, cb) = setup.memory_channel_pair(
+                        a,
+                        src[a.0],
+                        dst[b.0],
+                        b,
+                        src[b.0],
+                        dst[a.0],
+                        protocol,
+                    )?;
+                    grid[ia][ib] = Some(ca);
+                    grid[ib][ia] = Some(cb);
+                }
+            }
+            chans.push(grid);
+        }
+        Ok(MemMesh {
+            ranks: ranks.to_vec(),
+            chans,
+        })
+    }
+
+    /// The channel endpoint on `ranks[ia]` towards `ranks[ib]` for `tb`.
+    pub fn at(&self, tb: usize, ia: usize, ib: usize) -> &MemoryChannel {
+        self.chans[tb][ia][ib]
+            .as_ref()
+            .expect("no channel to self")
+    }
+}
+
+/// Per-thread-block port channels between corresponding GPUs of different
+/// groups (e.g. GPU `i` of every node): `chans[tb][a][b]` is the endpoint
+/// on group member `a` towards member `b`.
+#[derive(Debug)]
+pub(crate) struct PortMesh {
+    /// Participating ranks, in grid order (diagnostic).
+    #[allow(dead_code)]
+    pub ranks: Vec<Rank>,
+    pub chans: Vec<Vec<Vec<Option<PortChannel>>>>,
+}
+
+impl PortMesh {
+    /// Builds all-pairs port channels among `ranks`, putting from
+    /// `src[a]` into `dst[b]`.
+    pub fn build(
+        setup: &mut Setup<'_>,
+        ranks: &[Rank],
+        src: &[BufferId],
+        dst: &[BufferId],
+        tbs: usize,
+    ) -> Result<PortMesh> {
+        let g = ranks.len();
+        let mut chans = Vec::with_capacity(tbs);
+        for _ in 0..tbs {
+            let mut grid: Vec<Vec<Option<PortChannel>>> = vec![vec![None; g]; g];
+            for ia in 0..g {
+                for ib in (ia + 1)..g {
+                    let (a, b) = (ranks[ia], ranks[ib]);
+                    let (ca, cb) = setup.port_channel_pair(
+                        a,
+                        src[a.0],
+                        dst[b.0],
+                        b,
+                        src[b.0],
+                        dst[a.0],
+                    )?;
+                    grid[ia][ib] = Some(ca);
+                    grid[ib][ia] = Some(cb);
+                }
+            }
+            chans.push(grid);
+        }
+        Ok(PortMesh {
+            ranks: ranks.to_vec(),
+            chans,
+        })
+    }
+
+    /// The channel endpoint on `ranks[ia]` towards `ranks[ib]` for `tb`.
+    pub fn at(&self, tb: usize, ia: usize, ib: usize) -> &PortChannel {
+        self.chans[tb][ia][ib]
+            .as_ref()
+            .expect("no channel to self")
+    }
+}
+
+/// Splits `total` into `parts` nearly-equal ranges; returns `(start, len)`
+/// of range `idx`.
+pub(crate) fn split_range(total: usize, parts: usize, idx: usize) -> (usize, usize) {
+    let base = total / parts;
+    let rem = total % parts;
+    let start = idx * base + idx.min(rem);
+    let len = base + usize::from(idx < rem);
+    (start, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_range_covers_everything_without_overlap() {
+        for total in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 3, 8] {
+                let mut covered = 0;
+                for i in 0..parts {
+                    let (s, l) = split_range(total, parts, i);
+                    assert_eq!(s, covered, "ranges must be contiguous");
+                    covered += l;
+                }
+                assert_eq!(covered, total);
+            }
+        }
+    }
+}

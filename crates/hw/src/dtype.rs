@@ -1,0 +1,248 @@
+//! Element types and reduction operators for collective payloads.
+
+use std::fmt;
+
+/// Element type of a collective payload.
+///
+/// GPU collectives in the paper run predominantly on half precision
+/// (`F16`); `F32` and `BF16` are provided for completeness and for tests
+/// that want exact arithmetic on small integers.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// IEEE-754 binary16.
+    F16,
+    /// bfloat16 (truncated binary32).
+    BF16,
+    /// IEEE-754 binary32.
+    F32,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            DataType::F16 | DataType::BF16 => 2,
+            DataType::F32 => 4,
+        }
+    }
+
+    /// Decodes the element at byte offset `off` in `bytes` to `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + self.size()` exceeds `bytes.len()`.
+    pub fn decode(self, bytes: &[u8], off: usize) -> f32 {
+        match self {
+            DataType::F16 => f16_to_f32(u16::from_le_bytes([bytes[off], bytes[off + 1]])),
+            DataType::BF16 => {
+                f32::from_bits((u16::from_le_bytes([bytes[off], bytes[off + 1]]) as u32) << 16)
+            }
+            DataType::F32 => f32::from_le_bytes([
+                bytes[off],
+                bytes[off + 1],
+                bytes[off + 2],
+                bytes[off + 3],
+            ]),
+        }
+    }
+
+    /// Encodes `v` into `bytes` at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + self.size()` exceeds `bytes.len()`.
+    pub fn encode(self, bytes: &mut [u8], off: usize, v: f32) {
+        match self {
+            DataType::F16 => {
+                bytes[off..off + 2].copy_from_slice(&f32_to_f16(v).to_le_bytes());
+            }
+            DataType::BF16 => {
+                let b = ((v.to_bits() >> 16) & 0xffff) as u16;
+                bytes[off..off + 2].copy_from_slice(&b.to_le_bytes());
+            }
+            DataType::F32 => {
+                bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::F16 => "f16",
+            DataType::BF16 => "bf16",
+            DataType::F32 => "f32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Element-wise reduction operator.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise addition (the AllReduce default).
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// Applies the operator to two values.
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Converts an IEEE binary16 bit pattern to `f32`.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h >> 15) & 1) as u32;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x3ff) as u32;
+    let bits = if exp == 0 {
+        if mant == 0 {
+            sign << 31
+        } else {
+            // Subnormal: normalize.
+            let mut e = 127 - 15 + 1;
+            let mut m = mant;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x3ff;
+            (sign << 31) | ((e as u32) << 23) | (m << 13)
+        }
+    } else if exp == 0x1f {
+        // Inf / NaN
+        (sign << 31) | (0xff << 23) | (mant << 13)
+    } else {
+        (sign << 31) | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Converts `f32` to the nearest IEEE binary16 bit pattern
+/// (round-to-nearest-even).
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN
+        let m = if mant != 0 { 0x200 } else { 0 };
+        return sign | 0x7c00 | m;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased < -24 {
+        return sign; // underflow -> zero
+    }
+    if unbiased < -14 {
+        // Subnormal half.
+        let shift = (-14 - unbiased) as u32;
+        let m = (mant | 0x0080_0000) >> (13 + shift);
+        let rem = (mant | 0x0080_0000) & ((1u32 << (13 + shift)) - 1);
+        let half = 1u32 << (12 + shift);
+        let mut m = m as u16;
+        if rem > half || (rem == half && m & 1 == 1) {
+            m += 1;
+        }
+        return sign | m;
+    }
+    let e = (unbiased + 15) as u16;
+    let m = (mant >> 13) as u16;
+    let rem = mant & 0x1fff;
+    let mut out = sign | (e << 10) | m;
+    if rem > 0x1000 || (rem == 0x1000 && out & 1 == 1) {
+        out = out.wrapping_add(1); // may carry into exponent; that is correct rounding
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_round_trip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25, 1024.0] {
+            let h = f32_to_f16(v);
+            assert_eq!(f16_to_f32(h), v, "round trip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_saturates_to_inf() {
+        assert!(f16_to_f32(f32_to_f16(1e6)).is_infinite());
+        assert!(f16_to_f32(f32_to_f16(-1e6)).is_infinite());
+    }
+
+    #[test]
+    fn f16_subnormals_round_trip() {
+        let smallest = 5.960_464_5e-8; // 2^-24
+        let h = f32_to_f16(smallest);
+        let back = f16_to_f32(h);
+        assert!((back - smallest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f16_nan_preserved() {
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_rounding_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next half value;
+        // round-to-even keeps 1.0.
+        let v = 1.0 + 2f32.powi(-11);
+        assert_eq!(f16_to_f32(f32_to_f16(v)), 1.0);
+        // 1 + 3*2^-11 is halfway and rounds up to even mantissa.
+        let v = 1.0 + 3.0 * 2f32.powi(-11);
+        assert_eq!(f16_to_f32(f32_to_f16(v)), 1.0 + 2.0 * 2f32.powi(-10));
+    }
+
+    #[test]
+    fn encode_decode_all_dtypes() {
+        let mut buf = [0u8; 8];
+        for dt in [DataType::F16, DataType::BF16, DataType::F32] {
+            dt.encode(&mut buf, 0, 3.5);
+            assert_eq!(dt.decode(&buf, 0), 3.5, "{dt}");
+        }
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DataType::F16.size(), 2);
+        assert_eq!(DataType::BF16.size(), 2);
+        assert_eq!(DataType::F32.size(), 4);
+    }
+}

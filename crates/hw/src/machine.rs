@@ -1,0 +1,614 @@
+//! The simulated machine: the `sim` world type plus transfer-time helpers.
+
+use sim::{Ctx, Duration, Engine, ResourceId, Time};
+
+use crate::memory::MemoryPool;
+use crate::spec::{EnvSpec, IntraKind};
+use crate::topology::{Rank, Topology};
+
+/// Which data-transfer mode a peer-to-peer copy uses (§2.2.2).
+///
+/// *Thread-copy* uses GPU threads to read/write peer memory through
+/// memory-mapped I/O (lower latency, lower bandwidth). *DMA-copy* drives
+/// the GPU's copy engine through port-mapped I/O (higher bandwidth, but
+/// requires CPU initiation and has higher fixed latency).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum CopyMode {
+    /// GPU threads move the data (MemoryChannel).
+    Thread,
+    /// A DMA engine moves the data (PortChannel).
+    Dma,
+}
+
+/// Serializing hardware resources, allocated on the engine by [`wire`].
+#[derive(Debug, Clone, Default)]
+struct Resources {
+    /// Per-rank egress port (switch/PCIe topologies).
+    egress: Vec<ResourceId>,
+    /// Per-rank ingress port (switch/PCIe topologies).
+    ingress: Vec<ResourceId>,
+    /// Per-ordered-pair link (mesh topologies); indexed `[src][dst local]`.
+    pair: Vec<Vec<Option<ResourceId>>>,
+    /// Per-rank local HBM copy engine.
+    local: Vec<ResourceId>,
+    /// Per-rank DMA copy engine (kept for completeness; modern GPUs have
+    /// several engines, so DMA transfers are port-bound, not engine-bound).
+    #[allow(dead_code)]
+    dma: Vec<ResourceId>,
+    /// Per-rank NIC send side.
+    nic_send: Vec<ResourceId>,
+    /// Per-rank NIC receive side.
+    nic_recv: Vec<ResourceId>,
+}
+
+/// The simulated cluster: specification, GPU memories, and link resources.
+///
+/// `Machine` is used as the world type of a [`sim::Engine`]. Construct it
+/// with [`Machine::new`] and then call [`wire`] on the engine to allocate
+/// the link resources before running any processes.
+#[derive(Debug)]
+pub struct Machine {
+    spec: EnvSpec,
+    pool: MemoryPool,
+    res: Option<Resources>,
+}
+
+impl Machine {
+    /// Creates a machine from a specification. Link resources are not yet
+    /// allocated; call [`wire`] on the engine that owns this machine.
+    pub fn new(spec: EnvSpec) -> Machine {
+        Machine {
+            spec,
+            pool: MemoryPool::new(),
+            res: None,
+        }
+    }
+
+    /// The machine specification.
+    pub fn spec(&self) -> &EnvSpec {
+        &self.spec
+    }
+
+    /// The cluster shape.
+    pub fn topology(&self) -> Topology {
+        self.spec.topology
+    }
+
+    /// Shared access to GPU memory.
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// Exclusive access to GPU memory.
+    pub fn pool_mut(&mut self) -> &mut MemoryPool {
+        &mut self.pool
+    }
+
+    /// Whether [`wire`] has been called for this machine.
+    pub fn is_wired(&self) -> bool {
+        self.res.is_some()
+    }
+
+    fn res(&self) -> &Resources {
+        self.res
+            .as_ref()
+            .expect("machine not wired: call hw::wire(&mut engine) after Engine::new")
+    }
+}
+
+/// Allocates the machine's link resources on the engine.
+///
+/// Must be called once, after `Engine::new(Machine::new(spec))` and before
+/// any process runs.
+///
+/// # Panics
+///
+/// Panics if called twice on the same engine.
+pub fn wire(engine: &mut Engine<Machine>) {
+    assert!(
+        engine.world().res.is_none(),
+        "hw::wire called twice on the same engine"
+    );
+    let topo = engine.world().topology();
+    let n = topo.world_size();
+    let g = topo.gpus_per_node();
+    let mesh = matches!(engine.world().spec.intra.kind, IntraKind::Mesh { .. });
+
+    let mut res = Resources::default();
+    for _ in 0..n {
+        res.egress.push(engine.alloc_resource());
+        res.ingress.push(engine.alloc_resource());
+        res.local.push(engine.alloc_resource());
+        res.dma.push(engine.alloc_resource());
+        res.nic_send.push(engine.alloc_resource());
+        res.nic_recv.push(engine.alloc_resource());
+    }
+    if mesh {
+        for src in 0..n {
+            let mut row = Vec::with_capacity(g);
+            for dl in 0..g {
+                let dst = topo.rank_at(topo.node_of(Rank(src)), dl);
+                if dst == Rank(src) {
+                    row.push(None);
+                } else {
+                    row.push(Some(engine.alloc_resource()));
+                }
+            }
+            res.pair.push(row);
+        }
+    }
+    engine.world_mut().res = Some(res);
+}
+
+/// The two timestamps of an asynchronous transfer.
+///
+/// A `put` issued by GPU threads (or a DMA engine) finishes *occupying the
+/// sender* when the last byte has been pushed onto the link, but the data
+/// only becomes *visible at the destination* one interconnect latency
+/// later. Separating the two is what makes MSCCL++'s asynchronous,
+/// one-sided `put` cheaper than a blocking rendezvous `send`.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct Xfer {
+    /// When the sending context (thread block, DMA engine, NIC) is free to
+    /// proceed to its next operation.
+    pub sender_free: Time,
+    /// When the data is visible in destination memory.
+    pub arrival: Time,
+}
+
+/// Occupies each resource independently for `busy` and returns the
+/// latest completion instant.
+///
+/// Ports are *work-conserving*: interconnect links and switches have
+/// flow-control buffers, so a transfer's occupancy of the sender port,
+/// the receiver port, and (for multimem) every contributor port need not
+/// be simultaneous. Modeling them as independent queues packs each port
+/// densely, which matches measured link utilization under all-to-all
+/// traffic; a common-start reservation would instead create artificial
+/// convoy bubbles.
+fn acquire_each(ctx: &mut Ctx<'_, Machine>, resources: &[ResourceId], busy: Duration) -> Time {
+    let mut done = ctx.now();
+    for &r in resources {
+        done = done.max(ctx.acquire(r, busy));
+    }
+    done
+}
+
+/// Completion time of a local (same-GPU) copy of `bytes` through HBM.
+pub fn local_copy_time(ctx: &mut Ctx<'_, Machine>, rank: Rank, bytes: u64) -> Time {
+    let gbps = ctx.world.spec.gpu.hbm_gbps;
+    let r = ctx.world.res().local[rank.0];
+    ctx.acquire(r, Duration::for_transfer(bytes, gbps))
+}
+
+/// Completion time of a local element-wise reduction over `bytes` of
+/// operand data (reads two streams, writes one).
+pub fn local_reduce_time(ctx: &mut Ctx<'_, Machine>, rank: Rank, bytes: u64) -> Time {
+    let gbps = ctx.world.spec.gpu.hbm_gbps;
+    let r = ctx.world.res().local[rank.0];
+    ctx.acquire(r, Duration::for_transfer(3 * bytes, gbps))
+}
+
+/// Timing of an intra-node peer-to-peer transfer of `bytes` from
+/// `src` to `dst` using `mode`.
+///
+/// Occupies the appropriate link resources (switch ports or the dedicated
+/// mesh pair link, plus the DMA engine for [`CopyMode::Dma`]) and adds the
+/// interconnect's one-way latency to obtain the arrival instant.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` are the same rank or on different nodes (use
+/// [`net_time`] for inter-node transfers), or if the machine is not wired.
+pub fn p2p_time(
+    ctx: &mut Ctx<'_, Machine>,
+    src: Rank,
+    dst: Rank,
+    bytes: u64,
+    mode: CopyMode,
+) -> Xfer {
+    let topo = ctx.world.topology();
+    assert_ne!(src, dst, "p2p transfer to self; use local_copy_time");
+    assert!(
+        topo.same_node(src, dst),
+        "p2p transfer across nodes ({src} -> {dst}); use net_time"
+    );
+    let latency = ctx.world.spec.intra.latency;
+    match ctx.world.spec.intra.kind {
+        IntraKind::Switch {
+            thread_gbps,
+            dma_gbps,
+            ..
+        } => {
+            let gbps = match mode {
+                CopyMode::Thread => thread_gbps,
+                CopyMode::Dma => dma_gbps,
+            };
+            let busy = Duration::for_transfer(bytes, gbps);
+            let res = ctx.world.res();
+            // Modern GPUs have several copy engines, so DMA transfers are
+            // bounded by the port bandwidth, not a single engine.
+            let (eg, ing) = (res.egress[src.0], res.ingress[dst.0]);
+            let sender_free = ctx.acquire(eg, busy);
+            let landed = sender_free.max(ctx.acquire(ing, busy));
+            Xfer {
+                sender_free,
+                arrival: landed + latency,
+            }
+        }
+        IntraKind::Mesh {
+            per_peer_thread_gbps,
+            per_peer_dma_gbps,
+        } => {
+            let gbps = match mode {
+                CopyMode::Thread => per_peer_thread_gbps,
+                CopyMode::Dma => per_peer_dma_gbps,
+            };
+            let busy = Duration::for_transfer(bytes, gbps);
+            let res = ctx.world.res();
+            let link = res.pair[src.0][topo.local_index(dst)]
+                .expect("mesh pair link missing (src==dst?)");
+            let free = ctx.acquire(link, busy);
+            Xfer {
+                sender_free: free,
+                arrival: free + latency,
+            }
+        }
+        IntraKind::Pcie { gbps } => {
+            let busy = Duration::for_transfer(bytes, gbps);
+            let res = ctx.world.res();
+            let (eg, ing) = (res.egress[src.0], res.ingress[dst.0]);
+            let sender_free = ctx.acquire(eg, busy);
+            let landed = sender_free.max(ctx.acquire(ing, busy));
+            Xfer {
+                sender_free,
+                arrival: landed + latency,
+            }
+        }
+    }
+}
+
+/// Timing of an inter-node RDMA transfer of `bytes` from `src` to
+/// `dst` over the per-GPU NICs.
+///
+/// This is the wire time only; the CPU-proxy initiation and completion
+/// polling overheads are modeled by the calling library (the paper's
+/// Figure 2 workflow).
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` are on the same node, or if the machine has
+/// no network, or is not wired.
+pub fn net_time(ctx: &mut Ctx<'_, Machine>, src: Rank, dst: Rank, bytes: u64) -> Xfer {
+    let topo = ctx.world.topology();
+    assert!(
+        !topo.same_node(src, dst),
+        "net transfer within a node ({src} -> {dst}); use p2p_time"
+    );
+    let net = ctx
+        .world
+        .spec
+        .net
+        .expect("environment has no inter-node network");
+    let busy = Duration::for_transfer(bytes, net.gbps);
+    let res = ctx.world.res();
+    let (snd, rcv) = (res.nic_send[src.0], res.nic_recv[dst.0]);
+    let sender_free = ctx.acquire(snd, busy);
+    let landed = sender_free.max(ctx.acquire(rcv, busy));
+    Xfer {
+        sender_free,
+        arrival: landed + net.latency,
+    }
+}
+
+/// One-way latency used by a remote semaphore signal over the intra-node
+/// interconnect.
+pub fn intra_latency(machine: &Machine) -> Duration {
+    machine.spec().intra.latency
+}
+
+/// One-way latency of the inter-node network.
+///
+/// # Panics
+///
+/// Panics if the environment has no network.
+pub fn net_latency(machine: &Machine) -> Duration {
+    machine
+        .spec()
+        .net
+        .expect("environment has no inter-node network")
+        .latency
+}
+
+/// Completion time of a switch multimem load-reduce: rank `dst` reads and
+/// reduces `bytes` (its output share) from every GPU on its node through
+/// the switch.
+///
+/// Occupies `dst`'s ingress port and every peer's egress port for the
+/// duration at the multimem rate.
+///
+/// # Panics
+///
+/// Panics if the interconnect has no multimem support.
+pub fn multimem_reduce_time(ctx: &mut Ctx<'_, Machine>, dst: Rank, bytes: u64) -> Time {
+    let (gbps, latency) = multimem_params(ctx);
+    let topo = ctx.world.topology();
+    let busy = Duration::for_transfer(bytes, gbps);
+    let res = ctx.world.res();
+    let mut rs = vec![res.ingress[dst.0]];
+    for peer in topo.node_ranks(dst) {
+        if peer != dst {
+            rs.push(res.egress[peer.0]);
+        }
+    }
+    // The reader blocks until the reduced values land in its registers.
+    acquire_each(ctx, &rs, busy) + latency
+}
+
+/// Completion time of a switch multimem store-broadcast: rank `src` writes
+/// `bytes` once into the switch, which multicasts to every GPU on the node.
+///
+/// Occupies `src`'s egress port once (this is the bandwidth saving over a
+/// peer-by-peer broadcast) and every peer's ingress port.
+///
+/// # Panics
+///
+/// Panics if the interconnect has no multimem support.
+pub fn multimem_broadcast_time(ctx: &mut Ctx<'_, Machine>, src: Rank, bytes: u64) -> Xfer {
+    let (gbps, latency) = multimem_params(ctx);
+    let topo = ctx.world.topology();
+    let busy = Duration::for_transfer(bytes, gbps);
+    let res = ctx.world.res();
+    let eg = res.egress[src.0];
+    let ins: Vec<ResourceId> = topo
+        .node_ranks(src)
+        .filter(|&p| p != src)
+        .map(|p| res.ingress[p.0])
+        .collect();
+    let sender_free = ctx.acquire(eg, busy);
+    let landed = sender_free.max(acquire_each(ctx, &ins, busy));
+    Xfer {
+        sender_free,
+        arrival: landed + latency,
+    }
+}
+
+fn multimem_params(ctx: &Ctx<'_, Machine>) -> (f64, Duration) {
+    match ctx.world.spec.intra.kind {
+        IntraKind::Switch {
+            multimem: Some(mm), ..
+        } => (mm.gbps, ctx.world.spec.intra.latency),
+        _ => panic!(
+            "{}: interconnect has no multimem (switch) support",
+            ctx.world.spec.name
+        ),
+    }
+}
+
+/// Per-rank link-port occupancy, for utilization analysis of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortUtilization {
+    /// The rank whose ports these are.
+    pub rank: Rank,
+    /// Cumulative egress-port busy time.
+    pub egress_busy: Duration,
+    /// Cumulative ingress-port busy time.
+    pub ingress_busy: Duration,
+    /// Cumulative NIC send busy time.
+    pub nic_send_busy: Duration,
+    /// Cumulative NIC receive busy time.
+    pub nic_recv_busy: Duration,
+}
+
+/// Reports every rank's cumulative port occupancy (egress/ingress NVLink
+/// or PCIe ports, NIC send/recv). Dividing by the elapsed virtual time of
+/// a phase gives link utilization — the quantity behind the paper's
+/// bandwidth discussions (e.g. why the MI300x loop order matters, §5.3).
+///
+/// On mesh interconnects the pairwise links are not split per direction;
+/// their occupancy is attributed to the sender's egress.
+///
+/// # Panics
+///
+/// Panics if the machine is not wired.
+pub fn port_utilization(engine: &Engine<Machine>) -> Vec<PortUtilization> {
+    let topo = engine.world().topology();
+    let res = engine.world().res();
+    let mesh = !res.pair.is_empty();
+    topo.ranks()
+        .map(|r| {
+            let mut egress_busy = engine.resource_busy(res.egress[r.0]);
+            if mesh {
+                for link in res.pair[r.0].iter().flatten() {
+                    egress_busy += engine.resource_busy(*link);
+                }
+            }
+            PortUtilization {
+                rank: r,
+                egress_busy,
+                ingress_busy: engine.resource_busy(res.ingress[r.0]),
+                nic_send_busy: engine.resource_busy(res.nic_send[r.0]),
+                nic_recv_busy: engine.resource_busy(res.nic_recv[r.0]),
+            }
+        })
+        .collect()
+}
+
+/// Whether the machine's intra-node interconnect supports multimem
+/// (switch-mapped I/O, required by `SwitchChannel`).
+pub fn supports_multimem(machine: &Machine) -> bool {
+    matches!(
+        machine.spec().intra.kind,
+        IntraKind::Switch {
+            multimem: Some(_),
+            ..
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EnvKind;
+    use sim::{Process, Step};
+
+    fn engine(kind: EnvKind, nodes: usize) -> Engine<Machine> {
+        let mut e = Engine::new(Machine::new(kind.spec(nodes)));
+        wire(&mut e);
+        e
+    }
+
+    /// Runs one closure process to completion and returns (result, now).
+    fn run_one<F>(e: &mut Engine<Machine>, f: F) -> Time
+    where
+        F: FnOnce(&mut Ctx<'_, Machine>) -> Time + 'static,
+    {
+        struct P<F> {
+            f: Option<F>,
+            out: std::rc::Rc<std::cell::Cell<Time>>,
+        }
+        impl<F: FnOnce(&mut Ctx<'_, Machine>) -> Time> Process<Machine> for P<F> {
+            fn step(&mut self, ctx: &mut Ctx<'_, Machine>) -> Step {
+                let f = self.f.take().expect("stepped twice");
+                self.out.set(f(ctx));
+                Step::Done
+            }
+        }
+        let out = std::rc::Rc::new(std::cell::Cell::new(Time::ZERO));
+        e.spawn(P {
+            f: Some(f),
+            out: out.clone(),
+        });
+        e.run().unwrap();
+        out.get()
+    }
+
+    #[test]
+    fn switch_p2p_dma_is_faster_for_large_messages() {
+        let mut e = engine(EnvKind::A100_40G, 1);
+        let thread = run_one(&mut e, |ctx| {
+            p2p_time(ctx, Rank(0), Rank(1), 64 << 20, CopyMode::Thread).arrival
+        });
+        let mut e2 = engine(EnvKind::A100_40G, 1);
+        let dma = run_one(&mut e2, |ctx| {
+            p2p_time(ctx, Rank(0), Rank(1), 64 << 20, CopyMode::Dma).arrival
+        });
+        assert!(dma < thread, "DMA copy should beat thread copy in bandwidth");
+        // Ratio should be roughly 263/227.
+        let ratio = thread.as_us() / dma.as_us();
+        assert!((ratio - 263.0 / 227.0).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn switch_port_is_shared_but_mesh_links_are_parallel() {
+        // On a switch, two simultaneous sends from rank 0 serialize on its
+        // egress port. On a mesh they ride dedicated pair links.
+        let bytes = 16u64 << 20;
+        let mut e = engine(EnvKind::A100_40G, 1);
+        let t_switch = run_one(&mut e, move |ctx| {
+            let a = p2p_time(ctx, Rank(0), Rank(1), bytes, CopyMode::Thread);
+            let b = p2p_time(ctx, Rank(0), Rank(2), bytes, CopyMode::Thread);
+            a.sender_free.max(b.sender_free)
+        });
+        let mut e2 = engine(EnvKind::MI300X, 1);
+        let t_mesh = run_one(&mut e2, move |ctx| {
+            let a = p2p_time(ctx, Rank(0), Rank(1), bytes, CopyMode::Thread);
+            let b = p2p_time(ctx, Rank(0), Rank(2), bytes, CopyMode::Thread);
+            a.sender_free.max(b.sender_free)
+        });
+        // Switch: 2 * bytes/227GBps serialized. Mesh: bytes/45GBps in parallel.
+        let serial_switch = 2.0 * (bytes as f64) / 227e9 * 1e6; // us
+        let parallel_mesh = (bytes as f64) / 45e9 * 1e6;
+        assert!((t_switch.as_us() - serial_switch).abs() / serial_switch < 0.05);
+        assert!((t_mesh.as_us() - parallel_mesh).abs() / parallel_mesh < 0.05);
+    }
+
+    #[test]
+    fn net_time_uses_nic_bandwidth_and_latency() {
+        let mut e = engine(EnvKind::A100_40G, 2);
+        let done = run_one(&mut e, |ctx| net_time(ctx, Rank(0), Rank(8), 25_000_000).arrival);
+        // 25 MB at 25 GB/s = 1 ms, plus 1.8 us latency.
+        assert!((done.as_us() - (1000.0 + 1.8)).abs() < 1.0, "{done}");
+    }
+
+    #[test]
+    #[should_panic(expected = "across nodes")]
+    fn p2p_across_nodes_rejected() {
+        let mut e = engine(EnvKind::A100_40G, 2);
+        run_one(&mut e, |ctx| {
+            p2p_time(ctx, Rank(0), Rank(8), 1024, CopyMode::Thread).arrival
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no multimem")]
+    fn multimem_on_a100_rejected() {
+        let mut e = engine(EnvKind::A100_40G, 1);
+        run_one(&mut e, |ctx| multimem_reduce_time(ctx, Rank(0), 1024));
+    }
+
+    #[test]
+    fn multimem_supported_only_on_h100() {
+        assert!(supports_multimem(&Machine::new(EnvKind::H100.spec(1))));
+        assert!(!supports_multimem(&Machine::new(EnvKind::A100_40G.spec(1))));
+        assert!(!supports_multimem(&Machine::new(EnvKind::MI300X.spec(1))));
+    }
+
+    #[test]
+    fn multimem_broadcast_occupies_source_egress_once() {
+        // One multicast store of B bytes should take ~B/480GBps, not
+        // 7*B/480GBps: the switch replicates.
+        let bytes = 48u64 << 20;
+        let mut e = engine(EnvKind::H100, 1);
+        let done = run_one(&mut e, move |ctx| {
+            multimem_broadcast_time(ctx, Rank(0), bytes).arrival
+        });
+        let expect_us = (bytes as f64) / 360e9 * 1e6 + 0.4;
+        assert!((done.as_us() - expect_us).abs() / expect_us < 0.05, "{done}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not wired")]
+    fn unwired_machine_panics_on_use() {
+        let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+        run_one(&mut e, |ctx| {
+            p2p_time(ctx, Rank(0), Rank(1), 4, CopyMode::Thread).arrival
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "wire called twice")]
+    fn double_wire_rejected() {
+        let mut e = engine(EnvKind::A100_40G, 1);
+        wire(&mut e);
+    }
+}
+
+#[cfg(test)]
+mod util_tests {
+    use super::*;
+    use crate::spec::EnvKind;
+    use sim::{Process, Step};
+
+    struct OnePut;
+    impl Process<Machine> for OnePut {
+        fn step(&mut self, ctx: &mut Ctx<'_, Machine>) -> Step {
+            let _ = p2p_time(ctx, Rank(0), Rank(1), 227_000_000, CopyMode::Thread);
+            Step::Done
+        }
+    }
+
+    #[test]
+    fn utilization_accounts_port_busy_time() {
+        let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+        wire(&mut e);
+        e.spawn(OnePut);
+        e.run().unwrap();
+        let util = port_utilization(&e);
+        // 227 MB at 227 GB/s = 1 ms on rank 0 egress and rank 1 ingress.
+        assert!((util[0].egress_busy.as_us() - 1000.0).abs() < 1.0);
+        assert!((util[1].ingress_busy.as_us() - 1000.0).abs() < 1.0);
+        assert_eq!(util[1].egress_busy, Duration::ZERO);
+        assert_eq!(util[0].nic_send_busy, Duration::ZERO);
+    }
+}

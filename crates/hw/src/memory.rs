@@ -1,0 +1,367 @@
+//! GPU memory: real byte buffers, copies, and element-wise reductions.
+
+use crate::dtype::{DataType, ReduceOp};
+use crate::topology::Rank;
+
+/// Identifies a buffer allocated in a [`MemoryPool`].
+#[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(usize);
+
+#[derive(Debug)]
+struct Buffer {
+    rank: Rank,
+    data: Vec<u8>,
+}
+
+/// All simulated GPU memory in the cluster.
+///
+/// Every buffer is a real `Vec<u8>` tagged with the rank that owns it.
+/// Peer-to-peer `put`, switch `reduce`, and local `copy` operations move
+/// actual bytes here, so benchmark harnesses can verify collective outputs
+/// bit-for-bit (within floating-point reduction-order tolerance) before
+/// trusting a timing.
+#[derive(Debug, Default)]
+pub struct MemoryPool {
+    buffers: Vec<Buffer>,
+}
+
+impl MemoryPool {
+    /// Creates an empty pool.
+    pub fn new() -> MemoryPool {
+        MemoryPool::default()
+    }
+
+    /// Allocates a zero-initialized buffer of `size` bytes on `rank`.
+    pub fn alloc(&mut self, rank: Rank, size: usize) -> BufferId {
+        self.buffers.push(Buffer {
+            rank,
+            data: vec![0; size],
+        });
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// Number of buffers allocated so far.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Size in bytes of a buffer.
+    pub fn len(&self, buf: BufferId) -> usize {
+        self.buffers[buf.0].data.len()
+    }
+
+    /// Whether the pool holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// The rank that owns a buffer.
+    pub fn rank_of(&self, buf: BufferId) -> Rank {
+        self.buffers[buf.0].rank
+    }
+
+    /// Read-only view of `len` bytes at `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn bytes(&self, buf: BufferId, off: usize, len: usize) -> &[u8] {
+        &self.buffers[buf.0].data[off..off + len]
+    }
+
+    /// Mutable view of `len` bytes at `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn bytes_mut(&mut self, buf: BufferId, off: usize, len: usize) -> &mut [u8] {
+        &mut self.buffers[buf.0].data[off..off + len]
+    }
+
+    /// Overwrites `len` bytes at `dst_off` with `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range is out of bounds or `src.len()`
+    /// differs from the range length.
+    pub fn write(&mut self, buf: BufferId, off: usize, src: &[u8]) {
+        self.buffers[buf.0].data[off..off + src.len()].copy_from_slice(src);
+    }
+
+    /// Copies `len` bytes from `(src, src_off)` to `(dst, dst_off)`.
+    ///
+    /// Supports `src == dst` (memmove semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is out of bounds.
+    pub fn copy(&mut self, src: BufferId, src_off: usize, dst: BufferId, dst_off: usize, len: usize) {
+        if src.0 == dst.0 {
+            self.buffers[src.0]
+                .data
+                .copy_within(src_off..src_off + len, dst_off);
+        } else {
+            let (a, b) = split_two(&mut self.buffers, src.0, dst.0);
+            b.data[dst_off..dst_off + len].copy_from_slice(&a.data[src_off..src_off + len]);
+        }
+    }
+
+    /// Element-wise `dst = op(dst, src)` over `count` elements of `dtype`.
+    ///
+    /// Arithmetic is performed in `f32` and rounded back to `dtype`,
+    /// matching GPU mixed-precision reduction behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is out of bounds, or if `src == dst` with
+    /// overlapping ranges.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce(
+        &mut self,
+        src: BufferId,
+        src_off: usize,
+        dst: BufferId,
+        dst_off: usize,
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    ) {
+        let es = dtype.size();
+        if src.0 == dst.0 {
+            let lo = src_off.min(dst_off);
+            let hi = (src_off.max(dst_off)) + count * es;
+            assert!(
+                src_off + count * es <= dst_off || dst_off + count * es <= src_off,
+                "overlapping in-place reduce: [{lo}, {hi})"
+            );
+            let data = &mut self.buffers[src.0].data;
+            for i in 0..count {
+                let a = dtype.decode(data, dst_off + i * es);
+                let b = dtype.decode(data, src_off + i * es);
+                dtype.encode(data, dst_off + i * es, op.apply(a, b));
+            }
+        } else {
+            let (s, d) = split_two(&mut self.buffers, src.0, dst.0);
+            for i in 0..count {
+                let a = dtype.decode(&d.data, dst_off + i * es);
+                let b = dtype.decode(&s.data, src_off + i * es);
+                dtype.encode(&mut d.data, dst_off + i * es, op.apply(a, b));
+            }
+        }
+    }
+
+    /// Three-address element-wise reduction: `dst = op(a, b)` over `count`
+    /// elements of `dtype` (the GPU register path of NCCL's
+    /// `recvReduceCopy`: no intermediate store into either operand).
+    ///
+    /// Aliasing among the three ranges is allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is out of bounds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_into(
+        &mut self,
+        a: BufferId,
+        a_off: usize,
+        b: BufferId,
+        b_off: usize,
+        dst: BufferId,
+        dst_off: usize,
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    ) {
+        let es = dtype.size();
+        let mut acc = vec![0f32; count];
+        {
+            let da = &self.buffers[a.0].data;
+            for (i, slot) in acc.iter_mut().enumerate() {
+                *slot = dtype.decode(da, a_off + i * es);
+            }
+        }
+        {
+            let db = &self.buffers[b.0].data;
+            for (i, slot) in acc.iter_mut().enumerate() {
+                *slot = op.apply(*slot, dtype.decode(db, b_off + i * es));
+            }
+        }
+        let dd = &mut self.buffers[dst.0].data;
+        for (i, v) in acc.iter().enumerate() {
+            dtype.encode(dd, dst_off + i * es, *v);
+        }
+    }
+
+    /// Switch-style multimem load-reduce: `dst = op(srcs...)` over `count`
+    /// elements, reducing corresponding elements of every source buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `srcs` is empty or any range is out of bounds.
+    pub fn multimem_reduce(
+        &mut self,
+        srcs: &[(BufferId, usize)],
+        dst: BufferId,
+        dst_off: usize,
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    ) {
+        assert!(!srcs.is_empty(), "multimem_reduce needs at least one source");
+        let es = dtype.size();
+        let mut acc = vec![0f32; count];
+        for (si, &(src, src_off)) in srcs.iter().enumerate() {
+            let data = &self.buffers[src.0].data;
+            for (i, slot) in acc.iter_mut().enumerate() {
+                let v = dtype.decode(data, src_off + i * es);
+                *slot = if si == 0 { v } else { op.apply(*slot, v) };
+            }
+        }
+        let d = &mut self.buffers[dst.0].data;
+        for (i, v) in acc.iter().enumerate() {
+            dtype.encode(d, dst_off + i * es, *v);
+        }
+    }
+
+    /// Switch-style multimem store-broadcast: writes `len` bytes from
+    /// `(src, src_off)` into every `(dst, dst_off)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is out of bounds.
+    pub fn multimem_broadcast(
+        &mut self,
+        src: BufferId,
+        src_off: usize,
+        dsts: &[(BufferId, usize)],
+        len: usize,
+    ) {
+        let data = self.buffers[src.0].data[src_off..src_off + len].to_vec();
+        for &(dst, dst_off) in dsts {
+            self.buffers[dst.0].data[dst_off..dst_off + len].copy_from_slice(&data);
+        }
+    }
+
+    /// Fills a buffer with encoded elements produced by `f(element_index)`.
+    pub fn fill_with(&mut self, buf: BufferId, dtype: DataType, mut f: impl FnMut(usize) -> f32) {
+        let es = dtype.size();
+        let n = self.len(buf) / es;
+        let data = &mut self.buffers[buf.0].data;
+        for i in 0..n {
+            dtype.encode(data, i * es, f(i));
+        }
+    }
+
+    /// Decodes the whole buffer as a vector of `f32`.
+    pub fn to_f32_vec(&self, buf: BufferId, dtype: DataType) -> Vec<f32> {
+        let es = dtype.size();
+        let n = self.len(buf) / es;
+        let data = &self.buffers[buf.0].data;
+        (0..n).map(|i| dtype.decode(data, i * es)).collect()
+    }
+}
+
+/// Splits two distinct indices of a slice into disjoint mutable references.
+fn split_two(v: &mut [Buffer], a: usize, b: usize) -> (&mut Buffer, &mut Buffer) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        let (x, y) = (&mut hi[0], &mut lo[b]);
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_copy_between_ranks() {
+        let mut p = MemoryPool::new();
+        let a = p.alloc(Rank(0), 16);
+        let b = p.alloc(Rank(1), 16);
+        p.write(a, 0, &[1, 2, 3, 4]);
+        p.copy(a, 0, b, 4, 4);
+        assert_eq!(p.bytes(b, 4, 4), &[1, 2, 3, 4]);
+        assert_eq!(p.rank_of(a), Rank(0));
+        assert_eq!(p.rank_of(b), Rank(1));
+    }
+
+    #[test]
+    fn copy_within_same_buffer() {
+        let mut p = MemoryPool::new();
+        let a = p.alloc(Rank(0), 8);
+        p.write(a, 0, &[9, 8, 7, 6]);
+        p.copy(a, 0, a, 4, 4);
+        assert_eq!(p.bytes(a, 0, 8), &[9, 8, 7, 6, 9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn reduce_sum_f32() {
+        let mut p = MemoryPool::new();
+        let a = p.alloc(Rank(0), 8);
+        let b = p.alloc(Rank(1), 8);
+        p.fill_with(a, DataType::F32, |i| i as f32);
+        p.fill_with(b, DataType::F32, |i| 10.0 * i as f32);
+        p.reduce(a, 0, b, 0, 2, DataType::F32, ReduceOp::Sum);
+        assert_eq!(p.to_f32_vec(b, DataType::F32), vec![0.0, 11.0]);
+    }
+
+    #[test]
+    fn reduce_f16_rounds_like_gpu() {
+        let mut p = MemoryPool::new();
+        let a = p.alloc(Rank(0), 2);
+        let b = p.alloc(Rank(0), 2);
+        p.fill_with(a, DataType::F16, |_| 1.0);
+        p.fill_with(b, DataType::F16, |_| 2048.0);
+        // 2048 + 1 is not representable in f16; rounds to 2048.
+        p.reduce(a, 0, b, 0, 1, DataType::F16, ReduceOp::Sum);
+        assert_eq!(p.to_f32_vec(b, DataType::F16), vec![2048.0]);
+    }
+
+    #[test]
+    fn multimem_reduce_sums_all_sources() {
+        let mut p = MemoryPool::new();
+        let bufs: Vec<_> = (0..4).map(|r| p.alloc(Rank(r), 8)).collect();
+        for (r, &b) in bufs.iter().enumerate() {
+            p.fill_with(b, DataType::F32, |i| (r + i) as f32);
+        }
+        let dst = p.alloc(Rank(0), 8);
+        let srcs: Vec<_> = bufs.iter().map(|&b| (b, 0)).collect();
+        p.multimem_reduce(&srcs, dst, 0, 2, DataType::F32, ReduceOp::Sum);
+        // element 0: 0+1+2+3=6, element 1: 1+2+3+4=10
+        assert_eq!(p.to_f32_vec(dst, DataType::F32), vec![6.0, 10.0]);
+    }
+
+    #[test]
+    fn multimem_broadcast_writes_everyone() {
+        let mut p = MemoryPool::new();
+        let src = p.alloc(Rank(0), 4);
+        p.write(src, 0, &[5, 6, 7, 8]);
+        let d1 = p.alloc(Rank(1), 4);
+        let d2 = p.alloc(Rank(2), 4);
+        p.multimem_broadcast(src, 0, &[(d1, 0), (d2, 0)], 4);
+        assert_eq!(p.bytes(d1, 0, 4), &[5, 6, 7, 8]);
+        assert_eq!(p.bytes(d2, 0, 4), &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping in-place reduce")]
+    fn overlapping_in_place_reduce_rejected() {
+        let mut p = MemoryPool::new();
+        let a = p.alloc(Rank(0), 16);
+        p.reduce(a, 0, a, 4, 2, DataType::F32, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn in_place_reduce_disjoint_ranges_ok() {
+        let mut p = MemoryPool::new();
+        let a = p.alloc(Rank(0), 16);
+        p.fill_with(a, DataType::F32, |i| i as f32); // [0,1,2,3]
+        p.reduce(a, 0, a, 8, 2, DataType::F32, ReduceOp::Sum);
+        assert_eq!(p.to_f32_vec(a, DataType::F32), vec![0.0, 1.0, 2.0, 4.0]);
+    }
+}

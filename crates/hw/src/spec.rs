@@ -1,0 +1,305 @@
+//! Hardware specifications and the paper's Table-1 environment presets.
+
+use sim::Duration;
+use std::fmt;
+
+use crate::topology::Topology;
+
+/// Per-GPU characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Local HBM copy bandwidth in GB/s (device-to-device on one GPU).
+    pub hbm_gbps: f64,
+    /// Kernel launch overhead (with CUDA/HIP graphs enabled, as in §5).
+    pub kernel_launch: Duration,
+    /// Number of streaming multiprocessors (informational; bounds the
+    /// number of concurrent communication thread blocks).
+    pub sm_count: usize,
+    /// Maximum concurrent thread blocks a communication kernel uses.
+    pub max_comm_blocks: usize,
+}
+
+/// NVSwitch multimem (NVLink SHARP) capability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultimemSpec {
+    /// Effective per-GPU port bandwidth for multimem load-reduce /
+    /// store-broadcast operations, in GB/s.
+    pub gbps: f64,
+}
+
+/// The intra-node interconnect family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntraKind {
+    /// All GPUs attach to a central switch (NVLink + NVSwitch). Each GPU has
+    /// one egress and one ingress port of the stated bandwidth; any
+    /// pair communicates at full port speed, and a port is shared across
+    /// simultaneous peers.
+    Switch {
+        /// Thread-copy (memory-mapped, GPU threads move data) port
+        /// bandwidth in GB/s.
+        thread_gbps: f64,
+        /// DMA-copy (port-mapped, copy engine moves data) port bandwidth
+        /// in GB/s.
+        dma_gbps: f64,
+        /// In-network reduction/multicast support (H100 NVLink 4.0).
+        multimem: Option<MultimemSpec>,
+    },
+    /// Every GPU pair is joined by a dedicated point-to-point link
+    /// (AMD Infinity Fabric / xGMI). Using only one peer at a time leaves
+    /// the other links idle — the MI300x loop-order consideration in §5.3.
+    Mesh {
+        /// Thread-copy bandwidth of one pairwise link in GB/s.
+        per_peer_thread_gbps: f64,
+        /// DMA-copy bandwidth of one pairwise link in GB/s.
+        per_peer_dma_gbps: f64,
+    },
+    /// A shared PCIe hierarchy (no NVLink): low bandwidth, one shared
+    /// root-complex resource per GPU.
+    Pcie {
+        /// Per-GPU PCIe bandwidth in GB/s.
+        gbps: f64,
+    },
+}
+
+/// Intra-node interconnect specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntraSpec {
+    /// Link family and bandwidths.
+    pub kind: IntraKind,
+    /// One-way latency for a peer-to-peer write to become visible.
+    pub latency: Duration,
+}
+
+/// Inter-node network (InfiniBand) specification; one NIC per GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetSpec {
+    /// Per-NIC bandwidth in GB/s (200 Gb/s HDR = 25 GB/s, 400 Gb/s NDR = 50 GB/s).
+    pub gbps: f64,
+    /// One-way wire latency.
+    pub latency: Duration,
+}
+
+/// A complete machine/cluster specification (one row of Table 1 plus a
+/// node count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvSpec {
+    /// Human-readable environment name (e.g. `"A100-40G"`).
+    pub name: String,
+    /// Cluster shape.
+    pub topology: Topology,
+    /// Per-GPU characteristics.
+    pub gpu: GpuSpec,
+    /// Intra-node interconnect.
+    pub intra: IntraSpec,
+    /// Inter-node network, if the cluster spans multiple nodes.
+    pub net: Option<NetSpec>,
+}
+
+impl EnvSpec {
+    /// Convenience: world size of the topology.
+    pub fn world_size(&self) -> usize {
+        self.topology.world_size()
+    }
+}
+
+impl fmt::Display for EnvSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}n{}g)",
+            self.name,
+            self.topology.nodes(),
+            self.topology.world_size()
+        )
+    }
+}
+
+/// The four evaluation environments of the paper (Table 1).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+#[allow(non_camel_case_types)]
+pub enum EnvKind {
+    /// NVIDIA A100 40 GB, NVLink 3.0, HDR InfiniBand (200 Gb/s).
+    A100_40G,
+    /// NVIDIA A100 80 GB, NVLink 3.0, HDR InfiniBand (200 Gb/s).
+    A100_80G,
+    /// NVIDIA H100, NVLink 4.0 + NVSwitch multimem, NDR InfiniBand (400 Gb/s).
+    H100,
+    /// AMD MI300x, Infinity Fabric Gen 4 peer-to-peer mesh, NDR InfiniBand.
+    MI300X,
+}
+
+impl EnvKind {
+    /// All four environments, in Table-1 order.
+    pub const ALL: [EnvKind; 4] = [
+        EnvKind::A100_40G,
+        EnvKind::A100_80G,
+        EnvKind::H100,
+        EnvKind::MI300X,
+    ];
+
+    /// The environment name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnvKind::A100_40G => "A100-40G",
+            EnvKind::A100_80G => "A100-80G",
+            EnvKind::H100 => "H100",
+            EnvKind::MI300X => "MI300x",
+        }
+    }
+
+    /// Builds the full specification for a cluster of `nodes` nodes
+    /// (8 GPUs per node, as in all the paper's environments).
+    ///
+    /// Bandwidth and latency constants are calibrated so that the
+    /// simulated stacks land near the paper's published absolute numbers
+    /// (e.g. thread-copy 227 GB/s vs DMA-copy 263 GB/s on A100, §2.2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn spec(self, nodes: usize) -> EnvSpec {
+        let topology = Topology::new(nodes, 8);
+        let net = |gbps: f64, lat_ns: f64| {
+            Some(NetSpec {
+                gbps,
+                latency: Duration::from_ns(lat_ns),
+            })
+        };
+        match self {
+            EnvKind::A100_40G => EnvSpec {
+                name: self.name().to_owned(),
+                topology,
+                gpu: GpuSpec {
+                    hbm_gbps: 1555.0,
+                    kernel_launch: Duration::from_ns(3000.0),
+                    sm_count: 108,
+                    max_comm_blocks: 24,
+                },
+                intra: IntraSpec {
+                    kind: IntraKind::Switch {
+                        thread_gbps: 227.0,
+                        dma_gbps: 263.0,
+                        multimem: None,
+                    },
+                    latency: Duration::from_ns(900.0),
+                },
+                net: net(25.0, 1800.0),
+            },
+            EnvKind::A100_80G => EnvSpec {
+                name: self.name().to_owned(),
+                topology,
+                gpu: GpuSpec {
+                    hbm_gbps: 2039.0,
+                    kernel_launch: Duration::from_ns(3000.0),
+                    sm_count: 108,
+                    max_comm_blocks: 24,
+                },
+                intra: IntraSpec {
+                    kind: IntraKind::Switch {
+                        thread_gbps: 227.0,
+                        dma_gbps: 263.0,
+                        multimem: None,
+                    },
+                    latency: Duration::from_ns(900.0),
+                },
+                net: net(25.0, 1800.0),
+            },
+            EnvKind::H100 => EnvSpec {
+                name: self.name().to_owned(),
+                topology,
+                gpu: GpuSpec {
+                    hbm_gbps: 3350.0,
+                    kernel_launch: Duration::from_ns(2800.0),
+                    sm_count: 132,
+                    max_comm_blocks: 32,
+                },
+                intra: IntraSpec {
+                    kind: IntraKind::Switch {
+                        thread_gbps: 400.0,
+                        dma_gbps: 440.0,
+                        multimem: Some(MultimemSpec { gbps: 360.0 }),
+                    },
+                    latency: Duration::from_ns(700.0),
+                },
+                net: net(50.0, 1600.0),
+            },
+            EnvKind::MI300X => EnvSpec {
+                name: self.name().to_owned(),
+                topology,
+                gpu: GpuSpec {
+                    hbm_gbps: 5300.0,
+                    kernel_launch: Duration::from_ns(3200.0),
+                    sm_count: 304,
+                    max_comm_blocks: 32,
+                },
+                intra: IntraSpec {
+                    kind: IntraKind::Mesh {
+                        per_peer_thread_gbps: 45.0,
+                        per_peer_dma_gbps: 52.0,
+                    },
+                    latency: Duration::from_ns(900.0),
+                },
+                net: net(50.0, 1600.0),
+            },
+        }
+    }
+}
+
+impl fmt::Display for EnvKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1() {
+        let a = EnvKind::A100_40G.spec(1);
+        assert_eq!(a.world_size(), 8);
+        assert!(a.net.is_some(), "Table 1 lists IB on every environment");
+        assert_eq!(a.net.unwrap().gbps, 25.0, "HDR IB is 200 Gb/s = 25 GB/s");
+
+        let h = EnvKind::H100.spec(2);
+        assert_eq!(h.world_size(), 16);
+        assert_eq!(h.net.unwrap().gbps, 50.0, "NDR IB is 400 Gb/s = 50 GB/s");
+        match h.intra.kind {
+            IntraKind::Switch { multimem, .. } => {
+                assert!(multimem.is_some(), "H100 NVLink 4.0 supports multimem")
+            }
+            _ => panic!("H100 is switch-attached"),
+        }
+
+        let m = EnvKind::MI300X.spec(1);
+        assert!(
+            matches!(m.intra.kind, IntraKind::Mesh { .. }),
+            "MI300x Infinity Fabric is a P2P mesh"
+        );
+    }
+
+    #[test]
+    fn a100_copy_modes_match_section_2_2_2() {
+        let a = EnvKind::A100_40G.spec(1);
+        match a.intra.kind {
+            IntraKind::Switch {
+                thread_gbps,
+                dma_gbps,
+                ..
+            } => {
+                assert_eq!(thread_gbps, 227.0);
+                assert_eq!(dma_gbps, 263.0);
+                let gain = dma_gbps / thread_gbps - 1.0;
+                assert!((gain - 0.158).abs() < 0.01, "paper reports +15.8%");
+            }
+            _ => panic!("A100 is switch-attached"),
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<_> = EnvKind::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names, ["A100-40G", "A100-80G", "H100", "MI300x"]);
+    }
+}

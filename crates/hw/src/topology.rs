@@ -1,0 +1,119 @@
+//! Cluster shape: nodes, GPUs per node, rank arithmetic.
+
+use std::fmt;
+
+/// A global GPU rank in the cluster, numbered `0..topology.world_size()`.
+///
+/// Ranks are dense: node `n` owns ranks
+/// `n * gpus_per_node .. (n + 1) * gpus_per_node`.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank(pub usize);
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+/// The shape of the simulated cluster.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Topology {
+    nodes: usize,
+    gpus_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology of `nodes` nodes with `gpus_per_node` GPUs each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(nodes: usize, gpus_per_node: usize) -> Topology {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(gpus_per_node > 0, "topology needs at least one GPU per node");
+        Topology {
+            nodes,
+            gpus_per_node,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// GPUs per node.
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// Total number of GPUs.
+    pub fn world_size(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// The node a rank lives on.
+    pub fn node_of(&self, rank: Rank) -> usize {
+        debug_assert!(rank.0 < self.world_size());
+        rank.0 / self.gpus_per_node
+    }
+
+    /// The rank's index within its node (0-based).
+    pub fn local_index(&self, rank: Rank) -> usize {
+        rank.0 % self.gpus_per_node
+    }
+
+    /// Whether two ranks share a node.
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The rank at `local` on `node`.
+    pub fn rank_at(&self, node: usize, local: usize) -> Rank {
+        debug_assert!(node < self.nodes && local < self.gpus_per_node);
+        Rank(node * self.gpus_per_node + local)
+    }
+
+    /// Iterates over all ranks in order.
+    pub fn ranks(&self) -> impl Iterator<Item = Rank> {
+        (0..self.world_size()).map(Rank)
+    }
+
+    /// Iterates over the ranks on the same node as `rank` (including it).
+    pub fn node_ranks(&self, rank: Rank) -> impl Iterator<Item = Rank> {
+        let node = self.node_of(rank);
+        let g = self.gpus_per_node;
+        (0..g).map(move |i| Rank(node * g + i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_arithmetic() {
+        let t = Topology::new(2, 8);
+        assert_eq!(t.world_size(), 16);
+        assert_eq!(t.node_of(Rank(0)), 0);
+        assert_eq!(t.node_of(Rank(7)), 0);
+        assert_eq!(t.node_of(Rank(8)), 1);
+        assert_eq!(t.local_index(Rank(11)), 3);
+        assert!(t.same_node(Rank(0), Rank(7)));
+        assert!(!t.same_node(Rank(7), Rank(8)));
+        assert_eq!(t.rank_at(1, 3), Rank(11));
+    }
+
+    #[test]
+    fn node_ranks_iterates_own_node() {
+        let t = Topology::new(2, 4);
+        let got: Vec<_> = t.node_ranks(Rank(5)).collect();
+        assert_eq!(got, vec![Rank(4), Rank(5), Rank(6), Rank(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Topology::new(0, 8);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests of the hardware timing model: transfer times scale with
+//! size, respect bandwidth, and compose additively under contention.
+
+use hw::{CopyMode, EnvKind, Machine, Rank};
+use proptest::prelude::*;
+use sim::{Ctx, Engine, Process, Step, Time};
+
+fn measure<F>(kind: EnvKind, nodes: usize, f: F) -> Time
+where
+    F: FnOnce(&mut Ctx<'_, Machine>) -> Time + 'static,
+{
+    struct P<F> {
+        f: Option<F>,
+        out: std::rc::Rc<std::cell::Cell<Time>>,
+    }
+    impl<F: FnOnce(&mut Ctx<'_, Machine>) -> Time> Process<Machine> for P<F> {
+        fn step(&mut self, ctx: &mut Ctx<'_, Machine>) -> Step {
+            let f = self.f.take().unwrap();
+            self.out.set(f(ctx));
+            Step::Done
+        }
+    }
+    let mut e = Engine::new(Machine::new(kind.spec(nodes)));
+    hw::wire(&mut e);
+    let out = std::rc::Rc::new(std::cell::Cell::new(Time::ZERO));
+    e.spawn(P {
+        f: Some(f),
+        out: out.clone(),
+    });
+    e.run().unwrap();
+    out.get()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arrival time equals latency + bytes/bandwidth (within rounding).
+    #[test]
+    fn p2p_arrival_matches_closed_form(bytes in 1u64..(64 << 20)) {
+        let arrival = measure(EnvKind::A100_40G, 1, move |ctx| {
+            hw::p2p_time(ctx, Rank(0), Rank(1), bytes, CopyMode::Thread).arrival
+        });
+        let expect_ns = bytes as f64 / 227.0 + 900.0;
+        prop_assert!((arrival.as_ns() - expect_ns).abs() < 2.0,
+            "bytes {} arrival {} expect {}", bytes, arrival.as_ns(), expect_ns);
+    }
+
+    /// Two back-to-back transfers on one port serialize exactly.
+    #[test]
+    fn same_port_transfers_serialize(a in 1u64..(1 << 20), b in 1u64..(1 << 20)) {
+        let last = measure(EnvKind::A100_40G, 1, move |ctx| {
+            let x = hw::p2p_time(ctx, Rank(0), Rank(1), a, CopyMode::Thread);
+            let y = hw::p2p_time(ctx, Rank(0), Rank(2), b, CopyMode::Thread);
+            x.sender_free.max(y.sender_free)
+        });
+        let expect_ns = (a + b) as f64 / 227.0;
+        prop_assert!((last.as_ns() - expect_ns).abs() < 2.0);
+    }
+
+    /// Transfers to different mesh peers do not serialize.
+    #[test]
+    fn mesh_pair_links_are_independent(a in 1u64..(1 << 20), b in 1u64..(1 << 20)) {
+        let last = measure(EnvKind::MI300X, 1, move |ctx| {
+            let x = hw::p2p_time(ctx, Rank(0), Rank(1), a, CopyMode::Thread);
+            let y = hw::p2p_time(ctx, Rank(0), Rank(2), b, CopyMode::Thread);
+            x.sender_free.max(y.sender_free)
+        });
+        let expect_ns = (a.max(b)) as f64 / 45.0;
+        prop_assert!((last.as_ns() - expect_ns).abs() < 2.0);
+    }
+
+    /// Cross-node transfers are NIC-bound and pay the network latency.
+    #[test]
+    fn net_transfers_respect_nic_rate(bytes in 1u64..(8 << 20)) {
+        let arrival = measure(EnvKind::A100_40G, 2, move |ctx| {
+            hw::net_time(ctx, Rank(0), Rank(8), bytes).arrival
+        });
+        let expect_ns = bytes as f64 / 25.0 + 1800.0;
+        prop_assert!((arrival.as_ns() - expect_ns).abs() < 2.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Communication backends pluggable into the inference engine —
+//! the paper swaps NCCL for MSCCL++ inside vLLM (§5.2).
+
+use hw::{BufferId, DataType, Machine, ReduceOp};
+use mscclpp::{KernelTiming, Result, Setup};
+use sim::Engine;
+
+/// A tensor-parallel AllReduce provider.
+pub trait CommBackend {
+    /// Backend display name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// In-place AllReduce over all ranks' activation buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks from the underlying stack.
+    fn all_reduce(
+        &self,
+        engine: &mut Engine<Machine>,
+        bufs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+    ) -> Result<KernelTiming>;
+}
+
+/// MSCCL++ (the `collective` crate's NCCL-compatible API).
+#[derive(Debug, Default)]
+pub struct MscclppBackend {
+    comm: collective::CollComm,
+}
+
+impl MscclppBackend {
+    /// Creates the backend.
+    pub fn new() -> MscclppBackend {
+        MscclppBackend::default()
+    }
+}
+
+impl CommBackend for MscclppBackend {
+    fn name(&self) -> &'static str {
+        "MSCCL++"
+    }
+
+    fn all_reduce(
+        &self,
+        engine: &mut Engine<Machine>,
+        bufs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+    ) -> Result<KernelTiming> {
+        self.comm
+            .all_reduce(engine, bufs, bufs, count, dtype, ReduceOp::Sum)
+    }
+}
+
+/// NCCL (the `ncclsim` baseline with its internal tuner).
+#[derive(Debug)]
+pub struct NcclBackend {
+    comm: ncclsim::NcclComm,
+    nodes: usize,
+}
+
+impl NcclBackend {
+    /// Builds the NCCL communicator on the engine's machine.
+    pub fn new(engine: &mut Engine<Machine>) -> NcclBackend {
+        let nodes = engine.world().topology().nodes();
+        let mut setup = Setup::new(engine);
+        NcclBackend {
+            comm: ncclsim::NcclComm::new(&mut setup, ncclsim::NcclConfig::nccl()),
+            nodes,
+        }
+    }
+}
+
+impl CommBackend for NcclBackend {
+    fn name(&self) -> &'static str {
+        "NCCL"
+    }
+
+    fn all_reduce(
+        &self,
+        engine: &mut Engine<Machine>,
+        bufs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+    ) -> Result<KernelTiming> {
+        let choice = ncclsim::tune(count * dtype.size(), self.nodes);
+        self.comm
+            .all_reduce(engine, bufs, bufs, count, dtype, ReduceOp::Sum, choice)
+    }
+}
+
+/// MSCCL (custom algorithms over the NCCL transport).
+#[derive(Debug)]
+pub struct MscclBackend {
+    comm: msccl::MscclComm,
+}
+
+impl MscclBackend {
+    /// Builds the MSCCL communicator on the engine's machine.
+    pub fn new(engine: &mut Engine<Machine>) -> MscclBackend {
+        let mut setup = Setup::new(engine);
+        MscclBackend {
+            comm: msccl::MscclComm::new(&mut setup, msccl::MscclConfig::default()),
+        }
+    }
+}
+
+impl CommBackend for MscclBackend {
+    fn name(&self) -> &'static str {
+        "MSCCL"
+    }
+
+    fn all_reduce(
+        &self,
+        engine: &mut Engine<Machine>,
+        bufs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+    ) -> Result<KernelTiming> {
+        self.comm
+            .all_reduce(engine, bufs, bufs, count, dtype, ReduceOp::Sum, None)
+    }
+}

@@ -1,0 +1,293 @@
+//! The serving engine: tensor-parallel prefill and decode steps over the
+//! simulated cluster (the paper's modified-vLLM setup, §5.2).
+//!
+//! Each decoder layer runs its per-GPU compute (roofline-timed, identical
+//! across communication backends) followed by the two tensor-parallel
+//! AllReduces (attention output projection and MLP down projection),
+//! executed for real on the simulated communication stack. Decode uses
+//! CUDA-graph semantics (no extra launch gaps between layers beyond the
+//! kernel model), as in the paper's setup.
+
+use hw::{BufferId, DataType, EnvKind, Machine, Rank};
+use mscclpp::{run_kernels, KernelBuilder, Overheads, Result};
+use sim::{Duration, Engine};
+
+use crate::backend::CommBackend;
+use crate::model::{layer_time, GpuPerf, ModelConfig};
+
+/// Per-layer time spent in auxiliary kernels that the GEMM roofline does
+/// not cover: paged attention (whose scattered KV reads run well below
+/// peak HBM bandwidth), layer norms, rotary embeddings, and residual
+/// adds. Identical across communication backends.
+const AUX_PER_LAYER: Duration = Duration::from_ps(45_000_000); // 45 us
+
+/// Maximum tokens processed per prefill chunk (vLLM-style chunked
+/// prefill): bounds activation memory for long-prompt batches.
+const PREFILL_CHUNK_TOKENS: usize = 8192;
+
+/// One batch configuration of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchConfig {
+    /// Batched requests.
+    pub bsz: usize,
+    /// Tokens per request (context length during decode).
+    pub seqlen: usize,
+}
+
+impl std::fmt::Display for BatchConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bsz={} seqlen={}", self.bsz, self.seqlen)
+    }
+}
+
+/// Timing breakdown of one inference step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Per-GPU compute time (identical across backends).
+    pub compute_us: f64,
+    /// Communication time (two AllReduces per layer).
+    pub comm_us: f64,
+}
+
+impl StepReport {
+    /// End-to-end step time.
+    pub fn total_us(&self) -> f64 {
+        self.compute_us + self.comm_us
+    }
+}
+
+/// A Llama-style model served with tensor parallelism on one simulated
+/// machine.
+pub struct ServingEngine {
+    engine: Engine<Machine>,
+    model: ModelConfig,
+    perf: GpuPerf,
+    tp: usize,
+    /// Activation buffers (one per rank), sized for the largest step.
+    act: Vec<BufferId>,
+    act_cap: usize,
+    ov: Overheads,
+}
+
+impl std::fmt::Debug for ServingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingEngine")
+            .field("model", &self.model.name)
+            .field("tp", &self.tp)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServingEngine {
+    /// Builds the serving engine for `model` on `env`, with tensor
+    /// parallelism over all GPUs of a single node (TP = 8, as in §5.2).
+    ///
+    /// `max_tokens` bounds the largest step (prefill tokens).
+    pub fn new(env: EnvKind, model: ModelConfig, max_tokens: usize) -> ServingEngine {
+        let mut engine = Engine::new(Machine::new(env.spec(1)));
+        hw::wire(&mut engine);
+        let tp = engine.world().topology().world_size();
+        // Prefill is chunked, so activations never exceed one chunk.
+        let act_cap = max_tokens.min(PREFILL_CHUNK_TOKENS) * model.hidden * 2; // fp16
+        let act = (0..tp)
+            .map(|r| engine.world_mut().pool_mut().alloc(Rank(r), act_cap))
+            .collect();
+        ServingEngine {
+            engine,
+            model,
+            perf: GpuPerf::for_env(env),
+            tp,
+            act,
+            act_cap,
+            ov: Overheads::mscclpp(),
+        }
+    }
+
+    /// The simulated machine (e.g. to inspect memory).
+    pub fn machine(&self) -> &Machine {
+        self.engine.world()
+    }
+
+    /// Exclusive access to the simulation engine.
+    pub fn engine_mut(&mut self) -> &mut Engine<Machine> {
+        &mut self.engine
+    }
+
+    /// Runs the per-GPU compute of one layer as a kernel on every rank.
+    fn run_compute(&mut self, dur: Duration) -> Result<f64> {
+        let kernels: Vec<_> = (0..self.tp)
+            .map(|r| {
+                let mut kb = KernelBuilder::new(Rank(r));
+                kb.block(0).compute(dur);
+                kb.build()
+            })
+            .collect();
+        let t = run_kernels(&mut self.engine, &kernels, &self.ov)?;
+        Ok(t.elapsed().as_us())
+    }
+
+    /// Times one transformer step with `tokens` live tokens and `batch`
+    /// sequences of mean context `context`.
+    fn step(
+        &mut self,
+        backend: &dyn CommBackend,
+        tokens: usize,
+        context: usize,
+        batch: usize,
+    ) -> Result<StepReport> {
+        let count = tokens * self.model.hidden; // fp16 elements
+        assert!(
+            count * 2 <= self.act_cap,
+            "step of {tokens} tokens exceeds engine capacity"
+        );
+        let t_layer = layer_time(&self.model, self.perf, self.tp, tokens, context, batch);
+        // Attention and MLP each take roughly half the layer compute
+        // (plus the non-GEMM auxiliary kernels) and each end in a
+        // tensor-parallel AllReduce.
+        let half = Duration::from_ps((t_layer + AUX_PER_LAYER).as_ps() / 2);
+
+        // One layer measured in-simulation; the remaining layers repeat
+        // the identical schedule (CUDA-graph steady state).
+        let mut compute_us = 0.0;
+        let mut comm_us = 0.0;
+        for _ in 0..2 {
+            compute_us += self.run_compute(half)?;
+            let t = backend.all_reduce(&mut self.engine, &self.act, count, DataType::F16)?;
+            comm_us += t.elapsed().as_us();
+        }
+        Ok(StepReport {
+            compute_us: compute_us * self.model.layers as f64,
+            comm_us: comm_us * self.model.layers as f64,
+        })
+    }
+
+    /// Times one decode step (one new token per request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks from the communication stack.
+    pub fn decode_step(
+        &mut self,
+        backend: &dyn CommBackend,
+        batch: BatchConfig,
+    ) -> Result<StepReport> {
+        self.step(backend, batch.bsz, batch.seqlen, batch.bsz)
+    }
+
+    /// Times the prefill of a full batch (all prompt tokens at once).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks from the communication stack.
+    pub fn prefill(
+        &mut self,
+        backend: &dyn CommBackend,
+        batch: BatchConfig,
+    ) -> Result<StepReport> {
+        // Chunked prefill (as vLLM schedules long prompts): process the
+        // prompt tokens in fixed-size chunks so activation buffers stay
+        // bounded.
+        let total = batch.bsz * batch.seqlen;
+        let mut report = StepReport {
+            compute_us: 0.0,
+            comm_us: 0.0,
+        };
+        let mut remaining = total;
+        while remaining > 0 {
+            let tokens = remaining.min(PREFILL_CHUNK_TOKENS);
+            let r = self.step(backend, tokens, 0, batch.bsz)?;
+            report.compute_us += r.compute_us;
+            report.comm_us += r.comm_us;
+            remaining -= tokens;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{MscclppBackend, NcclBackend};
+
+    #[test]
+    fn decode_speedup_in_paper_band() {
+        let model = ModelConfig::llama2_70b();
+        let batch = BatchConfig {
+            bsz: 32,
+            seqlen: 512,
+        };
+        let mut e1 = ServingEngine::new(EnvKind::A100_80G, model.clone(), 64 * 2048);
+        let nccl = NcclBackend::new(e1.engine_mut());
+        let nccl_step = e1.decode_step(&nccl, batch).unwrap();
+
+        let mut e2 = ServingEngine::new(EnvKind::A100_80G, model, 64 * 2048);
+        let pp = MscclppBackend::new();
+        let pp_step = e2.decode_step(&pp, batch).unwrap();
+
+        assert!(
+            (pp_step.compute_us - nccl_step.compute_us).abs() / nccl_step.compute_us < 0.01,
+            "compute must be backend-independent"
+        );
+        assert!(pp_step.comm_us < nccl_step.comm_us);
+        let speedup = nccl_step.total_us() / pp_step.total_us() - 1.0;
+        assert!(
+            (0.02..0.20).contains(&speedup),
+            "decode speedup {speedup:.3} outside plausible band \
+             (nccl {:.0}us vs mscclpp {:.0}us)",
+            nccl_step.total_us(),
+            pp_step.total_us()
+        );
+    }
+
+    #[test]
+    fn prefill_speedup_smaller_than_decode() {
+        let model = ModelConfig::llama2_70b();
+        let batch = BatchConfig {
+            bsz: 8,
+            seqlen: 512,
+        };
+        let mut e1 = ServingEngine::new(EnvKind::A100_80G, model.clone(), 8 * 512);
+        let nccl = NcclBackend::new(e1.engine_mut());
+        let nccl_prefill = e1.prefill(&nccl, batch).unwrap();
+        let nccl_decode = e1.decode_step(&nccl, batch).unwrap();
+
+        let mut e2 = ServingEngine::new(EnvKind::A100_80G, model, 8 * 512);
+        let pp = MscclppBackend::new();
+        let pp_prefill = e2.prefill(&pp, batch).unwrap();
+        let pp_decode = e2.decode_step(&pp, batch).unwrap();
+
+        let s_prefill = nccl_prefill.total_us() / pp_prefill.total_us() - 1.0;
+        let s_decode = nccl_decode.total_us() / pp_decode.total_us() - 1.0;
+        assert!(
+            s_prefill < s_decode,
+            "prefill speedup {s_prefill:.3} should be below decode {s_decode:.3} (§5.2)"
+        );
+        assert!(s_prefill < 0.08, "prefill speedup should be ≤6%: {s_prefill:.3}");
+    }
+}
+
+#[cfg(test)]
+mod cross_env_tests {
+    use super::*;
+    use crate::backend::MscclppBackend;
+    use crate::model::ModelConfig;
+
+    #[test]
+    fn h100_decodes_faster_than_a100() {
+        let model = ModelConfig::llama2_70b();
+        let batch = BatchConfig {
+            bsz: 16,
+            seqlen: 512,
+        };
+        let backend = MscclppBackend::new();
+        let mut a100 = ServingEngine::new(EnvKind::A100_80G, model.clone(), 16 * 512);
+        let t_a100 = a100.decode_step(&backend, batch).unwrap().total_us();
+        let backend2 = MscclppBackend::new();
+        let mut h100 = ServingEngine::new(EnvKind::H100, model, 16 * 512);
+        let t_h100 = h100.decode_step(&backend2, batch).unwrap().total_us();
+        assert!(
+            t_h100 < t_a100 * 0.8,
+            "H100 ({t_h100}us) should be well under A100 ({t_a100}us)"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Transformer model configurations and the per-layer roofline.
+
+use sim::Duration;
+
+/// A decoder-only transformer configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Model name.
+    pub name: &'static str,
+    /// Hidden (embedding) dimension.
+    pub hidden: usize,
+    /// Number of decoder layers.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Key/value heads (grouped-query attention).
+    pub kv_heads: usize,
+    /// MLP intermediate dimension.
+    pub intermediate: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+impl ModelConfig {
+    /// Llama2-70b (the paper's §5.2 model).
+    pub fn llama2_70b() -> ModelConfig {
+        ModelConfig {
+            name: "Llama2-70b",
+            hidden: 8192,
+            layers: 80,
+            heads: 64,
+            kv_heads: 8,
+            intermediate: 28672,
+            vocab: 32000,
+        }
+    }
+
+    /// Llama2-13b (a smaller config for fast tests).
+    pub fn llama2_13b() -> ModelConfig {
+        ModelConfig {
+            name: "Llama2-13b",
+            hidden: 5120,
+            layers: 40,
+            heads: 40,
+            kv_heads: 40,
+            intermediate: 13824,
+            vocab: 32000,
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Key/value projection width (GQA).
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// Weight parameters in one decoder layer.
+    pub fn layer_params(&self) -> usize {
+        let attn = self.hidden * self.hidden * 2          // q, o
+            + self.hidden * self.kv_dim() * 2; // k, v
+        let mlp = 3 * self.hidden * self.intermediate; // gate, up, down
+        attn + mlp
+    }
+
+    /// Total parameters (layers + embeddings + head).
+    pub fn total_params(&self) -> usize {
+        self.layers * self.layer_params() + 2 * self.vocab * self.hidden
+    }
+
+    /// Bytes of key+value cache per token per layer (fp16).
+    pub fn kv_bytes_per_token_layer(&self) -> usize {
+        2 * self.kv_dim() * 2
+    }
+}
+
+/// Per-GPU arithmetic throughput used by the roofline (the `hw` crate
+/// models memory and links; matrix throughput lives here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuPerf {
+    /// Dense fp16 tensor throughput in TFLOP/s.
+    pub fp16_tflops: f64,
+    /// HBM bandwidth in GB/s (mirrors the `hw` spec).
+    pub hbm_gbps: f64,
+    /// Achievable fraction of peak for large GEMMs.
+    pub gemm_efficiency: f64,
+}
+
+impl GpuPerf {
+    /// Per-GPU performance for a Table-1 environment.
+    pub fn for_env(kind: hw::EnvKind) -> GpuPerf {
+        match kind {
+            hw::EnvKind::A100_40G => GpuPerf {
+                fp16_tflops: 312.0,
+                hbm_gbps: 1555.0,
+                gemm_efficiency: 0.45,
+            },
+            hw::EnvKind::A100_80G => GpuPerf {
+                fp16_tflops: 312.0,
+                hbm_gbps: 2039.0,
+                gemm_efficiency: 0.45,
+            },
+            hw::EnvKind::H100 => GpuPerf {
+                fp16_tflops: 989.0,
+                hbm_gbps: 3350.0,
+                gemm_efficiency: 0.45,
+            },
+            hw::EnvKind::MI300X => GpuPerf {
+                fp16_tflops: 1307.0,
+                hbm_gbps: 5300.0,
+                gemm_efficiency: 0.40,
+            },
+        }
+    }
+}
+
+/// Roofline time for one GPU's share of a decoder layer.
+///
+/// `tokens` is the number of tokens processed in the step (the batch
+/// size for decode, `bsz * seqlen` for prefill); `context` is the mean
+/// KV-cache length read by attention (0 for prefill's own tokens,
+/// handled separately).
+pub fn layer_time(
+    model: &ModelConfig,
+    perf: GpuPerf,
+    tp: usize,
+    tokens: usize,
+    context: usize,
+    batch: usize,
+) -> Duration {
+    let params_per_gpu = model.layer_params() as f64 / tp as f64;
+    // GEMM work: 2 FLOPs per parameter per token.
+    let flops = 2.0 * params_per_gpu * tokens as f64;
+    let flops_time_ns = flops / (perf.fp16_tflops * 1e12 * perf.gemm_efficiency) * 1e9;
+    // Memory: weights are read once per step (decode is weight-bound);
+    // the KV cache is read for every sequence in the batch.
+    let weight_bytes = params_per_gpu * 2.0;
+    let kv_bytes =
+        (batch * context * model.kv_bytes_per_token_layer()) as f64 / tp as f64;
+    let act_bytes = (tokens * model.hidden * 2 * 4) as f64 / tp as f64;
+    let mem_time_ns = (weight_bytes + kv_bytes + act_bytes) / perf.hbm_gbps; // GB/s = B/ns
+    Duration::from_ns(flops_time_ns.max(mem_time_ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama2_70b_has_roughly_70b_params() {
+        let m = ModelConfig::llama2_70b();
+        let p = m.total_params() as f64 / 1e9;
+        assert!((60.0..75.0).contains(&p), "params {p}B");
+        assert_eq!(m.head_dim(), 128);
+        assert_eq!(m.kv_dim(), 1024);
+    }
+
+    #[test]
+    fn decode_is_memory_bound_and_prefill_compute_bound() {
+        let m = ModelConfig::llama2_70b();
+        let perf = GpuPerf::for_env(hw::EnvKind::A100_80G);
+        // Decode (8 tokens): close to weight-read time.
+        let t_decode = layer_time(&m, perf, 8, 8, 1024, 8);
+        let weight_us = (m.layer_params() as f64 / 8.0 * 2.0) / perf.hbm_gbps / 1e3;
+        assert!(t_decode.as_us() >= weight_us * 0.99, "{t_decode} vs {weight_us}");
+        assert!(t_decode.as_us() < weight_us * 2.0);
+        // Prefill (8 x 1024 tokens): much longer, flops-dominated.
+        let t_prefill = layer_time(&m, perf, 8, 8 * 1024, 0, 8);
+        assert!(t_prefill > t_decode);
+        let flops_us = 2.0 * (m.layer_params() as f64 / 8.0) * 8192.0
+            / (perf.fp16_tflops * 1e12 * perf.gemm_efficiency)
+            * 1e6;
+        assert!((t_prefill.as_us() - flops_us).abs() / flops_us < 0.2);
+    }
+
+    #[test]
+    fn more_tokens_cost_more_time() {
+        let m = ModelConfig::llama2_70b();
+        let perf = GpuPerf::for_env(hw::EnvKind::A100_80G);
+        let t8 = layer_time(&m, perf, 8, 8, 128, 8);
+        let t128 = layer_time(&m, perf, 8, 128, 128, 128);
+        assert!(t128 >= t8);
+    }
+}

@@ -1,0 +1,168 @@
+//! Prebuilt DSL algorithm descriptions — the collective algorithms of
+//! §4.4 expressed at the chunk level, as users of the MSCCL++ DSL would
+//! write them.
+//!
+//! These mirror the hand-written primitive kernels in the `collective`
+//! crate; running both and comparing timings reproduces the paper's
+//! DSL-vs-Primitive ablation (§5.1: DSL ≈3% slower on average).
+
+use crate::program::{Buf, DslError, Program};
+
+/// One-phase all-pairs AllReduce (1PA): every rank pushes its whole
+/// input to every peer's scratch slot and reduces everything locally.
+///
+/// # Errors
+///
+/// Propagates chunk-reference errors (none for valid `n`).
+pub fn one_phase_all_reduce(n: usize) -> Result<Program, DslError> {
+    let mut p = Program::new("dsl_allreduce_1pa", n);
+    for r in 0..n {
+        for q in 0..n {
+            if q != r {
+                p.copy((r, Buf::Input, 0), (q, Buf::Scratch, r))?;
+            }
+        }
+    }
+    for r in 0..n {
+        p.copy((r, Buf::Input, 0), (r, Buf::Output, 0))?;
+        for q in 0..n {
+            if q != r {
+                p.reduce((r, Buf::Scratch, q), (r, Buf::Output, 0))?;
+            }
+        }
+    }
+    Ok(p)
+}
+
+/// Two-phase all-pairs AllReduce (2PA): scatter each peer's shard into
+/// its scratch slot, reduce locally, then all-gather the reduced shards.
+///
+/// # Errors
+///
+/// Propagates chunk-reference errors (none for valid `n`).
+pub fn two_phase_all_reduce(n: usize) -> Result<Program, DslError> {
+    let mut p = Program::new("dsl_allreduce_2pa", n);
+    // ReduceScatter: rank q's contribution to shard r lands in r's
+    // scratch slot q.
+    for r in 0..n {
+        for q in 0..n {
+            if q != r {
+                p.copy((q, Buf::Input, r), (r, Buf::Scratch, q))?;
+            }
+        }
+    }
+    for r in 0..n {
+        p.copy((r, Buf::Input, r), (r, Buf::Output, r))?;
+        for q in 0..n {
+            if q != r {
+                p.reduce((r, Buf::Scratch, q), (r, Buf::Output, r))?;
+            }
+        }
+    }
+    // AllGather of the completed shards.
+    for r in 0..n {
+        for q in 0..n {
+            if q != r {
+                p.copy((r, Buf::Output, r), (q, Buf::Output, r))?;
+            }
+        }
+    }
+    Ok(p)
+}
+
+/// The NVSwitch AllReduce of §5.3 — the "15 lines of Python" algorithm:
+/// each rank multimem-load-reduces its shard and multimem-broadcasts the
+/// result. (Here it is 6 lines.)
+///
+/// # Errors
+///
+/// Propagates chunk-reference errors (none for valid `n`).
+pub fn switch_all_reduce(n: usize) -> Result<Program, DslError> {
+    let mut p = Program::new("dsl_allreduce_switch", n);
+    for r in 0..n {
+        p.multimem_reduce((Buf::Input, r), (r, Buf::Output, r))?;
+        p.multimem_broadcast((r, Buf::Output, r), (Buf::Output, r))?;
+    }
+    Ok(p)
+}
+
+/// All-pairs AllGather: every rank pushes its chunk straight into every
+/// peer's output.
+///
+/// # Errors
+///
+/// Propagates chunk-reference errors (none for valid `n`).
+pub fn all_pairs_all_gather(n: usize) -> Result<Program, DslError> {
+    let mut p = Program::new("dsl_allgather_ap", n);
+    for r in 0..n {
+        p.copy((r, Buf::Input, 0), (r, Buf::Output, r))?;
+        for q in 0..n {
+            if q != r {
+                p.copy((r, Buf::Input, 0), (q, Buf::Output, r))?;
+            }
+        }
+    }
+    Ok(p)
+}
+
+/// Ring AllReduce (the NCCL-style data flow, expressed in the DSL):
+/// N−1 ReduceScatter hops around the ring followed by N−1 AllGather
+/// hops. Useful for comparing algorithm shapes under identical
+/// primitives.
+///
+/// # Errors
+///
+/// Propagates chunk-reference errors (none for valid `n`).
+pub fn ring_all_reduce(n: usize) -> Result<Program, DslError> {
+    let mut p = Program::new("dsl_allreduce_ring", n);
+    // ReduceScatter: chunk c accumulates as it travels the ring; use a
+    // dedicated scratch slot per hop to stage the incoming partial.
+    // Rank r starts chunk r; partials accumulate in the Output buffer.
+    for r in 0..n {
+        p.copy((r, Buf::Input, r), (r, Buf::Output, r))?;
+    }
+    for k in 0..n - 1 {
+        for r in 0..n {
+            // Rank r forwards chunk (r - k) to r+1, which reduces it
+            // with its own input.
+            let c = (r + n - k) % n;
+            let dst = (r + 1) % n;
+            p.copy((r, Buf::Output, c), (dst, Buf::Scratch, k))?;
+            p.copy((dst, Buf::Input, c), (dst, Buf::Output, c))?;
+            p.reduce((dst, Buf::Scratch, k), (dst, Buf::Output, c))?;
+        }
+    }
+    // AllGather: each rank now owns chunk (r + 1) % n fully reduced and
+    // forwards what it just received on each subsequent hop.
+    for k in 0..n - 1 {
+        for r in 0..n {
+            let c = (r + 1 + n - k) % n;
+            let dst = (r + 1) % n;
+            p.copy((r, Buf::Output, c), (dst, Buf::Output, c))?;
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_have_expected_shapes() {
+        let p = one_phase_all_reduce(8).unwrap();
+        assert_eq!(p.chunk_count(Buf::Scratch), 8);
+        // 56 copies out + 8 local copies + 56 reduces.
+        assert_eq!(p.op_count(), 120);
+
+        let p = two_phase_all_reduce(8).unwrap();
+        assert_eq!(p.chunk_count(Buf::Input), 8);
+        assert_eq!(p.chunk_count(Buf::Output), 8);
+
+        let p = switch_all_reduce(8).unwrap();
+        assert_eq!(p.op_count(), 16, "the paper's 15-line algorithm");
+
+        let p = all_pairs_all_gather(8).unwrap();
+        assert_eq!(p.chunk_count(Buf::Output), 8);
+    }
+}

@@ -1,0 +1,280 @@
+//! Host-side bootstrap: metadata exchange between ranks before any GPU
+//! communication (§4.1).
+//!
+//! The paper's bootstrap consists of four virtual methods — `send`,
+//! `recv`, `allGather`, and `barrier` — with a default implementation over
+//! POSIX sockets. In this reproduction all ranks live in one address
+//! space, so the default [`MemBootstrap`] exchanges metadata through a
+//! shared in-memory store. Because host setup code drives ranks
+//! sequentially (not on real threads), the collective methods are split
+//! into a *contribute* phase and a *collect* phase: every rank must
+//! contribute before any rank collects, mirroring how a socket
+//! implementation would block.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use hw::Rank;
+
+use crate::error::{Error, Result};
+
+/// The bootstrap interface (paper §4.1).
+///
+/// Implementations exchange opaque metadata blobs between host processes.
+/// Users can substitute their own transport (the paper mentions MPI and
+/// `torch.distributed`); the simulation default is [`MemBootstrap`].
+pub trait Bootstrap {
+    /// This process's rank.
+    fn rank(&self) -> Rank;
+    /// Total number of ranks.
+    fn world_size(&self) -> usize;
+    /// Sends a tagged metadata blob to `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Bootstrap`] if `peer` is out of range.
+    fn send(&mut self, peer: Rank, tag: u64, payload: Vec<u8>) -> Result<()>;
+    /// Receives the blob tagged `tag` previously sent by `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Bootstrap`] if nothing matching has been sent yet
+    /// (the sequential-host equivalent of blocking).
+    fn recv(&mut self, peer: Rank, tag: u64) -> Result<Vec<u8>>;
+    /// Contributes this rank's blob to the current all-gather round.
+    fn all_gather_contribute(&mut self, payload: Vec<u8>) -> Result<()>;
+    /// Collects the blobs of all ranks for the current round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Bootstrap`] if some rank has not contributed yet.
+    fn all_gather_collect(&mut self) -> Result<Vec<Vec<u8>>>;
+    /// Arrives at the current barrier round.
+    fn barrier_arrive(&mut self) -> Result<()>;
+    /// Whether every rank has arrived at the current barrier round.
+    fn barrier_done(&self) -> bool;
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    /// `(src, dst, tag)` → payload queue (FIFO per key).
+    mailboxes: HashMap<(usize, usize, u64), Vec<Vec<u8>>>,
+    /// Per-round all-gather contributions.
+    gather: Vec<HashMap<usize, Vec<u8>>>,
+    /// Per-rank current gather round (index into `gather`).
+    gather_round: Vec<usize>,
+    /// Barrier arrival count and per-rank round.
+    barrier_arrivals: Vec<usize>,
+    barrier_round: Vec<usize>,
+}
+
+/// A rendezvous shared by all [`MemBootstrap`] handles of one job.
+#[derive(Debug, Clone, Default)]
+pub struct BootstrapStore {
+    inner: Rc<RefCell<Store>>,
+}
+
+impl BootstrapStore {
+    /// Creates an empty rendezvous store.
+    pub fn new() -> BootstrapStore {
+        BootstrapStore::default()
+    }
+
+    /// Creates the per-rank bootstrap handles for a world of `n` ranks.
+    pub fn handles(&self, n: usize) -> Vec<MemBootstrap> {
+        {
+            let mut s = self.inner.borrow_mut();
+            s.gather_round = vec![0; n];
+            s.barrier_round = vec![0; n];
+        }
+        (0..n)
+            .map(|r| MemBootstrap {
+                rank: Rank(r),
+                world: n,
+                store: self.inner.clone(),
+            })
+            .collect()
+    }
+}
+
+/// The default in-memory bootstrap (stands in for the paper's POSIX
+/// socket implementation).
+#[derive(Debug, Clone)]
+pub struct MemBootstrap {
+    rank: Rank,
+    world: usize,
+    store: Rc<RefCell<Store>>,
+}
+
+impl Bootstrap for MemBootstrap {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn send(&mut self, peer: Rank, tag: u64, payload: Vec<u8>) -> Result<()> {
+        if peer.0 >= self.world {
+            return Err(Error::Bootstrap(format!(
+                "send to {peer} but world size is {}",
+                self.world
+            )));
+        }
+        self.store
+            .borrow_mut()
+            .mailboxes
+            .entry((self.rank.0, peer.0, tag))
+            .or_default()
+            .push(payload);
+        Ok(())
+    }
+
+    fn recv(&mut self, peer: Rank, tag: u64) -> Result<Vec<u8>> {
+        let mut s = self.store.borrow_mut();
+        let q = s
+            .mailboxes
+            .get_mut(&(peer.0, self.rank.0, tag))
+            .filter(|q| !q.is_empty())
+            .ok_or_else(|| {
+                Error::Bootstrap(format!(
+                    "recv from {peer} tag {tag}: nothing sent yet (send before recv)"
+                ))
+            })?;
+        Ok(q.remove(0))
+    }
+
+    fn all_gather_contribute(&mut self, payload: Vec<u8>) -> Result<()> {
+        let mut s = self.store.borrow_mut();
+        let round = s.gather_round[self.rank.0];
+        if s.gather.len() <= round {
+            s.gather.resize_with(round + 1, HashMap::new);
+        }
+        if s.gather[round].insert(self.rank.0, payload).is_some() {
+            return Err(Error::Bootstrap(format!(
+                "{} contributed twice to all-gather round {round}",
+                self.rank
+            )));
+        }
+        Ok(())
+    }
+
+    fn all_gather_collect(&mut self) -> Result<Vec<Vec<u8>>> {
+        let mut s = self.store.borrow_mut();
+        let round = s.gather_round[self.rank.0];
+        let complete = s
+            .gather
+            .get(round)
+            .map(|m| m.len() == self.world)
+            .unwrap_or(false);
+        if !complete {
+            return Err(Error::Bootstrap(format!(
+                "all-gather round {round} incomplete: every rank must contribute first"
+            )));
+        }
+        s.gather_round[self.rank.0] += 1;
+        let m = &s.gather[round];
+        Ok((0..self.world).map(|r| m[&r].clone()).collect())
+    }
+
+    fn barrier_arrive(&mut self) -> Result<()> {
+        let mut s = self.store.borrow_mut();
+        let round = s.barrier_round[self.rank.0];
+        if s.barrier_arrivals.len() <= round {
+            s.barrier_arrivals.resize(round + 1, 0);
+        }
+        s.barrier_arrivals[round] += 1;
+        s.barrier_round[self.rank.0] += 1;
+        Ok(())
+    }
+
+    fn barrier_done(&self) -> bool {
+        let s = self.store.borrow();
+        let round = s.barrier_round[self.rank.0];
+        // The rank has already arrived (round was advanced); the previous
+        // round is done when all ranks arrived at it.
+        round > 0 && s.barrier_arrivals.get(round - 1) == Some(&self.world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_recv_round_trips() {
+        let store = BootstrapStore::new();
+        let mut h = store.handles(2);
+        h[0].send(Rank(1), 7, vec![1, 2, 3]).unwrap();
+        assert_eq!(h[1].recv(Rank(0), 7).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_before_send_errors() {
+        let store = BootstrapStore::new();
+        let mut h = store.handles(2);
+        let err = h[1].recv(Rank(0), 0).unwrap_err();
+        assert!(matches!(err, Error::Bootstrap(_)));
+    }
+
+    #[test]
+    fn all_gather_two_phase() {
+        let store = BootstrapStore::new();
+        let mut h = store.handles(3);
+        // Collect before everyone contributed fails.
+        h[0].all_gather_contribute(vec![0]).unwrap();
+        assert!(h[0].all_gather_collect().is_err());
+        h[1].all_gather_contribute(vec![1]).unwrap();
+        h[2].all_gather_contribute(vec![2]).unwrap();
+        for r in 0..3 {
+            let got = h[r].all_gather_collect().unwrap();
+            assert_eq!(got, vec![vec![0], vec![1], vec![2]]);
+        }
+    }
+
+    #[test]
+    fn all_gather_rounds_are_independent() {
+        let store = BootstrapStore::new();
+        let mut h = store.handles(2);
+        for round in 0..3u8 {
+            h[0].all_gather_contribute(vec![round, 0]).unwrap();
+            h[1].all_gather_contribute(vec![round, 1]).unwrap();
+            assert_eq!(
+                h[0].all_gather_collect().unwrap(),
+                vec![vec![round, 0], vec![round, 1]]
+            );
+            assert_eq!(
+                h[1].all_gather_collect().unwrap(),
+                vec![vec![round, 0], vec![round, 1]]
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_completes_when_all_arrive() {
+        let store = BootstrapStore::new();
+        let mut h = store.handles(2);
+        h[0].barrier_arrive().unwrap();
+        assert!(!h[0].barrier_done());
+        h[1].barrier_arrive().unwrap();
+        assert!(h[0].barrier_done());
+        assert!(h[1].barrier_done());
+    }
+
+    #[test]
+    fn double_contribute_rejected() {
+        let store = BootstrapStore::new();
+        let mut h = store.handles(2);
+        h[0].all_gather_contribute(vec![]).unwrap();
+        assert!(h[0].all_gather_contribute(vec![]).is_err());
+    }
+
+    #[test]
+    fn send_out_of_range_rejected() {
+        let store = BootstrapStore::new();
+        let mut h = store.handles(2);
+        assert!(h[0].send(Rank(5), 0, vec![]).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the MSCCL++ library.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// The error type returned by MSCCL++ operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The simulation deadlocked while executing a kernel — typically a
+    /// `wait` with no matching `signal` in a custom algorithm.
+    Deadlock(sim::DeadlockError),
+    /// A bootstrap exchange failed (peer metadata not yet published, or
+    /// mismatched world size).
+    Bootstrap(String),
+    /// An argument failed validation (misaligned size, out-of-range rank,
+    /// buffer too small, ...).
+    InvalidArgument(String),
+    /// The operation needs hardware the environment does not provide
+    /// (e.g. a `SwitchChannel` on a machine without multimem support).
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Deadlock(e) => write!(f, "kernel deadlocked: {e}"),
+            Error::Bootstrap(m) => write!(f, "bootstrap failed: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported on this hardware: {m}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Deadlock(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sim::DeadlockError> for Error {
+    fn from(e: sim::DeadlockError) -> Error {
+        Error::Deadlock(e)
+    }
+}
+
+/// Convenience alias for MSCCL++ results.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::InvalidArgument("size must be positive".into());
+        assert_eq!(e.to_string(), "invalid argument: size must be positive");
+        let e = Error::Unsupported("multimem".into());
+        assert!(e.to_string().contains("multimem"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,504 @@
+//! The kernel interpreter: executes [`Kernel`] instruction streams on the
+//! simulated machine, one process per thread block.
+//!
+//! This component plays the role of the GPU itself in the reproduction:
+//! it charges hardware transfer times from [`hw`], the thin MSCCL++
+//! software overheads from [`crate::Overheads`], and performs the real
+//! byte movement so collective outputs can be verified.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hw::{CopyMode, Machine, Rank};
+use sim::{Ctx, Duration, Engine, Process, Step, Time};
+
+use crate::error::Result;
+use crate::kernel::{Instr, Kernel};
+use crate::overheads::Overheads;
+
+/// Size in bytes of the semaphore word written by a remote signal.
+const SIGNAL_BYTES: u64 = 8;
+
+/// Timing of one kernel launch batch across all ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelTiming {
+    /// Virtual time when the launch was issued.
+    pub start: Time,
+    /// Virtual time when the last thread block of the last rank finished.
+    pub end: Time,
+    /// Per-rank completion instants (index = rank).
+    pub per_rank_end: Vec<Time>,
+}
+
+impl KernelTiming {
+    /// End-to-end latency of the batch.
+    pub fn elapsed(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug)]
+struct LaunchStats {
+    per_rank_end: Vec<Time>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// Execute the instruction at `pc` next.
+    None,
+    /// A wait was satisfied: consume it (advance `pc`) and charge the
+    /// wait-exit cost.
+    Advance,
+    /// Blocked on back-pressure (full proxy FIFO): re-execute the same
+    /// instruction.
+    Retry,
+}
+
+/// One simulated thread block interpreting its instruction stream.
+struct TbProc {
+    rank: Rank,
+    tb: usize,
+    prog: Vec<Instr>,
+    pc: usize,
+    launched: bool,
+    pending: Pending,
+    launch: Duration,
+    ov: Overheads,
+    stats: Rc<RefCell<LaunchStats>>,
+}
+
+impl TbProc {
+    /// Yields until `until`, adding `extra` issue overhead.
+    fn busy_until(&self, now: Time, until: Time, extra: Duration) -> Step {
+        Step::Yield((until - now) + extra + self.ov.instr_decode)
+    }
+
+    fn quick(&self, extra: Duration) -> Step {
+        Step::Yield(extra + self.ov.instr_decode)
+    }
+}
+
+impl Process<Machine> for TbProc {
+    fn step(&mut self, ctx: &mut Ctx<'_, Machine>) -> Step {
+        if !self.launched {
+            self.launched = true;
+            return Step::Yield(self.launch);
+        }
+        match self.pending {
+            Pending::Advance => {
+                self.pending = Pending::None;
+                self.pc += 1;
+                return Step::Yield(self.ov.wait_exit);
+            }
+            Pending::Retry => self.pending = Pending::None,
+            Pending::None => {}
+        }
+        if self.pc >= self.prog.len() {
+            let mut s = self.stats.borrow_mut();
+            let slot = &mut s.per_rank_end[self.rank.0];
+            *slot = (*slot).max(ctx.now());
+            return Step::Done;
+        }
+        let now = ctx.now();
+        let instr = self.prog[self.pc].clone();
+        match instr {
+            Instr::MemPut {
+                ch,
+                src_off,
+                dst_off,
+                bytes,
+                with_signal,
+            } => {
+                let wire = match ch.protocol {
+                    crate::Protocol::LL => (bytes as f64 * self.ov.ll_wire_factor) as u64,
+                    crate::Protocol::HB => bytes as u64,
+                };
+                let xfer = hw::p2p_time(ctx, ch.local_rank, ch.peer_rank, wire, CopyMode::Thread);
+                ctx.world
+                    .pool_mut()
+                    .copy(ch.local_buf, src_off, ch.remote_buf, dst_off, bytes);
+                ctx.cell_add_at(ch.peer_arrival, 1, xfer.arrival);
+                if with_signal {
+                    ctx.cell_add_at(ch.peer_sem, 1, xfer.arrival + self.ov.signal_fence);
+                }
+                self.pc += 1;
+                self.busy_until(now, xfer.sender_free, self.ov.mem_put_issue)
+            }
+            Instr::MemSignal { ch } => {
+                // The semaphore increment is a tiny transfer riding the same
+                // link resources, which orders it after preceding puts.
+                let xfer = hw::p2p_time(
+                    ctx,
+                    ch.local_rank,
+                    ch.peer_rank,
+                    SIGNAL_BYTES,
+                    CopyMode::Thread,
+                );
+                ctx.cell_add_at(ch.peer_sem, 1, xfer.arrival + self.ov.signal_fence);
+                self.pc += 1;
+                self.quick(self.ov.signal_issue)
+            }
+            Instr::MemWait { ch } => {
+                let expect = ch.sem_expect.get() + 1;
+                ch.sem_expect.set(expect);
+                self.pending = Pending::Advance;
+                Step::WaitCell {
+                    cell: ch.my_sem,
+                    at_least: expect,
+                }
+            }
+            Instr::MemWaitData { ch } => {
+                let expect = ch.arrival_expect.get() + 1;
+                ch.arrival_expect.set(expect);
+                self.pending = Pending::Advance;
+                Step::WaitCell {
+                    cell: ch.my_arrival,
+                    at_least: expect,
+                }
+            }
+            Instr::MemReadReduce {
+                ch,
+                remote_off,
+                local_buf,
+                local_off,
+                bytes,
+                dtype,
+                op,
+            } => {
+                // Data flows peer -> local: the read occupies the peer's
+                // egress and our ingress.
+                let xfer = hw::p2p_time(
+                    ctx,
+                    ch.peer_rank,
+                    ch.local_rank,
+                    bytes as u64,
+                    CopyMode::Thread,
+                );
+                let count = bytes / dtype.size();
+                ctx.world.pool_mut().reduce(
+                    ch.remote_buf,
+                    remote_off,
+                    local_buf,
+                    local_off,
+                    count,
+                    dtype,
+                    op,
+                );
+                self.pc += 1;
+                self.busy_until(now, xfer.arrival, self.ov.mem_put_issue)
+            }
+            Instr::PortPut {
+                ch,
+                src_off,
+                dst_off,
+                bytes,
+                with_signal,
+            } => {
+                let (queue_len, pushed) = {
+                    let f = ch.fifo.borrow();
+                    (f.queue.len(), f.pushed)
+                };
+                if queue_len >= self.ov.fifo_capacity {
+                    // FIFO full (Figure 7 ①: GPU waits until the CPU has
+                    // processed at least one request).
+                    self.pending = Pending::Retry;
+                    return Step::WaitCell {
+                        cell: ch.completed_cell,
+                        at_least: pushed - self.ov.fifo_capacity as u64 + 1,
+                    };
+                }
+                {
+                    let mut f = ch.fifo.borrow_mut();
+                    f.queue.push_back(crate::channel::ProxyRequest::Put {
+                        src: ch.local_buf,
+                        src_off,
+                        dst: ch.remote_buf,
+                        dst_off,
+                        bytes,
+                        with_signal,
+                    });
+                    f.pushed += 1;
+                }
+                ctx.cell_add(ch.pushed_cell, 1);
+                self.pc += 1;
+                self.quick(self.ov.port_push)
+            }
+            Instr::PortSignal { ch } => {
+                {
+                    let mut f = ch.fifo.borrow_mut();
+                    f.queue.push_back(crate::channel::ProxyRequest::Signal);
+                    f.pushed += 1;
+                }
+                ctx.cell_add(ch.pushed_cell, 1);
+                self.pc += 1;
+                self.quick(self.ov.port_push)
+            }
+            Instr::PortFlush { ch } => {
+                let pushed = ch.fifo.borrow().pushed;
+                self.pending = Pending::Advance;
+                Step::WaitCell {
+                    cell: ch.completed_cell,
+                    at_least: pushed,
+                }
+            }
+            Instr::PortWait { ch } => {
+                let expect = ch.sem_expect.get() + 1;
+                ch.sem_expect.set(expect);
+                self.pending = Pending::Advance;
+                Step::WaitCell {
+                    cell: ch.my_sem,
+                    at_least: expect,
+                }
+            }
+            Instr::SwitchReduce {
+                ch,
+                src_off,
+                dst_buf,
+                dst_off,
+                bytes,
+                dtype,
+                op,
+            } => {
+                let done = hw::multimem_reduce_time(ctx, ch.rank, bytes as u64);
+                let count = bytes / dtype.size();
+                let srcs: Vec<_> = ch.members.iter().map(|&(_, b)| (b, src_off)).collect();
+                ctx.world
+                    .pool_mut()
+                    .multimem_reduce(&srcs, dst_buf, dst_off, count, dtype, op);
+                self.pc += 1;
+                self.busy_until(now, done, self.ov.switch_issue)
+            }
+            Instr::SwitchBroadcast {
+                ch,
+                src_buf,
+                src_off,
+                dst_off,
+                bytes,
+            } => {
+                let xfer = hw::multimem_broadcast_time(ctx, ch.rank, bytes as u64);
+                let dsts: Vec<_> = ch.members.iter().map(|&(_, b)| (b, dst_off)).collect();
+                ctx.world
+                    .pool_mut()
+                    .multimem_broadcast(src_buf, src_off, &dsts, bytes);
+                self.pc += 1;
+                self.busy_until(now, xfer.sender_free, self.ov.switch_issue)
+            }
+            Instr::Copy {
+                src,
+                src_off,
+                dst,
+                dst_off,
+                bytes,
+            } => {
+                let done = hw::local_copy_time(ctx, self.rank, bytes as u64);
+                ctx.world.pool_mut().copy(src, src_off, dst, dst_off, bytes);
+                self.pc += 1;
+                self.busy_until(now, done, Duration::ZERO)
+            }
+            Instr::Reduce {
+                src,
+                src_off,
+                dst,
+                dst_off,
+                bytes,
+                dtype,
+                op,
+            } => {
+                let done = hw::local_reduce_time(ctx, self.rank, bytes as u64);
+                let count = bytes / dtype.size();
+                ctx.world
+                    .pool_mut()
+                    .reduce(src, src_off, dst, dst_off, count, dtype, op);
+                self.pc += 1;
+                self.busy_until(now, done, Duration::ZERO)
+            }
+            Instr::RawPut {
+                src_rank,
+                src,
+                src_off,
+                dst_rank,
+                dst,
+                dst_off,
+                bytes,
+                wire_factor,
+                notify,
+            } => {
+                let wire = (bytes as f64 * wire_factor) as u64;
+                let topo = ctx.world.topology();
+                let (sender_free, arrival) = if topo.same_node(src_rank, dst_rank) {
+                    let xfer = hw::p2p_time(ctx, src_rank, dst_rank, wire, CopyMode::Thread);
+                    (xfer.sender_free, xfer.arrival)
+                } else {
+                    // NCCL network path: the GPU only stages the data
+                    // locally; a CPU proxy performs the RDMA. The GPU is
+                    // free after the local write, the data arrives after
+                    // proxy handling plus the wire time.
+                    let staged = hw::local_copy_time(ctx, src_rank, wire);
+                    let xfer = hw::net_time(ctx, src_rank, dst_rank, wire);
+                    let proxy = self.ov.proxy_handle + self.ov.proxy_post;
+                    (staged, xfer.arrival + proxy)
+                };
+                ctx.world.pool_mut().copy(src, src_off, dst, dst_off, bytes);
+                if let Some(sem) = notify {
+                    ctx.cell_add_at(sem.cell, 1, arrival);
+                }
+                self.pc += 1;
+                self.busy_until(now, sender_free, self.ov.mem_put_issue)
+            }
+            Instr::RawReducePut {
+                src_rank,
+                a,
+                a_off,
+                b,
+                b_off,
+                dst_rank,
+                dst,
+                dst_off,
+                bytes,
+                wire_factor,
+                dtype,
+                op,
+                notify,
+            } => {
+                let wire = (bytes as f64 * wire_factor) as u64;
+                let topo = ctx.world.topology();
+                let (sender_free, arrival) = if topo.same_node(src_rank, dst_rank) {
+                    let xfer = hw::p2p_time(ctx, src_rank, dst_rank, wire, CopyMode::Thread);
+                    (xfer.sender_free, xfer.arrival)
+                } else {
+                    let staged = hw::local_copy_time(ctx, src_rank, wire);
+                    let xfer = hw::net_time(ctx, src_rank, dst_rank, wire);
+                    let proxy = self.ov.proxy_handle + self.ov.proxy_post;
+                    (staged, xfer.arrival + proxy)
+                };
+                let count = bytes / dtype.size();
+                ctx.world
+                    .pool_mut()
+                    .reduce_into(a, a_off, b, b_off, dst, dst_off, count, dtype, op);
+                if let Some(sem) = notify {
+                    ctx.cell_add_at(sem.cell, 1, arrival);
+                }
+                self.pc += 1;
+                self.busy_until(now, sender_free, self.ov.mem_put_issue)
+            }
+            Instr::ReduceInto {
+                a,
+                a_off,
+                b,
+                b_off,
+                dst,
+                dst_off,
+                bytes,
+                dtype,
+                op,
+            } => {
+                let done = hw::local_reduce_time(ctx, self.rank, bytes as u64);
+                let count = bytes / dtype.size();
+                ctx.world
+                    .pool_mut()
+                    .reduce_into(a, a_off, b, b_off, dst, dst_off, count, dtype, op);
+                self.pc += 1;
+                self.busy_until(now, done, Duration::ZERO)
+            }
+            Instr::SemWait { sem } => {
+                let expect = sem.expect.get() + 1;
+                sem.expect.set(expect);
+                self.pending = Pending::Advance;
+                Step::WaitCell {
+                    cell: sem.cell,
+                    at_least: expect,
+                }
+            }
+            Instr::SemSignal { sem } => {
+                let topo = ctx.world.topology();
+                let arrival = if sem.owner == self.rank {
+                    now + self.ov.signal_issue
+                } else if topo.same_node(self.rank, sem.owner) {
+                    let xfer =
+                        hw::p2p_time(ctx, self.rank, sem.owner, SIGNAL_BYTES, CopyMode::Thread);
+                    xfer.arrival + self.ov.signal_fence
+                } else {
+                    let xfer = hw::net_time(ctx, self.rank, sem.owner, SIGNAL_BYTES);
+                    xfer.arrival + self.ov.signal_fence
+                };
+                ctx.cell_add_at(sem.cell, 1, arrival);
+                self.pc += 1;
+                self.quick(self.ov.signal_issue)
+            }
+            Instr::Barrier { barrier } => {
+                let round = barrier.round.get() + 1;
+                barrier.round.set(round);
+                ctx.cell_add_at(
+                    barrier.cell,
+                    1,
+                    now + self.ov.barrier_arrive + barrier.prop,
+                );
+                self.pending = Pending::Advance;
+                Step::WaitCell {
+                    cell: barrier.cell,
+                    at_least: round * barrier.parties as u64,
+                }
+            }
+            Instr::Compute { dur } => {
+                self.pc += 1;
+                Step::Yield(dur)
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "kernel {} tb{} pc={}/{}",
+            self.rank,
+            self.tb,
+            self.pc,
+            self.prog.len()
+        )
+    }
+}
+
+/// Launches `kernels` (one per participating rank), runs the simulation to
+/// quiescence, and returns the batch timing.
+///
+/// Kernel launch overhead (from the machine's [`hw::GpuSpec`]) is charged
+/// once per thread block before its first instruction.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::Deadlock`] if the kernels synchronize
+/// incorrectly (a `wait` whose `signal` never happens).
+pub fn run_kernels(
+    engine: &mut Engine<Machine>,
+    kernels: &[Kernel],
+    ov: &Overheads,
+) -> Result<KernelTiming> {
+    let start = engine.now();
+    let world = engine.world().topology().world_size();
+    let launch = engine.world().spec().gpu.kernel_launch;
+    let stats = Rc::new(RefCell::new(LaunchStats {
+        per_rank_end: vec![start; world],
+    }));
+    for k in kernels {
+        for (tb, prog) in k.blocks.iter().enumerate() {
+            engine.spawn(TbProc {
+                rank: k.rank,
+                tb,
+                prog: prog.clone(),
+                pc: 0,
+                launched: false,
+                pending: Pending::None,
+                launch,
+                ov: ov.clone(),
+                stats: stats.clone(),
+            });
+        }
+    }
+    engine.run()?;
+    let per_rank_end = stats.borrow().per_rank_end.clone();
+    let end = per_rank_end.iter().copied().fold(start, Time::max);
+    Ok(KernelTiming {
+        start,
+        end,
+        per_rank_end,
+    })
+}

@@ -1,0 +1,727 @@
+//! GPU kernels as instruction streams — the Primitive API's device side.
+//!
+//! A simulated kernel is one instruction program per thread block. The
+//! [`KernelBuilder`] is the Rust face of the paper's Primitive API: each
+//! builder method corresponds to a channel primitive (`put`, `signal`,
+//! `wait`, `flush`, switch `reduce`/`broadcast`) or a local GPU operation
+//! (`copy`, `reduce`, barrier). The resulting [`Kernel`] is interpreted by
+//! [`crate::exec`], which charges hardware transfer times and the thin
+//! MSCCL++ software overheads.
+//!
+//! # Example
+//!
+//! Build a kernel where thread block 0 puts a buffer slice to a peer and
+//! signals it (the `putWithSignal` fused primitive):
+//!
+//! ```no_run
+//! # fn doc(ch: mscclpp::MemoryChannel) {
+//! use mscclpp::KernelBuilder;
+//! use hw::Rank;
+//!
+//! let mut k = KernelBuilder::new(Rank(0));
+//! k.block(0).put_with_signal(&ch, 0, 0, 4096);
+//! let kernel = k.build();
+//! # }
+//! ```
+
+use hw::{BufferId, DataType, Rank, ReduceOp};
+use sim::Duration;
+
+use crate::channel::{DeviceBarrier, MemoryChannel, PortChannel, Semaphore, SwitchChannel};
+
+/// One device-side instruction of a simulated kernel.
+#[derive(Debug, Clone)]
+pub enum Instr {
+    /// MemoryChannel `put` (optionally fused with `signal`): thread-copy
+    /// `bytes` from `local_buf + src_off` to the peer's
+    /// `remote_buf + dst_off`.
+    MemPut {
+        /// Channel to put on.
+        ch: MemoryChannel,
+        /// Offset into the channel's local (source) buffer.
+        src_off: usize,
+        /// Offset into the channel's remote (destination) buffer.
+        dst_off: usize,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Fused `putWithSignal`.
+        with_signal: bool,
+    },
+    /// MemoryChannel `signal`: fence + remote semaphore increment.
+    MemSignal {
+        /// Channel whose peer semaphore is incremented.
+        ch: MemoryChannel,
+    },
+    /// MemoryChannel `wait`: block until the local semaphore reaches the
+    /// next expected value (HB protocol synchronization).
+    MemWait {
+        /// Channel whose local semaphore is waited on.
+        ch: MemoryChannel,
+    },
+    /// LL-protocol data wait: block until the next `put` payload (with its
+    /// interleaved flags) has fully landed in the local buffer.
+    MemWaitData {
+        /// Channel whose arrival counter is waited on.
+        ch: MemoryChannel,
+    },
+    /// Read `bytes` from the peer's memory through the channel and reduce
+    /// them element-wise into a local buffer (the "read from multiple
+    /// GPUs and reduce in registers" optimization of §4.4).
+    MemReadReduce {
+        /// Channel to read through (data flows peer → local).
+        ch: MemoryChannel,
+        /// Offset into the peer's `remote_buf` to read from.
+        remote_off: usize,
+        /// Local destination/accumulator buffer.
+        local_buf: BufferId,
+        /// Offset into the local buffer.
+        local_off: usize,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Element type.
+        dtype: DataType,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// PortChannel `put` (optionally fused with `signal`): push a request
+    /// for the CPU proxy to DMA/RDMA `bytes` to the peer.
+    PortPut {
+        /// Channel to put on.
+        ch: PortChannel,
+        /// Offset into the channel's local (source) buffer.
+        src_off: usize,
+        /// Offset into the channel's remote (destination) buffer.
+        dst_off: usize,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Fused `putWithSignal`.
+        with_signal: bool,
+    },
+    /// PortChannel `signal`: push a signal request for the proxy.
+    PortSignal {
+        /// Channel whose peer semaphore is incremented.
+        ch: PortChannel,
+    },
+    /// PortChannel `flush`: block until every previously pushed request on
+    /// this channel has completed (safe to reuse the source buffer).
+    PortFlush {
+        /// Channel to flush.
+        ch: PortChannel,
+    },
+    /// PortChannel `wait`: block until the local semaphore reaches the
+    /// next expected value.
+    PortWait {
+        /// Channel whose local semaphore is waited on.
+        ch: PortChannel,
+    },
+    /// SwitchChannel `reduce`: multimem load-reduce `bytes` at `src_off`
+    /// of every member buffer into a local buffer (§4.2.3).
+    SwitchReduce {
+        /// The switch channel.
+        ch: SwitchChannel,
+        /// Offset into the multimem (member) buffers.
+        src_off: usize,
+        /// Local destination buffer.
+        dst_buf: BufferId,
+        /// Offset into the destination buffer.
+        dst_off: usize,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Element type.
+        dtype: DataType,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// SwitchChannel `broadcast`: multimem store of a local buffer slice
+    /// into every member buffer at `dst_off`.
+    SwitchBroadcast {
+        /// The switch channel.
+        ch: SwitchChannel,
+        /// Local source buffer.
+        src_buf: BufferId,
+        /// Offset into the source buffer.
+        src_off: usize,
+        /// Offset into the multimem (member) buffers.
+        dst_off: usize,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// Local device-to-device copy.
+    Copy {
+        /// Source buffer.
+        src: BufferId,
+        /// Source offset.
+        src_off: usize,
+        /// Destination buffer.
+        dst: BufferId,
+        /// Destination offset.
+        dst_off: usize,
+        /// Size in bytes.
+        bytes: usize,
+    },
+    /// Local element-wise reduction `dst = op(dst, src)`.
+    Reduce {
+        /// Source buffer.
+        src: BufferId,
+        /// Source offset.
+        src_off: usize,
+        /// Destination/accumulator buffer.
+        dst: BufferId,
+        /// Destination offset.
+        dst_off: usize,
+        /// Operand size in bytes.
+        bytes: usize,
+        /// Element type.
+        dtype: DataType,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// Transport-level put between explicit buffers (no channel pairing):
+    /// used by baseline stack reproductions (`ncclsim`) whose staging-FIFO
+    /// data flow does not fit the fixed src/dst binding of a channel.
+    /// Intra-node transfers use thread-copy; inter-node transfers model
+    /// NCCL's network path (local staging write + CPU-proxied RDMA).
+    RawPut {
+        /// Sending rank (must own `src`).
+        src_rank: Rank,
+        /// Source buffer.
+        src: BufferId,
+        /// Source offset.
+        src_off: usize,
+        /// Receiving rank (must own `dst`).
+        dst_rank: Rank,
+        /// Destination buffer.
+        dst: BufferId,
+        /// Destination offset.
+        dst_off: usize,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Wire bytes per payload byte (2.0 for LL flag interleaving).
+        wire_factor: f64,
+        /// Semaphore raised when the data lands (LL-style inline flags:
+        /// no fence delay). `None` when a separate signal follows.
+        notify: Option<Semaphore>,
+    },
+    /// Transport-level fused reduce-and-put: `remote_dst = op(a, b)`, the
+    /// register path of NCCL's `recvReduceSend` (no intermediate local
+    /// store).
+    RawReducePut {
+        /// Sending rank (must own `a` and `b`).
+        src_rank: Rank,
+        /// First operand buffer (e.g. the user input chunk).
+        a: BufferId,
+        /// First operand offset.
+        a_off: usize,
+        /// Second operand buffer (e.g. the staging slot just received).
+        b: BufferId,
+        /// Second operand offset.
+        b_off: usize,
+        /// Receiving rank (must own `dst`).
+        dst_rank: Rank,
+        /// Destination buffer.
+        dst: BufferId,
+        /// Destination offset.
+        dst_off: usize,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Wire bytes per payload byte.
+        wire_factor: f64,
+        /// Element type.
+        dtype: DataType,
+        /// Reduction operator.
+        op: ReduceOp,
+        /// Semaphore raised when the data lands.
+        notify: Option<Semaphore>,
+    },
+    /// Local three-address reduction `dst = op(a, b)` (NCCL's
+    /// `recvReduceCopy` register path).
+    ReduceInto {
+        /// First operand buffer.
+        a: BufferId,
+        /// First operand offset.
+        a_off: usize,
+        /// Second operand buffer.
+        b: BufferId,
+        /// Second operand offset.
+        b_off: usize,
+        /// Destination buffer.
+        dst: BufferId,
+        /// Destination offset.
+        dst_off: usize,
+        /// Operand size in bytes.
+        bytes: usize,
+        /// Element type.
+        dtype: DataType,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// Wait until a standalone semaphore reaches its next expected value.
+    SemWait {
+        /// The semaphore (must live on this kernel's rank).
+        sem: Semaphore,
+    },
+    /// Remotely increment a standalone semaphore on another rank, ordered
+    /// after preceding transfers on the same links (fence + atomic).
+    SemSignal {
+        /// The semaphore to increment.
+        sem: Semaphore,
+    },
+    /// Multi-device barrier (Figure 5's `multiDeviceBarrier`).
+    Barrier {
+        /// This rank's barrier handle.
+        barrier: DeviceBarrier,
+    },
+    /// Occupy the thread block with computation for a fixed span (used by
+    /// fused compute/communication kernels and the inference engine).
+    Compute {
+        /// Busy time.
+        dur: Duration,
+    },
+}
+
+/// A compiled kernel: one instruction program per thread block on one rank.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The rank this kernel launches on.
+    pub rank: Rank,
+    /// One instruction stream per thread block.
+    pub blocks: Vec<Vec<Instr>>,
+    /// Registers per thread (reported in the paper's §3.2.3 comparison;
+    /// informational — it does not affect simulated timing).
+    pub regs_per_thread: u32,
+}
+
+impl Kernel {
+    /// Total instruction count across all thread blocks.
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+}
+
+/// Builds a [`Kernel`] block by block.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    rank: Rank,
+    blocks: Vec<Vec<Instr>>,
+    regs_per_thread: u32,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel for `rank` with no thread blocks.
+    pub fn new(rank: Rank) -> KernelBuilder {
+        KernelBuilder {
+            rank,
+            blocks: Vec::new(),
+            regs_per_thread: 32,
+        }
+    }
+
+    /// Sets the reported registers-per-thread metadata.
+    pub fn regs_per_thread(&mut self, regs: u32) -> &mut Self {
+        self.regs_per_thread = regs;
+        self
+    }
+
+    /// Returns a builder for thread block `index`, growing the kernel as
+    /// needed.
+    pub fn block(&mut self, index: usize) -> BlockBuilder<'_> {
+        if self.blocks.len() <= index {
+            self.blocks.resize_with(index + 1, Vec::new);
+        }
+        BlockBuilder {
+            rank: self.rank,
+            instrs: &mut self.blocks[index],
+        }
+    }
+
+    /// Finishes the kernel.
+    pub fn build(self) -> Kernel {
+        Kernel {
+            rank: self.rank,
+            blocks: self.blocks,
+            regs_per_thread: self.regs_per_thread,
+        }
+    }
+}
+
+/// Appends instructions to one thread block. Created by
+/// [`KernelBuilder::block`]; methods chain.
+#[derive(Debug)]
+pub struct BlockBuilder<'a> {
+    rank: Rank,
+    instrs: &'a mut Vec<Instr>,
+}
+
+impl BlockBuilder<'_> {
+    fn assert_local<T>(&self, what: &str, owner: Rank) -> Option<T> {
+        assert_eq!(
+            owner, self.rank,
+            "{what}: channel endpoint belongs to {owner}, kernel runs on {}",
+            self.rank
+        );
+        None
+    }
+
+    /// MemoryChannel `put`: asynchronous zero-copy write to the peer.
+    pub fn put(&mut self, ch: &MemoryChannel, dst_off: usize, src_off: usize, bytes: usize) -> &mut Self {
+        self.assert_local::<()>("put", ch.local_rank);
+        self.instrs.push(Instr::MemPut {
+            ch: ch.clone(),
+            src_off,
+            dst_off,
+            bytes,
+            with_signal: false,
+        });
+        self
+    }
+
+    /// Fused `putWithSignal` (§3.2.2).
+    pub fn put_with_signal(
+        &mut self,
+        ch: &MemoryChannel,
+        dst_off: usize,
+        src_off: usize,
+        bytes: usize,
+    ) -> &mut Self {
+        self.assert_local::<()>("put_with_signal", ch.local_rank);
+        self.instrs.push(Instr::MemPut {
+            ch: ch.clone(),
+            src_off,
+            dst_off,
+            bytes,
+            with_signal: true,
+        });
+        self
+    }
+
+    /// MemoryChannel `signal`.
+    pub fn signal(&mut self, ch: &MemoryChannel) -> &mut Self {
+        self.assert_local::<()>("signal", ch.local_rank);
+        self.instrs.push(Instr::MemSignal { ch: ch.clone() });
+        self
+    }
+
+    /// MemoryChannel `wait` (HB semaphore).
+    pub fn wait(&mut self, ch: &MemoryChannel) -> &mut Self {
+        self.assert_local::<()>("wait", ch.local_rank);
+        self.instrs.push(Instr::MemWait { ch: ch.clone() });
+        self
+    }
+
+    /// LL-protocol data wait: returns once the next put has landed.
+    pub fn wait_data(&mut self, ch: &MemoryChannel) -> &mut Self {
+        self.assert_local::<()>("wait_data", ch.local_rank);
+        self.instrs.push(Instr::MemWaitData { ch: ch.clone() });
+        self
+    }
+
+    /// Read from the peer through the channel and reduce into a local
+    /// buffer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_reduce(
+        &mut self,
+        ch: &MemoryChannel,
+        remote_off: usize,
+        local_buf: BufferId,
+        local_off: usize,
+        bytes: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    ) -> &mut Self {
+        self.assert_local::<()>("read_reduce", ch.local_rank);
+        self.instrs.push(Instr::MemReadReduce {
+            ch: ch.clone(),
+            remote_off,
+            local_buf,
+            local_off,
+            bytes,
+            dtype,
+            op,
+        });
+        self
+    }
+
+    /// PortChannel `put`.
+    pub fn port_put(
+        &mut self,
+        ch: &PortChannel,
+        dst_off: usize,
+        src_off: usize,
+        bytes: usize,
+    ) -> &mut Self {
+        self.assert_local::<()>("port_put", ch.local_rank);
+        self.instrs.push(Instr::PortPut {
+            ch: ch.clone(),
+            src_off,
+            dst_off,
+            bytes,
+            with_signal: false,
+        });
+        self
+    }
+
+    /// PortChannel fused `putWithSignal`.
+    pub fn port_put_with_signal(
+        &mut self,
+        ch: &PortChannel,
+        dst_off: usize,
+        src_off: usize,
+        bytes: usize,
+    ) -> &mut Self {
+        self.assert_local::<()>("port_put_with_signal", ch.local_rank);
+        self.instrs.push(Instr::PortPut {
+            ch: ch.clone(),
+            src_off,
+            dst_off,
+            bytes,
+            with_signal: true,
+        });
+        self
+    }
+
+    /// PortChannel `signal`.
+    pub fn port_signal(&mut self, ch: &PortChannel) -> &mut Self {
+        self.assert_local::<()>("port_signal", ch.local_rank);
+        self.instrs.push(Instr::PortSignal { ch: ch.clone() });
+        self
+    }
+
+    /// PortChannel `flush`: wait until all pushed requests completed.
+    pub fn port_flush(&mut self, ch: &PortChannel) -> &mut Self {
+        self.assert_local::<()>("port_flush", ch.local_rank);
+        self.instrs.push(Instr::PortFlush { ch: ch.clone() });
+        self
+    }
+
+    /// PortChannel `wait`.
+    pub fn port_wait(&mut self, ch: &PortChannel) -> &mut Self {
+        self.assert_local::<()>("port_wait", ch.local_rank);
+        self.instrs.push(Instr::PortWait { ch: ch.clone() });
+        self
+    }
+
+    /// SwitchChannel `reduce` (multimem load-reduce).
+    #[allow(clippy::too_many_arguments)]
+    pub fn switch_reduce(
+        &mut self,
+        ch: &SwitchChannel,
+        src_off: usize,
+        dst_buf: BufferId,
+        dst_off: usize,
+        bytes: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    ) -> &mut Self {
+        self.assert_local::<()>("switch_reduce", ch.rank);
+        self.instrs.push(Instr::SwitchReduce {
+            ch: ch.clone(),
+            src_off,
+            dst_buf,
+            dst_off,
+            bytes,
+            dtype,
+            op,
+        });
+        self
+    }
+
+    /// SwitchChannel `broadcast` (multimem store).
+    pub fn switch_broadcast(
+        &mut self,
+        ch: &SwitchChannel,
+        src_buf: BufferId,
+        src_off: usize,
+        dst_off: usize,
+        bytes: usize,
+    ) -> &mut Self {
+        self.assert_local::<()>("switch_broadcast", ch.rank);
+        self.instrs.push(Instr::SwitchBroadcast {
+            ch: ch.clone(),
+            src_buf,
+            src_off,
+            dst_off,
+            bytes,
+        });
+        self
+    }
+
+    /// Local device-to-device copy.
+    pub fn copy(
+        &mut self,
+        src: BufferId,
+        src_off: usize,
+        dst: BufferId,
+        dst_off: usize,
+        bytes: usize,
+    ) -> &mut Self {
+        self.instrs.push(Instr::Copy {
+            src,
+            src_off,
+            dst,
+            dst_off,
+            bytes,
+        });
+        self
+    }
+
+    /// Local element-wise reduction `dst = op(dst, src)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce(
+        &mut self,
+        src: BufferId,
+        src_off: usize,
+        dst: BufferId,
+        dst_off: usize,
+        bytes: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    ) -> &mut Self {
+        self.instrs.push(Instr::Reduce {
+            src,
+            src_off,
+            dst,
+            dst_off,
+            bytes,
+            dtype,
+            op,
+        });
+        self
+    }
+
+    /// Transport-level put (see [`Instr::RawPut`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn raw_put(
+        &mut self,
+        src: BufferId,
+        src_off: usize,
+        dst_rank: Rank,
+        dst: BufferId,
+        dst_off: usize,
+        bytes: usize,
+        wire_factor: f64,
+        notify: Option<&Semaphore>,
+    ) -> &mut Self {
+        self.instrs.push(Instr::RawPut {
+            src_rank: self.rank,
+            src,
+            src_off,
+            dst_rank,
+            dst,
+            dst_off,
+            bytes,
+            wire_factor,
+            notify: notify.cloned(),
+        });
+        self
+    }
+
+    /// Transport-level fused reduce-and-put (see [`Instr::RawReducePut`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn raw_reduce_put(
+        &mut self,
+        a: BufferId,
+        a_off: usize,
+        b: BufferId,
+        b_off: usize,
+        dst_rank: Rank,
+        dst: BufferId,
+        dst_off: usize,
+        bytes: usize,
+        wire_factor: f64,
+        dtype: DataType,
+        op: ReduceOp,
+        notify: Option<&Semaphore>,
+    ) -> &mut Self {
+        self.instrs.push(Instr::RawReducePut {
+            src_rank: self.rank,
+            a,
+            a_off,
+            b,
+            b_off,
+            dst_rank,
+            dst,
+            dst_off,
+            bytes,
+            wire_factor,
+            dtype,
+            op,
+            notify: notify.cloned(),
+        });
+        self
+    }
+
+    /// Local three-address reduction `dst = op(a, b)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_into(
+        &mut self,
+        a: BufferId,
+        a_off: usize,
+        b: BufferId,
+        b_off: usize,
+        dst: BufferId,
+        dst_off: usize,
+        bytes: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    ) -> &mut Self {
+        self.instrs.push(Instr::ReduceInto {
+            a,
+            a_off,
+            b,
+            b_off,
+            dst,
+            dst_off,
+            bytes,
+            dtype,
+            op,
+        });
+        self
+    }
+
+    /// Wait on a standalone semaphore.
+    pub fn sem_wait(&mut self, sem: &Semaphore) -> &mut Self {
+        self.assert_local::<()>("sem_wait", sem.owner);
+        self.instrs.push(Instr::SemWait { sem: sem.clone() });
+        self
+    }
+
+    /// Remotely signal a standalone semaphore on another rank.
+    pub fn sem_signal(&mut self, sem: &Semaphore) -> &mut Self {
+        self.instrs.push(Instr::SemSignal { sem: sem.clone() });
+        self
+    }
+
+    /// Multi-device barrier.
+    pub fn barrier(&mut self, barrier: &DeviceBarrier) -> &mut Self {
+        self.instrs.push(Instr::Barrier {
+            barrier: barrier.clone(),
+        });
+        self
+    }
+
+    /// Fixed-duration compute occupancy.
+    pub fn compute(&mut self, dur: Duration) -> &mut Self {
+        self.instrs.push(Instr::Compute { dur });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_grows_blocks_and_counts_instrs() {
+        let mut b = KernelBuilder::new(Rank(3));
+        let mut pool = hw::MemoryPool::new();
+        let x = pool.alloc(Rank(3), 16);
+        let y = pool.alloc(Rank(3), 16);
+        b.block(2).copy(x, 0, y, 0, 16);
+        b.block(0).compute(Duration::from_ns(5.0));
+        let k = b.build();
+        assert_eq!(k.blocks.len(), 3);
+        assert_eq!(k.instr_count(), 2);
+        assert_eq!(k.rank, Rank(3));
+        assert_eq!(k.regs_per_thread, 32);
+    }
+}

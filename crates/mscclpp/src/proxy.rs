@@ -1,0 +1,104 @@
+//! The CPU proxy thread behind a [`PortChannel`] (§4.2.1, Figure 7).
+//!
+//! Current interconnects require the CPU to initiate port-mapped
+//! transfers (`cudaMemcpyDeviceToDevice` for intra-node DMA,
+//! `ibv_post_send` for RDMA). Each port channel therefore owns one proxy
+//! process that continuously drains the channel's request FIFO:
+//!
+//! 1. block until the GPU pushes a request (`pushed_cell` advances);
+//! 2. read and decode the request (`proxy_handle`);
+//! 3. initiate the transfer (`proxy_post`), which occupies the DMA engine
+//!    or NIC from the hardware model;
+//! 4. schedule the completion counter (`completed_cell`, observed by
+//!    `flush`) at the moment the transfer leaves the sender, and the
+//!    peer's arrival/semaphore cells at the moment data lands.
+//!
+//! While the transfer is in flight the GPU is free to execute other work —
+//! the asynchrony that §2.2.2 shows NCCL's blocking `send` cannot express.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hw::{CopyMode, Machine, Rank};
+use sim::{CellId, Ctx, Process, Step};
+
+use crate::channel::{FifoState, ProxyRequest};
+use crate::overheads::Overheads;
+
+/// Size in bytes of the semaphore word written by a remote signal.
+const SIGNAL_BYTES: usize = 8;
+
+/// The proxy process for one port-channel direction.
+#[derive(Debug)]
+pub(crate) struct ProxyProc {
+    pub src: Rank,
+    pub dst: Rank,
+    pub fifo: Rc<RefCell<FifoState>>,
+    pub pushed_cell: CellId,
+    pub completed_cell: CellId,
+    pub peer_sem: CellId,
+    pub peer_arrival: CellId,
+    pub processed: u64,
+    pub ov: Overheads,
+}
+
+impl ProxyProc {
+    /// Times and performs one transfer of `bytes` from `src` to `dst`,
+    /// returning the transfer's `(sender_free, arrival)` instants.
+    fn transfer(&self, ctx: &mut Ctx<'_, Machine>, bytes: usize) -> hw::Xfer {
+        let topo = ctx.world.topology();
+        if topo.same_node(self.src, self.dst) {
+            hw::p2p_time(ctx, self.src, self.dst, bytes as u64, CopyMode::Dma)
+        } else {
+            hw::net_time(ctx, self.src, self.dst, bytes as u64)
+        }
+    }
+}
+
+impl Process<Machine> for ProxyProc {
+    fn step(&mut self, ctx: &mut Ctx<'_, Machine>) -> Step {
+        let req = self.fifo.borrow_mut().queue.pop_front();
+        let Some(req) = req else {
+            // Figure 7 ②: spin on the FIFO tail until the GPU pushes.
+            return Step::WaitCell {
+                cell: self.pushed_cell,
+                at_least: self.processed + 1,
+            };
+        };
+        self.processed += 1;
+        let mut busy = self.ov.proxy_handle;
+        match req {
+            ProxyRequest::Put {
+                src,
+                src_off,
+                dst,
+                dst_off,
+                bytes,
+                with_signal,
+            } => {
+                busy += self.ov.proxy_post;
+                let xfer = self.transfer(ctx, bytes);
+                ctx.world.pool_mut().copy(src, src_off, dst, dst_off, bytes);
+                ctx.cell_add_at(self.completed_cell, 1, xfer.sender_free);
+                ctx.cell_add_at(self.peer_arrival, 1, xfer.arrival);
+                if with_signal {
+                    ctx.cell_add_at(self.peer_sem, 1, xfer.arrival);
+                }
+            }
+            ProxyRequest::Signal => {
+                busy += self.ov.proxy_post;
+                // The semaphore update is itself a tiny ordered transfer
+                // (ibv atomic / flagged store); riding the same NIC or DMA
+                // resource orders it after every preceding put.
+                let xfer = self.transfer(ctx, SIGNAL_BYTES);
+                ctx.cell_add_at(self.peer_sem, 1, xfer.arrival);
+                ctx.cell_add_at(self.completed_cell, 1, xfer.sender_free);
+            }
+        }
+        Step::Yield(busy)
+    }
+
+    fn label(&self) -> String {
+        format!("proxy {}->{}", self.src, self.dst)
+    }
+}

@@ -1,0 +1,146 @@
+//! White-box tests of the NCCL primitive emitter: each primitive lowers
+//! to the expected executor instruction shape, including the structural
+//! overheads the paper attributes to NCCL (§2.2.2) — group syncs,
+//! staging transfers, and credit waits.
+
+use hw::{DataType, EnvKind, Machine, Rank, ReduceOp};
+use mscclpp::{Instr, KernelBuilder, Setup};
+use ncclsim::{Conn, NcclConfig, Prims, Proto};
+use sim::Engine;
+
+fn setup_conn() -> (Engine<Machine>, NcclConfig, Conn, hw::BufferId) {
+    let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+    let mut setup = Setup::new(&mut e);
+    let cfg = NcclConfig::nccl();
+    let conn = Conn::create(&mut setup, &cfg, Rank(0), Rank(1));
+    let user = setup.alloc(Rank(0), 1 << 20);
+    (e, cfg, conn, user)
+}
+
+fn kind(i: &Instr) -> &'static str {
+    match i {
+        Instr::Compute { .. } => "compute",
+        Instr::RawPut { .. } => "rawput",
+        Instr::RawReducePut { .. } => "rawreduceput",
+        Instr::ReduceInto { .. } => "reduceinto",
+        Instr::SemWait { .. } => "semwait",
+        Instr::SemSignal { .. } => "semsignal",
+        Instr::Copy { .. } => "copy",
+        _ => "other",
+    }
+}
+
+fn emit_on(
+    rank: Rank,
+    cfg: &NcclConfig,
+    proto: Proto,
+    f: impl FnOnce(&mut Prims<'_, '_>),
+) -> Vec<String> {
+    let mut kb = KernelBuilder::new(rank);
+    {
+        let mut tb = kb.block(0);
+        let mut p = Prims::new(&mut tb, cfg, proto, DataType::F32, ReduceOp::Sum);
+        f(&mut p);
+    }
+    let k = kb.build();
+    k.blocks[0].iter().map(|i| kind(i).to_owned()).collect()
+}
+
+fn emit(cfg: &NcclConfig, proto: Proto, f: impl FnOnce(&mut Prims<'_, '_>)) -> Vec<String> {
+    emit_on(Rank(0), cfg, proto, f)
+}
+
+#[test]
+fn ll_send_is_group_sync_plus_flagged_put() {
+    let (_e, cfg, conn, user) = setup_conn();
+    let shape = emit(&cfg, Proto::LL, |p| p.send(&conn, user, 0, 4096));
+    assert_eq!(shape, ["compute", "rawput"], "LL flags ride the data");
+}
+
+#[test]
+fn simple_send_adds_a_separate_fence_and_signal() {
+    let (_e, cfg, conn, user) = setup_conn();
+    let shape = emit(&cfg, Proto::Simple, |p| p.send(&conn, user, 0, 4096));
+    assert_eq!(
+        shape,
+        ["compute", "rawput", "semsignal"],
+        "Simple protocol signals after the data"
+    );
+}
+
+#[test]
+fn send_pays_credit_wait_after_fifo_wraps() {
+    let (_e, cfg, conn, user) = setup_conn();
+    let shape = emit(&cfg, Proto::LL, |p| {
+        for _ in 0..cfg.slots + 1 {
+            p.send(&conn, user, 0, 1024);
+        }
+    });
+    let waits = shape.iter().filter(|s| *s == "semwait").count();
+    assert_eq!(waits, 1, "exactly the wrapped send waits for credit");
+    // The wait precedes the final put.
+    let last_wait = shape.iter().rposition(|s| s == "semwait").unwrap();
+    let last_put = shape.iter().rposition(|s| s == "rawput").unwrap();
+    assert!(last_wait < last_put);
+}
+
+#[test]
+fn recv_reduce_send_fuses_into_one_transfer() {
+    // Receiver side: runs on rank 1, consuming conn 0->1 and forwarding
+    // on conn 1->2.
+    let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+    let mut setup = Setup::new(&mut e);
+    let cfg = NcclConfig::nccl();
+    let conn_in = Conn::create(&mut setup, &cfg, Rank(0), Rank(1));
+    let conn_out = Conn::create(&mut setup, &cfg, Rank(1), Rank(2));
+    let user = setup.alloc(Rank(1), 4096);
+    let shape = emit_on(Rank(1), &cfg, Proto::Simple, |p| {
+        p.recv_reduce_send(&conn_in, user, 0, &conn_out, 4096);
+    });
+    assert_eq!(
+        shape,
+        ["compute", "semwait", "rawreduceput", "semsignal", "semsignal"],
+        "wait data, fused reduce+forward, signal next, credit prev"
+    );
+}
+
+#[test]
+fn recv_reduce_copy_is_local_after_the_wait() {
+    let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+    let mut setup = Setup::new(&mut e);
+    let cfg = NcclConfig::nccl();
+    let conn = Conn::create(&mut setup, &cfg, Rank(0), Rank(1));
+    let user = setup.alloc(Rank(1), 4096);
+    let shape = emit_on(Rank(1), &cfg, Proto::LL, |p| {
+        p.recv_reduce_copy(&conn, user, 0, user, 0, 4096);
+    });
+    assert_eq!(shape, ["compute", "semwait", "reduceinto", "semsignal"]);
+}
+
+#[test]
+fn recv_copy_send_reads_staging_once_then_credits() {
+    let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+    let mut setup = Setup::new(&mut e);
+    let cfg = NcclConfig::nccl();
+    let conn_in = Conn::create(&mut setup, &cfg, Rank(0), Rank(1));
+    let conn_out = Conn::create(&mut setup, &cfg, Rank(1), Rank(2));
+    let dst = setup.alloc(Rank(1), 4096);
+    let shape = emit_on(Rank(1), &cfg, Proto::LL, |p| {
+        p.recv_copy_send(&conn_in, dst, 0, &conn_out, 4096);
+    });
+    assert_eq!(shape, ["compute", "semwait", "copy", "rawput", "semsignal"]);
+}
+
+#[test]
+fn every_primitive_pays_the_group_sync() {
+    // The static thread-group barrier of §2.2.2: every call starts with a
+    // Compute(prim_sync).
+    let (_e, cfg, conn, user) = setup_conn();
+    let shape = emit(&cfg, Proto::LL, |p| {
+        p.send(&conn, user, 0, 64);
+        p.copy_local(user, 0, user, 64, 64);
+        p.reduce_local(user, 0, user, 64, user, 128, 64);
+    });
+    let syncs = shape.iter().filter(|s| *s == "compute").count();
+    assert_eq!(syncs, 3);
+}

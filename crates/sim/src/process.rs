@@ -1,0 +1,56 @@
+//! The cooperative process abstraction.
+
+use crate::engine::{CellId, Ctx};
+use crate::time::Duration;
+
+/// What a process wants the engine to do after a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Run this process again after the given span of virtual time elapses.
+    ///
+    /// `Yield(Duration::ZERO)` reschedules at the same instant (after all
+    /// events already queued for that instant).
+    Yield(Duration),
+    /// Suspend until the cell's value reaches at least `at_least`.
+    ///
+    /// If the condition already holds, the process is rescheduled immediately.
+    WaitCell {
+        /// The cell to watch.
+        cell: CellId,
+        /// Threshold that unblocks the process.
+        at_least: u64,
+    },
+    /// The process has finished; it will never be stepped again.
+    Done,
+}
+
+/// A cooperative simulation process.
+///
+/// A process models one independently-progressing hardware context: a GPU
+/// thread block interpreting a kernel instruction stream, or a CPU proxy
+/// thread draining a port-channel FIFO. On every [`step`](Process::step) the
+/// process performs an arbitrary amount of *instantaneous* work against the
+/// world and then tells the engine when (or on what condition) to run it
+/// next.
+pub trait Process<W> {
+    /// Advance this process by one scheduling quantum.
+    fn step(&mut self, ctx: &mut Ctx<'_, W>) -> Step;
+
+    /// A short label used in deadlock diagnostics.
+    fn label(&self) -> String {
+        "<unnamed process>".to_owned()
+    }
+}
+
+impl<W, F> Process<W> for F
+where
+    F: FnMut(&mut Ctx<'_, W>) -> Step,
+{
+    fn step(&mut self, ctx: &mut Ctx<'_, W>) -> Step {
+        self(ctx)
+    }
+
+    fn label(&self) -> String {
+        "<closure process>".to_owned()
+    }
+}

@@ -1,0 +1,15 @@
+//! Workspace umbrella crate: re-exports the MSCCL++ reproduction's
+//! crates for the repository-level examples and integration tests.
+//!
+//! See the individual crates for documentation:
+//! [`sim`], [`hw`], [`mscclpp`], [`mscclpp_dsl`], [`collective`],
+//! [`ncclsim`], [`msccl`], and [`inference`].
+
+pub use collective;
+pub use hw;
+pub use inference;
+pub use msccl;
+pub use mscclpp;
+pub use mscclpp_dsl;
+pub use ncclsim;
+pub use sim;
