@@ -10,8 +10,8 @@ use hw::EnvKind;
 use inference::{BatchConfig, ModelConfig, MscclppBackend, NcclBackend, ServingEngine};
 
 use crate::{
-    fmt_bytes, large_sizes, msccl_allgather, msccl_allreduce, mscclpp_allgather,
-    mscclpp_allreduce, nccl_allgather, nccl_allreduce, print_sweep, small_sizes, Target,
+    fmt_bytes, large_sizes, msccl_allgather, msccl_allreduce, mscclpp_allgather, mscclpp_allreduce,
+    nccl_allgather, nccl_allreduce, print_sweep, small_sizes, Target,
 };
 
 /// Table 1: the evaluation environments.
@@ -171,11 +171,26 @@ pub fn fig9(full: bool) {
 pub fn fig10(full: bool) {
     println!("\n==== Figure 10: Llama2-70b inference, TP=8, A100-80G ====");
     let model = ModelConfig::llama2_70b();
-    let bszs: &[usize] = if full { &[8, 16, 32, 64, 128] } else { &[8, 64] };
-    let seqlens: &[usize] = if full { &[128, 512, 1024, 2048] } else { &[128, 512] };
+    let bszs: &[usize] = if full {
+        &[8, 16, 32, 64, 128]
+    } else {
+        &[8, 64]
+    };
+    let seqlens: &[usize] = if full {
+        &[128, 512, 1024, 2048]
+    } else {
+        &[128, 512]
+    };
     println!(
         "{:>6} {:>8} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9}",
-        "bsz", "seqlen", "NCCL dec us", "M++ dec us", "speedup", "NCCL pre us", "M++ pre us", "speedup"
+        "bsz",
+        "seqlen",
+        "NCCL dec us",
+        "M++ dec us",
+        "speedup",
+        "NCCL pre us",
+        "M++ pre us",
+        "speedup"
     );
     for &bsz in bszs {
         for &seqlen in seqlens {
@@ -511,8 +526,10 @@ pub fn utilization_report(full: bool) {
     let bytes = if full { 64 << 20 } else { 16 << 20 };
     let count = bytes / 2;
 
-    let report = |name: &str, run: &mut dyn FnMut() -> (Engine<Machine>, f64)| {
+    let mut runs: Vec<crate::report::StackRun> = Vec::new();
+    let mut report = |name: &str, stack: &str, run: &mut dyn FnMut() -> (Engine<Machine>, f64)| {
         let (engine, elapsed_us) = run();
+        runs.push(crate::report::snapshot(stack, bytes, elapsed_us, &engine));
         let util = hw::port_utilization(&engine);
         let avg_egress: f64 = util
             .iter()
@@ -531,7 +548,7 @@ pub fn utilization_report(full: bool) {
         );
     };
 
-    report("NCCL", &mut || {
+    report("NCCL", "nccl", &mut || {
         let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
         let comm = {
             let mut setup = Setup::new(&mut e);
@@ -555,7 +572,7 @@ pub fn utilization_report(full: bool) {
             .as_us();
         (e, t)
     });
-    report("MSCCL++", &mut || {
+    report("MSCCL++", "mscclpp", &mut || {
         let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
         hw::wire(&mut e);
         let bufs: Vec<_> = (0..8)
@@ -569,4 +586,14 @@ pub fn utilization_report(full: bool) {
             .as_us();
         (e, t)
     });
+
+    let target = crate::Target {
+        env: EnvKind::A100_40G,
+        nodes: 1,
+    };
+    let json = crate::report::runs_to_json("utilization", target, &runs);
+    match crate::report::write_results_json("utilization.json", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results/utilization.json: {e}"),
+    }
 }

@@ -15,6 +15,7 @@
 //! take the best over the stack's tuning candidates.
 
 pub mod figures;
+pub mod report;
 
 use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};
 use mscclpp::Setup;
@@ -119,7 +120,11 @@ fn verify_allgather(
         for src in 0..world {
             for &i in &idxs {
                 let got = DataType::F16.decode(data, (src * chunk_elems + i) * 2);
-                assert_eq!(got, input_val(src, i), "{tag}: allgather rank {r} chunk {src}");
+                assert_eq!(
+                    got,
+                    input_val(src, i),
+                    "{tag}: allgather rank {r} chunk {src}"
+                );
             }
         }
     }
@@ -140,7 +145,15 @@ pub fn nccl_allreduce(t: Target, bytes: usize) -> Point {
             .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes))
             .collect();
         let timing = comm
-            .all_reduce(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum, choice)
+            .all_reduce(
+                &mut e,
+                &ins,
+                &outs,
+                count,
+                DataType::F16,
+                ReduceOp::Sum,
+                choice,
+            )
             .expect("nccl allreduce");
         verify_allreduce(&e, &outs, bytes, t.world(), "nccl");
         best = best.min(timing.elapsed().as_us());
@@ -174,7 +187,15 @@ pub fn msccl_allreduce(t: Target, bytes: usize) -> Point {
         .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes))
         .collect();
     let timing = comm
-        .all_reduce(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum, None)
+        .all_reduce(
+            &mut e,
+            &ins,
+            &outs,
+            count,
+            DataType::F16,
+            ReduceOp::Sum,
+            None,
+        )
         .expect("msccl allreduce");
     verify_allreduce(&e, &outs, bytes, t.world(), "msccl");
     Point {

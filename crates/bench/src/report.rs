@@ -1,0 +1,290 @@
+//! Machine-readable observability reports: runs one collective per stack
+//! on a fresh engine, captures the engine's metrics registry (sync
+//! counters, per-link byte/busy accounting), and serializes everything as
+//! JSON under `results/` — no external dependencies.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use hw::{BufferId, DataType, Machine, Rank, ReduceOp};
+use mscclpp::Setup;
+use sim::Engine;
+
+use crate::{alloc_filled, fresh_engine, size_filtered_candidates, verify_allreduce, Target};
+
+/// One link/engine resource snapshot in a [`StackRun`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkStat {
+    /// Diagnostic label (`egress r0`, `nic_send r3`, ...).
+    pub label: String,
+    /// Cumulative busy time in microseconds.
+    pub busy_us: f64,
+    /// Bytes metered through the link.
+    pub bytes: u64,
+    /// Number of acquisitions.
+    pub acquires: u64,
+    /// Cumulative queueing delay in microseconds.
+    pub queue_delay_us: f64,
+    /// Busy time divided by the run's elapsed time.
+    pub utilization: f64,
+}
+
+/// One stack's observed collective run: latency plus the full metrics
+/// snapshot of the engine that executed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackRun {
+    /// Stack name (`nccl`, `msccl`, `mscclpp`).
+    pub stack: String,
+    /// Message size in bytes.
+    pub bytes: usize,
+    /// End-to-end latency in microseconds.
+    pub latency_us: f64,
+    /// Every metrics counter, in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Per-link accounting (labeled resources only, non-idle first).
+    pub links: Vec<LinkStat>,
+}
+
+impl StackRun {
+    /// Value of one counter (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+}
+
+/// Snapshots an engine's metrics after a timed run.
+pub(crate) fn snapshot(
+    stack: &str,
+    bytes: usize,
+    latency_us: f64,
+    engine: &Engine<Machine>,
+) -> StackRun {
+    let elapsed = latency_us.max(1e-9);
+    let links = hw::link_stats(engine)
+        .into_iter()
+        .map(|s| LinkStat {
+            label: s.label,
+            busy_us: s.busy.as_us(),
+            bytes: s.bytes,
+            acquires: s.acquires,
+            queue_delay_us: s.queue_delay.as_us(),
+            utilization: s.busy.as_us() / elapsed,
+        })
+        .collect();
+    StackRun {
+        stack: stack.to_owned(),
+        bytes,
+        latency_us,
+        counters: engine
+            .metrics()
+            .counters()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+        links,
+    }
+}
+
+/// Runs a verified AllReduce of `bytes` on each stack and returns one
+/// [`StackRun`] per stack (NCCL uses its best tuning candidate; the
+/// metrics come from that best run's engine).
+pub fn observe_allreduce(t: Target, bytes: usize) -> Vec<StackRun> {
+    vec![
+        observe_nccl_allreduce(t, bytes),
+        observe_msccl_allreduce(t, bytes),
+        observe_mscclpp_allreduce(t, bytes),
+    ]
+}
+
+fn out_bufs(e: &mut Engine<Machine>, world: usize, bytes: usize) -> Vec<BufferId> {
+    (0..world)
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes))
+        .collect()
+}
+
+fn observe_nccl_allreduce(t: Target, bytes: usize) -> StackRun {
+    let count = bytes / 2;
+    let mut best: Option<StackRun> = None;
+    for choice in size_filtered_candidates(t.nodes, bytes) {
+        let mut e = fresh_engine(t);
+        let comm = {
+            let mut setup = Setup::new(&mut e);
+            ncclsim::NcclComm::new(&mut setup, ncclsim::NcclConfig::nccl())
+        };
+        let ins = alloc_filled(&mut e, t.world(), bytes);
+        let outs = out_bufs(&mut e, t.world(), bytes);
+        let timing = comm
+            .all_reduce(
+                &mut e,
+                &ins,
+                &outs,
+                count,
+                DataType::F16,
+                ReduceOp::Sum,
+                choice,
+            )
+            .expect("nccl allreduce");
+        verify_allreduce(&e, &outs, bytes, t.world(), "nccl");
+        let run = snapshot("nccl", bytes, timing.elapsed().as_us(), &e);
+        if best.as_ref().is_none_or(|b| run.latency_us < b.latency_us) {
+            best = Some(run);
+        }
+    }
+    best.expect("no nccl tuning candidate")
+}
+
+fn observe_msccl_allreduce(t: Target, bytes: usize) -> StackRun {
+    let count = bytes / 2;
+    let mut e = fresh_engine(t);
+    let comm = {
+        let mut setup = Setup::new(&mut e);
+        msccl::MscclComm::new(&mut setup, msccl::MscclConfig::default())
+    };
+    let ins = alloc_filled(&mut e, t.world(), bytes);
+    let outs = out_bufs(&mut e, t.world(), bytes);
+    let timing = comm
+        .all_reduce(
+            &mut e,
+            &ins,
+            &outs,
+            count,
+            DataType::F16,
+            ReduceOp::Sum,
+            None,
+        )
+        .expect("msccl allreduce");
+    verify_allreduce(&e, &outs, bytes, t.world(), "msccl");
+    snapshot("msccl", bytes, timing.elapsed().as_us(), &e)
+}
+
+fn observe_mscclpp_allreduce(t: Target, bytes: usize) -> StackRun {
+    let count = bytes / 2;
+    let mut e = fresh_engine(t);
+    let comm = collective::CollComm::new();
+    let ins = alloc_filled(&mut e, t.world(), bytes);
+    let outs = out_bufs(&mut e, t.world(), bytes);
+    let timing = comm
+        .all_reduce(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum)
+        .expect("mscclpp allreduce");
+    verify_allreduce(&e, &outs, bytes, t.world(), "mscclpp");
+    snapshot("mscclpp", bytes, timing.elapsed().as_us(), &e)
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn push_run(out: &mut String, run: &StackRun) {
+    out.push_str(&format!(
+        "{{\"stack\":\"{}\",\"bytes\":{},\"latency_us\":{:.3},",
+        esc(&run.stack),
+        run.bytes,
+        run.latency_us
+    ));
+    out.push_str("\"counters\":{");
+    for (i, (k, v)) in run.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", esc(k)));
+    }
+    out.push_str("},\"links\":[");
+    for (i, l) in run.links.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"busy_us\":{:.3},\"bytes\":{},\"acquires\":{},\"queue_delay_us\":{:.3},\"utilization\":{:.4}}}",
+            esc(&l.label),
+            l.busy_us,
+            l.bytes,
+            l.acquires,
+            l.queue_delay_us,
+            l.utilization
+        ));
+    }
+    out.push_str("]}");
+}
+
+/// Serializes a set of observed runs as one JSON document.
+pub fn runs_to_json(title: &str, t: Target, runs: &[StackRun]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"title\":\"{}\",\"environment\":\"{}\",\"nodes\":{},\"world\":{},\"runs\":[",
+        esc(title),
+        esc(&t.env.spec(t.nodes).name),
+        t.nodes,
+        t.world()
+    ));
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_run(&mut out, run);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Writes `json` to `results/<name>` (creating `results/` if needed) and
+/// returns the path written.
+pub fn write_results_json(name: &str, json: &str) -> io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw::EnvKind;
+
+    #[test]
+    fn observed_runs_carry_counters_and_links() {
+        let t = Target {
+            env: EnvKind::A100_40G,
+            nodes: 1,
+        };
+        let runs = observe_allreduce(t, 4096);
+        assert_eq!(runs.len(), 3);
+        for run in &runs {
+            assert!(run.latency_us > 0.0, "{}", run.stack);
+            assert!(run.counter("sync.waits") > 0, "{}", run.stack);
+            assert!(
+                run.links.iter().any(|l| l.bytes > 0),
+                "{}: no link carried bytes",
+                run.stack
+            );
+        }
+        // Emitted-mix attribution: each engine only saw its own stack.
+        assert!(runs[0].counter("nccl.raw_put") > 0);
+        assert!(!runs[0]
+            .counters
+            .iter()
+            .any(|(k, _)| k.starts_with("mscclpp.")));
+        assert!(runs[2]
+            .counters
+            .iter()
+            .any(|(k, _)| k.starts_with("mscclpp.")));
+    }
+
+    #[test]
+    fn json_round_trip_is_wellformed_enough() {
+        let t = Target {
+            env: EnvKind::A100_40G,
+            nodes: 1,
+        };
+        let runs = observe_allreduce(t, 1024);
+        let json = runs_to_json("smoke", t, &runs);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"stack\":").count(), 3);
+        assert!(json.contains("\"sync.waits\":"));
+        assert!(json.contains("\"label\":\"egress r0\""));
+    }
+}

@@ -154,7 +154,9 @@ impl HierAllGather {
         let mut local = Vec::new();
         for node in 0..nodes {
             let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
-            local.push(MemMesh::build(setup, &ranks, outputs, outputs, protocol, tbs)?);
+            local.push(MemMesh::build(
+                setup, &ranks, outputs, outputs, protocol, tbs,
+            )?);
         }
         Ok(HierAllGather {
             world: topo.ranks().collect(),
@@ -192,7 +194,13 @@ impl HierAllGather {
                 for b in peers(self.nodes, node, t) {
                     tb.port_put_with_signal(cross.at(t, node, b), g.0 * bytes + ms, ms, ml);
                 }
-                tb.copy(self.inputs[g.0], ms, self.outputs[g.0], g.0 * bytes + ms, ml);
+                tb.copy(
+                    self.inputs[g.0],
+                    ms,
+                    self.outputs[g.0],
+                    g.0 * bytes + ms,
+                    ml,
+                );
                 for b in peers(self.nodes, node, t) {
                     tb.port_wait(cross.at(t, node, b));
                 }
@@ -227,7 +235,6 @@ impl HierAllGather {
         Ok(out)
     }
 }
-
 
 /// All-pairs AllGather over PortChannels: the DMA engines move the data
 /// (the §2.2.2 DMA-copy mode, 263 GB/s on A100 vs thread-copy's

@@ -212,7 +212,14 @@ impl TwoPhaseAllPairsLl {
             for r in 0..setup.world_size() {
                 set.push(setup.alloc(Rank(r), n * slot_cap));
             }
-            meshes_rs.push(MemMesh::build(setup, ranks, inputs, &set, Protocol::LL, tbs)?);
+            meshes_rs.push(MemMesh::build(
+                setup,
+                ranks,
+                inputs,
+                &set,
+                Protocol::LL,
+                tbs,
+            )?);
             meshes_ag.push(MemMesh::build(
                 setup,
                 ranks,
@@ -311,7 +318,12 @@ impl TwoPhaseAllPairsLl {
                 }
                 // AllGather: push my reduced shard slice to every peer.
                 for &p in &peers {
-                    tb.put(mesh_ag.at(t, ig, p), (gs + ms) * es, (gs + ms) * es, ml * es);
+                    tb.put(
+                        mesh_ag.at(t, ig, p),
+                        (gs + ms) * es,
+                        (gs + ms) * es,
+                        ml * es,
+                    );
                 }
                 for &p in &peers {
                     tb.wait_data(mesh_ag.at(t, ig, p));
@@ -612,7 +624,13 @@ impl TwoPhaseSwitch {
                         dtype,
                         op,
                     );
-                    tb.switch_broadcast(&self.bcast_ch[ig], self.outputs[g.0], off + coff, off + coff, clen);
+                    tb.switch_broadcast(
+                        &self.bcast_ch[ig],
+                        self.outputs[g.0],
+                        off + coff,
+                        off + coff,
+                        clen,
+                    );
                 }
                 if t == 0 {
                     // Completion semantics: a rank's kernel may not exit
@@ -695,7 +713,14 @@ impl TwoPhaseHierarchical {
             let mut reads = Vec::new();
             for node in 0..nodes {
                 let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
-                reads.push(MemMesh::build(setup, &ranks, inputs, inputs, Protocol::HB, tbs)?);
+                reads.push(MemMesh::build(
+                    setup,
+                    &ranks,
+                    inputs,
+                    inputs,
+                    Protocol::HB,
+                    tbs,
+                )?);
             }
             local_read = Some(reads);
         } else {
@@ -705,7 +730,14 @@ impl TwoPhaseHierarchical {
             let mut rss = Vec::new();
             for node in 0..nodes {
                 let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
-                rss.push(MemMesh::build(setup, &ranks, inputs, &sa, Protocol::LL, tbs)?);
+                rss.push(MemMesh::build(
+                    setup,
+                    &ranks,
+                    inputs,
+                    &sa,
+                    Protocol::LL,
+                    tbs,
+                )?);
             }
             scratch_a = Some(sa);
             local_rs = Some(rss);
@@ -741,7 +773,7 @@ impl TwoPhaseHierarchical {
             cross_ag: if hb { Some(cross_ag_v) } else { None },
             scratch_a,
             acc,
-        scratch_b,
+            scratch_b,
         })
     }
 
@@ -773,7 +805,15 @@ impl TwoPhaseHierarchical {
                     let mesh = &self.local_read.as_ref().unwrap()[node];
                     tb.copy(self.inputs[g.0], off, self.acc[g.0], acc_off, len);
                     for p in peers_staggered(self.gpn, li, t) {
-                        tb.read_reduce(mesh.at(t, li, p), off, self.acc[g.0], acc_off, len, dtype, op);
+                        tb.read_reduce(
+                            mesh.at(t, li, p),
+                            off,
+                            self.acc[g.0],
+                            acc_off,
+                            len,
+                            dtype,
+                            op,
+                        );
                     }
                 } else {
                     let mesh = &self.local_rs.as_ref().unwrap()[node];

@@ -3,9 +3,7 @@
 //! variant on hardware with multimem support.
 
 use hw::{BufferId, Rank};
-use mscclpp::{
-    Error, Kernel, KernelBuilder, Protocol, Result, Setup, SwitchChannel,
-};
+use mscclpp::{Error, Kernel, KernelBuilder, Protocol, Result, Setup, SwitchChannel};
 
 use crate::wiring::{split_range, MemMesh, PortMesh};
 
@@ -50,7 +48,14 @@ impl AllPairsBroadcast {
         let mut local = Vec::new();
         for node in 0..nodes {
             let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
-            local.push(MemMesh::build(setup, &ranks, &src, outputs, Protocol::HB, tbs)?);
+            local.push(MemMesh::build(
+                setup,
+                &ranks,
+                &src,
+                outputs,
+                Protocol::HB,
+                tbs,
+            )?);
         }
         let cross = if nodes > 1 {
             let li = topo.local_index(root);

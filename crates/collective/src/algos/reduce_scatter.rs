@@ -59,8 +59,9 @@ impl AllPairsReduceScatter {
             // building per node and merging.
             let mut grid = vec![vec![vec![None; n]; n]; tbs];
             for node in 0..topo.nodes() {
-                let ranks: Vec<Rank> =
-                    (0..topo.gpus_per_node()).map(|l| topo.rank_at(node, l)).collect();
+                let ranks: Vec<Rank> = (0..topo.gpus_per_node())
+                    .map(|l| topo.rank_at(node, l))
+                    .collect();
                 let sub = MemMesh::build(setup, &ranks, inputs, &scratch, protocol, tbs)?;
                 for t in 0..tbs {
                     for (ia, &a) in ranks.iter().enumerate() {
@@ -116,8 +117,7 @@ impl AllPairsReduceScatter {
         let count = bytes / es;
         let shard = |i: usize| split_range(count, n, i);
         let gpn = self.gpn;
-        let topo_same =
-            |a: Rank, b: Rank| self.same_node_only || (a.0 / gpn == b.0 / gpn);
+        let topo_same = |a: Rank, b: Rank| self.same_node_only || (a.0 / gpn == b.0 / gpn);
         let mut out = Vec::with_capacity(n);
         for (ig, &g) in self.world.iter().enumerate() {
             let mut kb = KernelBuilder::new(g);

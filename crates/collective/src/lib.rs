@@ -59,12 +59,12 @@ use sim::Engine;
 pub use algos::{PeerOrder, ScratchReuse};
 pub use selector::{select_all_gather, select_all_reduce};
 
+use algos::all_to_all::AllPairsAllToAll;
 use algos::allgather::{AllPairsAllGather, AllPairsAllGatherPort, HierAllGather};
 use algos::allreduce::{
     OnePhaseAllPairs, TwoPhaseAllPairsHb, TwoPhaseAllPairsLl, TwoPhaseAllPairsPort,
     TwoPhaseHierarchical, TwoPhaseSwitch,
 };
-use algos::all_to_all::AllPairsAllToAll;
 use algos::broadcast::{AllPairsBroadcast, SwitchBroadcast};
 use algos::reduce_scatter::AllPairsReduceScatter;
 
@@ -260,6 +260,7 @@ impl CollComm {
     }
 
     fn run(&self, engine: &mut Engine<Machine>, kernels: &[Kernel]) -> Result<KernelTiming> {
+        mscclpp::record_launch_mix(engine, "mscclpp", kernels);
         run_kernels(engine, kernels, &self.ov)
     }
 
@@ -560,7 +561,14 @@ impl CollComm {
                 )?)),
                 AllReduceAlgo::TwoPhaseLl { reuse, order } => {
                     Prepared::Ar2paLl(Rc::new(TwoPhaseAllPairsLl::prepare(
-                        &mut setup, &world, inputs, outputs, cap, ts.max(2), reuse, order,
+                        &mut setup,
+                        &world,
+                        inputs,
+                        outputs,
+                        cap,
+                        ts.max(2),
+                        reuse,
+                        order,
                     )?))
                 }
                 AllReduceAlgo::TwoPhaseHb { order } => {
@@ -574,12 +582,12 @@ impl CollComm {
                 AllReduceAlgo::TwoPhaseSwitch => Prepared::Ar2paSwitch(Rc::new(
                     TwoPhaseSwitch::prepare(&mut setup, &world, inputs, outputs, cap, tl)?,
                 )),
-                AllReduceAlgo::HierLl => Prepared::ArHier(Rc::new(
-                    TwoPhaseHierarchical::prepare(&mut setup, inputs, outputs, cap, 1, false)?,
-                )),
-                AllReduceAlgo::HierHb => Prepared::ArHier(Rc::new(
-                    TwoPhaseHierarchical::prepare(&mut setup, inputs, outputs, cap, tl, true)?,
-                )),
+                AllReduceAlgo::HierLl => Prepared::ArHier(Rc::new(TwoPhaseHierarchical::prepare(
+                    &mut setup, inputs, outputs, cap, 1, false,
+                )?)),
+                AllReduceAlgo::HierHb => Prepared::ArHier(Rc::new(TwoPhaseHierarchical::prepare(
+                    &mut setup, inputs, outputs, cap, tl, true,
+                )?)),
             },
             Key::Ag(algo, _, _) => match *algo {
                 AllGatherAlgo::AllPairsLl => Prepared::AgAp(Rc::new(AllPairsAllGather::prepare(

@@ -40,13 +40,7 @@ impl MemMesh {
                 for ib in (ia + 1)..g {
                     let (a, b) = (ranks[ia], ranks[ib]);
                     let (ca, cb) = setup.memory_channel_pair(
-                        a,
-                        src[a.0],
-                        dst[b.0],
-                        b,
-                        src[b.0],
-                        dst[a.0],
-                        protocol,
+                        a, src[a.0], dst[b.0], b, src[b.0], dst[a.0], protocol,
                     )?;
                     grid[ia][ib] = Some(ca);
                     grid[ib][ia] = Some(cb);
@@ -62,9 +56,7 @@ impl MemMesh {
 
     /// The channel endpoint on `ranks[ia]` towards `ranks[ib]` for `tb`.
     pub fn at(&self, tb: usize, ia: usize, ib: usize) -> &MemoryChannel {
-        self.chans[tb][ia][ib]
-            .as_ref()
-            .expect("no channel to self")
+        self.chans[tb][ia][ib].as_ref().expect("no channel to self")
     }
 }
 
@@ -96,14 +88,8 @@ impl PortMesh {
             for ia in 0..g {
                 for ib in (ia + 1)..g {
                     let (a, b) = (ranks[ia], ranks[ib]);
-                    let (ca, cb) = setup.port_channel_pair(
-                        a,
-                        src[a.0],
-                        dst[b.0],
-                        b,
-                        src[b.0],
-                        dst[a.0],
-                    )?;
+                    let (ca, cb) =
+                        setup.port_channel_pair(a, src[a.0], dst[b.0], b, src[b.0], dst[a.0])?;
                     grid[ia][ib] = Some(ca);
                     grid[ib][ia] = Some(cb);
                 }
@@ -118,9 +104,7 @@ impl PortMesh {
 
     /// The channel endpoint on `ranks[ia]` towards `ranks[ib]` for `tb`.
     pub fn at(&self, tb: usize, ia: usize, ib: usize) -> &PortChannel {
-        self.chans[tb][ia][ib]
-            .as_ref()
-            .expect("no channel to self")
+        self.chans[tb][ia][ib].as_ref().expect("no channel to self")
     }
 }
 

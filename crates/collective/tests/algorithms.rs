@@ -177,10 +177,7 @@ fn allreduce_auto_selection_all_sizes() {
             EnvKind::A100_40G,
             1,
             count,
-            collective::select_all_reduce(
-                &Machine::new(EnvKind::A100_40G.spec(1)),
-                count * 4,
-            ),
+            collective::select_all_reduce(&Machine::new(EnvKind::A100_40G.spec(1)), count * 4),
         );
     }
 }
@@ -198,9 +195,7 @@ fn allreduce_rotating_scratch_is_safe_across_repeated_calls() {
         for (r, &b) in inputs.iter().enumerate() {
             e.world_mut()
                 .pool_mut()
-                .fill_with(b, DataType::F32, move |i| {
-                    input_val(r, i) + iter as f32
-                });
+                .fill_with(b, DataType::F32, move |i| input_val(r, i) + iter as f32);
         }
         comm.all_reduce_with(
             &mut e,

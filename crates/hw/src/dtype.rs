@@ -37,12 +37,9 @@ impl DataType {
             DataType::BF16 => {
                 f32::from_bits((u16::from_le_bytes([bytes[off], bytes[off + 1]]) as u32) << 16)
             }
-            DataType::F32 => f32::from_le_bytes([
-                bytes[off],
-                bytes[off + 1],
-                bytes[off + 2],
-                bytes[off + 3],
-            ]),
+            DataType::F32 => {
+                f32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+            }
         }
     }
 

@@ -115,13 +115,18 @@ pub fn wire(engine: &mut Engine<Machine>) {
     let mesh = matches!(engine.world().spec.intra.kind, IntraKind::Mesh { .. });
 
     let mut res = Resources::default();
-    for _ in 0..n {
-        res.egress.push(engine.alloc_resource());
-        res.ingress.push(engine.alloc_resource());
-        res.local.push(engine.alloc_resource());
-        res.dma.push(engine.alloc_resource());
-        res.nic_send.push(engine.alloc_resource());
-        res.nic_recv.push(engine.alloc_resource());
+    let labeled = |engine: &mut Engine<Machine>, label: String| {
+        let r = engine.alloc_resource();
+        engine.label_resource(r, &label);
+        r
+    };
+    for i in 0..n {
+        res.egress.push(labeled(engine, format!("egress r{i}")));
+        res.ingress.push(labeled(engine, format!("ingress r{i}")));
+        res.local.push(labeled(engine, format!("local r{i}")));
+        res.dma.push(labeled(engine, format!("dma r{i}")));
+        res.nic_send.push(labeled(engine, format!("nic_send r{i}")));
+        res.nic_recv.push(labeled(engine, format!("nic_recv r{i}")));
     }
     if mesh {
         for src in 0..n {
@@ -131,7 +136,7 @@ pub fn wire(engine: &mut Engine<Machine>) {
                 if dst == Rank(src) {
                     row.push(None);
                 } else {
-                    row.push(Some(engine.alloc_resource()));
+                    row.push(Some(labeled(engine, format!("link r{src}->r{}", dst.0))));
                 }
             }
             res.pair.push(row);
@@ -178,6 +183,7 @@ fn acquire_each(ctx: &mut Ctx<'_, Machine>, resources: &[ResourceId], busy: Dura
 pub fn local_copy_time(ctx: &mut Ctx<'_, Machine>, rank: Rank, bytes: u64) -> Time {
     let gbps = ctx.world.spec.gpu.hbm_gbps;
     let r = ctx.world.res().local[rank.0];
+    ctx.meter_bytes(r, bytes);
     ctx.acquire(r, Duration::for_transfer(bytes, gbps))
 }
 
@@ -186,6 +192,7 @@ pub fn local_copy_time(ctx: &mut Ctx<'_, Machine>, rank: Rank, bytes: u64) -> Ti
 pub fn local_reduce_time(ctx: &mut Ctx<'_, Machine>, rank: Rank, bytes: u64) -> Time {
     let gbps = ctx.world.spec.gpu.hbm_gbps;
     let r = ctx.world.res().local[rank.0];
+    ctx.meter_bytes(r, 3 * bytes);
     ctx.acquire(r, Duration::for_transfer(3 * bytes, gbps))
 }
 
@@ -229,6 +236,8 @@ pub fn p2p_time(
             // Modern GPUs have several copy engines, so DMA transfers are
             // bounded by the port bandwidth, not a single engine.
             let (eg, ing) = (res.egress[src.0], res.ingress[dst.0]);
+            ctx.meter_bytes(eg, bytes);
+            ctx.meter_bytes(ing, bytes);
             let sender_free = ctx.acquire(eg, busy);
             let landed = sender_free.max(ctx.acquire(ing, busy));
             Xfer {
@@ -246,8 +255,9 @@ pub fn p2p_time(
             };
             let busy = Duration::for_transfer(bytes, gbps);
             let res = ctx.world.res();
-            let link = res.pair[src.0][topo.local_index(dst)]
-                .expect("mesh pair link missing (src==dst?)");
+            let link =
+                res.pair[src.0][topo.local_index(dst)].expect("mesh pair link missing (src==dst?)");
+            ctx.meter_bytes(link, bytes);
             let free = ctx.acquire(link, busy);
             Xfer {
                 sender_free: free,
@@ -258,6 +268,8 @@ pub fn p2p_time(
             let busy = Duration::for_transfer(bytes, gbps);
             let res = ctx.world.res();
             let (eg, ing) = (res.egress[src.0], res.ingress[dst.0]);
+            ctx.meter_bytes(eg, bytes);
+            ctx.meter_bytes(ing, bytes);
             let sender_free = ctx.acquire(eg, busy);
             let landed = sender_free.max(ctx.acquire(ing, busy));
             Xfer {
@@ -293,6 +305,8 @@ pub fn net_time(ctx: &mut Ctx<'_, Machine>, src: Rank, dst: Rank, bytes: u64) ->
     let busy = Duration::for_transfer(bytes, net.gbps);
     let res = ctx.world.res();
     let (snd, rcv) = (res.nic_send[src.0], res.nic_recv[dst.0]);
+    ctx.meter_bytes(snd, bytes);
+    ctx.meter_bytes(rcv, bytes);
     let sender_free = ctx.acquire(snd, busy);
     let landed = sender_free.max(ctx.acquire(rcv, busy));
     Xfer {
@@ -341,6 +355,9 @@ pub fn multimem_reduce_time(ctx: &mut Ctx<'_, Machine>, dst: Rank, bytes: u64) -
             rs.push(res.egress[peer.0]);
         }
     }
+    for &r in &rs {
+        ctx.meter_bytes(r, bytes);
+    }
     // The reader blocks until the reduced values land in its registers.
     acquire_each(ctx, &rs, busy) + latency
 }
@@ -365,6 +382,10 @@ pub fn multimem_broadcast_time(ctx: &mut Ctx<'_, Machine>, src: Rank, bytes: u64
         .filter(|&p| p != src)
         .map(|p| res.ingress[p.0])
         .collect();
+    ctx.meter_bytes(eg, bytes);
+    for &r in &ins {
+        ctx.meter_bytes(r, bytes);
+    }
     let sender_free = ctx.acquire(eg, busy);
     let landed = sender_free.max(acquire_each(ctx, &ins, busy));
     Xfer {
@@ -434,6 +455,22 @@ pub fn port_utilization(engine: &Engine<Machine>) -> Vec<PortUtilization> {
         .collect()
 }
 
+/// Snapshot of every labeled machine resource (link ports, local copy
+/// engines, NICs, mesh pair links) with its cumulative busy time, bytes
+/// carried, acquisition count, and queueing delay.
+///
+/// This is the machine-readable counterpart of [`port_utilization`]:
+/// benchmark figures serialize it as JSON so per-link utilization can be
+/// analyzed offline.
+pub fn link_stats(engine: &Engine<Machine>) -> Vec<sim::ResourceStat> {
+    engine
+        .metrics()
+        .resources()
+        .into_iter()
+        .filter(|s| !s.label.is_empty())
+        .collect()
+}
+
 /// Whether the machine's intra-node interconnect supports multimem
 /// (switch-mapped I/O, required by `SwitchChannel`).
 pub fn supports_multimem(machine: &Machine) -> bool {
@@ -493,7 +530,10 @@ mod tests {
         let dma = run_one(&mut e2, |ctx| {
             p2p_time(ctx, Rank(0), Rank(1), 64 << 20, CopyMode::Dma).arrival
         });
-        assert!(dma < thread, "DMA copy should beat thread copy in bandwidth");
+        assert!(
+            dma < thread,
+            "DMA copy should beat thread copy in bandwidth"
+        );
         // Ratio should be roughly 263/227.
         let ratio = thread.as_us() / dma.as_us();
         assert!((ratio - 263.0 / 227.0).abs() < 0.02, "ratio {ratio}");
@@ -526,7 +566,9 @@ mod tests {
     #[test]
     fn net_time_uses_nic_bandwidth_and_latency() {
         let mut e = engine(EnvKind::A100_40G, 2);
-        let done = run_one(&mut e, |ctx| net_time(ctx, Rank(0), Rank(8), 25_000_000).arrival);
+        let done = run_one(&mut e, |ctx| {
+            net_time(ctx, Rank(0), Rank(8), 25_000_000).arrival
+        });
         // 25 MB at 25 GB/s = 1 ms, plus 1.8 us latency.
         assert!((done.as_us() - (1000.0 + 1.8)).abs() < 1.0, "{done}");
     }
@@ -564,7 +606,10 @@ mod tests {
             multimem_broadcast_time(ctx, Rank(0), bytes).arrival
         });
         let expect_us = (bytes as f64) / 360e9 * 1e6 + 0.4;
-        assert!((done.as_us() - expect_us).abs() / expect_us < 0.05, "{done}");
+        assert!(
+            (done.as_us() - expect_us).abs() / expect_us < 0.05,
+            "{done}"
+        );
     }
 
     #[test]
@@ -610,5 +655,28 @@ mod util_tests {
         assert!((util[1].ingress_busy.as_us() - 1000.0).abs() < 1.0);
         assert_eq!(util[1].egress_busy, Duration::ZERO);
         assert_eq!(util[0].nic_send_busy, Duration::ZERO);
+    }
+
+    #[test]
+    fn link_stats_meter_wire_bytes_per_labeled_port() {
+        let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+        wire(&mut e);
+        e.spawn(OnePut);
+        e.run().unwrap();
+        let stats = link_stats(&e);
+        let by_label = |l: &str| {
+            stats
+                .iter()
+                .find(|s| s.label == l)
+                .unwrap_or_else(|| panic!("no resource labeled {l}"))
+                .clone()
+        };
+        let eg = by_label("egress r0");
+        let ing = by_label("ingress r1");
+        assert_eq!(eg.bytes, 227_000_000);
+        assert_eq!(ing.bytes, 227_000_000);
+        assert_eq!(eg.acquires, 1);
+        assert_eq!(by_label("egress r1").bytes, 0);
+        assert_eq!(by_label("nic_send r0").bytes, 0);
     }
 }

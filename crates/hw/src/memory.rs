@@ -23,12 +23,27 @@ struct Buffer {
 #[derive(Debug, Default)]
 pub struct MemoryPool {
     buffers: Vec<Buffer>,
+    /// Cumulative bytes moved by data-plane operations (`copy`, `reduce`,
+    /// `reduce_into`, `multimem_*`), counting operand traffic. Host-side
+    /// initialization (`write`, `fill_with`) is not counted.
+    moved_bytes: u64,
 }
 
 impl MemoryPool {
     /// Creates an empty pool.
     pub fn new() -> MemoryPool {
         MemoryPool::default()
+    }
+
+    /// Cumulative bytes moved by data-plane operations so far.
+    ///
+    /// Counts the payload of every `copy` and `multimem_broadcast`
+    /// destination write, and the operand bytes read by reductions
+    /// (`reduce`/`reduce_into` read two streams and write one, so they
+    /// count `3 * count * element_size`; `multimem_reduce` counts each
+    /// source plus the destination).
+    pub fn moved_bytes(&self) -> u64 {
+        self.moved_bytes
     }
 
     /// Allocates a zero-initialized buffer of `size` bytes on `rank`.
@@ -95,7 +110,15 @@ impl MemoryPool {
     /// # Panics
     ///
     /// Panics if either range is out of bounds.
-    pub fn copy(&mut self, src: BufferId, src_off: usize, dst: BufferId, dst_off: usize, len: usize) {
+    pub fn copy(
+        &mut self,
+        src: BufferId,
+        src_off: usize,
+        dst: BufferId,
+        dst_off: usize,
+        len: usize,
+    ) {
+        self.moved_bytes += len as u64;
         if src.0 == dst.0 {
             self.buffers[src.0]
                 .data
@@ -127,6 +150,7 @@ impl MemoryPool {
         op: ReduceOp,
     ) {
         let es = dtype.size();
+        self.moved_bytes += 3 * (count * es) as u64;
         if src.0 == dst.0 {
             let lo = src_off.min(dst_off);
             let hi = (src_off.max(dst_off)) + count * es;
@@ -173,6 +197,7 @@ impl MemoryPool {
         op: ReduceOp,
     ) {
         let es = dtype.size();
+        self.moved_bytes += 3 * (count * es) as u64;
         let mut acc = vec![0f32; count];
         {
             let da = &self.buffers[a.0].data;
@@ -207,8 +232,12 @@ impl MemoryPool {
         dtype: DataType,
         op: ReduceOp,
     ) {
-        assert!(!srcs.is_empty(), "multimem_reduce needs at least one source");
+        assert!(
+            !srcs.is_empty(),
+            "multimem_reduce needs at least one source"
+        );
         let es = dtype.size();
+        self.moved_bytes += ((srcs.len() + 1) * count * es) as u64;
         let mut acc = vec![0f32; count];
         for (si, &(src, src_off)) in srcs.iter().enumerate() {
             let data = &self.buffers[src.0].data;
@@ -236,6 +265,7 @@ impl MemoryPool {
         dsts: &[(BufferId, usize)],
         len: usize,
     ) {
+        self.moved_bytes += (len * dsts.len()) as u64;
         let data = self.buffers[src.0].data[src_off..src_off + len].to_vec();
         for &(dst, dst_off) in dsts {
             self.buffers[dst.0].data[dst_off..dst_off + len].copy_from_slice(&data);
@@ -354,6 +384,21 @@ mod tests {
         let mut p = MemoryPool::new();
         let a = p.alloc(Rank(0), 16);
         p.reduce(a, 0, a, 4, 2, DataType::F32, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn moved_bytes_counts_data_plane_traffic_only() {
+        let mut p = MemoryPool::new();
+        let a = p.alloc(Rank(0), 16);
+        let b = p.alloc(Rank(1), 16);
+        p.write(a, 0, &[1; 16]); // host init: not counted
+        p.fill_with(b, DataType::F32, |_| 0.0); // host init: not counted
+        assert_eq!(p.moved_bytes(), 0);
+        p.copy(a, 0, b, 0, 16);
+        assert_eq!(p.moved_bytes(), 16);
+        // reduce over 2 f32 elements reads two streams, writes one.
+        p.reduce(a, 0, b, 0, 2, DataType::F32, ReduceOp::Sum);
+        assert_eq!(p.moved_bytes(), 16 + 3 * 8);
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl Topology {
     /// Panics if either argument is zero.
     pub fn new(nodes: usize, gpus_per_node: usize) -> Topology {
         assert!(nodes > 0, "topology needs at least one node");
-        assert!(gpus_per_node > 0, "topology needs at least one GPU per node");
+        assert!(
+            gpus_per_node > 0,
+            "topology needs at least one GPU per node"
+        );
         Topology {
             nodes,
             gpus_per_node,

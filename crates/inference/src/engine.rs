@@ -179,11 +179,7 @@ impl ServingEngine {
     /// # Errors
     ///
     /// Propagates kernel deadlocks from the communication stack.
-    pub fn prefill(
-        &mut self,
-        backend: &dyn CommBackend,
-        batch: BatchConfig,
-    ) -> Result<StepReport> {
+    pub fn prefill(&mut self, backend: &dyn CommBackend, batch: BatchConfig) -> Result<StepReport> {
         // Chunked prefill (as vLLM schedules long prompts): process the
         // prompt tokens in fixed-size chunks so activation buffers stay
         // bounded.
@@ -262,7 +258,10 @@ mod tests {
             s_prefill < s_decode,
             "prefill speedup {s_prefill:.3} should be below decode {s_decode:.3} (§5.2)"
         );
-        assert!(s_prefill < 0.08, "prefill speedup should be ≤6%: {s_prefill:.3}");
+        assert!(
+            s_prefill < 0.08,
+            "prefill speedup should be ≤6%: {s_prefill:.3}"
+        );
     }
 }
 

@@ -138,8 +138,7 @@ pub fn layer_time(
     // Memory: weights are read once per step (decode is weight-bound);
     // the KV cache is read for every sequence in the batch.
     let weight_bytes = params_per_gpu * 2.0;
-    let kv_bytes =
-        (batch * context * model.kv_bytes_per_token_layer()) as f64 / tp as f64;
+    let kv_bytes = (batch * context * model.kv_bytes_per_token_layer()) as f64 / tp as f64;
     let act_bytes = (tokens * model.hidden * 2 * 4) as f64 / tp as f64;
     let mem_time_ns = (weight_bytes + kv_bytes + act_bytes) / perf.hbm_gbps; // GB/s = B/ns
     Duration::from_ns(flops_time_ns.max(mem_time_ns))
@@ -165,7 +164,10 @@ mod tests {
         // Decode (8 tokens): close to weight-read time.
         let t_decode = layer_time(&m, perf, 8, 8, 1024, 8);
         let weight_us = (m.layer_params() as f64 / 8.0 * 2.0) / perf.hbm_gbps / 1e3;
-        assert!(t_decode.as_us() >= weight_us * 0.99, "{t_decode} vs {weight_us}");
+        assert!(
+            t_decode.as_us() >= weight_us * 0.99,
+            "{t_decode} vs {weight_us}"
+        );
         assert!(t_decode.as_us() < weight_us * 2.0);
         // Prefill (8 x 1024 tokens): much longer, flops-dominated.
         let t_prefill = layer_time(&m, perf, 8, 8 * 1024, 0, 8);

@@ -140,8 +140,7 @@ pub fn serve_trace(
         }
 
         // One decode iteration for the whole running batch.
-        let mean_context =
-            active.iter().map(|a| a.context).sum::<usize>() / active.len();
+        let mean_context = active.iter().map(|a| a.context).sum::<usize>() / active.len();
         let report = engine.decode_step(
             backend,
             BatchConfig {
@@ -202,11 +201,8 @@ mod tests {
 
     #[test]
     fn serving_completes_every_request() {
-        let mut engine = ServingEngine::new(
-            EnvKind::A100_80G,
-            ModelConfig::llama2_13b(),
-            16 * 1024,
-        );
+        let mut engine =
+            ServingEngine::new(EnvKind::A100_80G, ModelConfig::llama2_13b(), 16 * 1024);
         let backend = MscclppBackend::new();
         let trace = synthetic_trace(6, 128, 24, 5_000.0, 3);
         let report = serve_trace(&mut engine, &backend, &trace, 8).unwrap();

@@ -517,6 +517,7 @@ impl MscclComm {
                 self.hierarchical_kernels(inputs, outputs, bytes, dtype, op, proto, nch)
             }
         };
+        mscclpp::record_launch_mix(engine, "msccl", &kernels);
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -541,6 +542,7 @@ impl MscclComm {
             (proto, nch)
         });
         let kernels = self.all_gather_kernels(inputs, outputs, bytes, dtype, proto, nch);
+        mscclpp::record_launch_mix(engine, "msccl", &kernels);
         run_kernels(engine, &kernels, &self.ov)
     }
 }

@@ -213,11 +213,7 @@ fn stack_ordering_at_1kb_matches_paper() {
     );
 }
 
-fn collective_stub(
-    engine: &mut Engine<Machine>,
-    bufs: &[hw::BufferId],
-    count: usize,
-) -> f64 {
+fn collective_stub(engine: &mut Engine<Machine>, bufs: &[hw::BufferId], count: usize) -> f64 {
     let comm = collective::CollComm::new();
     comm.all_reduce_with(
         engine,

@@ -99,6 +99,7 @@ impl Executable {
     /// Propagates kernel deadlocks (a compiler bug or an impossible
     /// program).
     pub fn launch(&self, engine: &mut Engine<Machine>) -> mscclpp::Result<KernelTiming> {
+        mscclpp::record_launch_mix(engine, "mscclpp_dsl", &self.kernels);
         run_kernels(engine, &self.kernels, &self.ov)
     }
 }
@@ -171,8 +172,14 @@ impl Program {
             )));
         }
         let es = opts.dtype.size();
-        let in_len = inputs.first().map(|&b| setup_pool_len(setup, b)).unwrap_or(0);
-        let out_len = outputs.first().map(|&b| setup_pool_len(setup, b)).unwrap_or(0);
+        let in_len = inputs
+            .first()
+            .map(|&b| setup_pool_len(setup, b))
+            .unwrap_or(0);
+        let out_len = outputs
+            .first()
+            .map(|&b| setup_pool_len(setup, b))
+            .unwrap_or(0);
 
         let mut chunk_len = [0usize; 3];
         for (buf, total) in [(Buf::Input, in_len), (Buf::Output, out_len)] {
@@ -187,7 +194,11 @@ impl Program {
             }
         }
         let scratch_n = self.chunks[buf_idx(Buf::Scratch)];
-        let scratch_chunk = if chunk_len[0] > 0 { chunk_len[0] } else { chunk_len[1] };
+        let scratch_chunk = if chunk_len[0] > 0 {
+            chunk_len[0]
+        } else {
+            chunk_len[1]
+        };
         chunk_len[buf_idx(Buf::Scratch)] = scratch_chunk;
         let scratch: Vec<BufferId> = if scratch_n > 0 {
             (0..self.world)
@@ -216,7 +227,15 @@ impl Program {
             let mut st = TbState::new();
             for op in &self.ops {
                 self.lower_op(
-                    setup, &mut builders, &mut st, op, t, opts, &chunk_len, &buf_of, topo,
+                    setup,
+                    &mut builders,
+                    &mut st,
+                    op,
+                    t,
+                    opts,
+                    &chunk_len,
+                    &buf_of,
+                    topo,
                 )?;
             }
         }
@@ -265,9 +284,7 @@ impl Program {
                     let ch = st.mem_chans[ci].0.clone();
                     match opts.protocol {
                         Protocol::LL => builders[exec].block(t).put(&ch, doff, so, len),
-                        Protocol::HB => {
-                            builders[exec].block(t).put_with_signal(&ch, doff, so, len)
-                        }
+                        Protocol::HB => builders[exec].block(t).put_with_signal(&ch, doff, so, len),
                     };
                     st.mem_puts[ci] += 1;
                     st.prov.insert(

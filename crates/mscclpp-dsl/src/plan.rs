@@ -117,9 +117,7 @@ impl Program {
                 continue;
             }
             let toks: Vec<&str> = line.split_whitespace().collect();
-            let err = |m: &str| {
-                DslError::Compile(format!("plan parse: line {}: {m}", lineno + 1))
-            };
+            let err = |m: &str| DslError::Compile(format!("plan parse: line {}: {m}", lineno + 1));
             match toks[0] {
                 "name" => {
                     name = toks.get(1..).map(|t| t.join(" ")).unwrap_or_default();

@@ -53,13 +53,8 @@ fn assert_allreduce(outs: &[Vec<f32>], n: usize, count: usize, tag: &str) {
 #[test]
 fn dsl_one_phase_allreduce_correct() {
     let prog = algorithms::one_phase_all_reduce(8).unwrap();
-    let (outs, _) = run_allreduce_program(
-        &prog,
-        EnvKind::A100_40G,
-        1,
-        512,
-        CompileOptions::default(),
-    );
+    let (outs, _) =
+        run_allreduce_program(&prog, EnvKind::A100_40G, 1, 512, CompileOptions::default());
     assert_allreduce(&outs, 8, 512, "1PA");
 }
 
@@ -80,13 +75,8 @@ fn dsl_two_phase_allreduce_correct_ll_and_hb() {
 #[test]
 fn dsl_ring_allreduce_correct() {
     let prog = algorithms::ring_all_reduce(8).unwrap();
-    let (outs, _) = run_allreduce_program(
-        &prog,
-        EnvKind::A100_40G,
-        1,
-        1024,
-        CompileOptions::default(),
-    );
+    let (outs, _) =
+        run_allreduce_program(&prog, EnvKind::A100_40G, 1, 1024, CompileOptions::default());
     assert_allreduce(&outs, 8, 1024, "ring");
 }
 
@@ -172,7 +162,8 @@ fn dsl_cross_node_copy_uses_rdma() {
 #[test]
 fn dsl_cross_node_direct_reduce_rejected() {
     let mut prog = Program::new("bad", 16);
-    prog.reduce((8, Buf::Input, 0), (0, Buf::Output, 0)).unwrap();
+    prog.reduce((8, Buf::Input, 0), (0, Buf::Output, 0))
+        .unwrap();
     let mut engine = Engine::new(Machine::new(EnvKind::A100_40G.spec(2)));
     let mut setup = Setup::new(&mut engine);
     let inputs = setup.alloc_all(64);
@@ -266,4 +257,130 @@ fn dsl_repeated_launches_stay_correct() {
         let want: f32 = (0..8).map(|s| input_val(s, 9) * (iter + 1) as f32).sum();
         assert!((got[9] - want).abs() < 1e-2, "iter {iter}");
     }
+}
+
+// ---- Pinned proptest regression cases -----------------------------------
+//
+// `tests/properties.proptest-regressions` (workspace root) records two
+// shrunk chunk programs that once miscompiled. The proptest harness
+// replays them before generating novel cases; these unit tests pin the
+// fixed behavior explicitly so the cases stay covered even if the
+// regressions file is pruned, and assert the *stronger* current
+// contract: the compiler accepts them and the result matches the pure
+// reference interpreter.
+
+fn replay_pinned(
+    name: &str,
+    ops: &[(bool, (usize, Buf, usize), (usize, Buf, usize))],
+    instances: usize,
+    seed: u64,
+) {
+    const CHUNK: usize = 32;
+    let world = 8usize;
+    let mut prog = Program::new(name, world);
+    for (is_copy, src, dst) in ops {
+        if *is_copy {
+            prog.copy(*src, *dst).unwrap();
+        } else {
+            prog.reduce(*src, *dst).unwrap();
+        }
+    }
+    let in_chunks = prog.chunk_count(Buf::Input).max(1);
+    let out_chunks = prog.chunk_count(Buf::Output).max(1);
+    let scr_chunks = prog.chunk_count(Buf::Scratch);
+
+    let mut engine = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+    let mut setup = Setup::new(&mut engine);
+    let inputs = setup.alloc_all(in_chunks * CHUNK * 4);
+    let outputs = setup.alloc_all(out_chunks * CHUNK * 4);
+    let exe = prog
+        .compile(
+            &mut setup,
+            &inputs,
+            &outputs,
+            CompileOptions {
+                instances,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: compiler rejected pinned case: {e}"));
+    let val = move |r: usize, i: usize| ((seed as usize + r * 5 + i) % 9) as f32;
+    for r in 0..world {
+        engine
+            .world_mut()
+            .pool_mut()
+            .fill_with(inputs[r], DataType::F32, move |i| val(r, i));
+    }
+    exe.launch(&mut engine).unwrap();
+
+    // Pure reference interpreter: [rank][buf][chunk][elem].
+    let bidx = |b: Buf| match b {
+        Buf::Input => 0,
+        Buf::Output => 1,
+        Buf::Scratch => 2,
+    };
+    let mut state: Vec<Vec<Vec<Vec<f32>>>> = (0..world)
+        .map(|r| {
+            vec![
+                (0..in_chunks)
+                    .map(|c| (0..CHUNK).map(|i| val(r, c * CHUNK + i)).collect())
+                    .collect(),
+                vec![vec![0.0; CHUNK]; out_chunks],
+                vec![vec![0.0; CHUNK]; scr_chunks.max(1)],
+            ]
+        })
+        .collect();
+    for (is_copy, src, dst) in ops {
+        let s = state[src.0][bidx(src.1)][src.2].clone();
+        let d = &mut state[dst.0][bidx(dst.1)][dst.2];
+        for (x, y) in d.iter_mut().zip(s.iter()) {
+            if *is_copy {
+                *x = *y;
+            } else {
+                *x += *y;
+            }
+        }
+    }
+    for r in 0..world {
+        let got = engine.world().pool().to_f32_vec(outputs[r], DataType::F32);
+        for c in 0..out_chunks {
+            for i in 0..CHUNK {
+                assert_eq!(
+                    got[c * CHUNK + i],
+                    state[r][1][c][i],
+                    "{name}: rank {r} output chunk {c} elem {i}"
+                );
+            }
+        }
+    }
+}
+
+/// Self-reduce of an untouched scratch chunk must not disturb an
+/// unrelated local Input → Output reduce.
+#[test]
+fn dsl_regression_scratch_self_reduce() {
+    replay_pinned(
+        "regression-scratch-self-reduce",
+        &[
+            (false, (2, Buf::Scratch, 0), (2, Buf::Scratch, 0)),
+            (false, (0, Buf::Input, 0), (0, Buf::Output, 0)),
+        ],
+        1,
+        0,
+    );
+}
+
+/// A cross-rank reduce from scratch must read the chunk's value at
+/// program point, not after the later Input → Scratch reduce.
+#[test]
+fn dsl_regression_scratch_read_before_write() {
+    replay_pinned(
+        "regression-scratch-read-before-write",
+        &[
+            (false, (0, Buf::Scratch, 0), (1, Buf::Output, 0)),
+            (false, (0, Buf::Input, 0), (0, Buf::Scratch, 0)),
+        ],
+        1,
+        0,
+    );
 }

@@ -65,6 +65,13 @@ struct TbProc {
     launch: Duration,
     ov: Overheads,
     stats: Rc<RefCell<LaunchStats>>,
+    /// Executed-instruction mix, flushed into the engine metrics when the
+    /// block finishes (local accumulation keeps the hot path free of map
+    /// lookups and string formatting).
+    mix: std::collections::BTreeMap<&'static str, u64>,
+    syncs: u64,
+    signals: u64,
+    puts: u64,
 }
 
 impl TbProc {
@@ -75,6 +82,34 @@ impl TbProc {
 
     fn quick(&self, extra: Duration) -> Step {
         Step::Yield(extra + self.ov.instr_decode)
+    }
+
+    /// Records one executed instruction in the block-local accumulators.
+    fn meter(&mut self, instr: &Instr) {
+        *self.mix.entry(instr.mnemonic()).or_insert(0) += 1;
+        if instr.is_sync() {
+            self.syncs += 1;
+        }
+        if instr.is_put() {
+            self.puts += 1;
+        }
+        self.signals += instr.signals();
+    }
+
+    /// Flushes the block-local accumulators into the engine metrics.
+    fn flush_metrics(&mut self, ctx: &mut Ctx<'_, Machine>) {
+        for (m, c) in std::mem::take(&mut self.mix) {
+            ctx.count(&format!("instr.{m}"), c);
+        }
+        if self.syncs > 0 {
+            ctx.count("sync.waits", std::mem::take(&mut self.syncs));
+        }
+        if self.signals > 0 {
+            ctx.count("sync.signals", std::mem::take(&mut self.signals));
+        }
+        if self.puts > 0 {
+            ctx.count("ops.puts", std::mem::take(&mut self.puts));
+        }
     }
 }
 
@@ -88,19 +123,31 @@ impl Process<Machine> for TbProc {
             Pending::Advance => {
                 self.pending = Pending::None;
                 self.pc += 1;
+                ctx.span_end();
                 return Step::Yield(self.ov.wait_exit);
             }
-            Pending::Retry => self.pending = Pending::None,
+            Pending::Retry => {
+                self.pending = Pending::None;
+                ctx.span_end();
+            }
             Pending::None => {}
         }
         if self.pc >= self.prog.len() {
-            let mut s = self.stats.borrow_mut();
-            let slot = &mut s.per_rank_end[self.rank.0];
-            *slot = (*slot).max(ctx.now());
+            self.flush_metrics(ctx);
+            {
+                let mut s = self.stats.borrow_mut();
+                let slot = &mut s.per_rank_end[self.rank.0];
+                *slot = (*slot).max(ctx.now());
+            }
             return Step::Done;
         }
         let now = ctx.now();
         let instr = self.prog[self.pc].clone();
+        // PortPut is metered on its success path only (it re-executes when
+        // the proxy FIFO is full); everything else executes exactly once.
+        if !matches!(instr, Instr::PortPut { .. }) {
+            self.meter(&instr);
+        }
         match instr {
             Instr::MemPut {
                 ch,
@@ -142,6 +189,7 @@ impl Process<Machine> for TbProc {
                 let expect = ch.sem_expect.get() + 1;
                 ch.sem_expect.set(expect);
                 self.pending = Pending::Advance;
+                ctx.span_begin("wait.mem_sem");
                 Step::WaitCell {
                     cell: ch.my_sem,
                     at_least: expect,
@@ -151,6 +199,7 @@ impl Process<Machine> for TbProc {
                 let expect = ch.arrival_expect.get() + 1;
                 ch.arrival_expect.set(expect);
                 self.pending = Pending::Advance;
+                ctx.span_begin("wait.mem_data");
                 Step::WaitCell {
                     cell: ch.my_arrival,
                     at_least: expect,
@@ -202,11 +251,15 @@ impl Process<Machine> for TbProc {
                     // FIFO full (Figure 7 ①: GPU waits until the CPU has
                     // processed at least one request).
                     self.pending = Pending::Retry;
+                    ctx.span_begin("wait.port_fifo");
                     return Step::WaitCell {
                         cell: ch.completed_cell,
                         at_least: pushed - self.ov.fifo_capacity as u64 + 1,
                     };
                 }
+                *self.mix.entry("port_put").or_insert(0) += 1;
+                self.puts += 1;
+                self.signals += u64::from(with_signal);
                 {
                     let mut f = ch.fifo.borrow_mut();
                     f.queue.push_back(crate::channel::ProxyRequest::Put {
@@ -236,6 +289,7 @@ impl Process<Machine> for TbProc {
             Instr::PortFlush { ch } => {
                 let pushed = ch.fifo.borrow().pushed;
                 self.pending = Pending::Advance;
+                ctx.span_begin("wait.port_flush");
                 Step::WaitCell {
                     cell: ch.completed_cell,
                     at_least: pushed,
@@ -245,6 +299,7 @@ impl Process<Machine> for TbProc {
                 let expect = ch.sem_expect.get() + 1;
                 ch.sem_expect.set(expect);
                 self.pending = Pending::Advance;
+                ctx.span_begin("wait.port_sem");
                 Step::WaitCell {
                     cell: ch.my_sem,
                     at_least: expect,
@@ -404,6 +459,7 @@ impl Process<Machine> for TbProc {
                 let expect = sem.expect.get() + 1;
                 sem.expect.set(expect);
                 self.pending = Pending::Advance;
+                ctx.span_begin("wait.sem");
                 Step::WaitCell {
                     cell: sem.cell,
                     at_least: expect,
@@ -428,12 +484,9 @@ impl Process<Machine> for TbProc {
             Instr::Barrier { barrier } => {
                 let round = barrier.round.get() + 1;
                 barrier.round.set(round);
-                ctx.cell_add_at(
-                    barrier.cell,
-                    1,
-                    now + self.ov.barrier_arrive + barrier.prop,
-                );
+                ctx.cell_add_at(barrier.cell, 1, now + self.ov.barrier_arrive + barrier.prop);
                 self.pending = Pending::Advance;
+                ctx.span_begin("wait.barrier");
                 Step::WaitCell {
                     cell: barrier.cell,
                     at_least: round * barrier.parties as u64,
@@ -467,6 +520,18 @@ impl Process<Machine> for TbProc {
 ///
 /// Returns [`crate::Error::Deadlock`] if the kernels synchronize
 /// incorrectly (a `wait` whose `signal` never happens).
+/// Records the *emitted* instruction mix of a kernel batch under
+/// stack-prefixed counters (`{stack}.{mnemonic}`), so per-stack primitive
+/// usage can be compared even though every stack executes through the same
+/// interpreter. Call once per launch, before [`run_kernels`].
+pub fn record_launch_mix(engine: &mut Engine<Machine>, stack: &str, kernels: &[Kernel]) {
+    for k in kernels {
+        for (mnemonic, count) in k.instr_mix() {
+            engine.count(&format!("{stack}.{mnemonic}"), count);
+        }
+    }
+}
+
 pub fn run_kernels(
     engine: &mut Engine<Machine>,
     kernels: &[Kernel],
@@ -490,6 +555,10 @@ pub fn run_kernels(
                 launch,
                 ov: ov.clone(),
                 stats: stats.clone(),
+                mix: Default::default(),
+                syncs: 0,
+                signals: 0,
+                puts: 0,
             });
         }
     }

@@ -279,6 +279,77 @@ pub enum Instr {
     },
 }
 
+impl Instr {
+    /// Short stable name of this instruction kind, used for metrics
+    /// counters (`instr.<mnemonic>`) and emitted-mix attribution.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::MemPut { .. } => "mem_put",
+            Instr::MemSignal { .. } => "mem_signal",
+            Instr::MemWait { .. } => "mem_wait",
+            Instr::MemWaitData { .. } => "mem_wait_data",
+            Instr::MemReadReduce { .. } => "mem_read_reduce",
+            Instr::PortPut { .. } => "port_put",
+            Instr::PortSignal { .. } => "port_signal",
+            Instr::PortFlush { .. } => "port_flush",
+            Instr::PortWait { .. } => "port_wait",
+            Instr::SwitchReduce { .. } => "switch_reduce",
+            Instr::SwitchBroadcast { .. } => "switch_broadcast",
+            Instr::Copy { .. } => "copy",
+            Instr::Reduce { .. } => "reduce",
+            Instr::RawPut { .. } => "raw_put",
+            Instr::RawReducePut { .. } => "raw_reduce_put",
+            Instr::ReduceInto { .. } => "reduce_into",
+            Instr::SemWait { .. } => "sem_wait",
+            Instr::SemSignal { .. } => "sem_signal",
+            Instr::Barrier { .. } => "barrier",
+            Instr::Compute { .. } => "compute",
+        }
+    }
+
+    /// Whether executing this instruction may block the thread block on a
+    /// synchronization condition (counted as `sync.waits`).
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            Instr::MemWait { .. }
+                | Instr::MemWaitData { .. }
+                | Instr::PortFlush { .. }
+                | Instr::PortWait { .. }
+                | Instr::SemWait { .. }
+                | Instr::Barrier { .. }
+        )
+    }
+
+    /// Whether this instruction moves payload data toward a peer
+    /// (counted as `ops.puts`).
+    pub fn is_put(&self) -> bool {
+        matches!(
+            self,
+            Instr::MemPut { .. }
+                | Instr::PortPut { .. }
+                | Instr::RawPut { .. }
+                | Instr::RawReducePut { .. }
+        )
+    }
+
+    /// Number of semaphore signals this instruction performs, including
+    /// fused `putWithSignal` and LL-style inline notifications (counted
+    /// as `sync.signals`).
+    pub fn signals(&self) -> u64 {
+        match self {
+            Instr::MemSignal { .. } | Instr::PortSignal { .. } | Instr::SemSignal { .. } => 1,
+            Instr::MemPut { with_signal, .. } | Instr::PortPut { with_signal, .. } => {
+                u64::from(*with_signal)
+            }
+            Instr::RawPut { notify, .. } | Instr::RawReducePut { notify, .. } => {
+                u64::from(notify.is_some())
+            }
+            _ => 0,
+        }
+    }
+}
+
 /// A compiled kernel: one instruction program per thread block on one rank.
 #[derive(Debug, Clone)]
 pub struct Kernel {
@@ -295,6 +366,18 @@ impl Kernel {
     /// Total instruction count across all thread blocks.
     pub fn instr_count(&self) -> usize {
         self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// Instruction mix of this kernel: `(mnemonic, count)` pairs in
+    /// mnemonic order.
+    pub fn instr_mix(&self) -> Vec<(&'static str, u64)> {
+        let mut mix: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        for block in &self.blocks {
+            for instr in block {
+                *mix.entry(instr.mnemonic()).or_insert(0) += 1;
+            }
+        }
+        mix.into_iter().collect()
     }
 }
 
@@ -363,7 +446,13 @@ impl BlockBuilder<'_> {
     }
 
     /// MemoryChannel `put`: asynchronous zero-copy write to the peer.
-    pub fn put(&mut self, ch: &MemoryChannel, dst_off: usize, src_off: usize, bytes: usize) -> &mut Self {
+    pub fn put(
+        &mut self,
+        ch: &MemoryChannel,
+        dst_off: usize,
+        src_off: usize,
+        bytes: usize,
+    ) -> &mut Self {
         self.assert_local::<()>("put", ch.local_rank);
         self.instrs.push(Instr::MemPut {
             ch: ch.clone(),

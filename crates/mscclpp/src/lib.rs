@@ -70,6 +70,6 @@ pub use comm::Setup;
 /// `Communicator` that registers buffers and builds channels (§4.1).
 pub type Communicator<'e> = Setup<'e>;
 pub use error::{Error, Result};
-pub use exec::{run_kernels, KernelTiming};
+pub use exec::{record_launch_mix, run_kernels, KernelTiming};
 pub use kernel::{BlockBuilder, Instr, Kernel, KernelBuilder};
 pub use overheads::Overheads;

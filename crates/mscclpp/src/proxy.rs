@@ -60,6 +60,7 @@ impl Process<Machine> for ProxyProc {
         let req = self.fifo.borrow_mut().queue.pop_front();
         let Some(req) = req else {
             // Figure 7 ②: spin on the FIFO tail until the GPU pushes.
+            ctx.count("proxy.idle_waits", 1);
             return Step::WaitCell {
                 cell: self.pushed_cell,
                 at_least: self.processed + 1,
@@ -77,6 +78,10 @@ impl Process<Machine> for ProxyProc {
                 with_signal,
             } => {
                 busy += self.ov.proxy_post;
+                ctx.count("proxy.puts", 1);
+                if with_signal {
+                    ctx.count("proxy.signals", 1);
+                }
                 let xfer = self.transfer(ctx, bytes);
                 ctx.world.pool_mut().copy(src, src_off, dst, dst_off, bytes);
                 ctx.cell_add_at(self.completed_cell, 1, xfer.sender_free);
@@ -87,6 +92,7 @@ impl Process<Machine> for ProxyProc {
             }
             ProxyRequest::Signal => {
                 busy += self.ov.proxy_post;
+                ctx.count("proxy.signals", 1);
                 // The semaphore update is itself a tiny ordered transfer
                 // (ibv atomic / flagged store); riding the same NIC or DMA
                 // resource orders it after every preceding put.

@@ -16,7 +16,15 @@ fn memory_channel_hb_put_signal_wait_moves_data() {
     let mut setup = Setup::new(&mut engine);
     let bufs = setup.alloc_all(4096);
     let (ch0, ch1) = setup
-        .memory_channel_pair(Rank(0), bufs[0], bufs[1], Rank(1), bufs[1], bufs[0], Protocol::HB)
+        .memory_channel_pair(
+            Rank(0),
+            bufs[0],
+            bufs[1],
+            Rank(1),
+            bufs[1],
+            bufs[0],
+            Protocol::HB,
+        )
         .unwrap();
     let ov = setup.overheads().clone();
     engine
@@ -34,7 +42,10 @@ fn memory_channel_hb_put_signal_wait_moves_data() {
     assert_eq!(got[17], 17.0);
     assert_eq!(got[1023], 1023.0);
     // 4 KiB over NVLink: a handful of microseconds including launch.
-    assert!(t.elapsed().as_us() > 1.0 && t.elapsed().as_us() < 20.0, "{t:?}");
+    assert!(
+        t.elapsed().as_us() > 1.0 && t.elapsed().as_us() < 20.0,
+        "{t:?}"
+    );
 }
 
 #[test]
@@ -46,7 +57,15 @@ fn ll_protocol_beats_hb_for_small_messages() {
         let mut setup = Setup::new(&mut engine);
         let bufs = setup.alloc_all(bytes);
         let (ch0, ch1) = setup
-            .memory_channel_pair(Rank(0), bufs[0], bufs[1], Rank(1), bufs[1], bufs[0], protocol)
+            .memory_channel_pair(
+                Rank(0),
+                bufs[0],
+                bufs[1],
+                Rank(1),
+                bufs[1],
+                bufs[0],
+                protocol,
+            )
             .unwrap();
         let ov = setup.overheads().clone();
         let mut k0 = KernelBuilder::new(Rank(0));
@@ -91,7 +110,10 @@ fn port_channel_rdma_put_flush_and_wait() {
         .port_channel_pair(Rank(0), bufs[0], bufs[8], Rank(8), bufs[8], bufs[0])
         .unwrap();
     let ov = setup.overheads().clone();
-    engine.world_mut().pool_mut().write(bufs[0], 0, &[7u8; 8192]);
+    engine
+        .world_mut()
+        .pool_mut()
+        .write(bufs[0], 0, &[7u8; 8192]);
 
     let mut k0 = KernelBuilder::new(Rank(0));
     k0.block(0)
@@ -148,9 +170,15 @@ fn switch_channel_reduce_and_broadcast_on_h100() {
     let kernels: Vec<Kernel> = (0..8)
         .map(|r| {
             let mut k = KernelBuilder::new(Rank(r));
-            k.block(0)
-                .barrier(&barriers[r])
-                .switch_reduce(&chans[r], 0, out[r], 0, 1024, DataType::F32, ReduceOp::Sum);
+            k.block(0).barrier(&barriers[r]).switch_reduce(
+                &chans[r],
+                0,
+                out[r],
+                0,
+                1024,
+                DataType::F32,
+                ReduceOp::Sum,
+            );
             k.build()
         })
         .collect();
@@ -200,7 +228,15 @@ fn missing_signal_reports_deadlock() {
     let mut setup = Setup::new(&mut engine);
     let bufs = setup.alloc_all(64);
     let (ch0, ch1) = setup
-        .memory_channel_pair(Rank(0), bufs[0], bufs[1], Rank(1), bufs[1], bufs[0], Protocol::HB)
+        .memory_channel_pair(
+            Rank(0),
+            bufs[0],
+            bufs[1],
+            Rank(1),
+            bufs[1],
+            bufs[0],
+            Protocol::HB,
+        )
         .unwrap();
     let ov = setup.overheads().clone();
     let mut k0 = KernelBuilder::new(Rank(0));
@@ -336,7 +372,15 @@ fn timing_scales_with_message_size() {
         let mut setup = Setup::new(&mut engine);
         let bufs = setup.alloc_all(bytes);
         let (ch0, ch1) = setup
-            .memory_channel_pair(Rank(0), bufs[0], bufs[1], Rank(1), bufs[1], bufs[0], Protocol::HB)
+            .memory_channel_pair(
+                Rank(0),
+                bufs[0],
+                bufs[1],
+                Rank(1),
+                bufs[1],
+                bufs[0],
+                Protocol::HB,
+            )
             .unwrap();
         let ov = setup.overheads().clone();
         let mut k0 = KernelBuilder::new(Rank(0));
@@ -368,7 +412,10 @@ fn proxy_fifo_backpressure_blocks_and_recovers() {
     let (ch0, ch8) = setup
         .port_channel_pair(Rank(0), bufs[0], bufs[8], Rank(8), bufs[8], bufs[0])
         .unwrap();
-    engine.world_mut().pool_mut().write(bufs[0], 0, &[3u8; 64 << 10]);
+    engine
+        .world_mut()
+        .pool_mut()
+        .write(bufs[0], 0, &[3u8; 64 << 10]);
 
     // 16 puts of 4 KB each: far more requests than the FIFO holds.
     let mut k0 = KernelBuilder::new(Rank(0));
@@ -387,7 +434,10 @@ fn proxy_fifo_backpressure_blocks_and_recovers() {
         }
     }
     run_kernels(&mut engine, &[k0.build(), k8.build()], &ov).unwrap();
-    assert_eq!(engine.world().pool().bytes(bufs[8], 60 << 10, 16), &[3u8; 16]);
+    assert_eq!(
+        engine.world().pool().bytes(bufs[8], 60 << 10, 16),
+        &[3u8; 16]
+    );
 }
 
 #[test]
@@ -398,7 +448,15 @@ fn signals_accumulate_across_launches() {
     let mut setup = Setup::new(&mut engine);
     let bufs = setup.alloc_all(1024);
     let (ch0, ch1) = setup
-        .memory_channel_pair(Rank(0), bufs[0], bufs[1], Rank(1), bufs[1], bufs[0], Protocol::HB)
+        .memory_channel_pair(
+            Rank(0),
+            bufs[0],
+            bufs[1],
+            Rank(1),
+            bufs[1],
+            bufs[0],
+            Protocol::HB,
+        )
         .unwrap();
     let ov = setup.overheads().clone();
     for round in 0..4u8 {
@@ -421,7 +479,15 @@ fn read_reduce_accumulates_from_peer_memory() {
     let mut setup = Setup::new(&mut engine);
     let bufs = setup.alloc_all(256);
     let (ch0, _ch1) = setup
-        .memory_channel_pair(Rank(0), bufs[0], bufs[1], Rank(1), bufs[1], bufs[0], Protocol::HB)
+        .memory_channel_pair(
+            Rank(0),
+            bufs[0],
+            bufs[1],
+            Rank(1),
+            bufs[1],
+            bufs[0],
+            Protocol::HB,
+        )
         .unwrap();
     let ov = setup.overheads().clone();
     engine
@@ -441,4 +507,91 @@ fn read_reduce_accumulates_from_peer_memory() {
     run_kernels(&mut engine, &[k0.build()], &ov).unwrap();
     let got = engine.world().pool().to_f32_vec(bufs[0], DataType::F32);
     assert_eq!(got[4], 44.0);
+}
+
+#[test]
+fn interpreter_counts_executed_primitives() {
+    let mut engine = new_engine(EnvKind::A100_40G, 1);
+    let mut setup = Setup::new(&mut engine);
+    let bufs = setup.alloc_all(4096);
+    let (ch0, ch1) = setup
+        .memory_channel_pair(
+            Rank(0),
+            bufs[0],
+            bufs[1],
+            Rank(1),
+            bufs[1],
+            bufs[0],
+            Protocol::HB,
+        )
+        .unwrap();
+    let ov = setup.overheads().clone();
+
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0).put_with_signal(&ch0, 0, 0, 4096);
+    let mut k1 = KernelBuilder::new(Rank(1));
+    k1.block(0).wait(&ch1);
+    run_kernels(&mut engine, &[k0.build(), k1.build()], &ov).unwrap();
+
+    let m = engine.metrics();
+    assert_eq!(m.counter("instr.mem_put"), 1);
+    assert_eq!(m.counter("instr.mem_wait"), 1);
+    assert_eq!(m.counter("ops.puts"), 1);
+    // putWithSignal counts as one fused signal; the wait as one sync.
+    assert_eq!(m.counter("sync.signals"), 1);
+    assert_eq!(m.counter("sync.waits"), 1);
+    assert_eq!(m.counter_sum("instr."), 2);
+}
+
+#[test]
+fn proxy_counts_port_requests_and_bytes_hit_dma_path() {
+    let mut engine = new_engine(EnvKind::A100_40G, 1);
+    let mut setup = Setup::new(&mut engine);
+    let bufs = setup.alloc_all(1 << 20);
+    let (ch0, ch1) = setup
+        .port_channel_pair(Rank(0), bufs[0], bufs[1], Rank(1), bufs[1], bufs[0])
+        .unwrap();
+    let ov = setup.overheads().clone();
+
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0)
+        .port_put_with_signal(&ch0, 0, 0, 1 << 20)
+        .port_flush(&ch0);
+    let mut k1 = KernelBuilder::new(Rank(1));
+    k1.block(0).port_wait(&ch1);
+    run_kernels(&mut engine, &[k0.build(), k1.build()], &ov).unwrap();
+
+    let m = engine.metrics();
+    assert_eq!(m.counter("instr.port_put"), 1);
+    assert_eq!(m.counter("proxy.puts"), 1);
+    assert_eq!(m.counter("proxy.signals"), 1);
+    // port_flush + port_wait both block.
+    assert_eq!(m.counter("sync.waits"), 2);
+}
+
+#[test]
+fn deadlocked_kernel_reports_wait_span() {
+    let mut engine = new_engine(EnvKind::A100_40G, 1);
+    let mut setup = Setup::new(&mut engine);
+    let bufs = setup.alloc_all(1024);
+    let (_ch0, ch1) = setup
+        .memory_channel_pair(
+            Rank(0),
+            bufs[0],
+            bufs[1],
+            Rank(1),
+            bufs[1],
+            bufs[0],
+            Protocol::HB,
+        )
+        .unwrap();
+    let ov = setup.overheads().clone();
+    // Rank 1 waits for a signal nobody sends.
+    let mut k1 = KernelBuilder::new(Rank(1));
+    k1.block(0).wait(&ch1);
+    let err = run_kernels(&mut engine, &[k1.build()], &ov).unwrap_err();
+    assert!(
+        err.to_string().contains("wait.mem_sem"),
+        "deadlock report should name the blocking primitive: {err}"
+    );
 }

@@ -121,9 +121,7 @@ impl NcclComm {
                 (2..g).find(|s| gcd(*s, g) == 1).unwrap_or(1)
             };
             let order: Vec<Rank> = (0..topo.nodes())
-                .flat_map(|node| {
-                    (0..g).map(move |k| topo.rank_at(node, (c + k * stride) % g))
-                })
+                .flat_map(|node| (0..g).map(move |k| topo.rank_at(node, (c + k * stride) % g)))
                 .collect();
             let mut pos = vec![0usize; n];
             for (p, &r) in order.iter().enumerate() {
@@ -534,13 +532,10 @@ impl NcclComm {
     ) -> Result<KernelTiming> {
         let nch = choice.channels.min(self.cfg.max_channels);
         let kernels = match choice.algo {
-            Algo::Ring => {
-                self.ring_all_reduce(input, output, count, dtype, op, choice.proto, nch)
-            }
-            Algo::Tree => {
-                self.tree_all_reduce(input, output, count, dtype, op, choice.proto, nch)
-            }
+            Algo::Ring => self.ring_all_reduce(input, output, count, dtype, op, choice.proto, nch),
+            Algo::Tree => self.tree_all_reduce(input, output, count, dtype, op, choice.proto, nch),
         };
+        mscclpp::record_launch_mix(engine, "nccl", &kernels);
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -561,6 +556,7 @@ impl NcclComm {
     ) -> Result<KernelTiming> {
         let nch = choice.channels.min(self.cfg.max_channels);
         let kernels = self.ring_all_gather(input, output, count, dtype, choice.proto, nch);
+        mscclpp::record_launch_mix(engine, "nccl", &kernels);
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -581,8 +577,8 @@ impl NcclComm {
         choice: Choice,
     ) -> Result<KernelTiming> {
         let nch = choice.channels.min(self.cfg.max_channels);
-        let kernels =
-            self.ring_reduce_scatter(input, output, count, dtype, op, choice.proto, nch);
+        let kernels = self.ring_reduce_scatter(input, output, count, dtype, op, choice.proto, nch);
+        mscclpp::record_launch_mix(engine, "nccl", &kernels);
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -603,8 +599,8 @@ impl NcclComm {
         choice: Choice,
     ) -> Result<KernelTiming> {
         let nch = choice.channels.min(self.cfg.max_channels);
-        let kernels =
-            self.ring_broadcast(input, output, count, dtype, root, choice.proto, nch);
+        let kernels = self.ring_broadcast(input, output, count, dtype, root, choice.proto, nch);
+        mscclpp::record_launch_mix(engine, "nccl", &kernels);
         run_kernels(engine, &kernels, &self.ov)
     }
 }

@@ -175,8 +175,12 @@ mod tests {
     #[test]
     fn candidates_cover_both_protocols() {
         let c = tuning_candidates(2);
-        assert!(c.iter().any(|x| x.proto == Proto::LL && x.algo == Algo::Tree));
-        assert!(c.iter().any(|x| x.proto == Proto::Simple && x.algo == Algo::Ring));
+        assert!(c
+            .iter()
+            .any(|x| x.proto == Proto::LL && x.algo == Algo::Tree));
+        assert!(c
+            .iter()
+            .any(|x| x.proto == Proto::Simple && x.algo == Algo::Ring));
         let single = tuning_candidates(1);
         assert!(single.iter().all(|x| x.algo == Algo::Ring));
     }

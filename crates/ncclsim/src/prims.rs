@@ -222,7 +222,14 @@ impl<'a, 'b> Prims<'a, 'b> {
     }
 
     /// `copy`: local device-to-device copy.
-    pub fn copy_local(&mut self, src: BufferId, src_off: usize, dst: BufferId, dst_off: usize, bytes: usize) {
+    pub fn copy_local(
+        &mut self,
+        src: BufferId,
+        src_off: usize,
+        dst: BufferId,
+        dst_off: usize,
+        bytes: usize,
+    ) {
         self.group_sync();
         self.tb.copy(src, src_off, dst, dst_off, bytes);
     }

@@ -67,7 +67,11 @@ fn check_all_reduce(kind: EnvKind, nodes: usize, count: usize, ch: Choice) {
         )
         .unwrap();
     for r in 0..f.n {
-        let got = f.engine.world().pool().to_f32_vec(outputs[r], DataType::F32);
+        let got = f
+            .engine
+            .world()
+            .pool()
+            .to_f32_vec(outputs[r], DataType::F32);
         for i in [0, 1, count / 2, count - 1] {
             assert_eq!(
                 got[i],
@@ -211,7 +215,11 @@ fn all_gather_correct() {
         )
         .unwrap();
     for r in 0..f.n {
-        let got = f.engine.world().pool().to_f32_vec(outputs[r], DataType::F32);
+        let got = f
+            .engine
+            .world()
+            .pool()
+            .to_f32_vec(outputs[r], DataType::F32);
         for src in 0..f.n {
             for i in [0, count - 1] {
                 assert_eq!(
@@ -248,7 +256,11 @@ fn all_gather_two_nodes_ll() {
             choice(Algo::Ring, Proto::LL, 1),
         )
         .unwrap();
-    let got = f.engine.world().pool().to_f32_vec(outputs[13], DataType::F32);
+    let got = f
+        .engine
+        .world()
+        .pool()
+        .to_f32_vec(outputs[13], DataType::F32);
     for src in 0..f.n {
         assert_eq!(got[src * count], input_val(src, 0), "chunk {src}");
     }
@@ -280,7 +292,11 @@ fn reduce_scatter_correct() {
         )
         .unwrap();
     for r in 0..f.n {
-        let got = f.engine.world().pool().to_f32_vec(outputs[r], DataType::F32);
+        let got = f
+            .engine
+            .world()
+            .pool()
+            .to_f32_vec(outputs[r], DataType::F32);
         for i in [0, count - 1] {
             let global = r * count + i;
             let want: f32 = (0..f.n).map(|src| input_val(src, global)).sum();
@@ -314,7 +330,11 @@ fn broadcast_correct_from_nonzero_root() {
         )
         .unwrap();
     for r in 0..f.n {
-        let got = f.engine.world().pool().to_f32_vec(outputs[r], DataType::F32);
+        let got = f
+            .engine
+            .world()
+            .pool()
+            .to_f32_vec(outputs[r], DataType::F32);
         assert_eq!(got[100], 50.0, "rank {r}");
         assert_eq!(got[count - 1], (count - 1) as f32 * 0.5, "rank {r}");
     }

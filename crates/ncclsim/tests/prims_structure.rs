@@ -99,7 +99,13 @@ fn recv_reduce_send_fuses_into_one_transfer() {
     });
     assert_eq!(
         shape,
-        ["compute", "semwait", "rawreduceput", "semsignal", "semsignal"],
+        [
+            "compute",
+            "semwait",
+            "rawreduceput",
+            "semsignal",
+            "semsignal"
+        ],
         "wait data, fused reduce+forward, signal next, credit prev"
     );
 }

@@ -1,13 +1,14 @@
 //! The discrete-event engine: event queue, cells, resources, scheduling.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
+use crate::metrics::Metrics;
 use crate::process::{Process, Step};
 use crate::time::{Duration, Time};
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceEventKind};
 
 /// Identifies a process spawned on an [`Engine`].
 #[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -31,7 +32,7 @@ pub struct CellId(usize);
 /// transfers over the same link thereby serialize, which is how the
 /// simulation models bandwidth sharing.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ResourceId(usize);
+pub struct ResourceId(pub(crate) usize);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
@@ -72,6 +73,9 @@ struct Slot<W> {
     proc: Option<Box<dyn Process<W>>>,
     state: ProcState,
     label: String,
+    /// The label interned at spawn time (index into `Core::labels`), so
+    /// trace recording never allocates per step.
+    label_id: u32,
     /// Daemons (e.g. CPU proxy threads) may remain blocked when the queue
     /// drains without counting as deadlock.
     daemon: bool,
@@ -87,9 +91,16 @@ struct Core {
     waiters: Vec<Vec<(u64, ProcId)>>,
     /// Per-resource busy-until horizon.
     resources: Vec<Time>,
-    /// Per-resource cumulative occupied time.
-    resource_busy: Vec<Duration>,
     events_processed: u64,
+    /// Counters and per-resource accounting.
+    metrics: Metrics,
+    /// Interned label table shared by the trace and the span stacks.
+    labels: Vec<String>,
+    label_index: HashMap<String, u32>,
+    /// Per-process stack of open explicit spans (interned label ids).
+    span_stacks: Vec<Vec<u32>>,
+    /// Recording sink, when tracing is enabled.
+    trace: Option<Trace>,
 }
 
 impl Core {
@@ -98,6 +109,24 @@ impl Core {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Ev { time, seq, kind }));
+    }
+
+    /// Interns a label, returning its stable index. Allocates only the
+    /// first time a distinct label is seen.
+    fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&id) = self.label_index.get(label) {
+            return id;
+        }
+        let id = self.labels.len() as u32;
+        self.labels.push(label.to_owned());
+        self.label_index.insert(label.to_owned(), id);
+        id
+    }
+
+    fn record(&mut self, at: Time, proc_index: usize, label: u32, kind: TraceEventKind) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(at, proc_index, label, kind);
+        }
     }
 }
 
@@ -110,6 +139,8 @@ pub struct Ctx<'a, W> {
     /// The domain state (GPU memories, topology, cost model, ...).
     pub world: &'a mut W,
     spawned: &'a mut Vec<(Box<dyn Process<W>>, String, bool)>,
+    /// The process currently being stepped.
+    pid: ProcId,
 }
 
 impl<W> Ctx<'_, W> {
@@ -126,7 +157,8 @@ impl<W> Ctx<'_, W> {
     /// Adds `delta` to a cell immediately, waking satisfied waiters at the
     /// current instant.
     pub fn cell_add(&mut self, cell: CellId, delta: u64) {
-        self.core.push(self.core.now, EventKind::CellAdd(cell, delta));
+        self.core
+            .push(self.core.now, EventKind::CellAdd(cell, delta));
     }
 
     /// Adds `delta` to a cell at a future instant (e.g. when a signal lands
@@ -149,7 +181,7 @@ impl<W> Ctx<'_, W> {
     /// Allocates a fresh resource that is free immediately.
     pub fn alloc_resource(&mut self) -> ResourceId {
         self.core.resources.push(Time::ZERO);
-        self.core.resource_busy.push(Duration::ZERO);
+        self.core.metrics.add_resource();
         ResourceId(self.core.resources.len() - 1)
     }
 
@@ -162,12 +194,17 @@ impl<W> Ctx<'_, W> {
     /// Occupies `resource` for `busy` starting no earlier than `earliest`
     /// (and no earlier than the resource becomes free), returning the
     /// completion instant.
+    ///
+    /// The time spent queued behind earlier acquisitions (actual start
+    /// minus `earliest`) is accumulated as the resource's queueing delay.
     pub fn acquire_after(&mut self, resource: ResourceId, earliest: Time, busy: Duration) -> Time {
         let free_at = &mut self.core.resources[resource.0];
         let start = (*free_at).max(earliest);
         let done = start + busy;
         *free_at = done;
-        self.core.resource_busy[resource.0] += busy;
+        self.core
+            .metrics
+            .on_acquire(resource, busy, start - earliest);
         done
     }
 
@@ -179,7 +216,49 @@ impl<W> Ctx<'_, W> {
     /// Total time this resource has been occupied so far (for
     /// utilization reporting).
     pub fn resource_busy(&self, resource: ResourceId) -> Duration {
-        self.core.resource_busy[resource.0]
+        self.core.metrics.busy(resource)
+    }
+
+    /// Attaches a diagnostic label to a resource (shown in metrics
+    /// reports).
+    pub fn label_resource(&mut self, resource: ResourceId, label: &str) {
+        self.core.metrics.set_label(resource, label);
+    }
+
+    /// Meters `bytes` as carried by `resource` (per-link byte accounting).
+    pub fn meter_bytes(&mut self, resource: ResourceId, bytes: u64) {
+        self.core.metrics.add_bytes(resource, bytes);
+    }
+
+    /// Adds `delta` to the named metrics counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        self.core.metrics.inc(name, delta);
+    }
+
+    /// Read access to the metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Opens a named span for the current process. The span appears in
+    /// the trace (when tracing is enabled) and on the process's span
+    /// stack, which is reported by [`DeadlockError`] if the process is
+    /// still blocked when the simulation stalls.
+    pub fn span_begin(&mut self, label: &str) {
+        let id = self.core.intern(label);
+        self.core.span_stacks[self.pid.0].push(id);
+        self.core
+            .record(self.core.now, self.pid.0, id, TraceEventKind::SpanBegin);
+    }
+
+    /// Closes the current process's innermost open span.
+    pub fn span_end(&mut self) {
+        if let Some(id) = self.core.span_stacks[self.pid.0].pop() {
+            self.core
+                .record(self.core.now, self.pid.0, id, TraceEventKind::SpanEnd);
+        } else {
+            debug_assert!(false, "span_end without a matching span_begin");
+        }
     }
 
     /// Spawns a new process that will first run at the current instant.
@@ -208,6 +287,10 @@ pub struct BlockedProcess {
     pub needed: u64,
     /// The cell's actual value when the simulation stalled.
     pub actual: u64,
+    /// The process's open [`Ctx::span_begin`] spans, outermost first —
+    /// e.g. `["allreduce", "wait.mem_sem"]` — showing *what* it was doing
+    /// when it stalled, not just which cell it wanted.
+    pub span_stack: Vec<String>,
 }
 
 /// The simulation stalled: the event queue drained while processes were
@@ -233,11 +316,16 @@ impl fmt::Display for DeadlockError {
             self.blocked.len()
         )?;
         for b in &self.blocked {
-            writeln!(
+            write!(
                 f,
                 "  {:?} [{}] waiting for {:?} >= {} (actual {})",
                 b.proc, b.label, b.cell, b.needed, b.actual
             )?;
+            if b.span_stack.is_empty() {
+                writeln!(f)?;
+            } else {
+                writeln!(f, " in {}", b.span_stack.join(" > "))?;
+            }
         }
         Ok(())
     }
@@ -258,7 +346,6 @@ pub struct Engine<W> {
     core: Core,
     world: W,
     processes: Vec<Slot<W>>,
-    trace: Option<Trace>,
 }
 
 impl<W: fmt::Debug> fmt::Debug for Engine<W> {
@@ -284,25 +371,58 @@ impl<W> Engine<W> {
                 cells: Vec::new(),
                 waiters: Vec::new(),
                 resources: Vec::new(),
-                resource_busy: Vec::new(),
                 events_processed: 0,
+                metrics: Metrics::default(),
+                labels: Vec::new(),
+                label_index: HashMap::new(),
+                span_stacks: Vec::new(),
+                trace: None,
             },
             world,
             processes: Vec::new(),
-            trace: None,
         }
     }
 
-    /// Starts recording an execution [`Trace`] (one event per process
-    /// step). Call [`Engine::take_trace`] to retrieve it.
+    /// Starts recording an execution [`Trace`] (paired begin/end events
+    /// per process step plus explicit spans). Call [`Engine::take_trace`]
+    /// to retrieve it.
     pub fn enable_tracing(&mut self) {
-        self.trace = Some(Trace::default());
+        if self.core.trace.is_none() {
+            self.core.trace = Some(Trace::default());
+        }
     }
 
     /// Takes the recorded trace (if tracing was enabled), leaving a fresh
-    /// empty trace in place so recording continues.
+    /// empty trace in place so recording continues. The returned trace
+    /// carries a snapshot of the label table; interned ids remain valid
+    /// across takes because the table is append-only.
     pub fn take_trace(&mut self) -> Option<Trace> {
-        self.trace.as_mut().map(std::mem::take)
+        self.core.trace.as_mut().map(std::mem::take).map(|mut t| {
+            t.labels = self.core.labels.clone();
+            t
+        })
+    }
+
+    /// Read access to the metrics registry (counters + per-resource
+    /// accounting).
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Exclusive access to the metrics registry (e.g. for counters
+    /// incremented outside any process step).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Adds `delta` to the named metrics counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        self.core.metrics.inc(name, delta);
+    }
+
+    /// Attaches a diagnostic label to a resource.
+    pub fn label_resource(&mut self, resource: ResourceId, label: &str) {
+        self.core.metrics.set_label(resource, label);
     }
 
     /// The current virtual instant.
@@ -345,13 +465,13 @@ impl<W> Engine<W> {
     /// Allocates a fresh resource that is free immediately.
     pub fn alloc_resource(&mut self) -> ResourceId {
         self.core.resources.push(Time::ZERO);
-        self.core.resource_busy.push(Duration::ZERO);
+        self.core.metrics.add_resource();
         ResourceId(self.core.resources.len() - 1)
     }
 
     /// Total time a resource has been occupied (for utilization reports).
     pub fn resource_busy(&self, resource: ResourceId) -> Duration {
-        self.core.resource_busy[resource.0]
+        self.core.metrics.busy(resource)
     }
 
     /// Spawns a process; it will first run at the current instant.
@@ -372,10 +492,13 @@ impl<W> Engine<W> {
 
     fn spawn_boxed(&mut self, proc: Box<dyn Process<W>>, label: String, daemon: bool) -> ProcId {
         let id = ProcId(self.processes.len());
+        let label_id = self.core.intern(&label);
+        self.core.span_stacks.push(Vec::new());
         self.processes.push(Slot {
             proc: Some(proc),
             state: ProcState::Scheduled,
             label,
+            label_id,
             daemon,
         });
         self.core.push(self.core.now, EventKind::Wake(id));
@@ -401,14 +524,15 @@ impl<W> Engine<W> {
                         continue; // stale wake
                     }
                     let mut proc = slot.proc.take().expect("scheduled process missing body");
-                    if let Some(trace) = &mut self.trace {
-                        trace.record(self.core.now, pid.0, &slot.label);
-                    }
+                    let label_id = slot.label_id;
+                    self.core
+                        .record(self.core.now, pid.0, label_id, TraceEventKind::StepBegin);
                     let step = {
                         let mut ctx = Ctx {
                             core: &mut self.core,
                             world: &mut self.world,
                             spawned: &mut spawned,
+                            pid,
                         };
                         proc.step(&mut ctx)
                     };
@@ -418,9 +542,22 @@ impl<W> Engine<W> {
                             slot.proc = Some(proc);
                             slot.state = ProcState::Scheduled;
                             self.core.push(self.core.now + d, EventKind::Wake(pid));
+                            // The step's busy window covers the yield span.
+                            self.core.record(
+                                self.core.now + d,
+                                pid.0,
+                                label_id,
+                                TraceEventKind::StepEnd,
+                            );
                         }
                         Step::WaitCell { cell, at_least } => {
                             slot.proc = Some(proc);
+                            self.core.record(
+                                self.core.now,
+                                pid.0,
+                                label_id,
+                                TraceEventKind::StepEnd,
+                            );
                             if self.core.cells[cell.0] >= at_least {
                                 slot.state = ProcState::Scheduled;
                                 self.core.push(self.core.now, EventKind::Wake(pid));
@@ -431,6 +568,12 @@ impl<W> Engine<W> {
                         }
                         Step::Done => {
                             slot.state = ProcState::Done;
+                            self.core.record(
+                                self.core.now,
+                                pid.0,
+                                label_id,
+                                TraceEventKind::StepEnd,
+                            );
                             // proc dropped here
                         }
                     }
@@ -473,6 +616,10 @@ impl<W> Engine<W> {
                     cell,
                     needed: at_least,
                     actual: self.core.cells[cell.0],
+                    span_stack: self.core.span_stacks[i]
+                        .iter()
+                        .map(|&id| self.core.labels[id as usize].clone())
+                        .collect(),
                 }),
                 _ => None,
             })
@@ -565,6 +712,61 @@ mod tests {
         assert_eq!(err.blocked[0].needed, 7);
         assert_eq!(err.blocked[0].actual, 0);
         assert!(err.to_string().contains("stuck-waiter"));
+    }
+
+    #[test]
+    fn deadlock_reports_open_span_stack() {
+        struct Stuck {
+            cell: CellId,
+        }
+        impl Process<()> for Stuck {
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Step {
+                ctx.span_begin("allreduce");
+                ctx.span_begin("wait.mem_sem");
+                Step::WaitCell {
+                    cell: self.cell,
+                    at_least: 1,
+                }
+            }
+            fn label(&self) -> String {
+                "tb r0 b0".to_owned()
+            }
+        }
+        let mut e = Engine::new(());
+        let cell = e.alloc_cell();
+        e.spawn(Stuck { cell });
+        let err = e.run().unwrap_err();
+        assert_eq!(err.blocked[0].span_stack, vec!["allreduce", "wait.mem_sem"]);
+        assert!(err.to_string().contains("in allreduce > wait.mem_sem"));
+    }
+
+    #[test]
+    fn metrics_track_queue_delay_bytes_and_counters() {
+        struct Xfer {
+            res: ResourceId,
+        }
+        impl Process<()> for Xfer {
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Step {
+                ctx.acquire(self.res, Duration::from_ns(10.0));
+                ctx.meter_bytes(self.res, 128);
+                ctx.count("ops.puts", 1);
+                Step::Done
+            }
+        }
+        let mut e = Engine::new(());
+        let res = e.alloc_resource();
+        e.label_resource(res, "egress r0");
+        e.spawn(Xfer { res });
+        e.spawn(Xfer { res });
+        e.run().unwrap();
+        let s = e.metrics().resource(res);
+        assert_eq!(s.label, "egress r0");
+        assert_eq!(s.busy.as_ns(), 20.0);
+        assert_eq!(s.bytes, 256);
+        assert_eq!(s.acquires, 2);
+        // The second acquisition at t=0 queued behind the first for 10ns.
+        assert_eq!(s.queue_delay.as_ns(), 10.0);
+        assert_eq!(e.metrics().counter("ops.puts"), 2);
     }
 
     #[test]

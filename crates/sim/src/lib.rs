@@ -39,11 +39,13 @@
 //! ```
 
 mod engine;
+mod metrics;
 mod process;
 mod time;
 mod trace;
 
-pub use engine::{CellId, Ctx, DeadlockError, Engine, ProcId, ResourceId};
+pub use engine::{BlockedProcess, CellId, Ctx, DeadlockError, Engine, ProcId, ResourceId};
+pub use metrics::{Metrics, ResourceStat};
 pub use process::{Process, Step};
 pub use time::{Duration, Time};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceEventKind};

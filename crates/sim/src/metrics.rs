@@ -1,0 +1,177 @@
+//! The metrics registry: named monotonic counters plus per-resource
+//! accounting (busy time, bytes carried, acquisitions, queueing delay).
+//!
+//! Every [`crate::Engine`] owns one [`Metrics`] registry. Processes
+//! increment counters through [`crate::Ctx::count`]; resource accounting
+//! is updated automatically by [`crate::Ctx::acquire_after`] and by
+//! explicit [`crate::Ctx::meter_bytes`] calls at transfer sites. The
+//! registry is append-only and deterministic: counters iterate in name
+//! order, resources in allocation order.
+
+use std::collections::BTreeMap;
+
+use crate::engine::ResourceId;
+use crate::time::Duration;
+
+/// A snapshot of one resource's accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceStat {
+    /// The resource.
+    pub id: ResourceId,
+    /// Diagnostic label (empty if never labeled).
+    pub label: String,
+    /// Cumulative occupied time.
+    pub busy: Duration,
+    /// Cumulative bytes metered through the resource.
+    pub bytes: u64,
+    /// Number of acquisitions.
+    pub acquires: u64,
+    /// Cumulative time acquisitions spent queued behind earlier work
+    /// (actual start minus requested start).
+    pub queue_delay: Duration,
+}
+
+/// Monotonic counters and per-resource accounting for one engine.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    labels: Vec<String>,
+    busy: Vec<Duration>,
+    bytes: Vec<u64>,
+    acquires: Vec<u64>,
+    queue_delay: Vec<Duration>,
+}
+
+impl Metrics {
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Current value of a counter (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    pub(crate) fn add_resource(&mut self) {
+        self.labels.push(String::new());
+        self.busy.push(Duration::ZERO);
+        self.bytes.push(0);
+        self.acquires.push(0);
+        self.queue_delay.push(Duration::ZERO);
+    }
+
+    pub(crate) fn set_label(&mut self, r: ResourceId, label: &str) {
+        label.clone_into(&mut self.labels[r.0]);
+    }
+
+    pub(crate) fn on_acquire(&mut self, r: ResourceId, busy: Duration, queued: Duration) {
+        self.busy[r.0] += busy;
+        self.acquires[r.0] += 1;
+        self.queue_delay[r.0] += queued;
+    }
+
+    pub(crate) fn add_bytes(&mut self, r: ResourceId, bytes: u64) {
+        self.bytes[r.0] += bytes;
+    }
+
+    /// Cumulative occupied time of a resource.
+    pub fn busy(&self, r: ResourceId) -> Duration {
+        self.busy[r.0]
+    }
+
+    /// Cumulative bytes metered through a resource.
+    pub fn bytes(&self, r: ResourceId) -> u64 {
+        self.bytes[r.0]
+    }
+
+    /// Snapshot of one resource's accounting.
+    pub fn resource(&self, r: ResourceId) -> ResourceStat {
+        ResourceStat {
+            id: r,
+            label: self.labels[r.0].clone(),
+            busy: self.busy[r.0],
+            bytes: self.bytes[r.0],
+            acquires: self.acquires[r.0],
+            queue_delay: self.queue_delay[r.0],
+        }
+    }
+
+    /// Snapshots of every resource, in allocation order.
+    pub fn resources(&self) -> Vec<ResourceStat> {
+        (0..self.labels.len())
+            .map(|i| self.resource(ResourceId(i)))
+            .collect()
+    }
+
+    /// Number of resources tracked.
+    pub fn resource_count(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_ordered() {
+        let mut m = Metrics::default();
+        m.inc("b.two", 2);
+        m.inc("a.one", 1);
+        m.inc("b.two", 3);
+        assert_eq!(m.counter("b.two"), 5);
+        assert_eq!(m.counter("a.one"), 1);
+        assert_eq!(m.counter("missing"), 0);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a.one", "b.two"]);
+    }
+
+    #[test]
+    fn counter_sum_covers_prefix_only() {
+        let mut m = Metrics::default();
+        m.inc("sync.waits", 4);
+        m.inc("sync.signals", 2);
+        m.inc("synchronous", 100); // prefix match is string-wise
+        m.inc("other", 7);
+        assert_eq!(m.counter_sum("sync."), 6);
+        assert_eq!(m.counter_sum("sync"), 106);
+        assert_eq!(m.counter_sum("zzz"), 0);
+    }
+
+    #[test]
+    fn resource_accounting_accumulates() {
+        let mut m = Metrics::default();
+        m.add_resource();
+        let r = ResourceId(0);
+        m.set_label(r, "egress r0");
+        m.on_acquire(r, Duration::from_ns(10.0), Duration::ZERO);
+        m.on_acquire(r, Duration::from_ns(10.0), Duration::from_ns(10.0));
+        m.add_bytes(r, 2270);
+        let s = m.resource(r);
+        assert_eq!(s.label, "egress r0");
+        assert_eq!(s.busy.as_ns(), 20.0);
+        assert_eq!(s.bytes, 2270);
+        assert_eq!(s.acquires, 2);
+        assert_eq!(s.queue_delay.as_ns(), 10.0);
+        assert_eq!(m.resources().len(), 1);
+    }
+}

@@ -1,42 +1,75 @@
-//! Optional execution tracing: records every process step and exports
+//! Optional execution tracing: records every process step as a
+//! *duration* (begin/end) event plus explicitly-opened spans, and exports
 //! the timeline in the Chrome trace-event JSON format (`chrome://tracing`
-//! / Perfetto), which makes kernel schedules, proxy activity, and link
-//! contention visually inspectable.
+//! / [Perfetto](https://ui.perfetto.dev)), which makes kernel schedules,
+//! proxy activity, and link contention visually inspectable.
+//!
+//! Labels are interned once (at process spawn or first span use) and
+//! events store a small index, so recording does not allocate per step.
 
 use crate::time::Time;
 
-/// One recorded process step.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A process step began executing (Chrome `B`).
+    StepBegin,
+    /// The step's busy window ended (Chrome `E`). For `Step::Yield(d)` the
+    /// end is `d` after the begin; for waits and completion it is
+    /// instantaneous.
+    StepEnd,
+    /// An explicitly-opened span began (Chrome async `b`).
+    SpanBegin,
+    /// An explicitly-opened span ended (Chrome async `e`).
+    SpanEnd,
+    /// A point-in-time marker (Chrome `i`).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// Virtual instant at which the process ran.
+    /// Virtual instant of the event.
     pub at: Time,
     /// Stable index of the process.
     pub proc_index: usize,
-    /// The process's diagnostic label at spawn time.
-    pub label: String,
+    /// Interned label index; resolve with [`Trace::label`].
+    pub label: u32,
+    /// Event kind.
+    pub kind: TraceEventKind,
 }
 
 /// A recorded execution timeline.
+///
+/// Obtained from [`crate::Engine::take_trace`]; the label table is
+/// attached at take time.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    pub(crate) labels: Vec<String>,
 }
 
 impl Trace {
-    pub(crate) fn record(&mut self, at: Time, proc_index: usize, label: &str) {
+    pub(crate) fn push(&mut self, at: Time, proc_index: usize, label: u32, kind: TraceEventKind) {
         self.events.push(TraceEvent {
             at,
             proc_index,
-            label: label.to_owned(),
+            label,
+            kind,
         });
     }
 
-    /// The recorded events, in execution order.
+    /// The recorded events, in recording order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
 
-    /// Number of recorded steps.
+    /// Resolves an interned label index.
+    pub fn label(&self, id: u32) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// Number of recorded events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
@@ -46,20 +79,58 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Serializes the timeline as Chrome trace-event JSON (an array of
-    /// instant events, one track per process).
+    /// Per-process count of `StepBegin`/`SpanBegin` events missing a
+    /// matching end — zero for a trace of a run that reached quiescence.
+    pub fn unmatched_begins(&self) -> usize {
+        let mut open: std::collections::BTreeMap<(usize, bool), i64> = Default::default();
+        for e in &self.events {
+            let key = (
+                e.proc_index,
+                matches!(e.kind, TraceEventKind::SpanBegin | TraceEventKind::SpanEnd),
+            );
+            match e.kind {
+                TraceEventKind::StepBegin | TraceEventKind::SpanBegin => {
+                    *open.entry(key).or_insert(0) += 1;
+                }
+                TraceEventKind::StepEnd | TraceEventKind::SpanEnd => {
+                    *open.entry(key).or_insert(0) -= 1;
+                }
+                TraceEventKind::Instant => {}
+            }
+        }
+        open.values().map(|&v| v.max(0) as usize).sum()
+    }
+
+    /// Serializes the timeline as Chrome trace-event JSON: one track per
+    /// process, duration (`B`/`E`) events for steps, async (`b`/`e`)
+    /// events for explicit spans. Load the output in
+    /// <https://ui.perfetto.dev> or `chrome://tracing`.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("[");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\"tid\":{},\"s\":\"t\"}}",
-                e.label.replace('"', "'"),
-                e.at.as_us(),
-                e.proc_index
-            ));
+            let name = self.label(e.label).replace('"', "'");
+            let ts = e.at.as_us();
+            let tid = e.proc_index;
+            match e.kind {
+                TraceEventKind::StepBegin => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{tid}}}"
+                )),
+                TraceEventKind::StepEnd => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{tid}}}"
+                )),
+                TraceEventKind::SpanBegin => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"span\",\"id\":{tid},\"ph\":\"b\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{tid}}}"
+                )),
+                TraceEventKind::SpanEnd => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"span\",\"id\":{tid},\"ph\":\"e\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{tid}}}"
+                )),
+                TraceEventKind::Instant => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{tid},\"s\":\"t\"}}"
+                )),
+            }
         }
         out.push(']');
         out
@@ -86,23 +157,42 @@ mod tests {
     }
 
     #[test]
-    fn trace_records_every_step_in_order() {
+    fn trace_records_paired_step_spans() {
         let mut e = Engine::new(());
         e.enable_tracing();
         e.spawn(Ticker(3));
         e.run().unwrap();
         let trace = e.take_trace().expect("tracing enabled");
-        // 3 yields + the final Done step.
-        assert_eq!(trace.len(), 4);
+        // 3 yields + the final Done step, each a Begin/End pair.
+        assert_eq!(trace.len(), 8);
+        assert_eq!(trace.unmatched_begins(), 0);
         assert!(trace
             .events()
-            .windows(2)
-            .all(|w| w[0].at <= w[1].at));
-        assert!(trace.events().iter().all(|e| e.label == "ticker"));
+            .iter()
+            .all(|ev| trace.label(ev.label) == "ticker"));
+        // Yield steps have a 1us busy window; the Done step is instant.
+        let evs = trace.events();
+        assert_eq!(evs[0].kind, TraceEventKind::StepBegin);
+        assert_eq!(evs[1].kind, TraceEventKind::StepEnd);
+        assert_eq!((evs[1].at - evs[0].at).as_us(), 1.0);
+        assert_eq!(evs[7].at, evs[6].at);
     }
 
     #[test]
-    fn chrome_json_is_wellformed_enough() {
+    fn interning_shares_one_label_across_steps() {
+        let mut e = Engine::new(());
+        e.enable_tracing();
+        e.spawn(Ticker(5));
+        e.spawn(Ticker(2));
+        e.run().unwrap();
+        let trace = e.take_trace().unwrap();
+        let first = trace.events()[0].label;
+        assert!(trace.events().iter().all(|ev| ev.label == first));
+        assert_eq!(trace.labels.iter().filter(|l| *l == "ticker").count(), 1);
+    }
+
+    #[test]
+    fn chrome_json_has_duration_events() {
         let mut e = Engine::new(());
         e.enable_tracing();
         e.spawn(Ticker(1));
@@ -110,7 +200,8 @@ mod tests {
         let json = e.take_trace().unwrap().to_chrome_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"name\":\"ticker\""));
-        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
     }
 
     #[test]
@@ -119,5 +210,30 @@ mod tests {
         e.spawn(Ticker(1));
         e.run().unwrap();
         assert!(e.take_trace().is_none());
+    }
+
+    #[test]
+    fn explicit_spans_round_trip_through_json() {
+        struct Spanner;
+        impl Process<()> for Spanner {
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Step {
+                ctx.span_begin("phase.copy");
+                ctx.span_end();
+                Step::Done
+            }
+            fn label(&self) -> String {
+                "spanner".into()
+            }
+        }
+        let mut e = Engine::new(());
+        e.enable_tracing();
+        e.spawn(Spanner);
+        e.run().unwrap();
+        let trace = e.take_trace().unwrap();
+        assert_eq!(trace.unmatched_begins(), 0);
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"name\":\"phase.copy\",\"cat\":\"span\""));
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"e\""));
     }
 }

@@ -5,7 +5,10 @@
 //! Run with: `cargo run --release --example continuous_batching`
 
 use hw::EnvKind;
-use inference::{serve_trace, synthetic_trace, CommBackend, ModelConfig, MscclppBackend, NcclBackend, ServingEngine};
+use inference::{
+    serve_trace, synthetic_trace, CommBackend, ModelConfig, MscclppBackend, NcclBackend,
+    ServingEngine,
+};
 
 fn main() {
     let trace = synthetic_trace(24, 512, 48, 40_000.0, 42);
@@ -15,7 +18,8 @@ fn main() {
     );
     let mut results = Vec::new();
     for name in ["NCCL", "MSCCL++"] {
-        let mut engine = ServingEngine::new(EnvKind::A100_80G, ModelConfig::llama2_70b(), 64 * 2048);
+        let mut engine =
+            ServingEngine::new(EnvKind::A100_80G, ModelConfig::llama2_70b(), 64 * 2048);
         let backend: Box<dyn CommBackend> = match name {
             "NCCL" => Box::new(NcclBackend::new(engine.engine_mut())),
             _ => Box::new(MscclppBackend::new()),

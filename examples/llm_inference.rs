@@ -5,7 +5,9 @@
 //! Run with: `cargo run --release --example llm_inference`
 
 use hw::EnvKind;
-use inference::{BatchConfig, CommBackend, ModelConfig, MscclppBackend, NcclBackend, ServingEngine};
+use inference::{
+    BatchConfig, CommBackend, ModelConfig, MscclppBackend, NcclBackend, ServingEngine,
+};
 
 fn serve(backend_name: &str, batch: BatchConfig, decode_steps: usize) -> (f64, f64) {
     let model = ModelConfig::llama2_70b();

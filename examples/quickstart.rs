@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let ov = setup.overheads().clone();
 
-    engine.world_mut().pool_mut().write(bufs[0], 0, &[7u8; 4096]);
+    engine
+        .world_mut()
+        .pool_mut()
+        .write(bufs[0], 0, &[7u8; 4096]);
 
     let mut k0 = KernelBuilder::new(Rank(0));
     k0.block(0).put(&ch0, 0, 0, 4096).signal(&ch0); // async put, then signal

@@ -78,8 +78,16 @@ fn all_stacks_compute_identical_allreduce() {
                 .pool_mut()
                 .fill_with(bufs[r], DataType::F32, move |i| val(r, i));
         }
-        comm.all_reduce(&mut e, &bufs, &bufs, count, DataType::F32, ReduceOp::Sum, None)
-            .unwrap();
+        comm.all_reduce(
+            &mut e,
+            &bufs,
+            &bufs,
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+            None,
+        )
+        .unwrap();
         let got = e.world().pool().to_f32_vec(bufs[5], DataType::F32);
         assert_eq!(got, want, "msccl");
     }

@@ -42,7 +42,15 @@ fn mismatched_waits_deadlock_with_named_culprit() {
     let mut setup = Setup::new(&mut e);
     let bufs = setup.alloc_all(64);
     let (ch0, ch1) = setup
-        .memory_channel_pair(Rank(0), bufs[0], bufs[1], Rank(1), bufs[1], bufs[0], Protocol::HB)
+        .memory_channel_pair(
+            Rank(0),
+            bufs[0],
+            bufs[1],
+            Rank(1),
+            bufs[1],
+            bufs[0],
+            Protocol::HB,
+        )
         .unwrap();
     let ov = setup.overheads().clone();
     let mut k0 = KernelBuilder::new(Rank(0));
@@ -62,7 +70,15 @@ fn using_peer_endpoint_in_wrong_kernel_panics_at_build_time() {
     let mut setup = Setup::new(&mut e);
     let bufs = setup.alloc_all(64);
     let (_ch0, ch1) = setup
-        .memory_channel_pair(Rank(0), bufs[0], bufs[1], Rank(1), bufs[1], bufs[0], Protocol::HB)
+        .memory_channel_pair(
+            Rank(0),
+            bufs[0],
+            bufs[1],
+            Rank(1),
+            bufs[1],
+            bufs[0],
+            Protocol::HB,
+        )
         .unwrap();
     // ch1 belongs to rank 1; emitting it into rank 0's kernel is a bug
     // caught at kernel-build time, like a CUDA invalid-handle error.
@@ -77,7 +93,15 @@ fn out_of_range_put_panics_like_a_segfault() {
     let mut setup = Setup::new(&mut e);
     let bufs = setup.alloc_all(64);
     let (ch0, _ch1) = setup
-        .memory_channel_pair(Rank(0), bufs[0], bufs[1], Rank(1), bufs[1], bufs[0], Protocol::HB)
+        .memory_channel_pair(
+            Rank(0),
+            bufs[0],
+            bufs[1],
+            Rank(1),
+            bufs[1],
+            bufs[0],
+            Protocol::HB,
+        )
         .unwrap();
     let ov = setup.overheads().clone();
     let mut k0 = KernelBuilder::new(Rank(0));

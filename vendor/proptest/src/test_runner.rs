@@ -1,0 +1,299 @@
+//! Deterministic case generation, regression-seed persistence, and the
+//! driver behind the `proptest!` macro.
+
+use std::fmt::Debug;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::strategy::Strategy;
+
+/// Run configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of novel cases generated per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` novel cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 32 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold for this input.
+    Fail(String),
+    /// The input was rejected by `prop_assume!` (not a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An assumption rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// A small deterministic RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a over a string, for deriving per-test base seeds.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Locates the `*.proptest-regressions` file for a test source path.
+///
+/// `file` is the `file!()` of the test (which may be relative to the
+/// workspace root rather than the package root), `manifest_dir` the
+/// package's `CARGO_MANIFEST_DIR`.
+fn regression_path(manifest_dir: &str, file: &str) -> PathBuf {
+    let with_ext = Path::new(file).with_extension("proptest-regressions");
+    if with_ext.is_absolute() {
+        return with_ext;
+    }
+    // Try the path as-is under the manifest dir, then progressively strip
+    // leading components (handles file!() paths relative to the workspace
+    // root from inside a member crate).
+    let mut suffix: &Path = &with_ext;
+    loop {
+        let candidate = Path::new(manifest_dir).join(suffix);
+        if candidate.parent().map(Path::is_dir).unwrap_or(false) {
+            return candidate;
+        }
+        let mut comps = suffix.components();
+        if comps.next().is_none() {
+            break;
+        }
+        let rest = comps.as_path();
+        if rest.as_os_str().is_empty() {
+            break;
+        }
+        suffix = rest;
+    }
+    Path::new(manifest_dir).join(with_ext)
+}
+
+/// Parses `cc <hex>` seed lines from a regressions file.
+fn read_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if hex.is_empty() {
+                return None;
+            }
+            // Fold the (possibly 256-bit) hex seed down to 64 bits.
+            let mut folded: u64 = 0;
+            for chunk in hex.as_bytes().chunks(16) {
+                let part = std::str::from_utf8(chunk).ok()?;
+                folded ^= u64::from_str_radix(part, 16).ok()?;
+            }
+            Some(folded)
+        })
+        .collect()
+}
+
+/// Appends a failing seed to the regressions file (best-effort).
+fn persist_failure(path: &Path, seed: u64, values: &str) {
+    let header_needed = !path.exists();
+    let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) else {
+        return;
+    };
+    if header_needed {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases."
+        );
+    }
+    let _ = writeln!(f, "cc {seed:016x} # shrinks to {values}");
+}
+
+/// Drives one property: replays persisted regression seeds, then runs
+/// `config.cases` deterministic novel cases. Panics on the first failure,
+/// persisting its seed.
+pub fn run_proptest<S, F>(
+    config: &Config,
+    manifest_dir: &str,
+    file: &str,
+    test_name: &str,
+    strategy: &S,
+    test: F,
+) where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let reg_path = regression_path(manifest_dir, file);
+    let mut failures: Vec<String> = Vec::new();
+
+    let run_case = |seed: u64, persist: bool, failures: &mut Vec<String>| {
+        let mut rng = TestRng::new(seed);
+        let value = strategy.generate(&mut rng);
+        let desc = format!("{value:?}");
+        match test(value) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                if persist {
+                    persist_failure(&reg_path, seed, &desc);
+                }
+                failures.push(format!(
+                    "{test_name} failed for seed {seed:016x}\n  input: {desc}\n  error: {msg}"
+                ));
+            }
+        }
+    };
+
+    // Replay checked-in regressions first (failures are not re-persisted).
+    for seed in read_regression_seeds(&reg_path) {
+        run_case(seed, false, &mut failures);
+        if !failures.is_empty() {
+            panic!("[regression replay] {}", failures.join("\n"));
+        }
+    }
+
+    let base = fnv1a(test_name) ^ fnv1a(file);
+    for i in 0..config.cases {
+        run_case(base.wrapping_add(i as u64), true, &mut failures);
+        if !failures.is_empty() {
+            panic!("{}", failures.join("\n"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (5usize..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let w = (-3i64..4).generate(&mut rng);
+            assert!((-3..4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn oneof_and_select_cover_options() {
+        let strat = prop_oneof![Just(1u32), Just(2), Just(3)];
+        let mut rng = TestRng::new(1);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+        let sel = sample::select(vec!["a", "b"]);
+        let mut any_a = false;
+        for _ in 0..50 {
+            any_a |= sel.generate(&mut rng) == "a";
+        }
+        assert!(any_a);
+    }
+
+    #[test]
+    fn vec_strategy_respects_len_range() {
+        let strat = collection::vec(0u8..10, 1..5);
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn regression_seed_lines_parse() {
+        let dir = std::env::temp_dir().join("proptest-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# comment\ncc 181ff05d17399b8bf77b810d334ae34ad0534835b1acc10ef438297f3e2713fe # shrinks to x = 1\n",
+        )
+        .unwrap();
+        let seeds = read_regression_seeds(&path);
+        assert_eq!(seeds.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro wires arguments, config, and assertions together.
+        #[test]
+        fn macro_smoke(x in 0usize..100, flag in any::<bool>()) {
+            prop_assert!(x < 100, "x out of range: {}", x);
+            prop_assert_eq!(usize::from(flag) / 2, 0);
+            if x == 1000 {
+                return Ok(()); // exercise early return like real tests do
+            }
+        }
+    }
+}
