@@ -174,6 +174,36 @@ fn observe_mscclpp_allreduce(t: Target, bytes: usize) -> StackRun {
     snapshot("mscclpp", bytes, timing.elapsed().as_us(), &e)
 }
 
+/// Runs a **verified** MSCCL++ AllReduce under an active fault plan and
+/// snapshots the engine. The plan is installed before any communicator
+/// state is built so that proxy retry jitter derives from the plan seed.
+/// `algo` forces a specific algorithm (bypassing degradation re-planning);
+/// `None` uses the default selection, which re-plans around permanent
+/// faults. The output is verified — a latency is only reported when the
+/// collective survived the faults with a correct result.
+pub fn observe_mscclpp_faulted(
+    t: Target,
+    bytes: usize,
+    plan: sim::FaultPlan,
+    algo: Option<collective::AllReduceAlgo>,
+) -> StackRun {
+    let count = bytes / 2;
+    let mut e = fresh_engine(t);
+    e.set_fault_plan(plan);
+    let comm = collective::CollComm::new();
+    let ins = alloc_filled(&mut e, t.world(), bytes);
+    let outs = out_bufs(&mut e, t.world(), bytes);
+    let timing = match algo {
+        None => comm.all_reduce(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum),
+        Some(a) => {
+            comm.all_reduce_with(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum, a)
+        }
+    }
+    .expect("mscclpp allreduce under faults");
+    verify_allreduce(&e, &outs, bytes, t.world(), "mscclpp+faults");
+    snapshot("mscclpp", bytes, timing.elapsed().as_us(), &e)
+}
+
 fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -212,13 +242,35 @@ fn push_run(out: &mut String, run: &StackRun) {
 
 /// Serializes a set of observed runs as one JSON document.
 pub fn runs_to_json(title: &str, t: Target, runs: &[StackRun]) -> String {
+    runs_to_json_with_fault(title, t, None, runs)
+}
+
+/// Like [`runs_to_json`] but records the fault plan the runs executed
+/// under: the header carries `"fault"` — `null` for a healthy run, or
+/// `{"seed":…,"summary":"…"}` so a report is reproducible from its JSON
+/// alone (same seed + same plan ⇒ bit-identical timings and counters).
+pub fn runs_to_json_with_fault(
+    title: &str,
+    t: Target,
+    fault: Option<&sim::FaultPlan>,
+    runs: &[StackRun],
+) -> String {
     let mut out = String::new();
+    let fault_json = match fault {
+        None => "null".to_owned(),
+        Some(p) => format!(
+            "{{\"seed\":{},\"summary\":\"{}\"}}",
+            p.seed,
+            esc(&p.summary())
+        ),
+    };
     out.push_str(&format!(
-        "{{\"title\":\"{}\",\"environment\":\"{}\",\"nodes\":{},\"world\":{},\"runs\":[",
+        "{{\"title\":\"{}\",\"environment\":\"{}\",\"nodes\":{},\"world\":{},\"fault\":{},\"runs\":[",
         esc(title),
         esc(&t.env.spec(t.nodes).name),
         t.nodes,
-        t.world()
+        t.world(),
+        fault_json
     ));
     for (i, run) in runs.iter().enumerate() {
         if i > 0 {
@@ -286,5 +338,39 @@ mod tests {
         assert_eq!(json.matches("\"stack\":").count(), 3);
         assert!(json.contains("\"sync.waits\":"));
         assert!(json.contains("\"label\":\"egress r0\""));
+        assert!(json.contains("\"fault\":null"), "healthy header: {json}");
+    }
+
+    #[test]
+    fn faulted_run_retries_and_reports_the_plan() {
+        let t = Target {
+            env: EnvKind::A100_40G,
+            nodes: 1,
+        };
+        // Flap every NVLink path for 20 us early in the run: the proxies
+        // must retry, and the result must still verify.
+        let mut plan = sim::FaultPlan::new(11);
+        for dst in 1..8 {
+            plan = plan.link_flap(
+                0,
+                dst,
+                sim::Time::from_ps(2_000_000),
+                sim::Time::from_ps(22_000_000),
+            );
+        }
+        let run = observe_mscclpp_faulted(
+            t,
+            1 << 20,
+            plan.clone(),
+            Some(collective::AllReduceAlgo::TwoPhasePort),
+        );
+        assert!(
+            run.counter("retry.attempts") > 0,
+            "flap never hit a proxy: {:?}",
+            run.counters
+        );
+        let json = runs_to_json_with_fault("chaos", t, Some(&plan), &[run]);
+        assert!(json.contains("\"fault\":{\"seed\":11,"), "{json}");
+        assert!(json.contains("link 0<->1 down"), "{json}");
     }
 }

@@ -12,7 +12,8 @@ use std::cell::Cell;
 
 use hw::{BufferId, DataType, Rank, ReduceOp};
 use mscclpp::{
-    DeviceBarrier, Error, Kernel, KernelBuilder, Protocol, Result, Setup, SwitchChannel,
+    DeviceBarrier, Error, Kernel, KernelBuilder, LinkDownError, MemoryChannel, Protocol, Result,
+    Setup, SwitchChannel,
 };
 
 use crate::wiring::{split_range, MemMesh, PortMesh};
@@ -636,6 +637,212 @@ impl TwoPhaseSwitch {
                     // Completion semantics: a rank's kernel may not exit
                     // before every broadcast into its output has landed.
                     tb.barrier(&self.barriers[ig]);
+                }
+            }
+            out.push(kb.build());
+        }
+        Ok(out)
+    }
+}
+
+/// Finds a cyclic ordering of `0..n` whose consecutive pairs (including
+/// the wrap-around) all avoid the `dead` undirected edges, by
+/// backtracking — n is at most 8 in every simulated environment, so the
+/// search is trivial.
+fn hamiltonian_ring(n: usize, dead: &[(usize, usize)]) -> Option<Vec<usize>> {
+    fn blocked(dead: &[(usize, usize)], a: usize, b: usize) -> bool {
+        dead.iter().any(|&(x, y)| (x, y) == (a.min(b), a.max(b)))
+    }
+    fn extend(path: &mut Vec<usize>, used: &mut [bool], n: usize, dead: &[(usize, usize)]) -> bool {
+        if path.len() == n {
+            return !blocked(dead, path[n - 1], path[0]);
+        }
+        let last = *path.last().unwrap();
+        for next in 1..n {
+            if !used[next] && !blocked(dead, last, next) {
+                used[next] = true;
+                path.push(next);
+                if extend(path, used, n, dead) {
+                    return true;
+                }
+                path.pop();
+                used[next] = false;
+            }
+        }
+        false
+    }
+    let mut path = vec![0usize];
+    if n == 1 {
+        return Some(path);
+    }
+    let mut used = vec![false; n];
+    used[0] = true;
+    if extend(&mut path, &mut used, n, dead) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+/// Ring AllReduce over HB memory channels: reduce-scatter then all-gather
+/// around a cycle of the ranks. Bandwidth-optimal but latency-bound
+/// (2(n-1) serialized steps), so it is never selected on a healthy
+/// machine — it exists as the degraded-topology fallback: the ring
+/// ordering is chosen to avoid links the active fault plan marks
+/// permanently down, letting the collective complete (bit-correct,
+/// measurably slower) on a mesh with a dead link.
+#[derive(Debug)]
+pub(crate) struct RingAllReduce {
+    ranks: Vec<Rank>,
+    /// `ring[pos]` is the index into `ranks` at ring position `pos`.
+    ring: Vec<usize>,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    cap: usize,
+    /// Endpoint on the rank at ring position `pos` putting into its
+    /// successor's scratch (reduce-scatter direction).
+    rs_fwd: Vec<MemoryChannel>,
+    /// Endpoint on the rank at ring position `pos` signalled by its
+    /// predecessor's reduce-scatter puts.
+    rs_back: Vec<MemoryChannel>,
+    /// All-gather counterparts of `rs_fwd` / `rs_back`, putting directly
+    /// into the successor's output.
+    ag_fwd: Vec<MemoryChannel>,
+    ag_back: Vec<MemoryChannel>,
+    /// Per-rank receive scratch (full message capacity), indexed by rank.
+    scratch: Vec<BufferId>,
+}
+
+impl RingAllReduce {
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        ranks: &[Rank],
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+    ) -> Result<RingAllReduce> {
+        let n = ranks.len();
+        if n < 2 {
+            return Err(Error::InvalidArgument(
+                "ring allreduce needs at least two ranks".into(),
+            ));
+        }
+        // Translate the plan's permanently dead pairs into local indices
+        // and pick a ring ordering that avoids all of them.
+        let dead: Vec<(usize, usize)> = setup
+            .fault_plan()
+            .map(|p| p.permanent_link_downs())
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|(a, b)| {
+                let ia = ranks.iter().position(|r| r.0 == a)?;
+                let ib = ranks.iter().position(|r| r.0 == b)?;
+                Some((ia.min(ib), ia.max(ib)))
+            })
+            .collect();
+        let ring = hamiltonian_ring(n, &dead).ok_or_else(|| {
+            let (a, b) = dead.first().copied().unwrap_or((0, 0));
+            LinkDownError {
+                src: ranks[a].0,
+                dst: ranks[b].0,
+                context: "ring allreduce: no ring ordering avoids the dead links".into(),
+            }
+        })?;
+        let scratch: Vec<BufferId> = (0..setup.world_size())
+            .map(|r| setup.alloc(Rank(r), cap))
+            .collect();
+        let mut rs_fwd = Vec::with_capacity(n);
+        let mut ag_fwd = Vec::with_capacity(n);
+        let mut rs_in = Vec::with_capacity(n); // arrival endpoint of edge `pos`
+        let mut ag_in = Vec::with_capacity(n);
+        for pos in 0..n {
+            let u = ranks[ring[pos]];
+            let v = ranks[ring[(pos + 1) % n]];
+            let (ca, cb) = setup.memory_channel_pair(
+                u,
+                outputs[u.0],
+                scratch[v.0],
+                v,
+                outputs[v.0],
+                scratch[u.0],
+                Protocol::HB,
+            )?;
+            rs_fwd.push(ca);
+            rs_in.push(cb);
+            let (da, db) = setup.memory_channel_pair(
+                u,
+                outputs[u.0],
+                outputs[v.0],
+                v,
+                outputs[v.0],
+                outputs[u.0],
+                Protocol::HB,
+            )?;
+            ag_fwd.push(da);
+            ag_in.push(db);
+        }
+        // The receive endpoint at ring position `pos` belongs to the edge
+        // arriving from its predecessor, i.e. edge `pos - 1`.
+        let rs_back: Vec<MemoryChannel> = (0..n).map(|p| rs_in[(p + n - 1) % n].clone()).collect();
+        let ag_back: Vec<MemoryChannel> = (0..n).map(|p| ag_in[(p + n - 1) % n].clone()).collect();
+        Ok(RingAllReduce {
+            ranks: ranks.to_vec(),
+            ring,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            rs_fwd,
+            rs_back,
+            ag_fwd,
+            ag_back,
+            scratch,
+        })
+    }
+
+    pub fn kernels(&self, bytes: usize, dtype: DataType, op: ReduceOp) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let n = self.ring.len();
+        let es = dtype.size();
+        let count = bytes / es;
+        let chunk = |i: usize| split_range(count, n, i);
+        let mut out = Vec::with_capacity(n);
+        for pos in 0..n {
+            let g = self.ranks[self.ring[pos]];
+            let mut kb = KernelBuilder::new(g);
+            {
+                let mut tb = kb.block(0);
+                tb.copy(self.inputs[g.0], 0, self.outputs[g.0], 0, bytes);
+                // Reduce-scatter: at step s, forward chunk (pos - s) to the
+                // successor's scratch and fold the predecessor's chunk
+                // (pos - s - 1) into the output; after n-1 steps this rank
+                // owns the fully reduced chunk (pos + 1).
+                for s in 0..n - 1 {
+                    let (ss, sl) = chunk((pos + n - s) % n);
+                    tb.put_with_signal(&self.rs_fwd[pos], ss * es, ss * es, sl * es);
+                    let (rs, rl) = chunk((pos + 2 * n - s - 1) % n);
+                    tb.wait(&self.rs_back[pos]);
+                    tb.reduce(
+                        self.scratch[g.0],
+                        rs * es,
+                        self.outputs[g.0],
+                        rs * es,
+                        rl * es,
+                        dtype,
+                        op,
+                    );
+                }
+                // All-gather: forward chunk (pos + 1 - s) — the one that
+                // arrived the previous step — directly into the
+                // successor's output.
+                for s in 0..n - 1 {
+                    let (ss, sl) = chunk((pos + 1 + n - s) % n);
+                    tb.put_with_signal(&self.ag_fwd[pos], ss * es, ss * es, sl * es);
+                    tb.wait(&self.ag_back[pos]);
                 }
             }
             out.push(kb.build());

@@ -57,12 +57,12 @@ use mscclpp::{run_kernels, Kernel, KernelTiming, Overheads, Protocol, Result, Se
 use sim::Engine;
 
 pub use algos::{PeerOrder, ScratchReuse};
-pub use selector::{select_all_gather, select_all_reduce};
+pub use selector::{degrade_all_reduce, select_all_gather, select_all_reduce};
 
 use algos::all_to_all::AllPairsAllToAll;
 use algos::allgather::{AllPairsAllGather, AllPairsAllGatherPort, HierAllGather};
 use algos::allreduce::{
-    OnePhaseAllPairs, TwoPhaseAllPairsHb, TwoPhaseAllPairsLl, TwoPhaseAllPairsPort,
+    OnePhaseAllPairs, RingAllReduce, TwoPhaseAllPairsHb, TwoPhaseAllPairsLl, TwoPhaseAllPairsPort,
     TwoPhaseHierarchical, TwoPhaseSwitch,
 };
 use algos::broadcast::{AllPairsBroadcast, SwitchBroadcast};
@@ -94,6 +94,10 @@ pub enum AllReduceAlgo {
     /// Hierarchical, HB local phases with sub-shard cross-node exchange
     /// (multi-node large messages).
     HierHb,
+    /// Ring reduce-scatter + all-gather over HB memory channels, ordered
+    /// to avoid links the fault plan marks permanently down. Never
+    /// selected on a healthy machine — the degraded-topology fallback.
+    Ring,
 }
 
 /// An AllGather algorithm choice.
@@ -175,6 +179,7 @@ enum Prepared {
     Ar2paPort(Rc<TwoPhaseAllPairsPort>),
     Ar2paSwitch(Rc<TwoPhaseSwitch>),
     ArHier(Rc<TwoPhaseHierarchical>),
+    ArRing(Rc<RingAllReduce>),
     AgAp(Rc<AllPairsAllGather>),
     AgPort(Rc<AllPairsAllGatherPort>),
     AgHier(Rc<HierAllGather>),
@@ -282,7 +287,14 @@ impl CollComm {
         if let Some(custom) = &self.custom_all_reduce {
             return custom.run(engine, inputs, outputs, count, dtype, op);
         }
-        let algo = select_all_reduce(engine.world(), count * dtype.size());
+        let selected = select_all_reduce(engine.world(), count * dtype.size());
+        // Graceful degradation: permanent faults in the active fault plan
+        // force a re-plan onto whatever topology is still alive (explicit
+        // all_reduce_with calls run as-asked and surface the fault).
+        let algo = degrade_all_reduce(engine, selected);
+        if algo != selected {
+            engine.count("fault.replans", 1);
+        }
         self.all_reduce_with(engine, inputs, outputs, count, dtype, op, algo)
     }
 
@@ -317,6 +329,7 @@ impl CollComm {
             Prepared::Ar2paPort(a) => a.kernels(bytes, dtype, op)?,
             Prepared::Ar2paSwitch(a) => a.kernels(bytes, dtype, op)?,
             Prepared::ArHier(a) => a.kernels(bytes, dtype, op)?,
+            Prepared::ArRing(a) => a.kernels(bytes, dtype, op)?,
             _ => unreachable!("allreduce key maps to allreduce algorithm"),
         };
         drop(prepared);
@@ -587,6 +600,9 @@ impl CollComm {
                 )?)),
                 AllReduceAlgo::HierHb => Prepared::ArHier(Rc::new(TwoPhaseHierarchical::prepare(
                     &mut setup, inputs, outputs, cap, tl, true,
+                )?)),
+                AllReduceAlgo::Ring => Prepared::ArRing(Rc::new(RingAllReduce::prepare(
+                    &mut setup, &world, inputs, outputs, cap,
                 )?)),
             },
             Key::Ag(algo, _, _) => match *algo {

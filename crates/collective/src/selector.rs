@@ -7,6 +7,7 @@
 //! algorithms serve multi-node clusters (LL small, HB large).
 
 use hw::Machine;
+use sim::Engine;
 
 use crate::{AllGatherAlgo, AllReduceAlgo, PeerOrder, ScratchReuse};
 
@@ -36,6 +37,42 @@ pub fn select_all_reduce(machine: &Machine, bytes: usize) -> AllReduceAlgo {
             order: PeerOrder::Staggered,
         }
     }
+}
+
+/// Re-plans `selected` onto the degraded topology described by the
+/// engine's active fault plan. Only *permanent* faults trigger a
+/// re-plan — transient flaps, degradation and stalls are absorbed by the
+/// transport layer's retries and delays. Two degradations exist:
+///
+/// * multimem permanently down: `TwoPhaseSwitch` falls back to the HB
+///   all-pairs variant (no switch reduction, still all NVLink ports);
+/// * a permanently dead intra-node pair link: every all-pairs pattern
+///   needs that link, so single-node plans fall back to
+///   [`AllReduceAlgo::Ring`], whose ordering routes around dead links.
+///
+/// Returns `selected` unchanged when no permanent fault affects it.
+pub fn degrade_all_reduce(engine: &Engine<Machine>, selected: AllReduceAlgo) -> AllReduceAlgo {
+    let Some(plan) = engine.fault_plan() else {
+        return selected;
+    };
+    let topo = engine.world().topology();
+    let mut algo = selected;
+    if algo == AllReduceAlgo::TwoPhaseSwitch && plan.multimem_permanently_down() {
+        algo = AllReduceAlgo::TwoPhaseHb {
+            order: PeerOrder::Staggered,
+        };
+    }
+    if topo.nodes() == 1 {
+        let world = topo.world_size();
+        let any_dead = plan
+            .permanent_link_downs()
+            .into_iter()
+            .any(|(a, b)| a < world && b < world);
+        if any_dead {
+            algo = AllReduceAlgo::Ring;
+        }
+    }
+    algo
 }
 
 /// Picks the default AllGather algorithm for `bytes` contributed per

@@ -404,6 +404,122 @@ fn broadcast_switch_h100() {
     }
 }
 
+#[test]
+fn allreduce_ring_healthy() {
+    check_allreduce(EnvKind::A100_40G, 1, 100_000, AllReduceAlgo::Ring);
+}
+
+#[test]
+fn allreduce_ring_mi300x() {
+    check_allreduce(EnvKind::MI300X, 1, 64, AllReduceAlgo::Ring);
+}
+
+#[test]
+fn allreduce_ring_routes_around_dead_link() {
+    // A mesh link dies permanently before launch. The auto path must
+    // re-plan onto a ring ordering that avoids the dead pair and still
+    // produce the correct sums — measurably slower than a healthy run.
+    let count = 500_000usize;
+    let healthy = allreduce_time(
+        EnvKind::MI300X,
+        1,
+        count,
+        AllReduceAlgo::TwoPhaseHb {
+            order: PeerOrder::Staggered,
+        },
+    );
+
+    let mut e = engine(EnvKind::MI300X, 1);
+    e.set_fault_plan(sim::FaultPlan::new(7).link_down_forever(2, 3, sim::Time::ZERO));
+    let inputs = alloc_all(&mut e, count * 4);
+    let outputs = alloc_all(&mut e, count * 4);
+    fill_inputs(&mut e, &inputs);
+    let comm = CollComm::new();
+    let t = comm
+        .all_reduce(
+            &mut e,
+            &inputs,
+            &outputs,
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+        )
+        .expect("degraded plan must complete");
+    assert!(
+        e.metrics().counter("fault.replans") >= 1,
+        "auto path must record the re-plan"
+    );
+    for r in 0..8 {
+        let got = e.world().pool().to_f32_vec(outputs[r], DataType::F32);
+        for i in [0, count / 3, count - 1] {
+            let want: f32 = (0..8).map(|s| input_val(s, i)).sum();
+            assert!((got[i] - want).abs() < 1e-3, "rank {r} elem {i}");
+        }
+    }
+    assert!(
+        t.elapsed().as_us() > healthy,
+        "ring fallback ({}us) should be slower than healthy all-pairs ({healthy}us)",
+        t.elapsed().as_us()
+    );
+}
+
+#[test]
+fn allreduce_degrades_switch_to_hb_when_multimem_dies() {
+    let count = 800_000usize;
+    let mut e = engine(EnvKind::H100, 1);
+    e.set_fault_plan(sim::FaultPlan::new(1).multimem_down_forever(sim::Time::ZERO));
+    let inputs = alloc_all(&mut e, count * 4);
+    let outputs = alloc_all(&mut e, count * 4);
+    fill_inputs(&mut e, &inputs);
+    let comm = CollComm::new();
+    comm.all_reduce(
+        &mut e,
+        &inputs,
+        &outputs,
+        count,
+        DataType::F32,
+        ReduceOp::Sum,
+    )
+    .expect("switch plan must fall back to HB");
+    assert!(e.metrics().counter("fault.replans") >= 1);
+    assert_eq!(
+        e.metrics().counter("instr.switch_reduce"),
+        0,
+        "degraded plan must not touch the dead multimem unit"
+    );
+    let got = e.world().pool().to_f32_vec(outputs[4], DataType::F32);
+    let want: f32 = (0..8).map(|s| input_val(s, 11)).sum();
+    assert!((got[11] - want).abs() < 1e-3);
+}
+
+#[test]
+fn allreduce_ring_fails_typed_when_no_ring_exists() {
+    // Rank 0 loses every link: no Hamiltonian cycle exists and the
+    // planner must say which pair is dead rather than hang.
+    let mut e = engine(EnvKind::MI300X, 1);
+    let mut plan = sim::FaultPlan::new(3);
+    for peer in 1..8 {
+        plan = plan.link_down_forever(0, peer, sim::Time::ZERO);
+    }
+    e.set_fault_plan(plan);
+    let inputs = alloc_all(&mut e, 4096);
+    let outputs = alloc_all(&mut e, 4096);
+    let comm = CollComm::new();
+    let err = comm
+        .all_reduce_with(
+            &mut e,
+            &inputs,
+            &outputs,
+            1024,
+            DataType::F32,
+            ReduceOp::Sum,
+            AllReduceAlgo::Ring,
+        )
+        .unwrap_err();
+    assert!(matches!(err, mscclpp::Error::LinkDown(_)), "{err}");
+    assert!(err.to_string().contains("permanently down"), "{err}");
+}
+
 // ---- Performance relationships the selector depends on -----------------
 
 fn allreduce_time(kind: EnvKind, nodes: usize, count: usize, algo: AllReduceAlgo) -> f64 {

@@ -43,9 +43,9 @@ pub use dtype::{
     f16_to_f32 as dtype_f16_to_f32, f32_to_f16 as dtype_f32_to_f16, DataType, ReduceOp,
 };
 pub use machine::{
-    intra_latency, link_stats, local_copy_time, local_reduce_time, multimem_broadcast_time,
-    multimem_reduce_time, net_latency, net_time, p2p_time, port_utilization, supports_multimem,
-    wire, CopyMode, Machine, PortUtilization, Xfer,
+    intra_latency, link_fault, link_stats, local_copy_time, local_reduce_time,
+    multimem_broadcast_time, multimem_fault, multimem_reduce_time, net_latency, net_time, p2p_time,
+    port_utilization, supports_multimem, wire, CopyMode, LinkFault, Machine, PortUtilization, Xfer,
 };
 pub use memory::{BufferId, MemoryPool};
 pub use spec::{EnvKind, EnvSpec, GpuSpec, IntraKind, IntraSpec, MultimemSpec, NetSpec};

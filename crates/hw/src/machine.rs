@@ -145,6 +145,108 @@ pub fn wire(engine: &mut Engine<Machine>) {
     engine.world_mut().res = Some(res);
 }
 
+/// Fault status of a path, as seen by callers that must decide between
+/// retrying (transient flap) and giving up or re-planning (permanent
+/// outage). Derived from the engine's [`sim::FaultPlan`], so every stack
+/// built on this machine model sees the same fault schedule.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The path is healthy.
+    Up,
+    /// The path is flapping; expected back at the given instant. Transfers
+    /// started now are delayed, a retry after `until` will go through.
+    Transient {
+        /// When the current flap window ends.
+        until: Time,
+    },
+    /// The path is permanently down: no retry will ever succeed.
+    Down,
+}
+
+fn classify(st: sim::PathState) -> LinkFault {
+    if st.down {
+        LinkFault::Down
+    } else if let Some(until) = st.down_until {
+        LinkFault::Transient { until }
+    } else {
+        LinkFault::Up
+    }
+}
+
+/// Current fault status of the `src`↔`dst` path.
+pub fn link_fault(ctx: &Ctx<'_, Machine>, src: Rank, dst: Rank) -> LinkFault {
+    match ctx.fault_plan() {
+        None => LinkFault::Up,
+        Some(p) => classify(p.path(ctx.now(), src.0, dst.0)),
+    }
+}
+
+/// Current fault status of the switch multimem datapath.
+pub fn multimem_fault(ctx: &Ctx<'_, Machine>) -> LinkFault {
+    match ctx.fault_plan() {
+        None => LinkFault::Up,
+        Some(p) => classify(p.multimem(ctx.now())),
+    }
+}
+
+/// Earliest start instant and bandwidth slowdown imposed by active faults
+/// on the `src`↔`dst` path. A transient down window pushes the start to
+/// the window end (flap semantics); degradations stretch the busy span.
+/// Permanent outages are NOT absorbed here — callers must consult
+/// [`link_fault`] and park or re-plan instead of transferring.
+fn path_adjust(ctx: &mut Ctx<'_, Machine>, src: Rank, dst: Rank) -> (Time, f64) {
+    let now = ctx.now();
+    let st = match ctx.fault_plan() {
+        Some(p) => p.path(now, src.0, dst.0),
+        None => return (now, 1.0),
+    };
+    debug_assert!(
+        !st.down,
+        "transfer started on permanently-down path {src}<->{dst} (caller must guard)"
+    );
+    let mut earliest = now;
+    if let Some(until) = st.down_until {
+        earliest = earliest.max(until);
+        ctx.count("fault.link_flap_delays", 1);
+    }
+    if st.slow != 1.0 {
+        ctx.count("fault.degraded_transfers", 1);
+    }
+    (earliest, st.slow)
+}
+
+/// [`path_adjust`], for the multimem datapath.
+fn multimem_adjust(ctx: &mut Ctx<'_, Machine>) -> (Time, f64) {
+    let now = ctx.now();
+    let st = match ctx.fault_plan() {
+        Some(p) => p.multimem(now),
+        None => return (now, 1.0),
+    };
+    debug_assert!(
+        !st.down,
+        "multimem transfer while datapath permanently down (caller must guard)"
+    );
+    let mut earliest = now;
+    if let Some(until) = st.down_until {
+        earliest = earliest.max(until);
+        ctx.count("fault.link_flap_delays", 1);
+    }
+    if st.slow != 1.0 {
+        ctx.count("fault.degraded_transfers", 1);
+    }
+    (earliest, st.slow)
+}
+
+/// Stretches a busy span by an active degradation factor. `slow == 1.0`
+/// (the fault-free case) returns the span untouched, bit-exactly.
+fn scaled(busy: Duration, slow: f64) -> Duration {
+    if slow == 1.0 {
+        busy
+    } else {
+        Duration::from_ps(((busy.as_ps() as f64) * slow).round() as u64)
+    }
+}
+
 /// The two timestamps of an asynchronous transfer.
 ///
 /// A `put` issued by GPU threads (or a DMA engine) finishes *occupying the
@@ -171,10 +273,15 @@ pub struct Xfer {
 /// densely, which matches measured link utilization under all-to-all
 /// traffic; a common-start reservation would instead create artificial
 /// convoy bubbles.
-fn acquire_each(ctx: &mut Ctx<'_, Machine>, resources: &[ResourceId], busy: Duration) -> Time {
+fn acquire_each(
+    ctx: &mut Ctx<'_, Machine>,
+    resources: &[ResourceId],
+    earliest: Time,
+    busy: Duration,
+) -> Time {
     let mut done = ctx.now();
     for &r in resources {
-        done = done.max(ctx.acquire(r, busy));
+        done = done.max(ctx.acquire_after(r, earliest, busy));
     }
     done
 }
@@ -221,6 +328,7 @@ pub fn p2p_time(
         "p2p transfer across nodes ({src} -> {dst}); use net_time"
     );
     let latency = ctx.world.spec.intra.latency;
+    let (earliest, slow) = path_adjust(ctx, src, dst);
     match ctx.world.spec.intra.kind {
         IntraKind::Switch {
             thread_gbps,
@@ -231,15 +339,15 @@ pub fn p2p_time(
                 CopyMode::Thread => thread_gbps,
                 CopyMode::Dma => dma_gbps,
             };
-            let busy = Duration::for_transfer(bytes, gbps);
+            let busy = scaled(Duration::for_transfer(bytes, gbps), slow);
             let res = ctx.world.res();
             // Modern GPUs have several copy engines, so DMA transfers are
             // bounded by the port bandwidth, not a single engine.
             let (eg, ing) = (res.egress[src.0], res.ingress[dst.0]);
             ctx.meter_bytes(eg, bytes);
             ctx.meter_bytes(ing, bytes);
-            let sender_free = ctx.acquire(eg, busy);
-            let landed = sender_free.max(ctx.acquire(ing, busy));
+            let sender_free = ctx.acquire_after(eg, earliest, busy);
+            let landed = sender_free.max(ctx.acquire_after(ing, earliest, busy));
             Xfer {
                 sender_free,
                 arrival: landed + latency,
@@ -253,25 +361,25 @@ pub fn p2p_time(
                 CopyMode::Thread => per_peer_thread_gbps,
                 CopyMode::Dma => per_peer_dma_gbps,
             };
-            let busy = Duration::for_transfer(bytes, gbps);
+            let busy = scaled(Duration::for_transfer(bytes, gbps), slow);
             let res = ctx.world.res();
             let link =
                 res.pair[src.0][topo.local_index(dst)].expect("mesh pair link missing (src==dst?)");
             ctx.meter_bytes(link, bytes);
-            let free = ctx.acquire(link, busy);
+            let free = ctx.acquire_after(link, earliest, busy);
             Xfer {
                 sender_free: free,
                 arrival: free + latency,
             }
         }
         IntraKind::Pcie { gbps } => {
-            let busy = Duration::for_transfer(bytes, gbps);
+            let busy = scaled(Duration::for_transfer(bytes, gbps), slow);
             let res = ctx.world.res();
             let (eg, ing) = (res.egress[src.0], res.ingress[dst.0]);
             ctx.meter_bytes(eg, bytes);
             ctx.meter_bytes(ing, bytes);
-            let sender_free = ctx.acquire(eg, busy);
-            let landed = sender_free.max(ctx.acquire(ing, busy));
+            let sender_free = ctx.acquire_after(eg, earliest, busy);
+            let landed = sender_free.max(ctx.acquire_after(ing, earliest, busy));
             Xfer {
                 sender_free,
                 arrival: landed + latency,
@@ -302,13 +410,26 @@ pub fn net_time(ctx: &mut Ctx<'_, Machine>, src: Rank, dst: Rank, bytes: u64) ->
         .spec
         .net
         .expect("environment has no inter-node network");
-    let busy = Duration::for_transfer(bytes, net.gbps);
+    let (mut earliest, slow) = path_adjust(ctx, src, dst);
+    let stall = match ctx.fault_plan() {
+        Some(p) => {
+            let now = ctx.now();
+            p.nic_extra(now, src.0)
+                .saturating_add(p.nic_extra(now, dst.0))
+        }
+        None => Duration::ZERO,
+    };
+    if stall > Duration::ZERO {
+        ctx.count("fault.nic_stalls", 1);
+        earliest += stall;
+    }
+    let busy = scaled(Duration::for_transfer(bytes, net.gbps), slow);
     let res = ctx.world.res();
     let (snd, rcv) = (res.nic_send[src.0], res.nic_recv[dst.0]);
     ctx.meter_bytes(snd, bytes);
     ctx.meter_bytes(rcv, bytes);
-    let sender_free = ctx.acquire(snd, busy);
-    let landed = sender_free.max(ctx.acquire(rcv, busy));
+    let sender_free = ctx.acquire_after(snd, earliest, busy);
+    let landed = sender_free.max(ctx.acquire_after(rcv, earliest, busy));
     Xfer {
         sender_free,
         arrival: landed + net.latency,
@@ -346,8 +467,9 @@ pub fn net_latency(machine: &Machine) -> Duration {
 /// Panics if the interconnect has no multimem support.
 pub fn multimem_reduce_time(ctx: &mut Ctx<'_, Machine>, dst: Rank, bytes: u64) -> Time {
     let (gbps, latency) = multimem_params(ctx);
+    let (earliest, slow) = multimem_adjust(ctx);
     let topo = ctx.world.topology();
-    let busy = Duration::for_transfer(bytes, gbps);
+    let busy = scaled(Duration::for_transfer(bytes, gbps), slow);
     let res = ctx.world.res();
     let mut rs = vec![res.ingress[dst.0]];
     for peer in topo.node_ranks(dst) {
@@ -359,7 +481,7 @@ pub fn multimem_reduce_time(ctx: &mut Ctx<'_, Machine>, dst: Rank, bytes: u64) -
         ctx.meter_bytes(r, bytes);
     }
     // The reader blocks until the reduced values land in its registers.
-    acquire_each(ctx, &rs, busy) + latency
+    acquire_each(ctx, &rs, earliest, busy) + latency
 }
 
 /// Completion time of a switch multimem store-broadcast: rank `src` writes
@@ -373,8 +495,9 @@ pub fn multimem_reduce_time(ctx: &mut Ctx<'_, Machine>, dst: Rank, bytes: u64) -
 /// Panics if the interconnect has no multimem support.
 pub fn multimem_broadcast_time(ctx: &mut Ctx<'_, Machine>, src: Rank, bytes: u64) -> Xfer {
     let (gbps, latency) = multimem_params(ctx);
+    let (earliest, slow) = multimem_adjust(ctx);
     let topo = ctx.world.topology();
-    let busy = Duration::for_transfer(bytes, gbps);
+    let busy = scaled(Duration::for_transfer(bytes, gbps), slow);
     let res = ctx.world.res();
     let eg = res.egress[src.0];
     let ins: Vec<ResourceId> = topo
@@ -386,8 +509,8 @@ pub fn multimem_broadcast_time(ctx: &mut Ctx<'_, Machine>, src: Rank, bytes: u64
     for &r in &ins {
         ctx.meter_bytes(r, bytes);
     }
-    let sender_free = ctx.acquire(eg, busy);
-    let landed = sender_free.max(acquire_each(ctx, &ins, busy));
+    let sender_free = ctx.acquire_after(eg, earliest, busy);
+    let landed = sender_free.max(acquire_each(ctx, &ins, earliest, busy));
     Xfer {
         sender_free,
         arrival: landed + latency,
@@ -626,6 +749,95 @@ mod tests {
     fn double_wire_rejected() {
         let mut e = engine(EnvKind::A100_40G, 1);
         wire(&mut e);
+    }
+
+    #[test]
+    fn link_flap_delays_transfer_to_window_end() {
+        use sim::FaultPlan;
+        let bytes = 227_000u64; // 1 us at 227 GB/s
+        let mut e = engine(EnvKind::A100_40G, 1);
+        e.set_fault_plan(FaultPlan::new(7).link_flap(
+            0,
+            1,
+            Time::ZERO,
+            Time::from_ps(5_000_000), // down for the first 5 us
+        ));
+        let done = run_one(&mut e, move |ctx| {
+            p2p_time(ctx, Rank(0), Rank(1), bytes, CopyMode::Thread).sender_free
+        });
+        assert_eq!(done, Time::from_ps(6_000_000), "5us flap + 1us transfer");
+        assert_eq!(e.metrics().counter("fault.link_flap_delays"), 1);
+        // An untouched pair is unaffected.
+        let mut e2 = engine(EnvKind::A100_40G, 1);
+        e2.set_fault_plan(FaultPlan::new(7).link_flap(0, 1, Time::ZERO, Time::from_ps(5_000_000)));
+        let clean = run_one(&mut e2, move |ctx| {
+            p2p_time(ctx, Rank(2), Rank(3), bytes, CopyMode::Thread).sender_free
+        });
+        assert_eq!(clean, Time::from_ps(1_000_000));
+    }
+
+    #[test]
+    fn degraded_link_stretches_busy_time() {
+        use sim::FaultPlan;
+        let bytes = 227_000u64; // 1 us clean
+        let mut e = engine(EnvKind::A100_40G, 1);
+        e.set_fault_plan(FaultPlan::new(7).degrade_link(0, 1, 4.0, Time::ZERO, Time::MAX));
+        let done = run_one(&mut e, move |ctx| {
+            p2p_time(ctx, Rank(0), Rank(1), bytes, CopyMode::Thread).sender_free
+        });
+        assert_eq!(
+            done,
+            Time::from_ps(4_000_000),
+            "4x slower under degradation"
+        );
+        assert_eq!(e.metrics().counter("fault.degraded_transfers"), 1);
+    }
+
+    #[test]
+    fn nic_stall_delays_inter_node_transfer() {
+        use sim::FaultPlan;
+        let bytes = 25_000u64; // 1 us at 25 GB/s
+        let mut e = engine(EnvKind::A100_40G, 2);
+        e.set_fault_plan(FaultPlan::new(7).nic_stall(
+            0,
+            Duration::from_us(3.0),
+            Time::ZERO,
+            Time::MAX,
+        ));
+        let done = run_one(&mut e, move |ctx| {
+            net_time(ctx, Rank(0), Rank(8), bytes).sender_free
+        });
+        assert_eq!(done, Time::from_ps(4_000_000), "3us stall + 1us wire");
+        assert_eq!(e.metrics().counter("fault.nic_stalls"), 1);
+    }
+
+    #[test]
+    fn fault_queries_classify_transient_vs_permanent() {
+        use sim::FaultPlan;
+        let mut e = engine(EnvKind::A100_40G, 1);
+        e.set_fault_plan(
+            FaultPlan::new(7)
+                .link_flap(0, 1, Time::ZERO, Time::from_ps(100))
+                .link_down_forever(2, 3, Time::ZERO),
+        );
+        struct Probe;
+        impl Process<Machine> for Probe {
+            fn step(&mut self, ctx: &mut Ctx<'_, Machine>) -> Step {
+                assert_eq!(
+                    link_fault(ctx, Rank(0), Rank(1)),
+                    LinkFault::Transient {
+                        until: Time::from_ps(100)
+                    }
+                );
+                assert_eq!(link_fault(ctx, Rank(2), Rank(3)), LinkFault::Down);
+                assert_eq!(link_fault(ctx, Rank(3), Rank(2)), LinkFault::Down);
+                assert_eq!(link_fault(ctx, Rank(4), Rank(5)), LinkFault::Up);
+                assert_eq!(multimem_fault(ctx), LinkFault::Up);
+                Step::Done
+            }
+        }
+        e.spawn(Probe);
+        e.run().unwrap();
     }
 }
 

@@ -79,6 +79,12 @@ impl<'e> Setup<'e> {
         self.engine
     }
 
+    /// The engine's active fault plan, if any. Degraded-topology planners
+    /// consult this to route around permanently dead links.
+    pub fn fault_plan(&self) -> Option<&sim::FaultPlan> {
+        self.engine.fault_plan()
+    }
+
     /// Allocates a zero-initialized device buffer on `rank`.
     pub fn alloc(&mut self, rank: Rank, bytes: usize) -> BufferId {
         self.engine.world_mut().pool_mut().alloc(rank, bytes)
@@ -230,6 +236,9 @@ impl<'e> Setup<'e> {
         let sem_b = self.engine.alloc_cell();
         let arr_a = self.engine.alloc_cell();
         let arr_b = self.engine.alloc_cell();
+        // Retry jitter derives from the fault-plan seed and the proxy's
+        // endpoints, so each proxy has an independent deterministic stream.
+        let fault_seed = self.engine.fault_plan().map(|p| p.seed).unwrap_or(0);
         let mut make = |local: Rank,
                         peer: Rank,
                         local_buf: BufferId,
@@ -251,6 +260,8 @@ impl<'e> Setup<'e> {
                 peer_arrival,
                 processed: 0,
                 ov: self.ov.clone(),
+                attempts: 0,
+                rng: sim::SimRng::new(fault_seed ^ ((local.0 as u64) << 32) ^ (peer.0 as u64 + 1)),
             });
             PortChannel {
                 local_rank: local,

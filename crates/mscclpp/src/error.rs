@@ -3,12 +3,41 @@
 use std::error::Error as StdError;
 use std::fmt;
 
+/// A required link is permanently down and no degraded plan avoids it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkDownError {
+    /// One endpoint of the dead path (global rank index).
+    pub src: usize,
+    /// The other endpoint.
+    pub dst: usize,
+    /// What was being planned or attempted when the outage was hit.
+    pub context: String,
+}
+
+impl fmt::Display for LinkDownError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "path {}<->{} is permanently down ({})",
+            self.src, self.dst, self.context
+        )
+    }
+}
+
+impl StdError for LinkDownError {}
+
 /// The error type returned by MSCCL++ operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// The simulation deadlocked while executing a kernel — typically a
     /// `wait` with no matching `signal` in a custom algorithm.
     Deadlock(sim::DeadlockError),
+    /// A blocking wait (e.g. a `flush` with a deadline, or any wait under
+    /// the fault plan's watchdog) exceeded its virtual-time deadline. The
+    /// inner error names the hung wait's open span stack.
+    Timeout(sim::TimeoutError),
+    /// A required link is permanently down and could not be routed around.
+    LinkDown(LinkDownError),
     /// A bootstrap exchange failed (peer metadata not yet published, or
     /// mismatched world size).
     Bootstrap(String),
@@ -24,6 +53,8 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Deadlock(e) => write!(f, "kernel deadlocked: {e}"),
+            Error::Timeout(e) => write!(f, "kernel timed out: {e}"),
+            Error::LinkDown(e) => write!(f, "link down: {e}"),
             Error::Bootstrap(m) => write!(f, "bootstrap failed: {m}"),
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported on this hardware: {m}"),
@@ -35,6 +66,8 @@ impl StdError for Error {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             Error::Deadlock(e) => Some(e),
+            Error::Timeout(e) => Some(e),
+            Error::LinkDown(e) => Some(e),
             _ => None,
         }
     }
@@ -43,6 +76,27 @@ impl StdError for Error {
 impl From<sim::DeadlockError> for Error {
     fn from(e: sim::DeadlockError) -> Error {
         Error::Deadlock(e)
+    }
+}
+
+impl From<sim::TimeoutError> for Error {
+    fn from(e: sim::TimeoutError) -> Error {
+        Error::Timeout(e)
+    }
+}
+
+impl From<sim::SimError> for Error {
+    fn from(e: sim::SimError) -> Error {
+        match e {
+            sim::SimError::Deadlock(d) => Error::Deadlock(d),
+            sim::SimError::Timeout(t) => Error::Timeout(t),
+        }
+    }
+}
+
+impl From<LinkDownError> for Error {
+    fn from(e: LinkDownError) -> Error {
+        Error::LinkDown(e)
     }
 }
 
@@ -65,5 +119,71 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Error>();
+    }
+
+    /// Builds a real [`sim::TimeoutError`] by hanging a process with a
+    /// deadline inside a throwaway engine.
+    fn make_timeout() -> sim::TimeoutError {
+        use sim::{Ctx, Duration, Engine, Process, Step};
+        struct Hung;
+        impl Process<()> for Hung {
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Step {
+                ctx.span_begin("allreduce");
+                ctx.span_begin("wait.port_flush");
+                let cell = ctx.alloc_cell();
+                Step::WaitCellTimeout {
+                    cell,
+                    at_least: 1,
+                    timeout: Duration::from_us(5.0),
+                }
+            }
+            fn label(&self) -> String {
+                "tb r0 b0".to_owned()
+            }
+        }
+        let mut e = Engine::new(());
+        e.spawn(Hung);
+        match e.run().unwrap_err() {
+            sim::SimError::Timeout(t) => t,
+            other => panic!("expected timeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn timeout_display_names_span_and_chains_source() {
+        let inner = make_timeout();
+        let e = Error::from(inner.clone());
+        let msg = e.to_string();
+        assert!(msg.starts_with("kernel timed out:"), "{msg}");
+        assert!(msg.contains("wait.port_flush"), "{msg}");
+        assert!(msg.contains("tb r0 b0"), "{msg}");
+        let src = e.source().expect("timeout chains its source");
+        assert_eq!(src.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn link_down_display_names_endpoints_and_chains_source() {
+        let e = Error::LinkDown(LinkDownError {
+            src: 2,
+            dst: 5,
+            context: "allreduce ring planning".into(),
+        });
+        let msg = e.to_string();
+        assert_eq!(
+            msg,
+            "link down: path 2<->5 is permanently down (allreduce ring planning)"
+        );
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn sim_error_converts_by_kind() {
+        let dead = sim::DeadlockError {
+            blocked: Vec::new(),
+            daemons: Vec::new(),
+            at: sim::Time::ZERO,
+        };
+        let e = Error::from(sim::SimError::Deadlock(dead));
+        assert!(matches!(e, Error::Deadlock(_)));
     }
 }

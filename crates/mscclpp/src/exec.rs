@@ -9,7 +9,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use hw::{CopyMode, Machine, Rank};
+use hw::{CopyMode, LinkFault, Machine, Rank};
 use sim::{Ctx, Duration, Engine, Process, Step, Time};
 
 use crate::error::Result;
@@ -75,13 +75,58 @@ struct TbProc {
 }
 
 impl TbProc {
-    /// Yields until `until`, adding `extra` issue overhead.
-    fn busy_until(&self, now: Time, until: Time, extra: Duration) -> Step {
-        Step::Yield((until - now) + extra + self.ov.instr_decode)
+    /// Issue-side cost of one instruction (`extra` + decode), stretched by
+    /// the fault plan's straggler factor for this rank while a straggler
+    /// window is active — a degraded SM clock slows instruction issue, not
+    /// the wires.
+    fn issue_cost(&self, ctx: &mut Ctx<'_, Machine>, extra: Duration) -> Duration {
+        let cost = extra + self.ov.instr_decode;
+        let factor = match ctx.fault_plan() {
+            Some(plan) => plan.straggler_factor(ctx.now(), self.rank.0),
+            None => 1.0,
+        };
+        if factor != 1.0 {
+            ctx.count("fault.straggler_slowdowns", 1);
+            Duration::from_ps((cost.as_ps() as f64 * factor).round() as u64)
+        } else {
+            cost
+        }
     }
 
-    fn quick(&self, extra: Duration) -> Step {
-        Step::Yield(extra + self.ov.instr_decode)
+    /// Yields until `until`, adding `extra` issue overhead.
+    fn busy_until(
+        &self,
+        ctx: &mut Ctx<'_, Machine>,
+        now: Time,
+        until: Time,
+        extra: Duration,
+    ) -> Step {
+        Step::Yield((until - now) + self.issue_cost(ctx, extra))
+    }
+
+    fn quick(&self, ctx: &mut Ctx<'_, Machine>, extra: Duration) -> Step {
+        Step::Yield(self.issue_cost(ctx, extra))
+    }
+
+    /// Parks the block forever when its transfer path is permanently down.
+    /// Thread blocks are not daemons, so the hang is never silent: the
+    /// fault plan's watchdog converts it into [`sim::TimeoutError`] naming
+    /// the `wait.link_down` span, and without a watchdog the deadlock
+    /// detector reports it at quiescence.
+    fn park_link_down(&mut self, ctx: &mut Ctx<'_, Machine>) -> Step {
+        ctx.count("fault.link_down_blocked", 1);
+        ctx.span_begin("wait.link_down");
+        let dead = ctx.alloc_cell();
+        Step::WaitCell {
+            cell: dead,
+            at_least: 1,
+        }
+    }
+
+    /// Whether the path between two ranks is permanently down (transient
+    /// flaps are absorbed by the hardware timing helpers as delays).
+    fn path_dead(&self, ctx: &mut Ctx<'_, Machine>, a: Rank, b: Rank) -> bool {
+        a != b && matches!(hw::link_fault(ctx, a, b), LinkFault::Down)
     }
 
     /// Records one executed instruction in the block-local accumulators.
@@ -156,6 +201,9 @@ impl Process<Machine> for TbProc {
                 bytes,
                 with_signal,
             } => {
+                if self.path_dead(ctx, ch.local_rank, ch.peer_rank) {
+                    return self.park_link_down(ctx);
+                }
                 let wire = match ch.protocol {
                     crate::Protocol::LL => (bytes as f64 * self.ov.ll_wire_factor) as u64,
                     crate::Protocol::HB => bytes as u64,
@@ -169,9 +217,12 @@ impl Process<Machine> for TbProc {
                     ctx.cell_add_at(ch.peer_sem, 1, xfer.arrival + self.ov.signal_fence);
                 }
                 self.pc += 1;
-                self.busy_until(now, xfer.sender_free, self.ov.mem_put_issue)
+                self.busy_until(ctx, now, xfer.sender_free, self.ov.mem_put_issue)
             }
             Instr::MemSignal { ch } => {
+                if self.path_dead(ctx, ch.local_rank, ch.peer_rank) {
+                    return self.park_link_down(ctx);
+                }
                 // The semaphore increment is a tiny transfer riding the same
                 // link resources, which orders it after preceding puts.
                 let xfer = hw::p2p_time(
@@ -183,7 +234,7 @@ impl Process<Machine> for TbProc {
                 );
                 ctx.cell_add_at(ch.peer_sem, 1, xfer.arrival + self.ov.signal_fence);
                 self.pc += 1;
-                self.quick(self.ov.signal_issue)
+                self.quick(ctx, self.ov.signal_issue)
             }
             Instr::MemWait { ch } => {
                 let expect = ch.sem_expect.get() + 1;
@@ -214,6 +265,9 @@ impl Process<Machine> for TbProc {
                 dtype,
                 op,
             } => {
+                if self.path_dead(ctx, ch.peer_rank, ch.local_rank) {
+                    return self.park_link_down(ctx);
+                }
                 // Data flows peer -> local: the read occupies the peer's
                 // egress and our ingress.
                 let xfer = hw::p2p_time(
@@ -234,7 +288,7 @@ impl Process<Machine> for TbProc {
                     op,
                 );
                 self.pc += 1;
-                self.busy_until(now, xfer.arrival, self.ov.mem_put_issue)
+                self.busy_until(ctx, now, xfer.arrival, self.ov.mem_put_issue)
             }
             Instr::PortPut {
                 ch,
@@ -274,7 +328,7 @@ impl Process<Machine> for TbProc {
                 }
                 ctx.cell_add(ch.pushed_cell, 1);
                 self.pc += 1;
-                self.quick(self.ov.port_push)
+                self.quick(ctx, self.ov.port_push)
             }
             Instr::PortSignal { ch } => {
                 {
@@ -284,15 +338,22 @@ impl Process<Machine> for TbProc {
                 }
                 ctx.cell_add(ch.pushed_cell, 1);
                 self.pc += 1;
-                self.quick(self.ov.port_push)
+                self.quick(ctx, self.ov.port_push)
             }
-            Instr::PortFlush { ch } => {
+            Instr::PortFlush { ch, deadline } => {
                 let pushed = ch.fifo.borrow().pushed;
                 self.pending = Pending::Advance;
                 ctx.span_begin("wait.port_flush");
-                Step::WaitCell {
-                    cell: ch.completed_cell,
-                    at_least: pushed,
+                match deadline {
+                    Some(timeout) => Step::WaitCellTimeout {
+                        cell: ch.completed_cell,
+                        at_least: pushed,
+                        timeout,
+                    },
+                    None => Step::WaitCell {
+                        cell: ch.completed_cell,
+                        at_least: pushed,
+                    },
                 }
             }
             Instr::PortWait { ch } => {
@@ -314,6 +375,9 @@ impl Process<Machine> for TbProc {
                 dtype,
                 op,
             } => {
+                if matches!(hw::multimem_fault(ctx), LinkFault::Down) {
+                    return self.park_link_down(ctx);
+                }
                 let done = hw::multimem_reduce_time(ctx, ch.rank, bytes as u64);
                 let count = bytes / dtype.size();
                 let srcs: Vec<_> = ch.members.iter().map(|&(_, b)| (b, src_off)).collect();
@@ -321,7 +385,7 @@ impl Process<Machine> for TbProc {
                     .pool_mut()
                     .multimem_reduce(&srcs, dst_buf, dst_off, count, dtype, op);
                 self.pc += 1;
-                self.busy_until(now, done, self.ov.switch_issue)
+                self.busy_until(ctx, now, done, self.ov.switch_issue)
             }
             Instr::SwitchBroadcast {
                 ch,
@@ -330,13 +394,16 @@ impl Process<Machine> for TbProc {
                 dst_off,
                 bytes,
             } => {
+                if matches!(hw::multimem_fault(ctx), LinkFault::Down) {
+                    return self.park_link_down(ctx);
+                }
                 let xfer = hw::multimem_broadcast_time(ctx, ch.rank, bytes as u64);
                 let dsts: Vec<_> = ch.members.iter().map(|&(_, b)| (b, dst_off)).collect();
                 ctx.world
                     .pool_mut()
                     .multimem_broadcast(src_buf, src_off, &dsts, bytes);
                 self.pc += 1;
-                self.busy_until(now, xfer.sender_free, self.ov.switch_issue)
+                self.busy_until(ctx, now, xfer.sender_free, self.ov.switch_issue)
             }
             Instr::Copy {
                 src,
@@ -348,7 +415,7 @@ impl Process<Machine> for TbProc {
                 let done = hw::local_copy_time(ctx, self.rank, bytes as u64);
                 ctx.world.pool_mut().copy(src, src_off, dst, dst_off, bytes);
                 self.pc += 1;
-                self.busy_until(now, done, Duration::ZERO)
+                self.busy_until(ctx, now, done, Duration::ZERO)
             }
             Instr::Reduce {
                 src,
@@ -365,7 +432,7 @@ impl Process<Machine> for TbProc {
                     .pool_mut()
                     .reduce(src, src_off, dst, dst_off, count, dtype, op);
                 self.pc += 1;
-                self.busy_until(now, done, Duration::ZERO)
+                self.busy_until(ctx, now, done, Duration::ZERO)
             }
             Instr::RawPut {
                 src_rank,
@@ -378,6 +445,9 @@ impl Process<Machine> for TbProc {
                 wire_factor,
                 notify,
             } => {
+                if self.path_dead(ctx, src_rank, dst_rank) {
+                    return self.park_link_down(ctx);
+                }
                 let wire = (bytes as f64 * wire_factor) as u64;
                 let topo = ctx.world.topology();
                 let (sender_free, arrival) = if topo.same_node(src_rank, dst_rank) {
@@ -398,7 +468,7 @@ impl Process<Machine> for TbProc {
                     ctx.cell_add_at(sem.cell, 1, arrival);
                 }
                 self.pc += 1;
-                self.busy_until(now, sender_free, self.ov.mem_put_issue)
+                self.busy_until(ctx, now, sender_free, self.ov.mem_put_issue)
             }
             Instr::RawReducePut {
                 src_rank,
@@ -415,6 +485,9 @@ impl Process<Machine> for TbProc {
                 op,
                 notify,
             } => {
+                if self.path_dead(ctx, src_rank, dst_rank) {
+                    return self.park_link_down(ctx);
+                }
                 let wire = (bytes as f64 * wire_factor) as u64;
                 let topo = ctx.world.topology();
                 let (sender_free, arrival) = if topo.same_node(src_rank, dst_rank) {
@@ -434,7 +507,7 @@ impl Process<Machine> for TbProc {
                     ctx.cell_add_at(sem.cell, 1, arrival);
                 }
                 self.pc += 1;
-                self.busy_until(now, sender_free, self.ov.mem_put_issue)
+                self.busy_until(ctx, now, sender_free, self.ov.mem_put_issue)
             }
             Instr::ReduceInto {
                 a,
@@ -453,7 +526,7 @@ impl Process<Machine> for TbProc {
                     .pool_mut()
                     .reduce_into(a, a_off, b, b_off, dst, dst_off, count, dtype, op);
                 self.pc += 1;
-                self.busy_until(now, done, Duration::ZERO)
+                self.busy_until(ctx, now, done, Duration::ZERO)
             }
             Instr::SemWait { sem } => {
                 let expect = sem.expect.get() + 1;
@@ -466,6 +539,9 @@ impl Process<Machine> for TbProc {
                 }
             }
             Instr::SemSignal { sem } => {
+                if self.path_dead(ctx, self.rank, sem.owner) {
+                    return self.park_link_down(ctx);
+                }
                 let topo = ctx.world.topology();
                 let arrival = if sem.owner == self.rank {
                     now + self.ov.signal_issue
@@ -479,7 +555,7 @@ impl Process<Machine> for TbProc {
                 };
                 ctx.cell_add_at(sem.cell, 1, arrival);
                 self.pc += 1;
-                self.quick(self.ov.signal_issue)
+                self.quick(ctx, self.ov.signal_issue)
             }
             Instr::Barrier { barrier } => {
                 let round = barrier.round.get() + 1;
@@ -519,7 +595,12 @@ impl Process<Machine> for TbProc {
 /// # Errors
 ///
 /// Returns [`crate::Error::Deadlock`] if the kernels synchronize
-/// incorrectly (a `wait` whose `signal` never happens).
+/// incorrectly (a `wait` whose `signal` never happens), or
+/// [`crate::Error::Timeout`] if a wait with a deadline (an explicit
+/// `port_flush_deadline`, or any wait under an active fault plan's
+/// watchdog) expires first. On either error the engine is aborted —
+/// outstanding waits are torn down but the clock, buffers and metrics
+/// survive, so the caller can re-plan and launch again.
 /// Records the *emitted* instruction mix of a kernel batch under
 /// stack-prefixed counters (`{stack}.{mnemonic}`), so per-stack primitive
 /// usage can be compared even though every stack executes through the same
@@ -562,7 +643,13 @@ pub fn run_kernels(
             });
         }
     }
-    engine.run()?;
+    if let Err(e) = engine.run() {
+        // Tear down outstanding waiters and unfinished processes so the
+        // engine (clock, buffers, metrics intact) stays usable — callers
+        // may re-plan onto a degraded topology and retry.
+        engine.abort();
+        return Err(e.into());
+    }
     let per_rank_end = stats.borrow().per_rank_end.clone();
     let end = per_rank_end.iter().copied().fold(start, Time::max);
     Ok(KernelTiming {

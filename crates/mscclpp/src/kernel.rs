@@ -107,6 +107,10 @@ pub enum Instr {
     PortFlush {
         /// Channel to flush.
         ch: PortChannel,
+        /// Optional virtual-time deadline: if the flush has not completed
+        /// within this span the simulation returns a typed timeout naming
+        /// the hung wait instead of deadlocking (fault recovery, §robustness).
+        deadline: Option<Duration>,
     },
     /// PortChannel `wait`: block until the local semaphore reaches the
     /// next expected value.
@@ -578,7 +582,22 @@ impl BlockBuilder<'_> {
     /// PortChannel `flush`: wait until all pushed requests completed.
     pub fn port_flush(&mut self, ch: &PortChannel) -> &mut Self {
         self.assert_local::<()>("port_flush", ch.local_rank);
-        self.instrs.push(Instr::PortFlush { ch: ch.clone() });
+        self.instrs.push(Instr::PortFlush {
+            ch: ch.clone(),
+            deadline: None,
+        });
+        self
+    }
+
+    /// PortChannel `flush` with a virtual-time deadline: if the pending
+    /// requests have not completed within `deadline`, the run returns
+    /// [`crate::Error::Timeout`] naming this wait instead of hanging.
+    pub fn port_flush_deadline(&mut self, ch: &PortChannel, deadline: Duration) -> &mut Self {
+        self.assert_local::<()>("port_flush_deadline", ch.local_rank);
+        self.instrs.push(Instr::PortFlush {
+            ch: ch.clone(),
+            deadline: Some(deadline),
+        });
         self
     }
 

@@ -69,7 +69,7 @@ pub use comm::Setup;
 /// The paper's host-side object name for [`Setup`]: applications create a
 /// `Communicator` that registers buffers and builds channels (§4.1).
 pub type Communicator<'e> = Setup<'e>;
-pub use error::{Error, Result};
+pub use error::{Error, LinkDownError, Result};
 pub use exec::{record_launch_mix, run_kernels, KernelTiming};
 pub use kernel::{BlockBuilder, Instr, Kernel, KernelBuilder};
 pub use overheads::Overheads;

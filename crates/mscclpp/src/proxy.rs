@@ -16,17 +16,35 @@
 //! While the transfer is in flight the GPU is free to execute other work —
 //! the asynchrony that §2.2.2 shows NCCL's blocking `send` cannot express.
 
+//!
+//! When a fault plan is active, the proxy is also the retry engine: a
+//! transfer hitting a transient link fault is re-queued and re-attempted
+//! after an exponential backoff with jitter drawn from the plan's seeded
+//! RNG, so retry timing is fully deterministic. A permanently-down path
+//! parks the proxy instead (daemons may park without deadlocking); the
+//! GPU-side `flush` deadline then reports the outage as a typed timeout.
+
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use hw::{CopyMode, Machine, Rank};
-use sim::{CellId, Ctx, Process, Step};
+use hw::{CopyMode, LinkFault, Machine, Rank};
+use sim::{CellId, Ctx, Duration, Process, SimRng, Step};
 
 use crate::channel::{FifoState, ProxyRequest};
 use crate::overheads::Overheads;
 
 /// Size in bytes of the semaphore word written by a remote signal.
 const SIGNAL_BYTES: usize = 8;
+
+/// First retry backoff after a transiently failed transfer (1 µs). Each
+/// further attempt doubles the wait, capped at `2^RETRY_BACKOFF_CAP`
+/// times this, plus up to 50% seeded jitter to avoid retry convoys.
+/// These live here rather than in [`Overheads`]: they are proxy policy,
+/// not a hardware cost, and `Overheads` presets must stay identical
+/// across the mscclpp/DSL configurations except for decode cost.
+const RETRY_BACKOFF_BASE_PS: u64 = 1_000_000;
+/// Maximum number of doublings applied to the backoff base.
+const RETRY_BACKOFF_CAP: u32 = 6;
 
 /// The proxy process for one port-channel direction.
 #[derive(Debug)]
@@ -40,6 +58,11 @@ pub(crate) struct ProxyProc {
     pub peer_arrival: CellId,
     pub processed: u64,
     pub ov: Overheads,
+    /// Consecutive failed attempts for the request at the FIFO head.
+    pub attempts: u32,
+    /// Deterministic jitter source, seeded from the fault plan and this
+    /// proxy's (src, dst) so every proxy has an independent stream.
+    pub rng: SimRng,
 }
 
 impl ProxyProc {
@@ -66,6 +89,42 @@ impl Process<Machine> for ProxyProc {
                 at_least: self.processed + 1,
             };
         };
+        match hw::link_fault(ctx, self.src, self.dst) {
+            LinkFault::Down => {
+                // No retry will ever succeed. Park forever on a cell nobody
+                // signals: daemons may park without deadlocking, and the
+                // GPU side's flush deadline reports the outage as a typed
+                // timeout naming its wait span.
+                self.fifo.borrow_mut().queue.push_front(req);
+                ctx.count("fault.proxy_link_down", 1);
+                ctx.span_begin("proxy.link_down");
+                let dead = ctx.alloc_cell();
+                return Step::WaitCell {
+                    cell: dead,
+                    at_least: 1,
+                };
+            }
+            LinkFault::Transient { .. } => {
+                // Re-queue and back off exponentially with seeded jitter;
+                // the flap window end is not observable to a real proxy,
+                // only the failed post is.
+                self.fifo.borrow_mut().queue.push_front(req);
+                self.attempts += 1;
+                ctx.count("retry.attempts", 1);
+                if self.attempts == 1 {
+                    ctx.count("retry.transfers", 1);
+                }
+                let base = RETRY_BACKOFF_BASE_PS << (self.attempts - 1).min(RETRY_BACKOFF_CAP);
+                let jitter = ((base as f64) * 0.5 * self.rng.next_f64()).round() as u64;
+                return Step::Yield(Duration::from_ps(base + jitter));
+            }
+            LinkFault::Up => {
+                if self.attempts > 0 {
+                    ctx.count("retry.recovered", 1);
+                    self.attempts = 0;
+                }
+            }
+        }
         self.processed += 1;
         let mut busy = self.ov.proxy_handle;
         match req {

@@ -5,6 +5,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
+use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
 use crate::process::{Process, Step};
 use crate::time::{Duration, Time};
@@ -38,6 +39,10 @@ pub struct ResourceId(pub(crate) usize);
 enum EventKind {
     Wake(ProcId),
     CellAdd(CellId, u64),
+    /// Deadline check for a blocking wait. The `u64` is the blocking
+    /// epoch of the process when the check was scheduled; a mismatch
+    /// means the wait completed and the check is stale.
+    TimeoutCheck(ProcId, u64),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +84,12 @@ struct Slot<W> {
     /// Daemons (e.g. CPU proxy threads) may remain blocked when the queue
     /// drains without counting as deadlock.
     daemon: bool,
+    /// Incremented every time the process blocks; lets a pending
+    /// [`EventKind::TimeoutCheck`] detect that the wait it guarded has
+    /// already completed.
+    epoch: u64,
+    /// When the current (or most recent) blocking wait began.
+    blocked_at: Time,
 }
 
 /// Engine internals shared with processes through [`Ctx`].
@@ -101,6 +112,8 @@ struct Core {
     span_stacks: Vec<Vec<u32>>,
     /// Recording sink, when tracing is enabled.
     trace: Option<Trace>,
+    /// Deterministic fault schedule, when injection is enabled.
+    faults: Option<FaultPlan>,
 }
 
 impl Core {
@@ -240,6 +253,11 @@ impl<W> Ctx<'_, W> {
         &self.core.metrics
     }
 
+    /// The active fault plan, if injection is enabled for this run.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.core.faults.as_ref()
+    }
+
     /// Opens a named span for the current process. The span appears in
     /// the trace (when tracing is enabled) and on the process's span
     /// stack, which is reported by [`DeadlockError`] if the process is
@@ -293,16 +311,26 @@ pub struct BlockedProcess {
     pub span_stack: Vec<String>,
 }
 
-/// The simulation stalled: the event queue drained while processes were
-/// still blocked on cells that can no longer change.
+/// The simulation stalled: the event queue drained while non-daemon
+/// processes were still blocked on cells that can no longer change.
 ///
 /// This almost always indicates a bug in a communication algorithm — a
 /// `wait` without a matching `signal` — exactly the class of bug the
 /// paper's synchronization discussion (§2.2.2) is about.
+///
+/// Daemon processes (CPU proxies parked on an idle FIFO) are *not* a
+/// deadlock by themselves: when only daemons remain blocked at
+/// quiescence, [`Engine::run`] returns `Ok`. When a real deadlock is
+/// reported, any parked daemons are listed separately in
+/// [`DeadlockError::daemons`] so a proxy retrying through a fault window
+/// is never misread as the culprit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeadlockError {
-    /// Every process still blocked when the queue drained.
+    /// Every non-daemon process still blocked when the queue drained.
     pub blocked: Vec<BlockedProcess>,
+    /// Daemon processes that were also parked at the stall — reported
+    /// for context, but not themselves evidence of deadlock.
+    pub daemons: Vec<BlockedProcess>,
     /// The virtual time at which the simulation stalled.
     pub at: Time,
 }
@@ -327,11 +355,127 @@ impl fmt::Display for DeadlockError {
                 writeln!(f, " in {}", b.span_stack.join(" > "))?;
             }
         }
+        if !self.daemons.is_empty() {
+            writeln!(
+                f,
+                "  note: {} daemon process(es) also parked (idle daemons are not a deadlock):",
+                self.daemons.len()
+            )?;
+            for b in &self.daemons {
+                writeln!(
+                    f,
+                    "    {:?} [{}] waiting for {:?} >= {} (actual {})",
+                    b.proc, b.label, b.cell, b.needed, b.actual
+                )?;
+            }
+        }
         Ok(())
     }
 }
 
 impl Error for DeadlockError {}
+
+/// A blocking wait exceeded its virtual-time deadline.
+///
+/// Produced either by an explicit [`Step::WaitCellTimeout`] or by the
+/// plan-wide watchdog ([`FaultPlan::wait_timeout`]). Unlike
+/// [`DeadlockError`], which requires the whole simulation to quiesce,
+/// a timeout fires while other processes may still be making progress —
+/// it is how a permanent link-down surfaces as a typed error instead of
+/// a silent hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeoutError {
+    /// The process whose wait timed out.
+    pub proc: ProcId,
+    /// Its diagnostic label.
+    pub label: String,
+    /// The cell it was waiting on.
+    pub cell: CellId,
+    /// The threshold it needed.
+    pub needed: u64,
+    /// The cell's actual value at the deadline.
+    pub actual: u64,
+    /// The virtual time at which the deadline expired.
+    pub at: Time,
+    /// How long the process had been blocked.
+    pub waited: Duration,
+    /// The process's open spans, outermost first — names *what* was being
+    /// waited for (e.g. `["allreduce", "wait.port_flush"]`).
+    pub span_stack: Vec<String>,
+}
+
+impl fmt::Display for TimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wait timed out at {} after {}: {:?} [{}] waiting for {:?} >= {} (actual {})",
+            self.at, self.waited, self.proc, self.label, self.cell, self.needed, self.actual
+        )?;
+        if !self.span_stack.is_empty() {
+            write!(f, " in {}", self.span_stack.join(" > "))?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for TimeoutError {}
+
+/// Why [`Engine::run`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The queue drained with non-daemon processes still blocked.
+    Deadlock(DeadlockError),
+    /// A blocking wait exceeded its deadline.
+    Timeout(TimeoutError),
+}
+
+impl SimError {
+    /// The inner deadlock, if that is what happened.
+    pub fn as_deadlock(&self) -> Option<&DeadlockError> {
+        match self {
+            SimError::Deadlock(e) => Some(e),
+            SimError::Timeout(_) => None,
+        }
+    }
+
+    /// The inner timeout, if that is what happened.
+    pub fn as_timeout(&self) -> Option<&TimeoutError> {
+        match self {
+            SimError::Timeout(e) => Some(e),
+            SimError::Deadlock(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(e) => e.fmt(f),
+            SimError::Timeout(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Deadlock(e) => Some(e),
+            SimError::Timeout(e) => Some(e),
+        }
+    }
+}
+
+impl From<DeadlockError> for SimError {
+    fn from(e: DeadlockError) -> SimError {
+        SimError::Deadlock(e)
+    }
+}
+
+impl From<TimeoutError> for SimError {
+    fn from(e: TimeoutError) -> SimError {
+        SimError::Timeout(e)
+    }
+}
 
 /// The deterministic discrete-event engine.
 ///
@@ -377,6 +521,7 @@ impl<W> Engine<W> {
                 label_index: HashMap::new(),
                 span_stacks: Vec::new(),
                 trace: None,
+                faults: None,
             },
             world,
             processes: Vec::new(),
@@ -407,6 +552,42 @@ impl<W> Engine<W> {
     /// accounting).
     pub fn metrics(&self) -> &Metrics {
         &self.core.metrics
+    }
+
+    /// Attaches a deterministic fault schedule. Install the plan before
+    /// building communicators: setup code derives retry-jitter seeds from
+    /// it, and collective planning consults its permanent outages.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.core.faults = Some(plan);
+    }
+
+    /// Removes the fault schedule, if any, and returns it.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.core.faults.take()
+    }
+
+    /// The active fault plan, if injection is enabled.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.core.faults.as_ref()
+    }
+
+    /// Tears down all outstanding work after a failed run: drops every
+    /// unfinished process, clears the event queue, waiter lists, and open
+    /// span stacks. The clock, cells, resources, and metrics are kept for
+    /// post-mortem inspection, and the engine accepts new spawns again —
+    /// this is the clean abort path after a [`SimError::Timeout`].
+    pub fn abort(&mut self) {
+        self.core.queue.clear();
+        for w in &mut self.core.waiters {
+            w.clear();
+        }
+        for (i, slot) in self.processes.iter_mut().enumerate() {
+            if slot.state != ProcState::Done {
+                slot.state = ProcState::Done;
+                slot.proc = None;
+            }
+            self.core.span_stacks[i].clear();
+        }
     }
 
     /// Exclusive access to the metrics registry (e.g. for counters
@@ -500,24 +681,72 @@ impl<W> Engine<W> {
             label,
             label_id,
             daemon,
+            epoch: 0,
+            blocked_at: self.core.now,
         });
         self.core.push(self.core.now, EventKind::Wake(id));
         id
+    }
+
+    fn snapshot_blocked(&self, i: usize, cell: CellId, at_least: u64) -> BlockedProcess {
+        BlockedProcess {
+            proc: ProcId(i),
+            label: self.processes[i].label.clone(),
+            cell,
+            needed: at_least,
+            actual: self.core.cells[cell.0],
+            span_stack: self.core.span_stacks[i]
+                .iter()
+                .map(|&id| self.core.labels[id as usize].clone())
+                .collect(),
+        }
     }
 
     /// Runs until every process is done and the event queue is empty.
     ///
     /// # Errors
     ///
-    /// Returns [`DeadlockError`] if the queue drains while processes are
-    /// still blocked — i.e. a `wait` that can never be satisfied.
-    pub fn run(&mut self) -> Result<(), DeadlockError> {
+    /// Returns [`SimError::Deadlock`] if the queue drains while non-daemon
+    /// processes are still blocked — i.e. a `wait` that can never be
+    /// satisfied — and [`SimError::Timeout`] if a blocking wait outlives
+    /// its deadline (an explicit [`Step::WaitCellTimeout`] or the fault
+    /// plan's watchdog). After a timeout, call [`Engine::abort`] before
+    /// reusing the engine.
+    pub fn run(&mut self) -> Result<(), SimError> {
         let mut spawned: Vec<(Box<dyn Process<W>>, String, bool)> = Vec::new();
         while let Some(Reverse(ev)) = self.core.queue.pop() {
             debug_assert!(ev.time >= self.core.now, "time went backwards");
+            if let EventKind::TimeoutCheck(pid, epoch) = ev.kind {
+                let slot = &self.processes[pid.0];
+                let fired = slot.epoch == epoch && matches!(slot.state, ProcState::Blocked { .. });
+                if !fired {
+                    // Stale check: the guarded wait completed. Crucially the
+                    // clock is NOT advanced, so an unused deadline leaves no
+                    // trace on a healthy run's timings.
+                    continue;
+                }
+                self.core.now = ev.time;
+                self.core.events_processed += 1;
+                let ProcState::Blocked { cell, at_least } = slot.state else {
+                    unreachable!("fired timeout check on non-blocked process");
+                };
+                let waited = self.core.now - slot.blocked_at;
+                let mut err = self.snapshot_blocked(pid.0, cell, at_least);
+                return Err(SimError::Timeout(TimeoutError {
+                    proc: err.proc,
+                    label: std::mem::take(&mut err.label),
+                    cell,
+                    needed: at_least,
+                    actual: err.actual,
+                    at: self.core.now,
+                    waited,
+                    span_stack: std::mem::take(&mut err.span_stack),
+                }));
+            }
             self.core.now = ev.time;
             self.core.events_processed += 1;
             match ev.kind {
+                EventKind::TimeoutCheck(..) => unreachable!("handled above"),
                 EventKind::Wake(pid) => {
                     let slot = &mut self.processes[pid.0];
                     if slot.state != ProcState::Scheduled {
@@ -550,7 +779,8 @@ impl<W> Engine<W> {
                                 TraceEventKind::StepEnd,
                             );
                         }
-                        Step::WaitCell { cell, at_least } => {
+                        Step::WaitCell { cell, at_least }
+                        | Step::WaitCellTimeout { cell, at_least, .. } => {
                             slot.proc = Some(proc);
                             self.core.record(
                                 self.core.now,
@@ -563,7 +793,32 @@ impl<W> Engine<W> {
                                 self.core.push(self.core.now, EventKind::Wake(pid));
                             } else {
                                 slot.state = ProcState::Blocked { cell, at_least };
+                                slot.epoch += 1;
+                                slot.blocked_at = self.core.now;
                                 self.core.waiters[cell.0].push((at_least, pid));
+                                // Effective deadline: the step's own, and/or
+                                // the plan watchdog (non-daemons only —
+                                // daemons legitimately park on idle FIFOs).
+                                let explicit = match step {
+                                    Step::WaitCellTimeout { timeout, .. } => Some(timeout),
+                                    _ => None,
+                                };
+                                let watchdog = if slot.daemon {
+                                    None
+                                } else {
+                                    self.core.faults.as_ref().and_then(|p| p.wait_timeout)
+                                };
+                                let deadline = match (explicit, watchdog) {
+                                    (Some(a), Some(b)) => Some(a.min(b)),
+                                    (a, b) => a.or(b),
+                                };
+                                if let Some(d) = deadline {
+                                    let epoch = slot.epoch;
+                                    self.core.push(
+                                        self.core.now + d,
+                                        EventKind::TimeoutCheck(pid, epoch),
+                                    );
+                                }
                             }
                         }
                         Step::Done => {
@@ -604,33 +859,28 @@ impl<W> Engine<W> {
                 }
             }
         }
-        let blocked: Vec<BlockedProcess> = self
-            .processes
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.daemon)
-            .filter_map(|(i, s)| match s.state {
-                ProcState::Blocked { cell, at_least } => Some(BlockedProcess {
-                    proc: ProcId(i),
-                    label: s.label.clone(),
-                    cell,
-                    needed: at_least,
-                    actual: self.core.cells[cell.0],
-                    span_stack: self.core.span_stacks[i]
-                        .iter()
-                        .map(|&id| self.core.labels[id as usize].clone())
-                        .collect(),
-                }),
-                _ => None,
-            })
-            .collect();
+        let mut blocked = Vec::new();
+        let mut daemons = Vec::new();
+        for (i, s) in self.processes.iter().enumerate() {
+            if let ProcState::Blocked { cell, at_least } = s.state {
+                let snap = self.snapshot_blocked(i, cell, at_least);
+                if s.daemon {
+                    daemons.push(snap);
+                } else {
+                    blocked.push(snap);
+                }
+            }
+        }
         if blocked.is_empty() {
+            // Daemon-only parked processes at quiescence are the normal
+            // idle state of proxy threads, not a deadlock.
             Ok(())
         } else {
-            Err(DeadlockError {
+            Err(SimError::Deadlock(DeadlockError {
                 blocked,
+                daemons,
                 at: self.core.now,
-            })
+            }))
         }
     }
 }
@@ -708,9 +958,10 @@ mod tests {
         let cell = e.alloc_cell();
         e.spawn(Stuck { cell });
         let err = e.run().unwrap_err();
-        assert_eq!(err.blocked.len(), 1);
-        assert_eq!(err.blocked[0].needed, 7);
-        assert_eq!(err.blocked[0].actual, 0);
+        let dead = err.as_deadlock().expect("quiescent stall is a deadlock");
+        assert_eq!(dead.blocked.len(), 1);
+        assert_eq!(dead.blocked[0].needed, 7);
+        assert_eq!(dead.blocked[0].actual, 0);
         assert!(err.to_string().contains("stuck-waiter"));
     }
 
@@ -736,7 +987,11 @@ mod tests {
         let cell = e.alloc_cell();
         e.spawn(Stuck { cell });
         let err = e.run().unwrap_err();
-        assert_eq!(err.blocked[0].span_stack, vec!["allreduce", "wait.mem_sem"]);
+        let dead = err.as_deadlock().expect("deadlock");
+        assert_eq!(
+            dead.blocked[0].span_stack,
+            vec!["allreduce", "wait.mem_sem"]
+        );
         assert!(err.to_string().contains("in allreduce > wait.mem_sem"));
     }
 
@@ -912,6 +1167,133 @@ mod tests {
             e.into_world()
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    struct Parked {
+        cell: CellId,
+    }
+    impl Process<()> for Parked {
+        fn step(&mut self, _ctx: &mut Ctx<'_, ()>) -> Step {
+            Step::WaitCell {
+                cell: self.cell,
+                at_least: 1,
+            }
+        }
+        fn label(&self) -> String {
+            "parked".to_owned()
+        }
+    }
+
+    #[test]
+    fn daemon_only_blocked_is_not_a_deadlock() {
+        let mut e = Engine::new(());
+        let cell = e.alloc_cell();
+        e.spawn_daemon(Parked { cell });
+        e.run().unwrap();
+    }
+
+    #[test]
+    fn deadlock_lists_parked_daemons_separately() {
+        let mut e = Engine::new(());
+        let cell = e.alloc_cell();
+        e.spawn_daemon(Parked { cell });
+        e.spawn(Parked { cell });
+        let err = e.run().unwrap_err();
+        let dead = err.as_deadlock().expect("deadlock");
+        assert_eq!(dead.blocked.len(), 1, "only the non-daemon counts");
+        assert_eq!(dead.daemons.len(), 1);
+        let msg = err.to_string();
+        assert!(msg.contains("1 blocked process(es)"), "{msg}");
+        assert!(msg.contains("daemon process(es) also parked"), "{msg}");
+    }
+
+    #[test]
+    fn wait_with_deadline_times_out_with_span_stack() {
+        struct Hung {
+            cell: CellId,
+        }
+        impl Process<()> for Hung {
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Step {
+                ctx.span_begin("allreduce");
+                ctx.span_begin("wait.port_flush");
+                Step::WaitCellTimeout {
+                    cell: self.cell,
+                    at_least: 1,
+                    timeout: Duration::from_us(5.0),
+                }
+            }
+            fn label(&self) -> String {
+                "tb r0 b0".to_owned()
+            }
+        }
+        // A second process keeps the queue alive past the deadline, so the
+        // timeout fires mid-simulation, not at quiescence.
+        let mut e = Engine::new(());
+        let cell = e.alloc_cell();
+        e.spawn(Hung { cell });
+        e.spawn(|_: &mut Ctx<'_, ()>| Step::Yield(Duration::from_us(100.0)));
+        let err = e.run().unwrap_err();
+        let t = err.as_timeout().expect("timeout, not deadlock");
+        assert_eq!(t.waited, Duration::from_us(5.0));
+        assert_eq!(t.at, Time::from_ps(5_000_000));
+        assert_eq!(t.span_stack, vec!["allreduce", "wait.port_flush"]);
+        assert!(err.to_string().contains("wait.port_flush"), "{err}");
+        // Clean teardown: abort, then the engine accepts fresh work.
+        e.abort();
+        e.spawn(|ctx: &mut Ctx<'_, ()>| {
+            let _ = ctx.now();
+            Step::Done
+        });
+        e.run().unwrap();
+    }
+
+    #[test]
+    fn satisfied_wait_leaves_no_timeout_trace() {
+        // The deadline event outlives the wait; the stale check must not
+        // advance the clock past the real completion time.
+        struct Quick {
+            cell: CellId,
+            phase: u8,
+        }
+        impl Process<()> for Quick {
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Step {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        ctx.cell_add_at(self.cell, 1, ctx.now() + Duration::from_us(1.0));
+                        Step::WaitCellTimeout {
+                            cell: self.cell,
+                            at_least: 1,
+                            timeout: Duration::from_us(50.0),
+                        }
+                    }
+                    _ => Step::Done,
+                }
+            }
+        }
+        let mut e = Engine::new(());
+        let cell = e.alloc_cell();
+        e.spawn(Quick { cell, phase: 0 });
+        e.run().unwrap();
+        assert_eq!(
+            e.now(),
+            Time::from_ps(1_000_000),
+            "clock stops at completion"
+        );
+    }
+
+    #[test]
+    fn fault_plan_watchdog_converts_hang_to_timeout_but_spares_daemons() {
+        let mut e = Engine::new(());
+        e.set_fault_plan(FaultPlan::new(1).with_wait_timeout(Duration::from_us(2.0)));
+        let cell = e.alloc_cell();
+        e.spawn_daemon(Parked { cell });
+        // Daemon alone: parked forever, watchdog does not apply.
+        e.run().unwrap();
+        // Non-daemon: watchdog fires.
+        e.spawn(Parked { cell });
+        let err = e.run().unwrap_err();
+        assert!(err.as_timeout().is_some(), "expected timeout, got {err}");
     }
 
     #[test]

@@ -1,0 +1,568 @@
+//! Deterministic fault injection: a seed-driven schedule of link, NIC,
+//! and rank faults applied at event-queue granularity.
+//!
+//! A [`FaultPlan`] is attached to an [`crate::Engine`] before a run. It is
+//! pure data — a list of `(window, target, kind)` events plus a seed — so
+//! the same plan on the same program always produces bit-identical virtual
+//! timings and world state. The engine itself only consults the plan for
+//! the default wait watchdog ([`FaultPlan::wait_timeout`]); domain layers
+//! (the hardware model, CPU proxies, collectives) interpret the targets,
+//! which keeps the simulator core domain-agnostic: targets are plain
+//! indices that the world maps onto ranks, links, and NICs.
+
+use crate::time::{Duration, Time};
+
+/// A small deterministic PRNG (splitmix64) used for fault-plan generation
+/// and retry-backoff jitter.
+///
+/// Not cryptographic; chosen because the whole state is one `u64`, so
+/// seeding from a plan seed plus a topology coordinate is trivial and the
+/// stream is identical on every platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed. Distinct seeds give independent
+    /// streams; the same seed always gives the same stream.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// What a fault event applies to.
+///
+/// Targets are plain indices; the domain layer decides what they mean
+/// (for this reproduction: global rank numbers).
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The path between two endpoints, matched in either direction
+    /// (a physical link is bidirectional).
+    Link {
+        /// One endpoint (global rank index).
+        src: usize,
+        /// The other endpoint (global rank index).
+        dst: usize,
+    },
+    /// One endpoint (used by [`FaultKind::Straggler`]).
+    Rank(usize),
+    /// One endpoint's NIC (used by [`FaultKind::NicStall`]).
+    Nic(usize),
+    /// The switch multimem datapath (NVLink SHARP).
+    Multimem,
+    /// Every endpoint / path.
+    All,
+}
+
+/// What happens to the target while the event window is active.
+#[derive(Debug, Copy, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The path accepts no new transfers. Transient windows model link
+    /// flaps (transfers are delayed to the window end); a window ending at
+    /// [`Time::MAX`] is a permanent outage that callers must route around
+    /// or surface as a timeout.
+    LinkDown,
+    /// The path's bandwidth is divided by `factor` (>= 1.0).
+    Degrade {
+        /// Bandwidth division factor.
+        factor: f64,
+    },
+    /// The NIC delays the start of every transfer by `extra` (e.g. a
+    /// firmware hiccup or congested send queue).
+    NicStall {
+        /// Added start delay.
+        extra: Duration,
+    },
+    /// The rank issues instructions `factor` times slower (a misbehaving
+    /// GPU clock or noisy neighbor).
+    Straggler {
+        /// Issue-time multiplication factor (>= 1.0).
+        factor: f64,
+    },
+}
+
+/// One scheduled fault: `kind` applies to `target` while
+/// `start <= now < end`.
+#[derive(Debug, Copy, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// First instant the fault is active.
+    pub start: Time,
+    /// First instant the fault is no longer active ([`Time::MAX`] for a
+    /// permanent fault).
+    pub end: Time,
+    /// What the fault applies to.
+    pub target: FaultTarget,
+    /// What happens while active.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    fn active(&self, now: Time) -> bool {
+        self.start <= now && now < self.end
+    }
+
+    /// Whether this event never ends.
+    pub fn is_permanent(&self) -> bool {
+        self.end == Time::MAX
+    }
+
+    fn matches_path(&self, src: usize, dst: usize) -> bool {
+        match self.target {
+            FaultTarget::Link { src: a, dst: b } => {
+                (a == src && b == dst) || (a == dst && b == src)
+            }
+            FaultTarget::All => true,
+            _ => false,
+        }
+    }
+}
+
+/// Fault status of a path at one instant, as seen by the hardware model.
+#[derive(Debug, Copy, Clone, PartialEq)]
+pub struct PathState {
+    /// `Some(end)` when a transient down window covers `now`: new
+    /// transfers are delayed until `end` (flap semantics).
+    pub down_until: Option<Time>,
+    /// A permanent down window covers `now`.
+    pub down: bool,
+    /// Combined bandwidth division factor of active degradations (1.0
+    /// when unaffected).
+    pub slow: f64,
+}
+
+impl PathState {
+    const CLEAN: PathState = PathState {
+        down_until: None,
+        down: false,
+        slow: 1.0,
+    };
+}
+
+/// A deterministic schedule of faults plus the seed that parameterizes
+/// every random choice derived from it (generation, retry jitter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed recorded in benchmark artifacts so a faulted run is
+    /// reproducible from its JSON alone.
+    pub seed: u64,
+    /// Default deadline applied by the engine to every blocking wait of a
+    /// non-daemon process: a wait still unsatisfied after this span turns
+    /// the run into a typed [`crate::TimeoutError`] instead of a silent
+    /// hang. Daemons (CPU proxies parked on an idle FIFO) are exempt.
+    pub wait_timeout: Option<Duration>,
+    /// The scheduled fault events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            wait_timeout: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Sets the default blocking-wait watchdog (builder style).
+    pub fn with_wait_timeout(mut self, timeout: Duration) -> FaultPlan {
+        self.wait_timeout = Some(timeout);
+        self
+    }
+
+    /// The default blocking-wait deadline, if any.
+    pub fn wait_timeout(&self) -> Option<Duration> {
+        self.wait_timeout
+    }
+
+    /// Adds an event (builder style).
+    pub fn push(mut self, event: FaultEvent) -> FaultPlan {
+        self.events.push(event);
+        self
+    }
+
+    /// Adds a transient link-down (flap) window on the `src`↔`dst` path.
+    pub fn link_flap(self, src: usize, dst: usize, start: Time, end: Time) -> FaultPlan {
+        self.push(FaultEvent {
+            start,
+            end,
+            target: FaultTarget::Link { src, dst },
+            kind: FaultKind::LinkDown,
+        })
+    }
+
+    /// Takes the `src`↔`dst` path down permanently from `start` on.
+    pub fn link_down_forever(self, src: usize, dst: usize, start: Time) -> FaultPlan {
+        self.push(FaultEvent {
+            start,
+            end: Time::MAX,
+            target: FaultTarget::Link { src, dst },
+            kind: FaultKind::LinkDown,
+        })
+    }
+
+    /// Divides the `src`↔`dst` path bandwidth by `factor` during the
+    /// window.
+    pub fn degrade_link(
+        self,
+        src: usize,
+        dst: usize,
+        factor: f64,
+        start: Time,
+        end: Time,
+    ) -> FaultPlan {
+        self.push(FaultEvent {
+            start,
+            end,
+            target: FaultTarget::Link { src, dst },
+            kind: FaultKind::Degrade { factor },
+        })
+    }
+
+    /// Adds a NIC stall window on `rank`'s NIC.
+    pub fn nic_stall(self, rank: usize, extra: Duration, start: Time, end: Time) -> FaultPlan {
+        self.push(FaultEvent {
+            start,
+            end,
+            target: FaultTarget::Nic(rank),
+            kind: FaultKind::NicStall { extra },
+        })
+    }
+
+    /// Slows `rank`'s instruction issue by `factor` during the window.
+    pub fn straggler(self, rank: usize, factor: f64, start: Time, end: Time) -> FaultPlan {
+        self.push(FaultEvent {
+            start,
+            end,
+            target: FaultTarget::Rank(rank),
+            kind: FaultKind::Straggler { factor },
+        })
+    }
+
+    /// Takes the switch multimem datapath down permanently from `start`.
+    pub fn multimem_down_forever(self, start: Time) -> FaultPlan {
+        self.push(FaultEvent {
+            start,
+            end: Time::MAX,
+            target: FaultTarget::Multimem,
+            kind: FaultKind::LinkDown,
+        })
+    }
+
+    /// Generates a plan of 1–3 *transient* faults (flaps, degradations,
+    /// stragglers — never permanent outages) over `world` endpoints
+    /// within `horizon`, fully determined by `seed`.
+    ///
+    /// Because every fault is transient, any simulation that is correct
+    /// fault-free must still complete with bit-identical data under such
+    /// a plan — the property the chaos tests assert.
+    pub fn random_transient(seed: u64, world: usize, horizon: Duration) -> FaultPlan {
+        assert!(world >= 2, "need at least two endpoints");
+        let mut rng = SimRng::new(seed);
+        let mut plan = FaultPlan::new(seed);
+        let h = horizon.as_ps().max(2);
+        let events = 1 + rng.gen_range(0, 3);
+        for _ in 0..events {
+            let start = Time::from_ps(rng.gen_range(0, h / 2));
+            let len = rng.gen_range(h / 20 + 1, h / 2 + 2);
+            let end = Time::from_ps(start.as_ps() + len);
+            let src = rng.gen_range(0, world as u64) as usize;
+            let dst = {
+                let mut d = rng.gen_range(0, world as u64 - 1) as usize;
+                if d >= src {
+                    d += 1;
+                }
+                d
+            };
+            let ev = match rng.gen_range(0, 3) {
+                0 => FaultEvent {
+                    start,
+                    end,
+                    target: FaultTarget::Link { src, dst },
+                    kind: FaultKind::LinkDown,
+                },
+                1 => FaultEvent {
+                    start,
+                    end,
+                    target: FaultTarget::Link { src, dst },
+                    kind: FaultKind::Degrade {
+                        factor: 1.5 + rng.next_f64() * 6.5,
+                    },
+                },
+                _ => FaultEvent {
+                    start,
+                    end,
+                    target: FaultTarget::Rank(src),
+                    kind: FaultKind::Straggler {
+                        factor: 1.25 + rng.next_f64() * 3.0,
+                    },
+                },
+            };
+            plan.events.push(ev);
+        }
+        plan
+    }
+
+    /// Fault status of the `src`↔`dst` path at `now` (link-down windows
+    /// and bandwidth degradations; see [`PathState`]).
+    pub fn path(&self, now: Time, src: usize, dst: usize) -> PathState {
+        let mut st = PathState::CLEAN;
+        for ev in &self.events {
+            if !ev.active(now) || !ev.matches_path(src, dst) {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::LinkDown => {
+                    if ev.is_permanent() {
+                        st.down = true;
+                    } else {
+                        st.down_until = Some(st.down_until.map_or(ev.end, |u| u.max(ev.end)));
+                    }
+                }
+                FaultKind::Degrade { factor } => st.slow *= factor,
+                _ => {}
+            }
+        }
+        st
+    }
+
+    /// Fault status of the multimem datapath at `now`.
+    pub fn multimem(&self, now: Time) -> PathState {
+        let mut st = PathState::CLEAN;
+        for ev in &self.events {
+            if !ev.active(now) || !matches!(ev.target, FaultTarget::Multimem | FaultTarget::All) {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::LinkDown => {
+                    if ev.is_permanent() {
+                        st.down = true;
+                    } else {
+                        st.down_until = Some(st.down_until.map_or(ev.end, |u| u.max(ev.end)));
+                    }
+                }
+                FaultKind::Degrade { factor } => st.slow *= factor,
+                _ => {}
+            }
+        }
+        st
+    }
+
+    /// Total NIC start-delay active for `rank`'s NIC at `now`.
+    pub fn nic_extra(&self, now: Time, rank: usize) -> Duration {
+        let mut extra = Duration::ZERO;
+        for ev in &self.events {
+            if !ev.active(now) {
+                continue;
+            }
+            let hit = matches!(ev.target, FaultTarget::Nic(r) if r == rank)
+                || ev.target == FaultTarget::All;
+            if let (true, FaultKind::NicStall { extra: e }) = (hit, ev.kind) {
+                extra = extra.saturating_add(e);
+            }
+        }
+        extra
+    }
+
+    /// Instruction-issue slowdown factor for `rank` at `now` (1.0 when
+    /// unaffected).
+    pub fn straggler_factor(&self, now: Time, rank: usize) -> f64 {
+        let mut f = 1.0;
+        for ev in &self.events {
+            if !ev.active(now) {
+                continue;
+            }
+            let hit = matches!(ev.target, FaultTarget::Rank(r) if r == rank)
+                || ev.target == FaultTarget::All;
+            if let (true, FaultKind::Straggler { factor }) = (hit, ev.kind) {
+                f *= factor;
+            }
+        }
+        f
+    }
+
+    /// Whether the `a`↔`b` path has a permanent down event (at any
+    /// start time) — the planning-time query behind degraded-topology
+    /// re-planning.
+    pub fn link_permanently_down(&self, a: usize, b: usize) -> bool {
+        self.events
+            .iter()
+            .any(|ev| ev.is_permanent() && ev.kind == FaultKind::LinkDown && ev.matches_path(a, b))
+    }
+
+    /// Every distinct path with a permanent down event, as `(lo, hi)`
+    /// endpoint pairs.
+    pub fn permanent_link_downs(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = Vec::new();
+        for ev in &self.events {
+            if !ev.is_permanent() || ev.kind != FaultKind::LinkDown {
+                continue;
+            }
+            if let FaultTarget::Link { src, dst } = ev.target {
+                let pair = (src.min(dst), src.max(dst));
+                if !out.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether the multimem datapath has a permanent down event.
+    pub fn multimem_permanently_down(&self) -> bool {
+        self.events.iter().any(|ev| {
+            ev.is_permanent()
+                && ev.kind == FaultKind::LinkDown
+                && matches!(ev.target, FaultTarget::Multimem | FaultTarget::All)
+        })
+    }
+
+    /// One-line human-readable summary, recorded in benchmark JSON so a
+    /// faulted run is reproducible from its artifact.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("seed={}", self.seed);
+        if let Some(t) = self.wait_timeout {
+            let _ = write!(s, " wait_timeout={t}");
+        }
+        for ev in &self.events {
+            let target = match ev.target {
+                FaultTarget::Link { src, dst } => format!("link {src}<->{dst}"),
+                FaultTarget::Rank(r) => format!("rank {r}"),
+                FaultTarget::Nic(r) => format!("nic {r}"),
+                FaultTarget::Multimem => "multimem".to_owned(),
+                FaultTarget::All => "all".to_owned(),
+            };
+            let kind = match ev.kind {
+                FaultKind::LinkDown => "down".to_owned(),
+                FaultKind::Degrade { factor } => format!("degrade x{factor:.2}"),
+                FaultKind::NicStall { extra } => format!("stall +{extra}"),
+                FaultKind::Straggler { factor } => format!("straggler x{factor:.2}"),
+            };
+            let window = if ev.is_permanent() {
+                format!("[{}..)", ev.start)
+            } else {
+                format!("[{}..{})", ev.start, ev.end)
+            };
+            let _ = write!(s, "; {target} {kind} {window}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_bounded() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::new(9);
+        for _ in 0..1000 {
+            let f = c.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let r = c.gen_range(10, 20);
+            assert!((10..20).contains(&r));
+        }
+    }
+
+    #[test]
+    fn path_state_reflects_windows() {
+        let plan = FaultPlan::new(1)
+            .link_flap(0, 1, Time::from_ps(100), Time::from_ps(200))
+            .degrade_link(0, 1, 4.0, Time::from_ps(150), Time::from_ps(300));
+        let before = plan.path(Time::from_ps(50), 0, 1);
+        assert_eq!(before, PathState::CLEAN);
+        let during = plan.path(Time::from_ps(150), 1, 0); // either direction
+        assert_eq!(during.down_until, Some(Time::from_ps(200)));
+        assert_eq!(during.slow, 4.0);
+        assert!(!during.down);
+        let after = plan.path(Time::from_ps(350), 0, 1);
+        assert_eq!(after.down_until, None);
+        assert_eq!(after.slow, 1.0);
+        // Unrelated path untouched.
+        assert_eq!(plan.path(Time::from_ps(150), 2, 3), PathState::CLEAN);
+    }
+
+    #[test]
+    fn permanent_downs_are_reported_for_planning() {
+        let plan = FaultPlan::new(2)
+            .link_down_forever(3, 1, Time::ZERO)
+            .link_flap(4, 5, Time::ZERO, Time::from_ps(10));
+        assert!(plan.link_permanently_down(1, 3));
+        assert!(!plan.link_permanently_down(4, 5));
+        assert_eq!(plan.permanent_link_downs(), vec![(1, 3)]);
+        assert!(plan.path(Time::from_ps(5), 3, 1).down);
+        assert!(!plan.multimem_permanently_down());
+        assert!(FaultPlan::new(0)
+            .multimem_down_forever(Time::ZERO)
+            .multimem_permanently_down());
+    }
+
+    #[test]
+    fn straggler_and_nic_queries() {
+        let plan = FaultPlan::new(3)
+            .straggler(2, 3.0, Time::ZERO, Time::from_ps(100))
+            .nic_stall(1, Duration::from_ns(500.0), Time::ZERO, Time::from_ps(100));
+        assert_eq!(plan.straggler_factor(Time::from_ps(10), 2), 3.0);
+        assert_eq!(plan.straggler_factor(Time::from_ps(10), 0), 1.0);
+        assert_eq!(plan.straggler_factor(Time::from_ps(200), 2), 1.0);
+        assert_eq!(
+            plan.nic_extra(Time::from_ps(10), 1),
+            Duration::from_ns(500.0)
+        );
+        assert_eq!(plan.nic_extra(Time::from_ps(10), 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn random_transient_is_deterministic_and_never_permanent() {
+        let a = FaultPlan::random_transient(42, 8, Duration::from_us(100.0));
+        let b = FaultPlan::random_transient(42, 8, Duration::from_us(100.0));
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty() && a.events.len() <= 3);
+        assert!(a.events.iter().all(|e| !e.is_permanent()));
+        let c = FaultPlan::random_transient(43, 8, Duration::from_us(100.0));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn summary_names_seed_and_events() {
+        let plan = FaultPlan::new(99)
+            .with_wait_timeout(Duration::from_us(10.0))
+            .link_down_forever(0, 1, Time::ZERO);
+        let s = plan.summary();
+        assert!(s.contains("seed=99"), "{s}");
+        assert!(s.contains("link 0<->1 down"), "{s}");
+        assert!(s.contains("wait_timeout"), "{s}");
+    }
+}

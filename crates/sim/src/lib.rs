@@ -39,12 +39,16 @@
 //! ```
 
 mod engine;
+mod fault;
 mod metrics;
 mod process;
 mod time;
 mod trace;
 
-pub use engine::{BlockedProcess, CellId, Ctx, DeadlockError, Engine, ProcId, ResourceId};
+pub use engine::{
+    BlockedProcess, CellId, Ctx, DeadlockError, Engine, ProcId, ResourceId, SimError, TimeoutError,
+};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultTarget, PathState, SimRng};
 pub use metrics::{Metrics, ResourceStat};
 pub use process::{Process, Step};
 pub use time::{Duration, Time};

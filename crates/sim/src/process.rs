@@ -20,6 +20,18 @@ pub enum Step {
         /// Threshold that unblocks the process.
         at_least: u64,
     },
+    /// Like [`Step::WaitCell`], but with a deadline: if the condition is
+    /// still unsatisfied after `timeout` of virtual time, the run aborts
+    /// with a typed [`crate::TimeoutError`] naming this process's open
+    /// span stack, instead of hanging until quiescence.
+    WaitCellTimeout {
+        /// The cell to watch.
+        cell: CellId,
+        /// Threshold that unblocks the process.
+        at_least: u64,
+        /// Maximum virtual time to stay blocked.
+        timeout: Duration,
+    },
     /// The process has finished; it will never be stepped again.
     Done,
 }

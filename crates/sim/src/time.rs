@@ -19,6 +19,10 @@ impl Time {
     /// The simulation start instant.
     pub const ZERO: Time = Time(0);
 
+    /// The far future. Used as the `end` of a permanent fault window;
+    /// never add a duration to it (virtual-time arithmetic would overflow).
+    pub const MAX: Time = Time(u64::MAX);
+
     /// Creates an instant from raw picoseconds.
     pub const fn from_ps(ps: u64) -> Time {
         Time(ps)

@@ -1,0 +1,290 @@
+//! Chaos tests: deterministic fault injection across the whole stack.
+//!
+//! The invariants, per DESIGN.md §9:
+//!
+//! * **transient faults never corrupt data** — link flaps, bandwidth
+//!   degradation and stragglers delay a collective but every stack still
+//!   produces the bit-exact reference result;
+//! * **permanent faults fail typed or degrade** — with re-planning
+//!   bypassed, a dead link surfaces [`mscclpp::Error::Timeout`] naming
+//!   the blocked span; the default path re-plans and stays correct;
+//! * **everything is reproducible** — the same seed and plan give
+//!   bit-identical timings, counters, and outputs.
+
+use collective::{AllReduceAlgo, CollComm, PeerOrder};
+use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};
+use mscclpp::Setup;
+use proptest::prelude::*;
+use sim::{Duration, Engine, FaultPlan, Time};
+
+fn reference_allreduce(n: usize, count: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+    (0..count).map(|i| (0..n).map(|r| f(r, i)).sum()).collect()
+}
+
+fn val(r: usize, i: usize) -> f32 {
+    ((r * 5 + i * 3) % 8) as f32
+}
+
+fn engine_with_plan(kind: EnvKind, plan: FaultPlan) -> Engine<Machine> {
+    let mut e = Engine::new(Machine::new(kind.spec(1)));
+    e.set_fault_plan(plan);
+    hw::wire(&mut e);
+    e
+}
+
+fn alloc_filled(e: &mut Engine<Machine>, n: usize, count: usize) -> Vec<BufferId> {
+    (0..n)
+        .map(|r| {
+            let b = e.world_mut().pool_mut().alloc(Rank(r), count * 4);
+            e.world_mut()
+                .pool_mut()
+                .fill_with(b, DataType::F32, move |i| val(r, i));
+            b
+        })
+        .collect()
+}
+
+/// Flap every NVLink port of GPU 0 in `[start, end)`.
+fn flap_gpu0(mut plan: FaultPlan, world: usize, start: Time, end: Time) -> FaultPlan {
+    for dst in 1..world {
+        plan = plan.link_flap(0, dst, start, end);
+    }
+    plan
+}
+
+fn us(x: u64) -> Time {
+    Time::from_ps(x * 1_000_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A random transient fault plan (link-down windows, bandwidth
+    /// degradation, stragglers) delays but never corrupts: all three
+    /// stacks still compute the bit-exact reference sum.
+    #[test]
+    fn transient_faults_never_corrupt_any_stack(
+        fault_seed in 0u64..1000,
+        count in 512usize..3000,
+    ) {
+        let n = 8usize;
+        let plan = FaultPlan::random_transient(fault_seed, n, Duration::from_us(150.0));
+        let want = reference_allreduce(n, count, val);
+
+        // MSCCL++ collective API (default selection; transient-only plans
+        // never trigger a re-plan).
+        {
+            let mut e = engine_with_plan(EnvKind::A100_40G, plan.clone());
+            let bufs = alloc_filled(&mut e, n, count);
+            let comm = CollComm::new();
+            comm.all_reduce(&mut e, &bufs, &bufs, count, DataType::F32, ReduceOp::Sum)
+                .unwrap();
+            prop_assert_eq!(e.metrics().counter("fault.replans"), 0);
+            for r in [0, n - 1] {
+                let got = e.world().pool().to_f32_vec(bufs[r], DataType::F32);
+                prop_assert_eq!(&got, &want, "mscclpp rank {} plan seed {}", r, fault_seed);
+            }
+        }
+
+        // NCCL baseline.
+        {
+            let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+            e.set_fault_plan(plan.clone());
+            let mut setup = Setup::new(&mut e);
+            let comm = ncclsim::NcclComm::new(&mut setup, ncclsim::NcclConfig::nccl());
+            let bufs = setup.alloc_all(count * 4);
+            for (r, &b) in bufs.iter().enumerate() {
+                e.world_mut()
+                    .pool_mut()
+                    .fill_with(b, DataType::F32, move |i| val(r, i));
+            }
+            comm.all_reduce(
+                &mut e,
+                &bufs,
+                &bufs,
+                count,
+                DataType::F32,
+                ReduceOp::Sum,
+                ncclsim::tune(count * 4, 1),
+            )
+            .unwrap();
+            let got = e.world().pool().to_f32_vec(bufs[3], DataType::F32);
+            prop_assert_eq!(&got, &want, "nccl plan seed {}", fault_seed);
+        }
+
+        // MSCCL baseline.
+        {
+            let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+            e.set_fault_plan(plan.clone());
+            let mut setup = Setup::new(&mut e);
+            let comm = msccl::MscclComm::new(&mut setup, msccl::MscclConfig::default());
+            let bufs = setup.alloc_all(count * 4);
+            for (r, &b) in bufs.iter().enumerate() {
+                e.world_mut()
+                    .pool_mut()
+                    .fill_with(b, DataType::F32, move |i| val(r, i));
+            }
+            comm.all_reduce(&mut e, &bufs, &bufs, count, DataType::F32, ReduceOp::Sum, None)
+                .unwrap();
+            let got = e.world().pool().to_f32_vec(bufs[5], DataType::F32);
+            prop_assert_eq!(&got, &want, "msccl plan seed {}", fault_seed);
+        }
+    }
+}
+
+/// The PortChannel stack's CPU proxies retry through a link flap with
+/// exponential backoff and the collective still verifies.
+#[test]
+fn proxies_retry_through_flap_and_stay_correct() {
+    let n = 8usize;
+    let count = 100_000usize;
+    let plan = flap_gpu0(FaultPlan::new(3), n, us(2), us(40));
+    let mut e = engine_with_plan(EnvKind::A100_40G, plan);
+    let bufs = alloc_filled(&mut e, n, count);
+    let comm = CollComm::new();
+    comm.all_reduce_with(
+        &mut e,
+        &bufs,
+        &bufs,
+        count,
+        DataType::F32,
+        ReduceOp::Sum,
+        AllReduceAlgo::TwoPhasePort,
+    )
+    .unwrap();
+    let want = reference_allreduce(n, count, val);
+    for (r, &b) in bufs.iter().enumerate() {
+        let got = e.world().pool().to_f32_vec(b, DataType::F32);
+        assert_eq!(got, want, "rank {r}");
+    }
+    assert!(
+        e.metrics().counter("retry.attempts") > 0,
+        "the flap never forced a proxy retry"
+    );
+    assert!(
+        e.metrics().counter("retry.recovered") > 0,
+        "no proxy observed the link recover"
+    );
+}
+
+/// A permanently dead link with re-planning bypassed (explicit algorithm
+/// choice) hangs the collective until the plan's wait timeout fires, and
+/// the typed error names the blocked span.
+#[test]
+fn permanent_link_down_without_fallback_times_out_naming_the_span() {
+    let n = 8usize;
+    let count = 4096usize;
+    let plan = FaultPlan::new(5)
+        .link_down_forever(0, 1, Time::ZERO)
+        .with_wait_timeout(Duration::from_us(200.0));
+    let mut e = engine_with_plan(EnvKind::A100_40G, plan);
+    let bufs = alloc_filled(&mut e, n, count);
+    let comm = CollComm::new();
+    let err = comm
+        .all_reduce_with(
+            &mut e,
+            &bufs,
+            &bufs,
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+            AllReduceAlgo::TwoPhaseHb {
+                order: PeerOrder::Staggered,
+            },
+        )
+        .unwrap_err();
+    match &err {
+        mscclpp::Error::Timeout(t) => {
+            assert!(
+                t.span_stack.iter().any(|s| s.starts_with("wait.")),
+                "span stack should name the blocked wait: {:?}",
+                t.span_stack
+            );
+            assert!(t.waited >= Duration::ZERO);
+        }
+        other => panic!("expected Error::Timeout, got {other}"),
+    }
+    assert!(
+        e.metrics().counter("fault.link_down_blocked") > 0,
+        "no thread block reported parking on the dead link"
+    );
+    // `std::error::Error` chaining reaches the simulator-level cause.
+    let msg = format!("{err}");
+    assert!(msg.contains("timed out"), "{msg}");
+}
+
+/// The same seed and fault plan reproduce a faulted run bit-exactly:
+/// identical final virtual time, identical counters, identical output.
+#[test]
+fn same_plan_same_seed_is_bit_deterministic() {
+    let run_once = || {
+        let n = 8usize;
+        let count = 50_000usize;
+        let plan = flap_gpu0(FaultPlan::new(9), n, us(2), us(30));
+        let mut e = engine_with_plan(EnvKind::A100_40G, plan);
+        let bufs = alloc_filled(&mut e, n, count);
+        let comm = CollComm::new();
+        comm.all_reduce_with(
+            &mut e,
+            &bufs,
+            &bufs,
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+            AllReduceAlgo::TwoPhasePort,
+        )
+        .unwrap();
+        let counters: Vec<(String, u64)> = e
+            .metrics()
+            .counters()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        let out = e.world().pool().to_f32_vec(bufs[0], DataType::F32);
+        (e.now(), counters, out)
+    };
+    let (now_a, counters_a, out_a) = run_once();
+    let (now_b, counters_b, out_b) = run_once();
+    assert_eq!(now_a, now_b, "virtual end time diverged");
+    assert_eq!(counters_a, counters_b, "counters diverged");
+    assert_eq!(out_a, out_b, "outputs diverged");
+    assert!(counters_a
+        .iter()
+        .any(|(k, v)| k == "retry.attempts" && *v > 0));
+}
+
+/// The default path re-plans around a permanently dead mesh link: the
+/// result is still bit-exact and the degradation is visible both in the
+/// `fault.replans` counter and as a measurably slower run.
+#[test]
+fn degraded_replan_is_correct_and_measurably_slower() {
+    let n = 8usize;
+    let count = 200_000usize;
+    let healthy_us = {
+        let mut e = Engine::new(Machine::new(EnvKind::MI300X.spec(1)));
+        hw::wire(&mut e);
+        let bufs = alloc_filled(&mut e, n, count);
+        let comm = CollComm::new();
+        let t = comm
+            .all_reduce(&mut e, &bufs, &bufs, count, DataType::F32, ReduceOp::Sum)
+            .unwrap();
+        t.elapsed().as_us()
+    };
+    let plan = FaultPlan::new(1).link_down_forever(2, 3, Time::ZERO);
+    let mut e = engine_with_plan(EnvKind::MI300X, plan);
+    let bufs = alloc_filled(&mut e, n, count);
+    let comm = CollComm::new();
+    let t = comm
+        .all_reduce(&mut e, &bufs, &bufs, count, DataType::F32, ReduceOp::Sum)
+        .unwrap();
+    let want = reference_allreduce(n, count, val);
+    for r in [0, 2, 3, 7] {
+        let got = e.world().pool().to_f32_vec(bufs[r], DataType::F32);
+        assert_eq!(got, want, "rank {r}");
+    }
+    assert!(e.metrics().counter("fault.replans") >= 1);
+    assert!(
+        t.elapsed().as_us() > healthy_us,
+        "ring fallback ({:.1} us) should be slower than healthy all-pairs ({healthy_us:.1} us)",
+        t.elapsed().as_us()
+    );
+}
