@@ -15,7 +15,7 @@ fn stacks(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulate_allreduce_64KB");
     g.sample_size(10);
     g.bench_function("mscclpp", |b| {
-        b.iter(|| mscclpp_allreduce(t, 64 << 10, None))
+        b.iter(|| mscclpp_allreduce(t, 64 << 10, None));
     });
     g.bench_function("msccl", |b| b.iter(|| msccl_allreduce(t, 64 << 10)));
     g.bench_function("nccl_tuned", |b| b.iter(|| nccl_allreduce(t, 64 << 10)));
@@ -24,7 +24,7 @@ fn stacks(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulate_allreduce_16MB");
     g.sample_size(10);
     g.bench_function("mscclpp", |b| {
-        b.iter(|| mscclpp_allreduce(t, 16 << 20, None))
+        b.iter(|| mscclpp_allreduce(t, 16 << 20, None));
     });
     g.finish();
 }

@@ -40,6 +40,10 @@ pub struct StackRun {
     pub bytes: usize,
     /// End-to-end latency in microseconds.
     pub latency_us: f64,
+    /// Whether the plan that produced this run passed the `commverify`
+    /// static verifier. Always true for runs that completed: every comm
+    /// verifies its plan before launch and a finding aborts the run.
+    pub verified: bool,
     /// Every metrics counter, in name order.
     pub counters: Vec<(String, u64)>,
     /// Per-link accounting (labeled resources only, non-idle first).
@@ -80,6 +84,7 @@ pub(crate) fn snapshot(
         stack: stack.to_owned(),
         bytes,
         latency_us,
+        verified: true,
         counters: engine
             .metrics()
             .counters()
@@ -210,10 +215,11 @@ fn esc(s: &str) -> String {
 
 fn push_run(out: &mut String, run: &StackRun) {
     out.push_str(&format!(
-        "{{\"stack\":\"{}\",\"bytes\":{},\"latency_us\":{:.3},",
+        "{{\"stack\":\"{}\",\"bytes\":{},\"latency_us\":{:.3},\"verified\":{},",
         esc(&run.stack),
         run.bytes,
-        run.latency_us
+        run.latency_us,
+        run.verified
     ));
     out.push_str("\"counters\":{");
     for (i, (k, v)) in run.counters.iter().enumerate() {
@@ -307,6 +313,7 @@ mod tests {
         assert_eq!(runs.len(), 3);
         for run in &runs {
             assert!(run.latency_us > 0.0, "{}", run.stack);
+            assert!(run.verified, "{}: plan was not verified", run.stack);
             assert!(run.counter("sync.waits") > 0, "{}", run.stack);
             assert!(
                 run.links.iter().any(|l| l.bytes > 0),
@@ -336,6 +343,7 @@ mod tests {
         let json = runs_to_json("smoke", t, &runs);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"stack\":").count(), 3);
+        assert_eq!(json.matches("\"verified\":true").count(), 3);
         assert!(json.contains("\"sync.waits\":"));
         assert!(json.contains("\"label\":\"egress r0\""));
         assert!(json.contains("\"fault\":null"), "healthy header: {json}");

@@ -1102,6 +1102,12 @@ impl TwoPhaseHierarchical {
                             len,
                         );
                     }
+                    // The reduces below overwrite the exact range the DMA
+                    // engines are still reading out of `acc`; flush every
+                    // outbound put before the first reduce.
+                    for b in peers_staggered(self.nodes, node, t) {
+                        tb.port_flush(cross.at(t, node, b));
+                    }
                     for b in peers_staggered(self.nodes, node, t) {
                         tb.port_wait(cross.at(t, node, b));
                         tb.reduce(

@@ -106,7 +106,12 @@ impl AllPairsBroadcast {
                             }
                         }
                     }
-                    tb.copy(self.inputs[g.0], ms, self.outputs[g.0], ms, ml);
+                    // In-place (input == output) the local copy is a
+                    // no-op, and would alias the range the phase-1
+                    // proxies are still DMA-reading.
+                    if self.inputs[g.0] != self.outputs[g.0] {
+                        tb.copy(self.inputs[g.0], ms, self.outputs[g.0], ms, ml);
+                    }
                 } else if is_leader && self.nodes > 1 {
                     let cross = self.cross.as_ref().unwrap();
                     tb.port_wait(cross.at(t, node, root_node));

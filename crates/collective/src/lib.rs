@@ -48,7 +48,7 @@ mod algos;
 mod selector;
 mod wiring;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -172,6 +172,15 @@ enum Key {
     A2a(AllToAllAlgo, Vec<BufferId>, Vec<BufferId>),
 }
 
+/// One cached plan: the byte capacity its channels were wired for, the
+/// prepared channel set, and whether the static verifier has already
+/// cleared a kernel batch built from it.
+struct Entry {
+    cap: usize,
+    verified: Cell<bool>,
+    plan: Prepared,
+}
+
 enum Prepared {
     Ar1pa(Rc<OnePhaseAllPairs>),
     Ar2paLl(Rc<TwoPhaseAllPairsLl>),
@@ -215,8 +224,10 @@ impl Default for CollConfig {
 pub struct CollComm {
     cfg: CollConfig,
     ov: Overheads,
-    prepared: RefCell<HashMap<Key, (usize, Prepared)>>,
+    prepared: RefCell<HashMap<Key, Entry>>,
     custom_all_reduce: Option<Box<dyn CustomAllReduce>>,
+    verify: bool,
+    sanitize: bool,
 }
 
 impl std::fmt::Debug for CollComm {
@@ -250,7 +261,27 @@ impl CollComm {
             ov,
             prepared: RefCell::new(HashMap::new()),
             custom_all_reduce: None,
+            verify: true,
+            sanitize: false,
         }
+    }
+
+    /// Enables or disables plan verification (on by default). When on,
+    /// the first kernel batch built from each prepared plan runs through
+    /// the `commverify` static verifier before launch; a finding aborts
+    /// the collective with [`mscclpp::Error::Verification`]. Built-in
+    /// launches are balanced per synchronization cell, so clearing the
+    /// first batch clears every subsequent identical launch.
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify = on;
+    }
+
+    /// Enables or disables the dynamic sanitizer (off by default). When
+    /// on, every launch executes under per-thread-block vector clocks and
+    /// a concrete unordered conflicting access pair aborts the collective
+    /// with [`mscclpp::Error::Verification`].
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
     }
 
     /// The stack overheads in use.
@@ -266,7 +297,33 @@ impl CollComm {
 
     fn run(&self, engine: &mut Engine<Machine>, kernels: &[Kernel]) -> Result<KernelTiming> {
         mscclpp::record_launch_mix(engine, "mscclpp", kernels);
+        if self.sanitize {
+            let (timing, report) = mscclpp::run_kernels_sanitized(engine, kernels, &self.ov)?;
+            if let Some(race) = report.races.first() {
+                return Err(mscclpp::Error::Verification(format!(
+                    "dynamic sanitizer: {race}"
+                )));
+            }
+            return Ok(timing);
+        }
         run_kernels(engine, kernels, &self.ov)
+    }
+
+    /// Runs the static verifier over a freshly-built kernel batch, once
+    /// per prepared plan (re-verified if the plan is rebuilt for a larger
+    /// capacity).
+    fn maybe_verify(&self, engine: &Engine<Machine>, key: &Key, kernels: &[Kernel]) -> Result<()> {
+        if !self.verify {
+            return Ok(());
+        }
+        let prepared = self.prepared.borrow();
+        let entry = prepared.get(key).expect("just prepared");
+        if entry.verified.get() {
+            return Ok(());
+        }
+        commverify::verify_kernels(kernels, engine.world().pool())?;
+        entry.verified.set(true);
+        Ok(())
     }
 
     /// AllReduce with automatic algorithm selection (the NCCL-API entry
@@ -321,8 +378,8 @@ impl CollComm {
         let key = Key::Ar(algo, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
-        let (_, p) = prepared.get(&key).expect("just prepared");
-        let kernels = match p {
+        let entry = prepared.get(&key).expect("just prepared");
+        let kernels = match &entry.plan {
             Prepared::Ar1pa(a) => a.kernels(bytes, dtype, op)?,
             Prepared::Ar2paLl(a) => a.kernels(bytes, dtype, op)?,
             Prepared::Ar2paHb(a) => a.kernels(bytes, dtype, op)?,
@@ -333,6 +390,7 @@ impl CollComm {
             _ => unreachable!("allreduce key maps to allreduce algorithm"),
         };
         drop(prepared);
+        self.maybe_verify(engine, &key, &kernels)?;
         self.run(engine, &kernels)
     }
 
@@ -373,14 +431,15 @@ impl CollComm {
         let key = Key::Ag(algo, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
-        let (_, p) = prepared.get(&key).expect("just prepared");
-        let kernels = match p {
+        let entry = prepared.get(&key).expect("just prepared");
+        let kernels = match &entry.plan {
             Prepared::AgAp(a) => a.kernels(bytes, dtype)?,
             Prepared::AgPort(a) => a.kernels(bytes)?,
             Prepared::AgHier(a) => a.kernels(bytes, dtype)?,
             _ => unreachable!("allgather key maps to allgather algorithm"),
         };
         drop(prepared);
+        self.maybe_verify(engine, &key, &kernels)?;
         self.run(engine, &kernels)
     }
 
@@ -428,12 +487,13 @@ impl CollComm {
         let key = Key::Rs(algo, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
-        let (_, p) = prepared.get(&key).expect("just prepared");
-        let kernels = match p {
+        let entry = prepared.get(&key).expect("just prepared");
+        let kernels = match &entry.plan {
             Prepared::RsAp(a) => a.kernels(bytes, dtype, op)?,
             _ => unreachable!("reducescatter key maps to reducescatter algorithm"),
         };
         drop(prepared);
+        self.maybe_verify(engine, &key, &kernels)?;
         self.run(engine, &kernels)
     }
 
@@ -484,13 +544,14 @@ impl CollComm {
         let key = Key::Bc(algo, root, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, root)?;
         let prepared = self.prepared.borrow();
-        let (_, p) = prepared.get(&key).expect("just prepared");
-        let kernels = match p {
+        let entry = prepared.get(&key).expect("just prepared");
+        let kernels = match &entry.plan {
             Prepared::BcAp(a) => a.kernels(bytes)?,
             Prepared::BcSwitch(a) => a.kernels(bytes)?,
             _ => unreachable!("broadcast key maps to broadcast algorithm"),
         };
         drop(prepared);
+        self.maybe_verify(engine, &key, &kernels)?;
         self.run(engine, &kernels)
     }
 
@@ -535,12 +596,13 @@ impl CollComm {
         let key = Key::A2a(algo, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
-        let (_, p) = prepared.get(&key).expect("just prepared");
-        let kernels = match p {
+        let entry = prepared.get(&key).expect("just prepared");
+        let kernels = match &entry.plan {
             Prepared::A2aAp(a) => a.kernels(bytes)?,
             _ => unreachable!("alltoall key maps to alltoall algorithm"),
         };
         drop(prepared);
+        self.maybe_verify(engine, &key, &kernels)?;
         self.run(engine, &kernels)
     }
 
@@ -557,8 +619,8 @@ impl CollComm {
     ) -> Result<()> {
         {
             let prepared = self.prepared.borrow();
-            if let Some((cap, _)) = prepared.get(key) {
-                if *cap >= bytes {
+            if let Some(entry) = prepared.get(key) {
+                if entry.cap >= bytes {
                     return Ok(());
                 }
             }
@@ -677,9 +739,14 @@ impl CollComm {
                 )?)),
             },
         };
-        self.prepared
-            .borrow_mut()
-            .insert(key.clone(), (cap, prepared));
+        self.prepared.borrow_mut().insert(
+            key.clone(),
+            Entry {
+                cap,
+                verified: Cell::new(false),
+                plan: prepared,
+            },
+        );
         Ok(())
     }
 }

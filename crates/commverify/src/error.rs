@@ -1,0 +1,287 @@
+//! Typed findings produced by the verifier.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use hw::{BufferId, Rank};
+
+/// The site of one instruction: which rank, thread block, and program
+/// counter it occupies in the kernel batch under analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Site {
+    /// Issuing rank.
+    pub rank: Rank,
+    /// Thread block index within the rank's kernel.
+    pub tb: usize,
+    /// Instruction index within the block's stream.
+    pub pc: usize,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/tb{}/pc{}", self.rank, self.tb, self.pc)
+    }
+}
+
+/// Which checks to run. All are on by default; presets exist for
+/// instruction styles where a check is structurally inapplicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checks {
+    /// Buffer accesses within registered memory sizes.
+    pub bounds: bool,
+    /// Signal/wait imbalances and happens-before cycles (static deadlock).
+    pub sync: bool,
+    /// Unsynchronized conflicting accesses to overlapping ranges.
+    pub races: bool,
+    /// Explicit signals whose semaphore is never waited on.
+    pub orphan_signals: bool,
+    /// Port puts with no completion guarantee before kernel exit.
+    pub unflushed_puts: bool,
+}
+
+impl Default for Checks {
+    fn default() -> Checks {
+        Checks {
+            bounds: true,
+            sync: true,
+            races: true,
+            orphan_signals: true,
+            unflushed_puts: true,
+        }
+    }
+}
+
+impl Checks {
+    /// Every check enabled (the default).
+    pub fn all() -> Checks {
+        Checks::default()
+    }
+
+    /// Preset for NCCL-style transports (`ncclsim`, `msccl`): orphan
+    /// signals are expected there, because rendezvous *credit* semaphores
+    /// are signalled on every receive but only waited on once the sender
+    /// wraps the staging FIFO — a short transfer legitimately leaves them
+    /// dangling.
+    pub fn transport() -> Checks {
+        Checks {
+            orphan_signals: false,
+            ..Checks::default()
+        }
+    }
+}
+
+/// One finding of the static verifier.
+///
+/// Every variant names the offending instruction site(s); range-carrying
+/// variants use half-open byte ranges `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Two instructions on different thread blocks access overlapping
+    /// byte ranges of the same buffer, at least one writes, and no
+    /// happens-before path orders them. Sites are ordered by
+    /// (rank, tb, pc).
+    Race {
+        /// The lower-ordered offending site.
+        first: Site,
+        /// Byte range accessed by `first`.
+        first_range: (usize, usize),
+        /// Whether `first` writes.
+        first_write: bool,
+        /// The higher-ordered offending site.
+        second: Site,
+        /// Byte range accessed by `second`.
+        second_range: (usize, usize),
+        /// Whether `second` writes.
+        second_write: bool,
+        /// The buffer both ranges index into.
+        buf: BufferId,
+    },
+    /// The happens-before graph contains a cycle: every site on `path`
+    /// waits (directly or transitively) for the next, and the last for
+    /// the first — a guaranteed deadlock in any execution.
+    DeadlockCycle {
+        /// The cycle, one site per hop, in happens-before order.
+        path: Vec<Site>,
+    },
+    /// A wait needs more increments of its cell than the whole batch can
+    /// ever produce — it blocks forever.
+    SignalWaitImbalance {
+        /// The starved wait.
+        wait: Site,
+        /// Human-readable name of the cell being waited on.
+        cell: String,
+        /// Increments the wait requires.
+        needed: u64,
+        /// Increments the batch produces in total.
+        available: u64,
+    },
+    /// An access extends past the registered size of its buffer.
+    OutOfBounds {
+        /// The offending instruction.
+        site: Site,
+        /// The buffer accessed.
+        buf: BufferId,
+        /// The attempted byte range.
+        range: (usize, usize),
+        /// The buffer's registered size.
+        len: usize,
+    },
+    /// An explicit signal targets a semaphore no instruction ever waits
+    /// on — either dead code or a missing wait on the peer.
+    OrphanSignal {
+        /// The signalling instruction.
+        site: Site,
+        /// Human-readable name of the signalled cell.
+        cell: String,
+    },
+    /// A port put without `with_signal` is never followed by a flush,
+    /// port signal, or signalling put on the same channel: the kernel can
+    /// exit with the transfer still queued and no way to observe its
+    /// completion.
+    UnflushedPortPut {
+        /// The dangling put.
+        site: Site,
+    },
+}
+
+impl VerifyError {
+    /// Ordering class used to sort a report: cheapest/most-fundamental
+    /// findings first.
+    pub(crate) fn class(&self) -> u8 {
+        match self {
+            VerifyError::OutOfBounds { .. } => 0,
+            VerifyError::SignalWaitImbalance { .. } => 1,
+            VerifyError::DeadlockCycle { .. } => 2,
+            VerifyError::Race { .. } => 3,
+            VerifyError::OrphanSignal { .. } => 4,
+            VerifyError::UnflushedPortPut { .. } => 5,
+        }
+    }
+
+    /// A site to sort by within a class.
+    pub(crate) fn anchor(&self) -> Site {
+        match self {
+            VerifyError::Race { first, .. } => *first,
+            VerifyError::DeadlockCycle { path } => path.iter().copied().min().unwrap_or(Site {
+                rank: Rank(0),
+                tb: 0,
+                pc: 0,
+            }),
+            VerifyError::SignalWaitImbalance { wait, .. } => *wait,
+            VerifyError::OutOfBounds { site, .. }
+            | VerifyError::OrphanSignal { site, .. }
+            | VerifyError::UnflushedPortPut { site } => *site,
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Race {
+                first,
+                first_range,
+                first_write,
+                second,
+                second_range,
+                second_write,
+                buf,
+            } => write!(
+                f,
+                "unsynchronized {} at {} [{}, {}) races with {} at {} [{}, {}) on {:?}",
+                if *first_write { "write" } else { "read" },
+                first,
+                first_range.0,
+                first_range.1,
+                if *second_write { "write" } else { "read" },
+                second,
+                second_range.0,
+                second_range.1,
+                buf,
+            ),
+            VerifyError::DeadlockCycle { path } => {
+                write!(f, "deadlock: happens-before cycle ")?;
+                for (i, s) in path.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                if let Some(s) = path.first() {
+                    write!(f, " -> {s}")?;
+                }
+                Ok(())
+            }
+            VerifyError::SignalWaitImbalance {
+                wait,
+                cell,
+                needed,
+                available,
+            } => write!(
+                f,
+                "wait at {wait} on {cell} needs {needed} signal(s) but the batch produces {available}"
+            ),
+            VerifyError::OutOfBounds {
+                site,
+                buf,
+                range,
+                len,
+            } => write!(
+                f,
+                "access at {site} touches {:?} [{}, {}) past its registered size {len}",
+                buf, range.0, range.1
+            ),
+            VerifyError::OrphanSignal { site, cell } => {
+                write!(f, "signal at {site} targets {cell}, which is never waited on")
+            }
+            VerifyError::UnflushedPortPut { site } => write!(
+                f,
+                "port put at {site} is never flushed or signalled before kernel exit"
+            ),
+        }
+    }
+}
+
+impl StdError for VerifyError {}
+
+impl From<VerifyError> for mscclpp::Error {
+    fn from(e: VerifyError) -> mscclpp::Error {
+        mscclpp::Error::Verification(e.to_string())
+    }
+}
+
+/// Everything the verifier found in one kernel batch, sorted by class
+/// (bounds, imbalance, deadlock, race, orphan, unflushed) and then by
+/// instruction site.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings; empty for a clean plan.
+    pub findings: Vec<VerifyError>,
+}
+
+impl Report {
+    /// Whether no check fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    pub(crate) fn sort(&mut self) {
+        self.findings
+            .sort_by_key(|f| (f.class(), f.anchor(), format!("{f}")));
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return write!(f, "clean");
+        }
+        for (i, e) in self.findings.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,77 @@
+//! `commverify` — static verification of compiled communication plans.
+//!
+//! Given the per-rank, per-thread-block instruction streams of a kernel
+//! batch (plus the channel wiring embedded in the instructions and the
+//! memory pool they index into), this crate constructs the happens-before
+//! graph induced by the synchronization instructions and reports:
+//!
+//! * **Races** — unsynchronized write→read / write→write pairs on
+//!   overlapping buffer ranges, with both offending instruction sites.
+//! * **Static deadlocks** — wait cycles in the happens-before graph, and
+//!   signal/wait count imbalances (waits that can never be satisfied).
+//! * **Out-of-bounds accesses** — byte ranges past a buffer's registered
+//!   size.
+//! * **Orphan signals** — semaphores signalled but never waited on.
+//! * **Unflushed port puts** — posted transfers with no completion
+//!   guarantee before kernel exit.
+//!
+//! The analysis is *sound for a single kernel launch over freshly-zeroed
+//! synchronization cells*: every reported deadlock cycle and imbalance is
+//! real under that assumption, and every happens-before edge it draws is
+//! implied by the simulator's semantics. Race detection is exact for
+//! plans where each synchronization cell has a single waiting thread
+//! (true of all built-in algorithms); with multiple waiters the counted
+//! rule keeps only guaranteed edges, so extra races may be reported but
+//! ordered pairs are never misclassified as racing. Callers that reuse
+//! channel state across launches (NCCL-style FIFO credits) should verify
+//! the first launch only — see [`Checks::transport`].
+//!
+//! The dynamic counterpart lives in the `mscclpp` crate
+//! ([`mscclpp::run_kernels_sanitized`]): a vector-clock sanitizer over a
+//! concrete simulated execution. The static verifier and the sanitizer
+//! agree on instruction sites, so a static race finding can be
+//! cross-checked against a dynamic one.
+
+mod error;
+mod hb;
+mod model;
+
+pub use error::{Checks, Report, Site, VerifyError};
+
+use hw::MemoryPool;
+use mscclpp::Kernel;
+
+/// Analyzes a kernel batch with an explicit check selection and returns
+/// every finding.
+pub fn analyze_with(kernels: &[Kernel], pool: &MemoryPool, checks: &Checks) -> Report {
+    let model = model::extract(kernels);
+    let mut report = Report {
+        findings: hb::analyze(&model, pool, checks),
+    };
+    report.sort();
+    report
+}
+
+/// Analyzes a kernel batch with all checks enabled.
+pub fn analyze_kernels(kernels: &[Kernel], pool: &MemoryPool) -> Report {
+    analyze_with(kernels, pool, &Checks::all())
+}
+
+/// Verifies a kernel batch with an explicit check selection, returning
+/// the first (highest-priority) finding as an error.
+pub fn verify_kernels_with(
+    kernels: &[Kernel],
+    pool: &MemoryPool,
+    checks: &Checks,
+) -> Result<(), VerifyError> {
+    let report = analyze_with(kernels, pool, checks);
+    match report.findings.into_iter().next() {
+        None => Ok(()),
+        Some(f) => Err(f),
+    }
+}
+
+/// Verifies a kernel batch with all checks enabled.
+pub fn verify_kernels(kernels: &[Kernel], pool: &MemoryPool) -> Result<(), VerifyError> {
+    verify_kernels_with(kernels, pool, &Checks::all())
+}

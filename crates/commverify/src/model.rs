@@ -1,0 +1,518 @@
+//! Extraction of the analysis IR from compiled kernel batches.
+//!
+//! Each thread block becomes one *thread* of events; each proxied port
+//! channel endpoint contributes a *virtual proxy thread* whose events
+//! carry the CPU proxy's copies, linked to the pushing block by explicit
+//! cross edges. Every event records the byte ranges it touches, the
+//! synchronization cells it increments, and (for waits) the cell and
+//! threshold it blocks on.
+
+use std::collections::HashMap;
+
+use hw::BufferId;
+use mscclpp::{Instr, Kernel};
+use sim::CellId;
+
+use crate::error::Site;
+
+/// One byte-range access, half-open `[start, end)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Access {
+    pub buf: BufferId,
+    pub start: usize,
+    pub end: usize,
+    pub write: bool,
+}
+
+/// A counted wait: blocks until `cell >= needed`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WaitOn {
+    pub cell: CellId,
+    pub needed: u64,
+}
+
+/// Classification beyond the generic access/inc/wait fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Plain,
+    /// Explicit signal instruction targeting a semaphore-class cell
+    /// (orphan-signal candidate).
+    Signal(CellId),
+    /// Barrier arrival (increments the barrier cell).
+    BarrierArrive(CellId),
+    /// Barrier exit (ordered after every party's matching arrival).
+    BarrierExit(CellId),
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub site: Site,
+    pub accesses: Vec<Access>,
+    pub incs: Vec<CellId>,
+    pub wait: Option<WaitOn>,
+    pub kind: Kind,
+}
+
+impl Event {
+    fn plain(site: Site) -> Event {
+        Event {
+            site,
+            accesses: Vec::new(),
+            incs: Vec::new(),
+            wait: None,
+            kind: Kind::Plain,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Thread {
+    pub events: Vec<Event>,
+}
+
+/// The extracted model of one kernel batch.
+#[derive(Debug, Default)]
+pub(crate) struct Model {
+    pub threads: Vec<Thread>,
+    /// Cross-thread happens-before edges beyond program order and wait
+    /// matching: FIFO push → proxy processing, as `(from, to)` pairs of
+    /// `(thread, event index)`.
+    pub extra_edges: Vec<((usize, usize), (usize, usize))>,
+    /// Human-readable cell names for rendering findings.
+    pub cell_names: HashMap<CellId, String>,
+    /// Parties per barrier cell.
+    pub barriers: HashMap<CellId, usize>,
+    /// Port puts with no completion guarantee before kernel exit.
+    pub unflushed: Vec<Site>,
+}
+
+impl Model {
+    fn name_cell(&mut self, cell: CellId, name: impl FnOnce() -> String) {
+        self.cell_names.entry(cell).or_insert_with(name);
+    }
+
+    pub(crate) fn cell_name(&self, cell: CellId) -> String {
+        self.cell_names
+            .get(&cell)
+            .cloned()
+            .unwrap_or_else(|| format!("{cell:?}"))
+    }
+}
+
+/// Per-(block, port endpoint) state while walking a stream.
+#[derive(Debug, Default)]
+struct PortState {
+    /// Virtual proxy thread index for this endpoint/block pair.
+    proxy: Option<usize>,
+    /// Requests pushed so far by this block on this endpoint (puts and
+    /// signals alike — the completion counter counts both).
+    pushed: u64,
+    /// Sites of puts not yet covered by a flush/signal barrier.
+    dirty: Vec<Site>,
+}
+
+/// Extracts the analysis model from a kernel batch.
+pub(crate) fn extract(kernels: &[Kernel]) -> Model {
+    let mut m = Model::default();
+    for k in kernels {
+        for (tb, prog) in k.blocks.iter().enumerate() {
+            let t = m.threads.len();
+            m.threads.push(Thread::default());
+            // Waits are counted per (thread, cell): the n-th wait needs n
+            // increments. Exact for single-waiter cells (every built-in);
+            // a sound under-approximation otherwise.
+            let mut wait_counts: HashMap<CellId, u64> = HashMap::new();
+            // Port endpoints this block pushes to, keyed by pushed-cell.
+            let mut ports: HashMap<CellId, PortState> = HashMap::new();
+            for (pc, instr) in prog.iter().enumerate() {
+                let site = Site {
+                    rank: k.rank,
+                    tb,
+                    pc,
+                };
+                let mut ev = Event::plain(site);
+                match instr {
+                    Instr::MemPut {
+                        ch,
+                        src_off,
+                        dst_off,
+                        bytes,
+                        with_signal,
+                    } => {
+                        m.name_cell(ch.peer_arrival, || format!("mem_arrival@{}", ch.peer_rank));
+                        ev.accesses.push(Access {
+                            buf: ch.local_buf,
+                            start: *src_off,
+                            end: src_off + bytes,
+                            write: false,
+                        });
+                        ev.accesses.push(Access {
+                            buf: ch.remote_buf,
+                            start: *dst_off,
+                            end: dst_off + bytes,
+                            write: true,
+                        });
+                        ev.incs.push(ch.peer_arrival);
+                        if *with_signal {
+                            m.name_cell(ch.peer_sem, || format!("mem_sem@{}", ch.peer_rank));
+                            ev.incs.push(ch.peer_sem);
+                        }
+                    }
+                    Instr::MemSignal { ch } => {
+                        m.name_cell(ch.peer_sem, || format!("mem_sem@{}", ch.peer_rank));
+                        ev.incs.push(ch.peer_sem);
+                        ev.kind = Kind::Signal(ch.peer_sem);
+                    }
+                    Instr::MemWait { ch } => {
+                        m.name_cell(ch.my_sem, || format!("mem_sem@{}", ch.local_rank));
+                        let n = bump(&mut wait_counts, ch.my_sem);
+                        ev.wait = Some(WaitOn {
+                            cell: ch.my_sem,
+                            needed: n,
+                        });
+                    }
+                    Instr::MemWaitData { ch } => {
+                        m.name_cell(ch.my_arrival, || format!("mem_arrival@{}", ch.local_rank));
+                        let n = bump(&mut wait_counts, ch.my_arrival);
+                        ev.wait = Some(WaitOn {
+                            cell: ch.my_arrival,
+                            needed: n,
+                        });
+                    }
+                    Instr::MemReadReduce {
+                        ch,
+                        remote_off,
+                        local_buf,
+                        local_off,
+                        bytes,
+                        ..
+                    } => {
+                        ev.accesses.push(Access {
+                            buf: ch.remote_buf,
+                            start: *remote_off,
+                            end: remote_off + bytes,
+                            write: false,
+                        });
+                        ev.accesses.push(Access {
+                            buf: *local_buf,
+                            start: *local_off,
+                            end: local_off + bytes,
+                            write: true,
+                        });
+                    }
+                    Instr::PortPut {
+                        ch,
+                        src_off,
+                        dst_off,
+                        bytes,
+                        with_signal,
+                    } => {
+                        m.name_cell(ch.completed_cell, || {
+                            format!("port_completed@{}", ch.local_rank)
+                        });
+                        m.name_cell(ch.peer_arrival, || format!("port_arrival@{}", ch.peer_rank));
+                        let state = ports.entry(ch.pushed_cell).or_default();
+                        state.pushed += 1;
+                        if *with_signal {
+                            state.dirty.clear();
+                        } else {
+                            state.dirty.push(site);
+                        }
+                        // The proxy's copy runs on a virtual thread,
+                        // ordered after the push by a cross edge; the
+                        // pusher's later instructions are NOT ordered
+                        // after it, which is what catches source-buffer
+                        // reuse before a flush.
+                        let mut proxy_ev = Event::plain(site);
+                        proxy_ev.accesses.push(Access {
+                            buf: ch.local_buf,
+                            start: *src_off,
+                            end: src_off + bytes,
+                            write: false,
+                        });
+                        proxy_ev.accesses.push(Access {
+                            buf: ch.remote_buf,
+                            start: *dst_off,
+                            end: dst_off + bytes,
+                            write: true,
+                        });
+                        proxy_ev.incs.push(ch.completed_cell);
+                        proxy_ev.incs.push(ch.peer_arrival);
+                        if *with_signal {
+                            m.name_cell(ch.peer_sem, || format!("port_sem@{}", ch.peer_rank));
+                            proxy_ev.incs.push(ch.peer_sem);
+                        }
+                        let push_idx = m.threads[t].events.len();
+                        push_proxy(&mut m, state, t, push_idx, proxy_ev);
+                    }
+                    Instr::PortSignal { ch } => {
+                        m.name_cell(ch.completed_cell, || {
+                            format!("port_completed@{}", ch.local_rank)
+                        });
+                        m.name_cell(ch.peer_sem, || format!("port_sem@{}", ch.peer_rank));
+                        let state = ports.entry(ch.pushed_cell).or_default();
+                        state.pushed += 1;
+                        // FIFO order: a signal behind earlier puts reaches
+                        // the peer only after they complete.
+                        state.dirty.clear();
+                        let mut proxy_ev = Event::plain(site);
+                        proxy_ev.incs.push(ch.completed_cell);
+                        proxy_ev.incs.push(ch.peer_sem);
+                        proxy_ev.kind = Kind::Signal(ch.peer_sem);
+                        let push_idx = m.threads[t].events.len();
+                        push_proxy(&mut m, state, t, push_idx, proxy_ev);
+                    }
+                    Instr::PortFlush { ch, .. } => {
+                        let state = ports.entry(ch.pushed_cell).or_default();
+                        state.dirty.clear();
+                        if state.pushed > 0 {
+                            m.name_cell(ch.completed_cell, || {
+                                format!("port_completed@{}", ch.local_rank)
+                            });
+                            ev.wait = Some(WaitOn {
+                                cell: ch.completed_cell,
+                                needed: state.pushed,
+                            });
+                        }
+                    }
+                    Instr::PortWait { ch } => {
+                        m.name_cell(ch.my_sem, || format!("port_sem@{}", ch.local_rank));
+                        let n = bump(&mut wait_counts, ch.my_sem);
+                        ev.wait = Some(WaitOn {
+                            cell: ch.my_sem,
+                            needed: n,
+                        });
+                    }
+                    Instr::SwitchReduce {
+                        ch,
+                        src_off,
+                        dst_buf,
+                        dst_off,
+                        bytes,
+                        ..
+                    } => {
+                        for &(_, b) in ch.members.iter() {
+                            ev.accesses.push(Access {
+                                buf: b,
+                                start: *src_off,
+                                end: src_off + bytes,
+                                write: false,
+                            });
+                        }
+                        ev.accesses.push(Access {
+                            buf: *dst_buf,
+                            start: *dst_off,
+                            end: dst_off + bytes,
+                            write: true,
+                        });
+                    }
+                    Instr::SwitchBroadcast {
+                        ch,
+                        src_buf,
+                        src_off,
+                        dst_off,
+                        bytes,
+                    } => {
+                        ev.accesses.push(Access {
+                            buf: *src_buf,
+                            start: *src_off,
+                            end: src_off + bytes,
+                            write: false,
+                        });
+                        for &(_, b) in ch.members.iter() {
+                            ev.accesses.push(Access {
+                                buf: b,
+                                start: *dst_off,
+                                end: dst_off + bytes,
+                                write: true,
+                            });
+                        }
+                    }
+                    Instr::Copy {
+                        src,
+                        src_off,
+                        dst,
+                        dst_off,
+                        bytes,
+                    } => {
+                        ev.accesses.push(Access {
+                            buf: *src,
+                            start: *src_off,
+                            end: src_off + bytes,
+                            write: false,
+                        });
+                        ev.accesses.push(Access {
+                            buf: *dst,
+                            start: *dst_off,
+                            end: dst_off + bytes,
+                            write: true,
+                        });
+                    }
+                    Instr::Reduce {
+                        src,
+                        src_off,
+                        dst,
+                        dst_off,
+                        bytes,
+                        ..
+                    } => {
+                        ev.accesses.push(Access {
+                            buf: *src,
+                            start: *src_off,
+                            end: src_off + bytes,
+                            write: false,
+                        });
+                        ev.accesses.push(Access {
+                            buf: *dst,
+                            start: *dst_off,
+                            end: dst_off + bytes,
+                            write: true,
+                        });
+                    }
+                    Instr::RawPut {
+                        src,
+                        src_off,
+                        dst,
+                        dst_off,
+                        bytes,
+                        notify,
+                        ..
+                    } => {
+                        ev.accesses.push(Access {
+                            buf: *src,
+                            start: *src_off,
+                            end: src_off + bytes,
+                            write: false,
+                        });
+                        ev.accesses.push(Access {
+                            buf: *dst,
+                            start: *dst_off,
+                            end: dst_off + bytes,
+                            write: true,
+                        });
+                        if let Some(sem) = notify {
+                            m.name_cell(sem.cell, || format!("sem@{}", sem.owner));
+                            ev.incs.push(sem.cell);
+                        }
+                    }
+                    Instr::RawReducePut {
+                        a,
+                        a_off,
+                        b,
+                        b_off,
+                        dst,
+                        dst_off,
+                        bytes,
+                        notify,
+                        ..
+                    } => {
+                        ev.accesses.push(Access {
+                            buf: *a,
+                            start: *a_off,
+                            end: a_off + bytes,
+                            write: false,
+                        });
+                        ev.accesses.push(Access {
+                            buf: *b,
+                            start: *b_off,
+                            end: b_off + bytes,
+                            write: false,
+                        });
+                        ev.accesses.push(Access {
+                            buf: *dst,
+                            start: *dst_off,
+                            end: dst_off + bytes,
+                            write: true,
+                        });
+                        if let Some(sem) = notify {
+                            m.name_cell(sem.cell, || format!("sem@{}", sem.owner));
+                            ev.incs.push(sem.cell);
+                        }
+                    }
+                    Instr::ReduceInto {
+                        a,
+                        a_off,
+                        b,
+                        b_off,
+                        dst,
+                        dst_off,
+                        bytes,
+                        ..
+                    } => {
+                        ev.accesses.push(Access {
+                            buf: *a,
+                            start: *a_off,
+                            end: a_off + bytes,
+                            write: false,
+                        });
+                        ev.accesses.push(Access {
+                            buf: *b,
+                            start: *b_off,
+                            end: b_off + bytes,
+                            write: false,
+                        });
+                        ev.accesses.push(Access {
+                            buf: *dst,
+                            start: *dst_off,
+                            end: dst_off + bytes,
+                            write: true,
+                        });
+                    }
+                    Instr::SemWait { sem } => {
+                        m.name_cell(sem.cell, || format!("sem@{}", sem.owner));
+                        let n = bump(&mut wait_counts, sem.cell);
+                        ev.wait = Some(WaitOn {
+                            cell: sem.cell,
+                            needed: n,
+                        });
+                    }
+                    Instr::SemSignal { sem } => {
+                        m.name_cell(sem.cell, || format!("sem@{}", sem.owner));
+                        ev.incs.push(sem.cell);
+                        ev.kind = Kind::Signal(sem.cell);
+                    }
+                    Instr::Barrier { barrier } => {
+                        m.name_cell(barrier.cell, || "barrier".to_owned());
+                        m.barriers.insert(barrier.cell, barrier.parties);
+                        // Split into an arrive event and an adjacent exit
+                        // event: all-arrive-before-any-exit edges then
+                        // never form spurious two-cycles through a single
+                        // node.
+                        ev.incs.push(barrier.cell);
+                        ev.kind = Kind::BarrierArrive(barrier.cell);
+                        m.threads[t].events.push(ev);
+                        let mut exit = Event::plain(site);
+                        exit.kind = Kind::BarrierExit(barrier.cell);
+                        m.threads[t].events.push(exit);
+                        continue;
+                    }
+                    Instr::Compute { .. } => continue,
+                }
+                m.threads[t].events.push(ev);
+            }
+            for state in ports.values() {
+                m.unflushed.extend(state.dirty.iter().copied());
+            }
+        }
+    }
+    m.unflushed.sort();
+    m
+}
+
+fn bump(counts: &mut HashMap<CellId, u64>, cell: CellId) -> u64 {
+    let n = counts.entry(cell).or_insert(0);
+    *n += 1;
+    *n
+}
+
+/// Appends a proxy event to the endpoint's virtual thread (creating it on
+/// first use) and records the push → proxy cross edge.
+fn push_proxy(m: &mut Model, state: &mut PortState, block_t: usize, push_idx: usize, ev: Event) {
+    let pt = *state.proxy.get_or_insert_with(|| {
+        m.threads.push(Thread::default());
+        m.threads.len() - 1
+    });
+    let pidx = m.threads[pt].events.len();
+    m.threads[pt].events.push(ev);
+    m.extra_edges.push(((block_t, push_idx), (pt, pidx)));
+}

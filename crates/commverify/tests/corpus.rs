@@ -1,0 +1,20 @@
+//! Negative-test corpus driver: each module under `corpus/` hand-writes
+//! one unsound plan and asserts the exact [`commverify::VerifyError`]
+//! variant and offending instruction sites, plus (where instructive) the
+//! minimal fix that makes the same shape verify clean.
+
+#[path = "corpus/common.rs"]
+mod common;
+
+#[path = "corpus/deadlock.rs"]
+mod deadlock;
+#[path = "corpus/imbalance.rs"]
+mod imbalance;
+#[path = "corpus/oob.rs"]
+mod oob;
+#[path = "corpus/orphan.rs"]
+mod orphan;
+#[path = "corpus/racy.rs"]
+mod racy;
+#[path = "corpus/unflushed.rs"]
+mod unflushed;

@@ -1,0 +1,20 @@
+//! Shared scaffolding for the negative-test corpus: a small single-node
+//! machine plus helpers to allocate buffers and assert findings.
+
+use hw::{EnvKind, Machine};
+use sim::Engine;
+
+pub fn engine() -> Engine<Machine> {
+    let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+    hw::wire(&mut e);
+    e
+}
+
+/// Convenience for building an expected instruction site.
+pub fn site(rank: usize, tb: usize, pc: usize) -> commverify::Site {
+    commverify::Site {
+        rank: hw::Rank(rank),
+        tb,
+        pc,
+    }
+}

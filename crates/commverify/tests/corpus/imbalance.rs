@@ -1,0 +1,58 @@
+//! A wait whose semaphore receives fewer signals than the wait needs:
+//! starvation, reported with the exact needed/available counts.
+
+use commverify::VerifyError;
+use hw::Rank;
+use mscclpp::{KernelBuilder, Setup};
+
+use crate::common;
+
+#[test]
+fn wait_without_any_signal_is_an_imbalance() {
+    let mut engine = common::engine();
+    let mut setup = Setup::new(&mut engine);
+    let sem = setup.semaphore(Rank(0));
+
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0).sem_wait(&sem);
+
+    let kernels = vec![k0.build()];
+    let report = commverify::analyze_kernels(&kernels, engine.world().pool());
+    let [VerifyError::SignalWaitImbalance {
+        wait,
+        needed,
+        available,
+        ..
+    }] = report.findings.as_slice()
+    else {
+        panic!("expected exactly one imbalance, got: {report}");
+    };
+    assert_eq!(*wait, common::site(0, 0, 0));
+    assert_eq!((*needed, *available), (1, 0));
+}
+
+#[test]
+fn second_wait_on_a_once_signalled_sem_is_an_imbalance() {
+    let mut engine = common::engine();
+    let mut setup = Setup::new(&mut engine);
+    let sem = setup.semaphore(Rank(0));
+
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0).sem_wait(&sem).sem_wait(&sem);
+    let mut k1 = KernelBuilder::new(Rank(1));
+    k1.block(0).sem_signal(&sem);
+
+    let kernels = vec![k0.build(), k1.build()];
+    let report = commverify::analyze_kernels(&kernels, engine.world().pool());
+    let [VerifyError::SignalWaitImbalance {
+        wait,
+        needed,
+        available,
+        ..
+    }] = report.findings.as_slice()
+    else {
+        panic!("expected exactly one imbalance, got: {report}");
+    };
+    assert_eq!(*wait, common::site(0, 0, 1));
+    assert_eq!((*needed, *available), (2, 1));
+}

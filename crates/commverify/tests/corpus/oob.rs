@@ -1,0 +1,32 @@
+//! An access extending past the registered size of its buffer.
+
+use commverify::VerifyError;
+use hw::Rank;
+use mscclpp::{KernelBuilder, Setup};
+
+use crate::common;
+
+#[test]
+fn copy_past_buffer_end_is_out_of_bounds() {
+    let mut engine = common::engine();
+    let mut setup = Setup::new(&mut engine);
+    let src = setup.alloc(Rank(0), 1024);
+    let dst = setup.alloc(Rank(0), 1024);
+
+    // [896, 1152) runs 128 B past the 1024-B registration.
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0).copy(src, 0, dst, 896, 256);
+
+    let kernels = vec![k0.build()];
+    let report = commverify::analyze_kernels(&kernels, engine.world().pool());
+    assert_eq!(
+        report.findings,
+        vec![VerifyError::OutOfBounds {
+            site: common::site(0, 0, 0),
+            buf: dst,
+            range: (896, 1152),
+            len: 1024,
+        }],
+        "{report}"
+    );
+}

@@ -1,0 +1,31 @@
+//! A semaphore signal no instruction ever waits on — dead code, or a
+//! wait missing from the peer's stream.
+
+use commverify::{Checks, VerifyError};
+use hw::Rank;
+use mscclpp::{KernelBuilder, Setup};
+
+use crate::common;
+
+#[test]
+fn signal_without_matching_wait_is_an_orphan() {
+    let mut engine = common::engine();
+    let mut setup = Setup::new(&mut engine);
+    let sem = setup.semaphore(Rank(1));
+
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0).sem_signal(&sem);
+    let k1 = KernelBuilder::new(Rank(1));
+
+    let kernels = vec![k0.build(), k1.build()];
+    let report = commverify::analyze_kernels(&kernels, engine.world().pool());
+    let [VerifyError::OrphanSignal { site, cell }] = report.findings.as_slice() else {
+        panic!("expected exactly one orphan signal, got: {report}");
+    };
+    assert_eq!(*site, common::site(0, 0, 0));
+    assert_eq!(cell, "sem@rank1");
+
+    // The transport preset tolerates orphan credit signals.
+    let report = commverify::analyze_with(&kernels, engine.world().pool(), &Checks::transport());
+    assert!(report.is_clean(), "{report}");
+}

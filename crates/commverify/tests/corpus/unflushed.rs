@@ -1,0 +1,50 @@
+//! A proxied port put with no flush, port signal, or signalling put
+//! behind it: the kernel can exit while the DMA is still in flight.
+
+use commverify::VerifyError;
+use hw::Rank;
+use mscclpp::{KernelBuilder, Setup};
+
+use crate::common;
+
+#[test]
+fn port_put_without_flush_is_reported() {
+    let mut engine = common::engine();
+    let mut setup = Setup::new(&mut engine);
+    let b0 = setup.alloc(Rank(0), 1024);
+    let b1 = setup.alloc(Rank(1), 1024);
+    let (ch0, _ch1) = setup
+        .port_channel_pair(Rank(0), b0, b1, Rank(1), b1, b0)
+        .unwrap();
+
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0).port_put(&ch0, 0, 0, 256);
+
+    let kernels = vec![k0.build()];
+    let report = commverify::analyze_kernels(&kernels, engine.world().pool());
+    assert_eq!(
+        report.findings,
+        vec![VerifyError::UnflushedPortPut {
+            site: common::site(0, 0, 0),
+        }],
+        "{report}"
+    );
+}
+
+#[test]
+fn flushed_port_put_is_clean() {
+    let mut engine = common::engine();
+    let mut setup = Setup::new(&mut engine);
+    let b0 = setup.alloc(Rank(0), 1024);
+    let b1 = setup.alloc(Rank(1), 1024);
+    let (ch0, _ch1) = setup
+        .port_channel_pair(Rank(0), b0, b1, Rank(1), b1, b0)
+        .unwrap();
+
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0).port_put(&ch0, 0, 0, 256).port_flush(&ch0);
+
+    let kernels = vec![k0.build()];
+    let report = commverify::analyze_kernels(&kernels, engine.world().pool());
+    assert!(report.is_clean(), "{report}");
+}

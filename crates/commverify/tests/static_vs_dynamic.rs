@@ -1,0 +1,94 @@
+//! Cross-validation of the static verifier against the dynamic
+//! vector-clock sanitizer: a seeded racy plan must produce the *same*
+//! offending instruction pair from both, and the repaired plan must be
+//! clean under both.
+
+use hw::{EnvKind, Machine, Rank};
+use mscclpp::{Kernel, KernelBuilder, Overheads, Protocol, Setup};
+use sim::Engine;
+
+fn engine() -> Engine<Machine> {
+    let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(1)));
+    hw::wire(&mut e);
+    e
+}
+
+/// Builds the seeded racy plan (and its fixed twin when `wait` is set):
+/// rank 0 puts 256 B into rank 1's buffer while rank 1 overwrites the
+/// same range, with or without the ordering wait.
+fn plan(engine: &mut Engine<Machine>, wait: bool) -> Vec<Kernel> {
+    let mut setup = Setup::new(engine);
+    let b0 = setup.alloc(Rank(0), 1024);
+    let b1 = setup.alloc(Rank(1), 1024);
+    let s1 = setup.alloc(Rank(1), 1024);
+    let (ch0, ch1) = setup
+        .memory_channel_pair(Rank(0), b0, b1, Rank(1), b1, b0, Protocol::LL)
+        .unwrap();
+
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0).put(&ch0, 0, 0, 256);
+    let mut k1 = KernelBuilder::new(Rank(1));
+    if wait {
+        k1.block(0).wait_data(&ch1).copy(s1, 0, b1, 0, 256);
+    } else {
+        k1.block(0).copy(s1, 0, b1, 0, 256);
+    }
+    vec![k0.build(), k1.build()]
+}
+
+/// An instruction pair as (rank, tb, pc) tuples, order-normalised.
+fn pair(a: (usize, usize, usize), b: (usize, usize, usize)) -> [(usize, usize, usize); 2] {
+    let mut p = [a, b];
+    p.sort_unstable();
+    p
+}
+
+#[test]
+fn static_and_dynamic_report_the_same_racing_pair() {
+    // Static side.
+    let mut e = engine();
+    let kernels = plan(&mut e, false);
+    let report = commverify::analyze_kernels(&kernels, e.world().pool());
+    let [commverify::VerifyError::Race { first, second, .. }] = report.findings.as_slice() else {
+        panic!("expected exactly one static race, got: {report}");
+    };
+    let static_pair = pair(
+        (first.rank.0, first.tb, first.pc),
+        (second.rank.0, second.tb, second.pc),
+    );
+
+    // Dynamic side: run the same kernels under the sanitizer.
+    let mut e = engine();
+    let kernels = plan(&mut e, false);
+    let (_, san) = mscclpp::run_kernels_sanitized(&mut e, &kernels, &Overheads::mscclpp()).unwrap();
+    let [race] = san.races.as_slice() else {
+        panic!(
+            "expected exactly one dynamic race, got {} races",
+            san.races.len()
+        );
+    };
+    let dynamic_pair = pair(
+        (race.first.rank.0, race.first.tb, race.first.pc),
+        (race.second.rank.0, race.second.tb, race.second.pc),
+    );
+
+    assert_eq!(
+        static_pair, dynamic_pair,
+        "static verifier and dynamic sanitizer disagree on the racing pair"
+    );
+    assert_eq!(static_pair, pair((0, 0, 0), (1, 0, 0)));
+}
+
+#[test]
+fn repaired_plan_is_clean_under_both() {
+    let mut e = engine();
+    let kernels = plan(&mut e, true);
+    let report = commverify::analyze_kernels(&kernels, e.world().pool());
+    assert!(report.is_clean(), "static: {report}");
+
+    let mut e = engine();
+    let kernels = plan(&mut e, true);
+    let (_, san) = mscclpp::run_kernels_sanitized(&mut e, &kernels, &Overheads::mscclpp()).unwrap();
+    assert!(san.is_clean(), "dynamic: {:?}", san.races);
+    assert!(san.accesses_checked > 0);
+}

@@ -267,7 +267,7 @@ mod tests {
         assert_eq!(h.net.unwrap().gbps, 50.0, "NDR IB is 400 Gb/s = 50 GB/s");
         match h.intra.kind {
             IntraKind::Switch { multimem, .. } => {
-                assert!(multimem.is_some(), "H100 NVLink 4.0 supports multimem")
+                assert!(multimem.is_some(), "H100 NVLink 4.0 supports multimem");
             }
             _ => panic!("H100 is switch-attached"),
         }

@@ -98,6 +98,7 @@ pub struct MscclComm {
     /// `cross[tb][local][na][nb]` carries (na, local) → (nb, local).
     cross: Vec<Vec<Vec<Vec<Option<Conn>>>>>,
     ov: Overheads,
+    verify: std::cell::Cell<bool>,
 }
 
 impl MscclComm {
@@ -147,7 +148,28 @@ impl MscclComm {
             mesh,
             cross,
             ov,
+            verify: std::cell::Cell::new(true),
         }
+    }
+
+    /// Enables or disables plan verification (on by default).
+    pub fn set_verify(&self, on: bool) {
+        self.verify.set(on);
+    }
+
+    /// Runs the static verifier over the first kernel batch launched on
+    /// this communicator; later launches reuse staging FIFOs with banked
+    /// credits, where fresh-cell happens-before analysis is unsound.
+    fn maybe_verify(&self, engine: &Engine<Machine>, kernels: &[Kernel]) -> Result<()> {
+        if !self.verify.replace(false) {
+            return Ok(());
+        }
+        commverify::verify_kernels_with(
+            kernels,
+            engine.world().pool(),
+            &commverify::Checks::transport(),
+        )?;
+        Ok(())
     }
 
     /// MSCCL's size-based algorithm selection (mirrors the MSCCL
@@ -518,6 +540,7 @@ impl MscclComm {
             }
         };
         mscclpp::record_launch_mix(engine, "msccl", &kernels);
+        self.maybe_verify(engine, &kernels)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -543,6 +566,7 @@ impl MscclComm {
         });
         let kernels = self.all_gather_kernels(inputs, outputs, bytes, dtype, proto, nch);
         mscclpp::record_launch_mix(engine, "msccl", &kernels);
+        self.maybe_verify(engine, &kernels)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 }

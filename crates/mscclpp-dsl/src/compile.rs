@@ -39,6 +39,10 @@ pub struct CompileOptions {
     pub dtype: DataType,
     /// Reduction operator.
     pub op: ReduceOp,
+    /// Run the `commverify` static verifier over the compiled instruction
+    /// streams before returning the executable (on by default). A finding
+    /// surfaces as [`DslError::Verify`].
+    pub verify: bool,
 }
 
 impl Default for CompileOptions {
@@ -48,6 +52,7 @@ impl Default for CompileOptions {
             instances: 1,
             dtype: DataType::F32,
             op: ReduceOp::Sum,
+            verify: true,
         }
     }
 }
@@ -240,9 +245,14 @@ impl Program {
             }
         }
 
+        let kernels: Vec<Kernel> = builders.into_iter().map(KernelBuilder::build).collect();
+        if opts.verify {
+            commverify::verify_kernels(&kernels, setup.engine_mut().world().pool())
+                .map_err(|e| DslError::Verify(e.to_string()))?;
+        }
         Ok(Executable {
             name: self.name.clone(),
-            kernels: builders.into_iter().map(KernelBuilder::build).collect(),
+            kernels,
             ov: Overheads::mscclpp_dsl(),
         })
     }

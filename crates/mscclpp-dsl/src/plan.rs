@@ -161,7 +161,9 @@ impl Program {
                         return Err(err("expected `->`"));
                     }
                     let src = parse_chunk(&toks, 1)?;
-                    let group = (parse_buf(toks[5])?, parse_usize(toks[6], "group index")?);
+                    let gb = toks.get(5).ok_or_else(|| err("truncated group"))?;
+                    let gi = toks.get(6).ok_or_else(|| err("truncated group"))?;
+                    let group = (parse_buf(gb)?, parse_usize(gi, "group index")?);
                     p.multimem_broadcast(src, group)?;
                 }
                 other => return Err(err(&format!("unknown directive {other:?}"))),

@@ -69,6 +69,10 @@ pub enum DslError {
     BadOp(String),
     /// Compilation failed (buffer sizes not divisible, channel errors).
     Compile(String),
+    /// The compiled instruction streams failed static verification
+    /// (race, deadlock, out-of-bounds, orphan signal, unflushed put) —
+    /// a compiler bug or an unsound program.
+    Verify(String),
 }
 
 impl fmt::Display for DslError {
@@ -77,6 +81,7 @@ impl fmt::Display for DslError {
             DslError::BadChunk(m) => write!(f, "bad chunk reference: {m}"),
             DslError::BadOp(m) => write!(f, "bad operation: {m}"),
             DslError::Compile(m) => write!(f, "compilation failed: {m}"),
+            DslError::Verify(m) => write!(f, "compiled program failed verification: {m}"),
         }
     }
 }

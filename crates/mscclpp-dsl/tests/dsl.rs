@@ -384,3 +384,53 @@ fn dsl_regression_scratch_read_before_write() {
         0,
     );
 }
+
+// ---- Plan-text fuzzing ---------------------------------------------------
+
+use proptest::prelude::*;
+
+/// One fuzzed plan line: a real directive verb followed by a random
+/// number of tokens drawn from the plan vocabulary (buffer kinds, the
+/// arrow, numbers, garbage) — so truncations, extra fields, and
+/// misplaced arrows all get exercised.
+struct PlanLine;
+
+impl Strategy for PlanLine {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const VERBS: [&str; 8] = [
+            "copy", "reduce", "mmreduce", "mmbcast", "name", "world", "junk", "#",
+        ];
+        const TOKS: [&str; 9] = ["in", "out", "scratch", "->", "0", "1", "3", "99", "x"];
+        let mut line = String::from(VERBS[(rng.next_u64() as usize) % VERBS.len()]);
+        for _ in 0..(rng.next_u64() as usize) % 8 {
+            line.push(' ');
+            line.push_str(TOKS[(rng.next_u64() as usize) % TOKS.len()]);
+        }
+        line
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn plan_parser_never_panics(lines in collection::vec(PlanLine, 0..10)) {
+        // With a header, op lines get past the `world` check; without it,
+        // the header-validation paths are exercised. Either way the
+        // parser must return `DslError`, never panic.
+        let body = lines.join("\n");
+        let _ = Program::from_plan_text(&format!("world 8\n{body}"));
+        let _ = Program::from_plan_text(&body);
+    }
+}
+
+#[test]
+fn plan_parser_rejects_truncated_mmbcast() {
+    // Pinned from `plan_parser_never_panics`: a trailing `->` with no
+    // group tokens used to index past the end of the token list and
+    // panic instead of reporting a parse error.
+    let err = Program::from_plan_text("world 2\nmmbcast 0 in 0 ->").unwrap_err();
+    assert!(err.to_string().contains("truncated group"), "{err}");
+    let err = Program::from_plan_text("world 2\nmmbcast 0 in 0 -> out").unwrap_err();
+    assert!(err.to_string().contains("truncated group"), "{err}");
+}

@@ -47,6 +47,12 @@ pub enum Error {
     /// The operation needs hardware the environment does not provide
     /// (e.g. a `SwitchChannel` on a machine without multimem support).
     Unsupported(String),
+    /// A plan was rejected before launch by the communication verifier
+    /// (`commverify`), or flagged at run time by the dynamic sanitizer.
+    /// The message carries the rendered finding: the offending
+    /// instruction sites, buffer ranges, and (for deadlocks) the
+    /// happens-before cycle.
+    Verification(String),
 }
 
 impl fmt::Display for Error {
@@ -58,6 +64,7 @@ impl fmt::Display for Error {
             Error::Bootstrap(m) => write!(f, "bootstrap failed: {m}"),
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported on this hardware: {m}"),
+            Error::Verification(m) => write!(f, "plan failed verification: {m}"),
         }
     }
 }

@@ -9,12 +9,13 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use hw::{CopyMode, LinkFault, Machine, Rank};
-use sim::{Ctx, Duration, Engine, Process, Step, Time};
+use hw::{BufferId, CopyMode, LinkFault, Machine, Rank};
+use sim::{CellId, Ctx, Duration, Engine, Process, Step, Time};
 
 use crate::error::Result;
 use crate::kernel::{Instr, Kernel};
 use crate::overheads::Overheads;
+use crate::sanitizer::{SanHook, SanReport, SanSite, SanState};
 
 /// Size in bytes of the semaphore word written by a remote signal.
 const SIGNAL_BYTES: u64 = 8;
@@ -72,6 +73,12 @@ struct TbProc {
     syncs: u64,
     signals: u64,
     puts: u64,
+    /// Dynamic-sanitizer handle when running under
+    /// [`run_kernels_sanitized`]; `None` on the normal path.
+    san: Option<SanHook>,
+    /// The cell whose published clock must be acquired when the pending
+    /// wait resumes (sanitized runs only).
+    acquired: Option<CellId>,
 }
 
 impl TbProc {
@@ -141,6 +148,28 @@ impl TbProc {
         self.signals += instr.signals();
     }
 
+    /// Records a sanitized byte-range access (no-op on the normal path).
+    fn san_access(&self, site: SanSite, buf: BufferId, off: usize, bytes: usize, write: bool) {
+        if let Some(san) = &self.san {
+            san.access(site, buf, off, bytes, write);
+        }
+    }
+
+    /// Publishes this block's clock into `cells` (release semantics).
+    fn san_release(&self, cells: &[CellId]) {
+        if let Some(san) = &self.san {
+            san.release(cells);
+        }
+    }
+
+    /// Arms the acquire for a wait on `cell`: when the wait resumes, the
+    /// cell's published clock is joined into this block's.
+    fn san_wait(&mut self, cell: CellId) {
+        if self.san.is_some() {
+            self.acquired = Some(cell);
+        }
+    }
+
     /// Flushes the block-local accumulators into the engine metrics.
     fn flush_metrics(&mut self, ctx: &mut Ctx<'_, Machine>) {
         for (m, c) in std::mem::take(&mut self.mix) {
@@ -169,11 +198,17 @@ impl Process<Machine> for TbProc {
                 self.pending = Pending::None;
                 self.pc += 1;
                 ctx.span_end();
+                if let (Some(san), Some(cell)) = (&self.san, self.acquired.take()) {
+                    san.acquire(cell);
+                }
                 return Step::Yield(self.ov.wait_exit);
             }
             Pending::Retry => {
                 self.pending = Pending::None;
                 ctx.span_end();
+                if let (Some(san), Some(cell)) = (&self.san, self.acquired.take()) {
+                    san.acquire(cell);
+                }
             }
             Pending::None => {}
         }
@@ -188,6 +223,11 @@ impl Process<Machine> for TbProc {
         }
         let now = ctx.now();
         let instr = self.prog[self.pc].clone();
+        let site = SanSite {
+            rank: self.rank,
+            tb: self.tb,
+            pc: self.pc,
+        };
         // PortPut is metered on its success path only (it re-executes when
         // the proxy FIFO is full); everything else executes exactly once.
         if !matches!(instr, Instr::PortPut { .. }) {
@@ -212,6 +252,13 @@ impl Process<Machine> for TbProc {
                 ctx.world
                     .pool_mut()
                     .copy(ch.local_buf, src_off, ch.remote_buf, dst_off, bytes);
+                self.san_access(site, ch.local_buf, src_off, bytes, false);
+                self.san_access(site, ch.remote_buf, dst_off, bytes, true);
+                if with_signal {
+                    self.san_release(&[ch.peer_arrival, ch.peer_sem]);
+                } else {
+                    self.san_release(&[ch.peer_arrival]);
+                }
                 ctx.cell_add_at(ch.peer_arrival, 1, xfer.arrival);
                 if with_signal {
                     ctx.cell_add_at(ch.peer_sem, 1, xfer.arrival + self.ov.signal_fence);
@@ -232,6 +279,7 @@ impl Process<Machine> for TbProc {
                     SIGNAL_BYTES,
                     CopyMode::Thread,
                 );
+                self.san_release(&[ch.peer_sem]);
                 ctx.cell_add_at(ch.peer_sem, 1, xfer.arrival + self.ov.signal_fence);
                 self.pc += 1;
                 self.quick(ctx, self.ov.signal_issue)
@@ -240,6 +288,7 @@ impl Process<Machine> for TbProc {
                 let expect = ch.sem_expect.get() + 1;
                 ch.sem_expect.set(expect);
                 self.pending = Pending::Advance;
+                self.san_wait(ch.my_sem);
                 ctx.span_begin("wait.mem_sem");
                 Step::WaitCell {
                     cell: ch.my_sem,
@@ -250,6 +299,7 @@ impl Process<Machine> for TbProc {
                 let expect = ch.arrival_expect.get() + 1;
                 ch.arrival_expect.set(expect);
                 self.pending = Pending::Advance;
+                self.san_wait(ch.my_arrival);
                 ctx.span_begin("wait.mem_data");
                 Step::WaitCell {
                     cell: ch.my_arrival,
@@ -287,6 +337,8 @@ impl Process<Machine> for TbProc {
                     dtype,
                     op,
                 );
+                self.san_access(site, ch.remote_buf, remote_off, bytes, false);
+                self.san_access(site, local_buf, local_off, bytes, true);
                 self.pc += 1;
                 self.busy_until(ctx, now, xfer.arrival, self.ov.mem_put_issue)
             }
@@ -305,6 +357,7 @@ impl Process<Machine> for TbProc {
                     // FIFO full (Figure 7 ①: GPU waits until the CPU has
                     // processed at least one request).
                     self.pending = Pending::Retry;
+                    self.san_wait(ch.completed_cell);
                     ctx.span_begin("wait.port_fifo");
                     return Step::WaitCell {
                         cell: ch.completed_cell,
@@ -326,6 +379,16 @@ impl Process<Machine> for TbProc {
                     });
                     f.pushed += 1;
                 }
+                // The proxy's copy is attributed to the pushing block at
+                // push time: FIFO order plus completion-before-signal make
+                // the pusher's clock a sound stand-in for the proxy's.
+                self.san_access(site, ch.local_buf, src_off, bytes, false);
+                self.san_access(site, ch.remote_buf, dst_off, bytes, true);
+                if with_signal {
+                    self.san_release(&[ch.completed_cell, ch.peer_arrival, ch.peer_sem]);
+                } else {
+                    self.san_release(&[ch.completed_cell, ch.peer_arrival]);
+                }
                 ctx.cell_add(ch.pushed_cell, 1);
                 self.pc += 1;
                 self.quick(ctx, self.ov.port_push)
@@ -336,6 +399,7 @@ impl Process<Machine> for TbProc {
                     f.queue.push_back(crate::channel::ProxyRequest::Signal);
                     f.pushed += 1;
                 }
+                self.san_release(&[ch.completed_cell, ch.peer_sem]);
                 ctx.cell_add(ch.pushed_cell, 1);
                 self.pc += 1;
                 self.quick(ctx, self.ov.port_push)
@@ -343,6 +407,7 @@ impl Process<Machine> for TbProc {
             Instr::PortFlush { ch, deadline } => {
                 let pushed = ch.fifo.borrow().pushed;
                 self.pending = Pending::Advance;
+                self.san_wait(ch.completed_cell);
                 ctx.span_begin("wait.port_flush");
                 match deadline {
                     Some(timeout) => Step::WaitCellTimeout {
@@ -360,6 +425,7 @@ impl Process<Machine> for TbProc {
                 let expect = ch.sem_expect.get() + 1;
                 ch.sem_expect.set(expect);
                 self.pending = Pending::Advance;
+                self.san_wait(ch.my_sem);
                 ctx.span_begin("wait.port_sem");
                 Step::WaitCell {
                     cell: ch.my_sem,
@@ -384,6 +450,10 @@ impl Process<Machine> for TbProc {
                 ctx.world
                     .pool_mut()
                     .multimem_reduce(&srcs, dst_buf, dst_off, count, dtype, op);
+                for &(b, off) in &srcs {
+                    self.san_access(site, b, off, bytes, false);
+                }
+                self.san_access(site, dst_buf, dst_off, bytes, true);
                 self.pc += 1;
                 self.busy_until(ctx, now, done, self.ov.switch_issue)
             }
@@ -402,6 +472,10 @@ impl Process<Machine> for TbProc {
                 ctx.world
                     .pool_mut()
                     .multimem_broadcast(src_buf, src_off, &dsts, bytes);
+                self.san_access(site, src_buf, src_off, bytes, false);
+                for &(b, off) in &dsts {
+                    self.san_access(site, b, off, bytes, true);
+                }
                 self.pc += 1;
                 self.busy_until(ctx, now, xfer.sender_free, self.ov.switch_issue)
             }
@@ -414,6 +488,8 @@ impl Process<Machine> for TbProc {
             } => {
                 let done = hw::local_copy_time(ctx, self.rank, bytes as u64);
                 ctx.world.pool_mut().copy(src, src_off, dst, dst_off, bytes);
+                self.san_access(site, src, src_off, bytes, false);
+                self.san_access(site, dst, dst_off, bytes, true);
                 self.pc += 1;
                 self.busy_until(ctx, now, done, Duration::ZERO)
             }
@@ -431,6 +507,8 @@ impl Process<Machine> for TbProc {
                 ctx.world
                     .pool_mut()
                     .reduce(src, src_off, dst, dst_off, count, dtype, op);
+                self.san_access(site, src, src_off, bytes, false);
+                self.san_access(site, dst, dst_off, bytes, true);
                 self.pc += 1;
                 self.busy_until(ctx, now, done, Duration::ZERO)
             }
@@ -464,7 +542,10 @@ impl Process<Machine> for TbProc {
                     (staged, xfer.arrival + proxy)
                 };
                 ctx.world.pool_mut().copy(src, src_off, dst, dst_off, bytes);
+                self.san_access(site, src, src_off, bytes, false);
+                self.san_access(site, dst, dst_off, bytes, true);
                 if let Some(sem) = notify {
+                    self.san_release(&[sem.cell]);
                     ctx.cell_add_at(sem.cell, 1, arrival);
                 }
                 self.pc += 1;
@@ -503,7 +584,11 @@ impl Process<Machine> for TbProc {
                 ctx.world
                     .pool_mut()
                     .reduce_into(a, a_off, b, b_off, dst, dst_off, count, dtype, op);
+                self.san_access(site, a, a_off, bytes, false);
+                self.san_access(site, b, b_off, bytes, false);
+                self.san_access(site, dst, dst_off, bytes, true);
                 if let Some(sem) = notify {
+                    self.san_release(&[sem.cell]);
                     ctx.cell_add_at(sem.cell, 1, arrival);
                 }
                 self.pc += 1;
@@ -525,6 +610,9 @@ impl Process<Machine> for TbProc {
                 ctx.world
                     .pool_mut()
                     .reduce_into(a, a_off, b, b_off, dst, dst_off, count, dtype, op);
+                self.san_access(site, a, a_off, bytes, false);
+                self.san_access(site, b, b_off, bytes, false);
+                self.san_access(site, dst, dst_off, bytes, true);
                 self.pc += 1;
                 self.busy_until(ctx, now, done, Duration::ZERO)
             }
@@ -532,6 +620,7 @@ impl Process<Machine> for TbProc {
                 let expect = sem.expect.get() + 1;
                 sem.expect.set(expect);
                 self.pending = Pending::Advance;
+                self.san_wait(sem.cell);
                 ctx.span_begin("wait.sem");
                 Step::WaitCell {
                     cell: sem.cell,
@@ -553,6 +642,7 @@ impl Process<Machine> for TbProc {
                     let xfer = hw::net_time(ctx, self.rank, sem.owner, SIGNAL_BYTES);
                     xfer.arrival + self.ov.signal_fence
                 };
+                self.san_release(&[sem.cell]);
                 ctx.cell_add_at(sem.cell, 1, arrival);
                 self.pc += 1;
                 self.quick(ctx, self.ov.signal_issue)
@@ -560,8 +650,10 @@ impl Process<Machine> for TbProc {
             Instr::Barrier { barrier } => {
                 let round = barrier.round.get() + 1;
                 barrier.round.set(round);
+                self.san_release(&[barrier.cell]);
                 ctx.cell_add_at(barrier.cell, 1, now + self.ov.barrier_arrive + barrier.prop);
                 self.pending = Pending::Advance;
+                self.san_wait(barrier.cell);
                 ctx.span_begin("wait.barrier");
                 Step::WaitCell {
                     cell: barrier.cell,
@@ -618,14 +710,52 @@ pub fn run_kernels(
     kernels: &[Kernel],
     ov: &Overheads,
 ) -> Result<KernelTiming> {
+    run_kernels_inner(engine, kernels, ov, None)
+}
+
+/// Like [`run_kernels`], but with the dynamic memory-access sanitizer
+/// enabled: every thread block carries a vector clock advanced at sync
+/// instructions, and every byte-range access is checked against a shadow
+/// history for unordered conflicting overlaps.
+///
+/// Returns the batch timing together with a [`SanReport`] listing any
+/// concrete races observed in this execution (with the two offending
+/// instruction sites). A clean report does not prove race-freedom for
+/// all schedules — that is the static verifier's job — but a non-clean
+/// report is a definite bug in the plan's synchronization.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_kernels`]; sanitizer findings are data,
+/// not errors.
+pub fn run_kernels_sanitized(
+    engine: &mut Engine<Machine>,
+    kernels: &[Kernel],
+    ov: &Overheads,
+) -> Result<(KernelTiming, SanReport)> {
+    let state = Rc::new(RefCell::new(SanState::default()));
+    let timing = run_kernels_inner(engine, kernels, ov, Some(&state))?;
+    let report = state.borrow().report();
+    Ok((timing, report))
+}
+
+fn run_kernels_inner(
+    engine: &mut Engine<Machine>,
+    kernels: &[Kernel],
+    ov: &Overheads,
+    san: Option<&Rc<RefCell<SanState>>>,
+) -> Result<KernelTiming> {
     let start = engine.now();
     let world = engine.world().topology().world_size();
     let launch = engine.world().spec().gpu.kernel_launch;
     let stats = Rc::new(RefCell::new(LaunchStats {
         per_rank_end: vec![start; world],
     }));
+    let mut tid = 0;
     for k in kernels {
         for (tb, prog) in k.blocks.iter().enumerate() {
+            let hook = san.map(|s| SanHook::new(s.clone(), tid));
+            tid += 1;
             engine.spawn(TbProc {
                 rank: k.rank,
                 tb,
@@ -640,6 +770,8 @@ pub fn run_kernels(
                 syncs: 0,
                 signals: 0,
                 puts: 0,
+                san: hook,
+                acquired: None,
             });
         }
     }

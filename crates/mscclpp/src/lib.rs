@@ -61,6 +61,7 @@ mod exec;
 mod kernel;
 mod overheads;
 mod proxy;
+mod sanitizer;
 
 pub use bootstrap::{Bootstrap, BootstrapStore, MemBootstrap};
 pub use channel::{DeviceBarrier, MemoryChannel, PortChannel, Protocol, Semaphore, SwitchChannel};
@@ -70,6 +71,7 @@ pub use comm::Setup;
 /// `Communicator` that registers buffers and builds channels (§4.1).
 pub type Communicator<'e> = Setup<'e>;
 pub use error::{Error, LinkDownError, Result};
-pub use exec::{record_launch_mix, run_kernels, KernelTiming};
+pub use exec::{record_launch_mix, run_kernels, run_kernels_sanitized, KernelTiming};
 pub use kernel::{BlockBuilder, Instr, Kernel, KernelBuilder};
 pub use overheads::Overheads;
+pub use sanitizer::{SanRace, SanReport, SanSite};

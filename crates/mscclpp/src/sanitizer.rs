@@ -1,0 +1,218 @@
+//! Dynamic memory-access sanitizer for the kernel interpreter.
+//!
+//! When kernels run through [`crate::run_kernels_sanitized`], every
+//! thread block carries a vector clock ([`sim::VClock`]) that advances at
+//! synchronization instructions: signals *release* the block's clock into
+//! the signalled cell, waits *acquire* the cell's clock on resume. Every
+//! byte-range access (put source/destination, copy, reduce operand, ...)
+//! is checked against a shadow history of prior accesses to the same
+//! buffer: an overlapping pair with at least one write, issued by two
+//! blocks whose clocks do not order them, is a concrete data race *in
+//! this execution's synchronization structure* — exactly the property the
+//! static verifier (`commverify`) proves over all executions.
+//!
+//! Port-channel puts are attributed to the pushing block at push time
+//! (the CPU proxy preserves FIFO order and completes before raising the
+//! peer's semaphore), mirroring the static model so that a static race
+//! finding and a dynamic one name the same instruction pair.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use hw::{BufferId, Rank};
+use sim::{CellId, VClock};
+
+/// The site of one instruction: which rank, thread block, and program
+/// counter issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SanSite {
+    /// Issuing rank.
+    pub rank: Rank,
+    /// Thread block index within the rank's kernel.
+    pub tb: usize,
+    /// Instruction index within the block's stream.
+    pub pc: usize,
+}
+
+impl fmt::Display for SanSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/tb{}/pc{}", self.rank, self.tb, self.pc)
+    }
+}
+
+/// One unordered conflicting access pair observed at run time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanRace {
+    /// The access recorded first (program order of the simulation run).
+    pub first: SanSite,
+    /// Byte range of the first access.
+    pub first_range: (usize, usize),
+    /// Whether the first access wrote.
+    pub first_write: bool,
+    /// The conflicting later access.
+    pub second: SanSite,
+    /// Byte range of the second access.
+    pub second_range: (usize, usize),
+    /// Whether the second access wrote.
+    pub second_write: bool,
+    /// The buffer both ranges index into.
+    pub buf: BufferId,
+}
+
+impl fmt::Display for SanRace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unordered {} {} [{}, {}) and {} {} [{}, {}) on {:?}",
+            if self.first_write { "write" } else { "read" },
+            self.first,
+            self.first_range.0,
+            self.first_range.1,
+            if self.second_write { "write" } else { "read" },
+            self.second,
+            self.second_range.0,
+            self.second_range.1,
+            self.buf,
+        )
+    }
+}
+
+/// Result of a sanitized run: every race observed, in detection order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanReport {
+    /// Unordered conflicting access pairs (empty for a clean run).
+    pub races: Vec<SanRace>,
+    /// Total byte-range accesses checked.
+    pub accesses_checked: u64,
+}
+
+impl SanReport {
+    /// Whether the run was race-free.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct Rec {
+    tid: usize,
+    epoch: u64,
+    start: usize,
+    end: usize,
+    write: bool,
+    site: SanSite,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct SanState {
+    clocks: Vec<VClock>,
+    cell_clocks: HashMap<CellId, VClock>,
+    shadow: HashMap<BufferId, Vec<Rec>>,
+    races: Vec<SanRace>,
+    checked: u64,
+}
+
+impl SanState {
+    pub(crate) fn report(&self) -> SanReport {
+        SanReport {
+            races: self.races.clone(),
+            accesses_checked: self.checked,
+        }
+    }
+}
+
+/// Per-thread-block handle into the shared sanitizer state, carried by
+/// the interpreter's block processes.
+#[derive(Debug, Clone)]
+pub(crate) struct SanHook {
+    state: Rc<RefCell<SanState>>,
+    tid: usize,
+}
+
+impl SanHook {
+    pub(crate) fn new(state: Rc<RefCell<SanState>>, tid: usize) -> SanHook {
+        {
+            let mut s = state.borrow_mut();
+            while s.clocks.len() <= tid {
+                let next = s.clocks.len();
+                let mut c = VClock::new();
+                c.bump(next);
+                s.clocks.push(c);
+            }
+        }
+        SanHook { state, tid }
+    }
+
+    /// Records a byte-range access and checks it against the shadow
+    /// history of `buf` for unordered conflicting overlaps.
+    pub(crate) fn access(
+        &self,
+        site: SanSite,
+        buf: BufferId,
+        off: usize,
+        bytes: usize,
+        write: bool,
+    ) {
+        let mut s = self.state.borrow_mut();
+        s.checked += 1;
+        let epoch = s.clocks[self.tid].get(self.tid);
+        let my_clock = s.clocks[self.tid].clone();
+        let (start, end) = (off, off + bytes);
+        let mut found: Vec<SanRace> = Vec::new();
+        let recs = s.shadow.entry(buf).or_default();
+        for rec in recs.iter() {
+            if rec.tid == self.tid || (!rec.write && !write) {
+                continue;
+            }
+            if rec.end <= start || end <= rec.start {
+                continue;
+            }
+            // The earlier access happens-before us iff our clock has
+            // caught up with its thread's epoch at access time.
+            if my_clock.get(rec.tid) < rec.epoch {
+                found.push(SanRace {
+                    first: rec.site,
+                    first_range: (rec.start, rec.end),
+                    first_write: rec.write,
+                    second: site,
+                    second_range: (start, end),
+                    second_write: write,
+                    buf,
+                });
+            }
+        }
+        recs.push(Rec {
+            tid: self.tid,
+            epoch,
+            start,
+            end,
+            write,
+            site,
+        });
+        s.races.extend(found);
+    }
+
+    /// Release: publish this block's clock into each cell, then advance
+    /// the block's own epoch so later accesses are not covered by this
+    /// release.
+    pub(crate) fn release(&self, cells: &[CellId]) {
+        let mut s = self.state.borrow_mut();
+        let clock = s.clocks[self.tid].clone();
+        for &cell in cells {
+            s.cell_clocks.entry(cell).or_default().join(&clock);
+        }
+        s.clocks[self.tid].bump(self.tid);
+    }
+
+    /// Acquire: join the cell's published clock into this block's, called
+    /// when a wait on `cell` completes.
+    pub(crate) fn acquire(&self, cell: CellId) {
+        let mut s = self.state.borrow_mut();
+        if let Some(c) = s.cell_clocks.get(&cell) {
+            let c = c.clone();
+            s.clocks[self.tid].join(&c);
+        }
+    }
+}

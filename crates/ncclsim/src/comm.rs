@@ -62,6 +62,7 @@ pub struct NcclComm {
     topo: Topology,
     channels: Vec<Channel>,
     ov: Overheads,
+    verify: std::cell::Cell<bool>,
 }
 
 /// Parent of `rank` in the node-aware tree for a channel whose local
@@ -161,12 +162,35 @@ impl NcclComm {
             topo,
             channels,
             ov,
+            verify: std::cell::Cell::new(true),
         }
     }
 
     /// The stack configuration.
     pub fn config(&self) -> &NcclConfig {
         &self.cfg
+    }
+
+    /// Enables or disables plan verification (on by default).
+    pub fn set_verify(&self, on: bool) {
+        self.verify.set(on);
+    }
+
+    /// Runs the static verifier over the first kernel batch launched on
+    /// this communicator. Later launches reuse the staging FIFOs with
+    /// banked credits (each launch leaves `slots` spare credits per
+    /// connection), so fresh-cell happens-before analysis is only sound
+    /// for the first one.
+    fn maybe_verify(&self, engine: &Engine<Machine>, kernels: &[Kernel]) -> Result<()> {
+        if !self.verify.replace(false) {
+            return Ok(());
+        }
+        commverify::verify_kernels_with(
+            kernels,
+            engine.world().pool(),
+            &commverify::Checks::transport(),
+        )?;
+        Ok(())
     }
 
     /// Compiles ring-AllReduce kernels (Figure 1's ReduceScatter followed
@@ -536,6 +560,7 @@ impl NcclComm {
             Algo::Tree => self.tree_all_reduce(input, output, count, dtype, op, choice.proto, nch),
         };
         mscclpp::record_launch_mix(engine, "nccl", &kernels);
+        self.maybe_verify(engine, &kernels)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -557,6 +582,7 @@ impl NcclComm {
         let nch = choice.channels.min(self.cfg.max_channels);
         let kernels = self.ring_all_gather(input, output, count, dtype, choice.proto, nch);
         mscclpp::record_launch_mix(engine, "nccl", &kernels);
+        self.maybe_verify(engine, &kernels)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -579,6 +605,7 @@ impl NcclComm {
         let nch = choice.channels.min(self.cfg.max_channels);
         let kernels = self.ring_reduce_scatter(input, output, count, dtype, op, choice.proto, nch);
         mscclpp::record_launch_mix(engine, "nccl", &kernels);
+        self.maybe_verify(engine, &kernels)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -601,6 +628,7 @@ impl NcclComm {
         let nch = choice.channels.min(self.cfg.max_channels);
         let kernels = self.ring_broadcast(input, output, count, dtype, root, choice.proto, nch);
         mscclpp::record_launch_mix(engine, "nccl", &kernels);
+        self.maybe_verify(engine, &kernels)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 }

@@ -44,6 +44,7 @@ mod metrics;
 mod process;
 mod time;
 mod trace;
+mod vclock;
 
 pub use engine::{
     BlockedProcess, CellId, Ctx, DeadlockError, Engine, ProcId, ResourceId, SimError, TimeoutError,
@@ -53,3 +54,4 @@ pub use metrics::{Metrics, ResourceStat};
 pub use process::{Process, Step};
 pub use time::{Duration, Time};
 pub use trace::{Trace, TraceEvent, TraceEventKind};
+pub use vclock::VClock;

@@ -64,7 +64,7 @@ fn main() {
         let mut setup = mscclpp::Setup::new(&mut engine);
         let inputs = setup.alloc_all(in_chunks * CHUNK * 4);
         let outputs = setup.alloc_all(out_chunks * CHUNK * 4);
-        let exe = match prog.compile(
+        let compiled = prog.compile(
             &mut setup,
             &inputs,
             &outputs,
@@ -72,12 +72,10 @@ fn main() {
                 instances,
                 ..Default::default()
             },
-        ) {
-            Ok(e) => e,
-            Err(_) => {
-                rejected += 1;
-                continue;
-            }
+        );
+        let Ok(exe) = compiled else {
+            rejected += 1;
+            continue;
         };
         let val = move |r: usize, i: usize| ((seed as usize + r * 5 + i) % 9) as f32;
         for r in 0..world {
@@ -116,9 +114,9 @@ fn main() {
             let d = &mut state[dst.0][bidx(dst.1)][dst.2];
             for (x, y) in d.iter_mut().zip(s.iter()) {
                 if *is_copy {
-                    *x = *y
+                    *x = *y;
                 } else {
-                    *x += *y
+                    *x += *y;
                 }
             }
         }

@@ -288,3 +288,24 @@ fn degraded_replan_is_correct_and_measurably_slower() {
         t.elapsed().as_us()
     );
 }
+
+/// The dynamic sanitizer stays clean while faults delay a collective:
+/// link flaps reorder the interleaving but never create an unordered
+/// conflicting access pair, and the result still verifies bit-exactly.
+#[test]
+fn sanitizer_clean_under_transient_faults() {
+    let n = 8usize;
+    let count = 20_000usize;
+    let want = reference_allreduce(n, count, val);
+    for fault_seed in [11u64, 42, 77] {
+        let plan = FaultPlan::random_transient(fault_seed, n, Duration::from_us(150.0));
+        let mut e = engine_with_plan(EnvKind::A100_40G, plan);
+        let bufs = alloc_filled(&mut e, n, count);
+        let mut comm = CollComm::new();
+        comm.set_sanitize(true);
+        comm.all_reduce(&mut e, &bufs, &bufs, count, DataType::F32, ReduceOp::Sum)
+            .unwrap_or_else(|err| panic!("sanitized run, fault seed {fault_seed}: {err}"));
+        let got = e.world().pool().to_f32_vec(bufs[0], DataType::F32);
+        assert_eq!(got, want, "fault seed {fault_seed}");
+    }
+}

@@ -245,9 +245,8 @@ proptest! {
         // Programs the compiler legitimately rejects (e.g. a rank
         // consuming a chunk that was remotely written to another rank)
         // are skipped; accepted programs must run and match.
-        let exe = match compiled {
-            Ok(e) => e,
-            Err(_) => return Ok(()),
+        let Ok(exe) = compiled else {
+            return Ok(());
         };
 
         let val = move |r: usize, i: usize| ((seed as usize + r * 5 + i) % 9) as f32;
