@@ -1,0 +1,169 @@
+//! Elastic-recovery sweep: kills one rank at different points of an
+//! in-flight AllReduce, shrinks the communicator to the survivors, and
+//! records the recovery latency (death -> shrunken epoch ready, replay
+//! included) per algorithm. Writes `results/recovery_sweep.json`.
+//!
+//! Every single-node built-in algorithm is swept; the kill time slides
+//! from "barely launched" to "deep in flight" so the sweep shows how
+//! much in-flight state the drain has to discard at each point.
+
+use bench::report::write_results_json;
+use bench::{fmt_bytes, Target};
+use collective::{AllReduceAlgo, CollComm, PeerOrder, RecoveryOutcome, ScratchReuse};
+use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};
+use sim::{Duration, Engine, FaultPlan, Time};
+
+const VICTIM: usize = 3;
+const BYTES: usize = 4 << 20;
+
+fn us(x: u64) -> Time {
+    Time::from_ps(x * 1_000_000)
+}
+
+struct Point {
+    algo: &'static str,
+    env: EnvKind,
+    kill_us: u64,
+    outcome: String,
+    recovery_us: f64,
+    drained: u64,
+    survivors: usize,
+}
+
+/// One kill-and-recover run; `None` when the collective finished before
+/// the kill time (nothing to recover).
+fn run_point(
+    env: EnvKind,
+    label: &'static str,
+    algo: AllReduceAlgo,
+    kill_us: u64,
+) -> Option<Point> {
+    let t = Target { env, nodes: 1 };
+    let n = t.world();
+    let count = BYTES / 4;
+    let mut e = Engine::new(Machine::new(env.spec(1)));
+    e.set_fault_plan(
+        FaultPlan::new(7)
+            .rank_down(VICTIM, us(kill_us))
+            .with_wait_timeout(Duration::from_us(500.0)),
+    );
+    hw::wire(&mut e);
+    let ins: Vec<BufferId> = (0..n)
+        .map(|r| {
+            let b = e.world_mut().pool_mut().alloc(Rank(r), count * 4);
+            e.world_mut()
+                .pool_mut()
+                .fill_with(b, DataType::F32, move |i| ((r + i) % 5) as f32);
+            b
+        })
+        .collect();
+    let outs: Vec<BufferId> = (0..n)
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), count * 4))
+        .collect();
+    let comm = CollComm::new();
+    if comm
+        .all_reduce_with(
+            &mut e,
+            &ins,
+            &outs,
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+            algo,
+        )
+        .is_ok()
+    {
+        // The collective beat the kill to the finish line.
+        return None;
+    }
+    let recovery = comm
+        .shrink(&mut e, &[])
+        .unwrap_or_else(|err| panic!("{label} kill {kill_us}us: shrink failed: {err}"));
+    assert_eq!(
+        recovery.outcome,
+        RecoveryOutcome::Replayed,
+        "{label} kill {kill_us}us"
+    );
+    Some(Point {
+        algo: label,
+        env,
+        kill_us,
+        outcome: format!("{:?}", recovery.outcome),
+        recovery_us: recovery.recovery_time.as_us(),
+        drained: recovery.drain.cancelled(),
+        survivors: recovery.group.len(),
+    })
+}
+
+fn main() {
+    let algos: [(EnvKind, &'static str, AllReduceAlgo); 6] = [
+        (EnvKind::A100_40G, "one_phase_ll", AllReduceAlgo::OnePhaseLl),
+        (
+            EnvKind::A100_40G,
+            "two_phase_ll",
+            AllReduceAlgo::TwoPhaseLl {
+                reuse: ScratchReuse::Rotate,
+                order: PeerOrder::Staggered,
+            },
+        ),
+        (
+            EnvKind::A100_40G,
+            "two_phase_hb",
+            AllReduceAlgo::TwoPhaseHb {
+                order: PeerOrder::Staggered,
+            },
+        ),
+        (
+            EnvKind::A100_40G,
+            "two_phase_port",
+            AllReduceAlgo::TwoPhasePort,
+        ),
+        (EnvKind::A100_40G, "ring", AllReduceAlgo::Ring),
+        (
+            EnvKind::H100,
+            "two_phase_switch",
+            AllReduceAlgo::TwoPhaseSwitch,
+        ),
+    ];
+    println!(
+        "==== recovery sweep ({}, rank {VICTIM} dies mid-AllReduce) ====",
+        fmt_bytes(BYTES)
+    );
+    let mut points: Vec<Point> = Vec::new();
+    for (env, label, algo) in algos {
+        for kill_us in [1u64, 5, 20, 50] {
+            match run_point(env, label, algo, kill_us) {
+                Some(p) => {
+                    println!(
+                        "{label:>18} kill {kill_us:>3} us: recovery {:>8.1} us, \
+                         {} drained, {} survivors",
+                        p.recovery_us, p.drained, p.survivors
+                    );
+                    points.push(p);
+                }
+                None => println!("{label:>18} kill {kill_us:>3} us: completed before kill"),
+            }
+        }
+    }
+    assert!(!points.is_empty(), "every run completed before its kill");
+
+    let mut json = String::from("{\"title\":\"recovery_sweep\",\"points\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"algo\":\"{}\",\"env\":\"{:?}\",\"kill_us\":{},\"outcome\":\"{}\",\
+             \"recovery_us\":{:.3},\"drained_requests\":{},\"survivors\":{}}}",
+            p.algo, p.env, p.kill_us, p.outcome, p.recovery_us, p.drained, p.survivors
+        ));
+    }
+    json.push_str("]}\n");
+    match write_results_json("recovery_sweep.json", &json) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write results: {e}");
+            std::process::exit(1);
+        }
+    }
+}

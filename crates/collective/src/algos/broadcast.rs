@@ -31,8 +31,10 @@ pub(crate) struct AllPairsBroadcast {
 }
 
 impl AllPairsBroadcast {
+    #[allow(clippy::too_many_arguments)]
     pub fn prepare(
         setup: &mut Setup<'_>,
+        group: &[Rank],
         root: Rank,
         inputs: &[BufferId],
         outputs: &[BufferId],
@@ -41,21 +43,47 @@ impl AllPairsBroadcast {
     ) -> Result<AllPairsBroadcast> {
         let topo = setup.topology();
         let (nodes, gpn) = (topo.nodes(), topo.gpus_per_node());
+        if !group.contains(&root) {
+            return Err(Error::InvalidArgument(format!(
+                "broadcast root {} is not in the current epoch",
+                root.0
+            )));
+        }
+        if group.len() != topo.world_size() && nodes > 1 {
+            return Err(Error::InvalidArgument(
+                "multi-node broadcast derives its relay tree from the full \
+                 topology and cannot run on a shrunken epoch"
+                    .into(),
+            ));
+        }
         // Source vector: every rank "sends" from its output copy except
         // the root, which sends from its input.
         let mut src = outputs.to_vec();
         src[root.0] = inputs[root.0];
         let mut local = Vec::new();
-        for node in 0..nodes {
-            let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
+        if nodes == 1 {
+            // Single node: one distribution mesh over the epoch's
+            // members (a survivor subset after a shrink).
             local.push(MemMesh::build(
                 setup,
-                &ranks,
+                group,
                 &src,
                 outputs,
                 Protocol::HB,
                 tbs,
             )?);
+        } else {
+            for node in 0..nodes {
+                let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
+                local.push(MemMesh::build(
+                    setup,
+                    &ranks,
+                    &src,
+                    outputs,
+                    Protocol::HB,
+                    tbs,
+                )?);
+            }
         }
         let cross = if nodes > 1 {
             let li = topo.local_index(root);
@@ -65,7 +93,7 @@ impl AllPairsBroadcast {
             None
         };
         Ok(AllPairsBroadcast {
-            world: topo.ranks().collect(),
+            world: group.to_vec(),
             root,
             inputs: inputs.to_vec(),
             outputs: outputs.to_vec(),
@@ -78,6 +106,39 @@ impl AllPairsBroadcast {
         })
     }
 
+    /// Single-node kernels: the root puts every member's slice directly,
+    /// indexed by position in the (possibly shrunken) member list.
+    fn single_node_kernels(&self, bytes: usize) -> Vec<Kernel> {
+        let root_ig = self
+            .world
+            .iter()
+            .position(|&r| r == self.root)
+            .expect("root membership checked at prepare");
+        let mesh = &self.local[0];
+        let mut out = Vec::with_capacity(self.world.len());
+        for (ig, &g) in self.world.iter().enumerate() {
+            let mut kb = KernelBuilder::new(g);
+            for t in 0..self.tbs {
+                let mut tb = kb.block(t);
+                let (ms, ml) = split_range(bytes, self.tbs, t);
+                if g == self.root {
+                    if self.inputs[g.0] != self.outputs[g.0] {
+                        tb.copy(self.inputs[g.0], ms, self.outputs[g.0], ms, ml);
+                    }
+                    for p in 0..self.world.len() {
+                        if p != ig {
+                            tb.put_with_signal(mesh.at(t, ig, p), ms, ms, ml);
+                        }
+                    }
+                } else {
+                    tb.wait(mesh.at(t, ig, root_ig));
+                }
+            }
+            out.push(kb.build());
+        }
+        out
+    }
+
     /// Kernels broadcasting `bytes` from the root.
     pub fn kernels(&self, bytes: usize) -> Result<Vec<Kernel>> {
         if bytes > self.cap {
@@ -85,6 +146,9 @@ impl AllPairsBroadcast {
                 "message of {bytes} B exceeds prepared capacity {} B",
                 self.cap
             )));
+        }
+        if self.nodes == 1 {
+            return Ok(self.single_node_kernels(bytes));
         }
         let root_node = self.root.0 / self.gpn;
         let root_li = self.root.0 % self.gpn;
@@ -153,8 +217,10 @@ pub(crate) struct SwitchBroadcast {
 }
 
 impl SwitchBroadcast {
+    #[allow(clippy::too_many_arguments)]
     pub fn prepare(
         setup: &mut Setup<'_>,
+        group: &[Rank],
         root: Rank,
         inputs: &[BufferId],
         outputs: &[BufferId],
@@ -167,7 +233,15 @@ impl SwitchBroadcast {
                 "switch broadcast is single-node".into(),
             ));
         }
-        let ranks: Vec<Rank> = topo.ranks().collect();
+        if !group.contains(&root) {
+            return Err(Error::InvalidArgument(format!(
+                "broadcast root {} is not in the current epoch",
+                root.0
+            )));
+        }
+        // The multicast group is the epoch's member list — a shrink
+        // renumbers the switch group to the survivors.
+        let ranks: Vec<Rank> = group.to_vec();
         let members: Vec<_> = ranks.iter().map(|&r| (r, outputs[r.0])).collect();
         let chan = setup.switch_channel(&members)?;
         let barriers = setup.device_barrier(&ranks);

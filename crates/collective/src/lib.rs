@@ -53,11 +53,14 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use hw::{BufferId, DataType, Machine, Rank, ReduceOp};
-use mscclpp::{run_kernels, Kernel, KernelTiming, Overheads, Protocol, Result, Setup};
-use sim::Engine;
+use mscclpp::{run_kernels, Comm, DrainReport, Kernel, KernelTiming, Overheads, Protocol, Result};
+use sim::{Duration, Engine};
 
 pub use algos::{PeerOrder, ScratchReuse};
-pub use selector::{degrade_all_reduce, select_all_gather, select_all_reduce};
+pub use selector::{
+    degrade_all_reduce, degrade_broadcast, fit_all_gather, fit_all_reduce, select_all_gather,
+    select_all_reduce,
+};
 
 use algos::all_to_all::AllPairsAllToAll;
 use algos::allgather::{AllPairsAllGather, AllPairsAllGatherPort, HierAllGather};
@@ -163,6 +166,80 @@ pub trait CustomAllReduce {
     ) -> Result<KernelTiming>;
 }
 
+/// Monotone communicator generation. Starts at 0 and is bumped by every
+/// successful [`CollComm::shrink`]; plans prepared under one epoch never
+/// survive into the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch(pub u64);
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
+
+/// What happened to the collective that was in flight when the
+/// communicator shrank — the contract that tells callers whether their
+/// result buffers are trustworthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The interrupted collective (if any) re-ran to completion on the
+    /// survivor group: survivor output buffers hold the correct result
+    /// over survivor inputs and can be consumed directly.
+    Replayed,
+    /// The interrupted collective ran in place, so its partial writes
+    /// clobbered the inputs; the partial result was discarded. Survivor
+    /// buffers are *not* trustworthy — refill the inputs and reissue.
+    PartialDiscarded,
+    /// No plan could be rebuilt (or replayed) for the survivor group;
+    /// the epoch advanced but the collective is lost and survivor
+    /// buffers must be treated as garbage.
+    Unrecoverable,
+}
+
+/// The result of one [`CollComm::shrink`]: the new epoch, the fate of
+/// the interrupted collective, and what the drain cancelled.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// The epoch now in force.
+    pub epoch: Epoch,
+    /// Fate of the collective that was in flight (see
+    /// [`RecoveryOutcome`]). [`RecoveryOutcome::Replayed`] when nothing
+    /// was in flight — the buffers are vacuously trustworthy.
+    pub outcome: RecoveryOutcome,
+    /// The surviving ranks, sorted: the new communicator group.
+    pub group: Vec<Rank>,
+    /// In-flight proxy work cancelled while quiescing.
+    pub drain: DrainReport,
+    /// Virtual time the shrink consumed, from the abort instant through
+    /// the replayed collective (zero when nothing was replayed).
+    pub recovery_time: Duration,
+}
+
+/// Everything needed to replay the collective that a launch was running
+/// when a rank died mid-flight.
+#[derive(Debug, Clone)]
+enum LaunchRecord {
+    AllReduce {
+        algo: AllReduceAlgo,
+        inputs: Vec<BufferId>,
+        outputs: Vec<BufferId>,
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    },
+    AllGather {
+        algo: AllGatherAlgo,
+        inputs: Vec<BufferId>,
+        outputs: Vec<BufferId>,
+        count: usize,
+        dtype: DataType,
+    },
+    /// ReduceScatter / Broadcast / AllToAll: not replayable on a
+    /// shrunken epoch (their plans are full-world only).
+    Other,
+}
+
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Key {
     Ar(AllReduceAlgo, Vec<BufferId>, Vec<BufferId>),
@@ -224,6 +301,17 @@ impl Default for CollConfig {
 pub struct CollComm {
     cfg: CollConfig,
     ov: Overheads,
+    /// Durable transport state (bootstrap rendezvous + proxy-FIFO
+    /// registry) that survives across epochs and powers the drain.
+    comm: Comm,
+    /// Current communicator generation; bumped by [`CollComm::shrink`].
+    epoch: Cell<u64>,
+    /// Active rank group. `None` means the full world; `Some` after a
+    /// shrink restricts every prepared plan to the survivors.
+    group: RefCell<Option<Vec<Rank>>>,
+    /// The collective currently in flight (set at launch, cleared on
+    /// success) — what [`CollComm::shrink`] replays or rejects.
+    pending: RefCell<Option<LaunchRecord>>,
     prepared: RefCell<HashMap<Key, Entry>>,
     custom_all_reduce: Option<Box<dyn CustomAllReduce>>,
     verify: bool,
@@ -234,6 +322,8 @@ impl std::fmt::Debug for CollComm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CollComm")
             .field("cfg", &self.cfg)
+            .field("epoch", &self.epoch.get())
+            .field("group", &self.group.borrow())
             .field("prepared", &self.prepared.borrow().len())
             .field("custom_all_reduce", &self.custom_all_reduce.is_some())
             .finish()
@@ -259,11 +349,40 @@ impl CollComm {
         CollComm {
             cfg: CollConfig::default(),
             ov,
+            comm: Comm::new(),
+            epoch: Cell::new(0),
+            group: RefCell::new(None),
+            pending: RefCell::new(None),
             prepared: RefCell::new(HashMap::new()),
             custom_all_reduce: None,
             verify: true,
             sanitize: false,
         }
+    }
+
+    /// The communicator generation currently in force.
+    pub fn epoch(&self) -> Epoch {
+        Epoch(self.epoch.get())
+    }
+
+    /// The ranks participating in the current epoch: the full world
+    /// until a [`CollComm::shrink`] restricts it to the survivors.
+    pub fn active_group(&self, engine: &Engine<Machine>) -> Vec<Rank> {
+        self.group
+            .borrow()
+            .clone()
+            .unwrap_or_else(|| engine.world().topology().ranks().collect())
+    }
+
+    /// Fits an explicitly asked algorithm onto the active group and
+    /// attributes any forced re-plan to the shared `fault.replans`
+    /// counter (the same counter the automatic entry points bump when
+    /// they degrade around permanent faults).
+    fn fit_replan<T: PartialEq + Copy>(engine: &mut Engine<Machine>, asked: T, fitted: T) -> T {
+        if fitted != asked {
+            engine.count("fault.replans", 1);
+        }
+        fitted
     }
 
     /// Enables or disables plan verification (on by default). When on,
@@ -348,10 +467,8 @@ impl CollComm {
         // Graceful degradation: permanent faults in the active fault plan
         // force a re-plan onto whatever topology is still alive (explicit
         // all_reduce_with calls run as-asked and surface the fault).
-        let algo = degrade_all_reduce(engine, selected);
-        if algo != selected {
-            engine.count("fault.replans", 1);
-        }
+        let degraded = degrade_all_reduce(engine, selected);
+        let algo = Self::fit_replan(engine, selected, degraded);
         self.all_reduce_with(engine, inputs, outputs, count, dtype, op, algo)
     }
 
@@ -375,6 +492,12 @@ impl CollComm {
         algo: AllReduceAlgo,
     ) -> Result<KernelTiming> {
         let bytes = count * dtype.size();
+        // On a shrunken epoch the asked algorithm may be impossible on a
+        // subset (hierarchical layouts); re-map it and attribute the
+        // re-plan before the key is formed.
+        let group = self.active_group(engine).len();
+        let world = engine.world().topology().world_size();
+        let algo = Self::fit_replan(engine, algo, fit_all_reduce(algo, group, world));
         let key = Key::Ar(algo, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
@@ -391,7 +514,17 @@ impl CollComm {
         };
         drop(prepared);
         self.maybe_verify(engine, &key, &kernels)?;
-        self.run(engine, &kernels)
+        self.pending.replace(Some(LaunchRecord::AllReduce {
+            algo,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            count,
+            dtype,
+            op,
+        }));
+        let timing = self.run(engine, &kernels)?;
+        self.pending.replace(None);
+        Ok(timing)
     }
 
     /// AllGather with automatic algorithm selection. `count` is the
@@ -409,6 +542,8 @@ impl CollComm {
         dtype: DataType,
     ) -> Result<KernelTiming> {
         let algo = select_all_gather(engine.world(), count * dtype.size());
+        // Degradation (shrunken-epoch re-mapping) happens inside
+        // `all_gather_with`, attributed to the shared replan counter.
         self.all_gather_with(engine, inputs, outputs, count, dtype, algo)
     }
 
@@ -428,6 +563,9 @@ impl CollComm {
         algo: AllGatherAlgo,
     ) -> Result<KernelTiming> {
         let bytes = count * dtype.size();
+        let group = self.active_group(engine).len();
+        let world = engine.world().topology().world_size();
+        let algo = Self::fit_replan(engine, algo, fit_all_gather(algo, group, world));
         let key = Key::Ag(algo, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
@@ -440,7 +578,16 @@ impl CollComm {
         };
         drop(prepared);
         self.maybe_verify(engine, &key, &kernels)?;
-        self.run(engine, &kernels)
+        self.pending.replace(Some(LaunchRecord::AllGather {
+            algo,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            count,
+            dtype,
+        }));
+        let timing = self.run(engine, &kernels)?;
+        self.pending.replace(None);
+        Ok(timing)
     }
 
     /// ReduceScatter with automatic algorithm selection. `count` is the
@@ -494,7 +641,10 @@ impl CollComm {
         };
         drop(prepared);
         self.maybe_verify(engine, &key, &kernels)?;
-        self.run(engine, &kernels)
+        self.pending.replace(Some(LaunchRecord::Other));
+        let timing = self.run(engine, &kernels)?;
+        self.pending.replace(None);
+        Ok(timing)
     }
 
     /// Broadcast `count` elements from `root` with automatic algorithm
@@ -513,7 +663,7 @@ impl CollComm {
         dtype: DataType,
         root: Rank,
     ) -> Result<KernelTiming> {
-        let algo = if hw::supports_multimem(engine.world())
+        let selected = if hw::supports_multimem(engine.world())
             && engine.world().topology().nodes() == 1
             && count * dtype.size() > (1 << 20)
         {
@@ -521,6 +671,11 @@ impl CollComm {
         } else {
             BroadcastAlgo::Direct
         };
+        // Graceful degradation: a permanently dead multimem switch forces
+        // the multicast plan back onto direct root puts, attributed to
+        // the shared replan counter.
+        let degraded = degrade_broadcast(engine, selected);
+        let algo = Self::fit_replan(engine, selected, degraded);
         self.broadcast_with(engine, inputs, outputs, count, dtype, root, algo)
     }
 
@@ -552,7 +707,10 @@ impl CollComm {
         };
         drop(prepared);
         self.maybe_verify(engine, &key, &kernels)?;
-        self.run(engine, &kernels)
+        self.pending.replace(Some(LaunchRecord::Other));
+        let timing = self.run(engine, &kernels)?;
+        self.pending.replace(None);
+        Ok(timing)
     }
 
     /// AllToAll: rank `a`'s input chunk `b` (of `count` elements) lands
@@ -603,7 +761,10 @@ impl CollComm {
         };
         drop(prepared);
         self.maybe_verify(engine, &key, &kernels)?;
-        self.run(engine, &kernels)
+        self.pending.replace(Some(LaunchRecord::Other));
+        let timing = self.run(engine, &kernels)?;
+        self.pending.replace(None);
+        Ok(timing)
     }
 
     /// Builds (or rebuilds, when capacity grew) the prepared channel sets
@@ -625,8 +786,29 @@ impl CollComm {
                 }
             }
         }
-        let mut setup = Setup::with_overheads(engine, self.ov.clone());
-        let world: Vec<Rank> = setup.topology().ranks().collect();
+        let group = self.group.borrow().clone();
+        let mut setup = self
+            .comm
+            .setup_with(engine, self.ov.clone(), group.as_deref())?;
+        // The "world" every plan is built over is the epoch's member set:
+        // the full topology until a shrink restricts it to the survivors.
+        let world: Vec<Rank> = setup.group().to_vec();
+        let shrunken = world.len() < setup.topology().world_size();
+        if shrunken
+            && matches!(
+                key,
+                Key::Ar(AllReduceAlgo::HierLl | AllReduceAlgo::HierHb, _, _)
+                    | Key::Ag(AllGatherAlgo::HierLl | AllGatherAlgo::HierHb, _, _)
+                    | Key::Rs(..)
+                    | Key::A2a(..)
+            )
+        {
+            return Err(mscclpp::Error::InvalidArgument(
+                "this collective derives its layout from the full topology \
+                 and cannot run on a shrunken epoch"
+                    .into(),
+            ));
+        }
         let cap = bytes;
         let (ts, tl) = (self.cfg.tbs_small, self.cfg.tbs_large);
         let prepared = match key {
@@ -732,10 +914,10 @@ impl CollComm {
             }
             Key::Bc(algo, _, _, _) => match algo {
                 BroadcastAlgo::Direct => Prepared::BcAp(Rc::new(AllPairsBroadcast::prepare(
-                    &mut setup, root, inputs, outputs, cap, tl,
+                    &mut setup, &world, root, inputs, outputs, cap, tl,
                 )?)),
                 BroadcastAlgo::Switch => Prepared::BcSwitch(Rc::new(SwitchBroadcast::prepare(
-                    &mut setup, root, inputs, outputs, cap, tl,
+                    &mut setup, &world, root, inputs, outputs, cap, tl,
                 )?)),
             },
         };
@@ -748,5 +930,104 @@ impl CollComm {
             },
         );
         Ok(())
+    }
+
+    /// Shrinks the communicator after rank failure: drains in-flight
+    /// transport work, opens a new epoch over the survivors, and replays
+    /// or rejects the interrupted collective.
+    ///
+    /// `dead` names ranks to evict explicitly; ranks the engine's fault
+    /// plan has already killed (`RankDown`) are evicted automatically,
+    /// so callers that learned of the death through a timeout can pass
+    /// `&[]`.
+    ///
+    /// The shrink, in order: [`mscclpp::Comm::abort_and_drain`] cancels
+    /// every in-flight proxy request and quiesces the FIFOs; the epoch
+    /// counter is bumped and all prepared plans are dropped (so each is
+    /// rebuilt on the survivor group and re-cleared by the `commverify`
+    /// static verifier before its first launch); the bootstrap store
+    /// reconvenes over the survivors; and the collective that was in
+    /// flight is replayed when its inputs are intact (out-of-place) or
+    /// rejected with a typed [`RecoveryOutcome`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mscclpp::Error::Bootstrap`] when no rank survives. A
+    /// failed *replay* is not an error: it is reported as
+    /// [`RecoveryOutcome::Unrecoverable`] with the epoch still advanced.
+    pub fn shrink(&self, engine: &mut Engine<Machine>, dead: &[Rank]) -> Result<Recovery> {
+        let t0 = engine.now();
+        let drain = self.comm.abort_and_drain(engine);
+        let mut gone: Vec<usize> = dead.iter().map(|r| r.0).collect();
+        if let Some(plan) = engine.fault_plan() {
+            gone.extend(plan.dead_ranks_at(t0));
+        }
+        let survivors: Vec<Rank> = self
+            .active_group(engine)
+            .into_iter()
+            .filter(|r| !gone.contains(&r.0))
+            .collect();
+        // Validates the survivor set (non-empty, no duplicates) and
+        // resets the rendezvous for the new epoch's setups.
+        self.comm.reconvene(&survivors)?;
+        self.prepared.borrow_mut().clear();
+        self.group.replace(Some(survivors.clone()));
+        self.epoch.set(self.epoch.get() + 1);
+        engine.count("fault.epoch_shrinks", 1);
+        let interrupted = self.pending.replace(None);
+        let outcome = if survivors.len() < 2 {
+            // A single survivor cannot run any collective; whatever was
+            // in flight is lost.
+            RecoveryOutcome::Unrecoverable
+        } else {
+            match interrupted {
+                None => RecoveryOutcome::Replayed,
+                Some(LaunchRecord::AllReduce {
+                    algo,
+                    inputs,
+                    outputs,
+                    count,
+                    dtype,
+                    op,
+                }) => {
+                    if survivors.iter().any(|r| inputs[r.0] == outputs[r.0]) {
+                        RecoveryOutcome::PartialDiscarded
+                    } else if self
+                        .all_reduce_with(engine, &inputs, &outputs, count, dtype, op, algo)
+                        .is_ok()
+                    {
+                        RecoveryOutcome::Replayed
+                    } else {
+                        RecoveryOutcome::Unrecoverable
+                    }
+                }
+                Some(LaunchRecord::AllGather {
+                    algo,
+                    inputs,
+                    outputs,
+                    count,
+                    dtype,
+                }) => {
+                    if survivors.iter().any(|r| inputs[r.0] == outputs[r.0]) {
+                        RecoveryOutcome::PartialDiscarded
+                    } else if self
+                        .all_gather_with(engine, &inputs, &outputs, count, dtype, algo)
+                        .is_ok()
+                    {
+                        RecoveryOutcome::Replayed
+                    } else {
+                        RecoveryOutcome::Unrecoverable
+                    }
+                }
+                Some(LaunchRecord::Other) => RecoveryOutcome::Unrecoverable,
+            }
+        };
+        Ok(Recovery {
+            epoch: Epoch(self.epoch.get()),
+            outcome,
+            group: survivors,
+            drain,
+            recovery_time: engine.now() - t0,
+        })
     }
 }

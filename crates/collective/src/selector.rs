@@ -9,7 +9,7 @@
 use hw::Machine;
 use sim::Engine;
 
-use crate::{AllGatherAlgo, AllReduceAlgo, PeerOrder, ScratchReuse};
+use crate::{AllGatherAlgo, AllReduceAlgo, BroadcastAlgo, PeerOrder, ScratchReuse};
 
 /// Picks the default AllReduce algorithm for a message of `bytes`.
 pub fn select_all_reduce(machine: &Machine, bytes: usize) -> AllReduceAlgo {
@@ -73,6 +73,55 @@ pub fn degrade_all_reduce(engine: &Engine<Machine>, selected: AllReduceAlgo) -> 
         }
     }
     algo
+}
+
+/// Re-maps an AllReduce choice onto a shrunken epoch of `group` ranks
+/// (out of `world` total). The hierarchical algorithms derive their
+/// leader layout from the full topology and cannot run on a strict
+/// subset, so they fall back to their all-pairs counterparts; every
+/// other algorithm already accepts an explicit rank set (ring re-closure
+/// and switch-group renumbering happen inside its `prepare`). Returns
+/// `selected` unchanged on a full-world epoch.
+pub fn fit_all_reduce(selected: AllReduceAlgo, group: usize, world: usize) -> AllReduceAlgo {
+    if group >= world {
+        return selected;
+    }
+    match selected {
+        AllReduceAlgo::HierLl => AllReduceAlgo::TwoPhaseLl {
+            reuse: ScratchReuse::Rotate,
+            order: PeerOrder::Staggered,
+        },
+        AllReduceAlgo::HierHb => AllReduceAlgo::TwoPhaseHb {
+            order: PeerOrder::Staggered,
+        },
+        other => other,
+    }
+}
+
+/// The AllGather counterpart of [`fit_all_reduce`]: hierarchical plans
+/// fall back to all-pairs on a shrunken epoch.
+pub fn fit_all_gather(selected: AllGatherAlgo, group: usize, world: usize) -> AllGatherAlgo {
+    if group >= world {
+        return selected;
+    }
+    match selected {
+        AllGatherAlgo::HierLl => AllGatherAlgo::AllPairsLl,
+        AllGatherAlgo::HierHb => AllGatherAlgo::AllPairsHb,
+        other => other,
+    }
+}
+
+/// Re-plans a Broadcast choice around permanent faults: with the
+/// multimem switch permanently dead the NVSwitch multicast variant falls
+/// back to direct root puts. Returns `selected` unchanged otherwise.
+pub fn degrade_broadcast(engine: &Engine<Machine>, selected: BroadcastAlgo) -> BroadcastAlgo {
+    let Some(plan) = engine.fault_plan() else {
+        return selected;
+    };
+    if selected == BroadcastAlgo::Switch && plan.multimem_permanently_down() {
+        return BroadcastAlgo::Direct;
+    }
+    selected
 }
 
 /// Picks the default AllGather algorithm for `bytes` contributed per

@@ -1,7 +1,8 @@
 //! Communication backends pluggable into the inference engine —
 //! the paper swaps NCCL for MSCCL++ inside vLLM (§5.2).
 
-use hw::{BufferId, DataType, Machine, ReduceOp};
+use collective::RecoveryOutcome;
+use hw::{BufferId, DataType, Machine, Rank, ReduceOp};
 use mscclpp::{KernelTiming, Result, Setup};
 use sim::Engine;
 
@@ -22,6 +23,26 @@ pub trait CommBackend {
         count: usize,
         dtype: DataType,
     ) -> Result<KernelTiming>;
+
+    /// Shrinks the backend's communicator after the given ranks died,
+    /// returning the surviving group when the backend supports elastic
+    /// recovery. The default — and backends without a recovery path —
+    /// returns `None`, telling the serving loop to propagate the
+    /// original failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates communicator-rebuild failures.
+    fn shrink(&self, engine: &mut Engine<Machine>, dead: &[Rank]) -> Result<Option<Vec<Rank>>> {
+        let _ = (engine, dead);
+        Ok(None)
+    }
+
+    /// The communicator epoch, bumped by every successful shrink. The
+    /// serving loop watches it to attribute recoveries.
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// MSCCL++ (the `collective` crate's NCCL-compatible API).
@@ -51,6 +72,22 @@ impl CommBackend for MscclppBackend {
     ) -> Result<KernelTiming> {
         self.comm
             .all_reduce(engine, bufs, bufs, count, dtype, ReduceOp::Sum)
+    }
+
+    fn shrink(&self, engine: &mut Engine<Machine>, dead: &[Rank]) -> Result<Option<Vec<Rank>>> {
+        let recovery = self.comm.shrink(engine, dead)?;
+        // The serving AllReduce is in place, so the interrupted step is
+        // reported `PartialDiscarded` — fine, the serving loop re-queues
+        // the batch and recomputes the activations from scratch. Only a
+        // group that cannot run collectives at all is unrecoverable.
+        if recovery.outcome == RecoveryOutcome::Unrecoverable {
+            return Ok(None);
+        }
+        Ok(Some(recovery.group))
+    }
+
+    fn epoch(&self) -> u64 {
+        self.comm.epoch().0
     }
 }
 

@@ -63,6 +63,9 @@ pub struct ServingEngine {
     model: ModelConfig,
     perf: GpuPerf,
     tp: usize,
+    /// Ranks currently serving: all GPUs until a rank death shrinks the
+    /// tensor-parallel group to the survivors.
+    group: Vec<Rank>,
     /// Activation buffers (one per rank), sized for the largest step.
     act: Vec<BufferId>,
     act_cap: usize,
@@ -84,7 +87,22 @@ impl ServingEngine {
     ///
     /// `max_tokens` bounds the largest step (prefill tokens).
     pub fn new(env: EnvKind, model: ModelConfig, max_tokens: usize) -> ServingEngine {
+        ServingEngine::with_fault_plan(env, model, max_tokens, None)
+    }
+
+    /// Like [`ServingEngine::new`], but installs `plan` (e.g. a scheduled
+    /// rank death) before the machine is wired so faults act on the
+    /// serving run from the first step.
+    pub fn with_fault_plan(
+        env: EnvKind,
+        model: ModelConfig,
+        max_tokens: usize,
+        plan: Option<sim::FaultPlan>,
+    ) -> ServingEngine {
         let mut engine = Engine::new(Machine::new(env.spec(1)));
+        if let Some(plan) = plan {
+            engine.set_fault_plan(plan);
+        }
         hw::wire(&mut engine);
         let tp = engine.world().topology().world_size();
         // Prefill is chunked, so activations never exceed one chunk.
@@ -97,6 +115,7 @@ impl ServingEngine {
             model,
             perf: GpuPerf::for_env(env),
             tp,
+            group: (0..tp).map(Rank).collect(),
             act,
             act_cap,
             ov: Overheads::mscclpp(),
@@ -113,11 +132,56 @@ impl ServingEngine {
         &mut self.engine
     }
 
-    /// Runs the per-GPU compute of one layer as a kernel on every rank.
+    /// The current tensor-parallel degree (shrinks on rank death).
+    pub fn tp(&self) -> usize {
+        self.tp
+    }
+
+    /// Detects ranks the fault plan has killed and fails the serving
+    /// group over to the survivors: the backend's communicator shrinks
+    /// to a new epoch and subsequent steps run at the reduced
+    /// tensor-parallel degree. Returns the recovery latency in
+    /// microseconds of virtual time — from the instant the rank died to
+    /// the shrunken communicator being ready — or `None` when no rank
+    /// died or the backend cannot shrink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates communicator-rebuild failures.
+    pub fn recover(&mut self, backend: &dyn CommBackend) -> Result<Option<f64>> {
+        let now = self.engine.now();
+        let (dead, t_down) = {
+            let Some(plan) = self.engine.fault_plan() else {
+                return Ok(None);
+            };
+            let dead: Vec<Rank> = plan
+                .dead_ranks_at(now)
+                .into_iter()
+                .map(Rank)
+                .filter(|r| self.group.contains(r))
+                .collect();
+            let t_down = dead.iter().filter_map(|r| plan.rank_down_time(r.0)).min();
+            (dead, t_down)
+        };
+        if dead.is_empty() {
+            return Ok(None);
+        }
+        let Some(survivors) = backend.shrink(&mut self.engine, &dead)? else {
+            return Ok(None);
+        };
+        self.tp = survivors.len();
+        self.group = survivors;
+        Ok(Some((self.engine.now() - t_down.unwrap_or(now)).as_us()))
+    }
+
+    /// Runs the per-GPU compute of one layer as a kernel on every
+    /// surviving rank.
     fn run_compute(&mut self, dur: Duration) -> Result<f64> {
-        let kernels: Vec<_> = (0..self.tp)
-            .map(|r| {
-                let mut kb = KernelBuilder::new(Rank(r));
+        let kernels: Vec<_> = self
+            .group
+            .iter()
+            .map(|&r| {
+                let mut kb = KernelBuilder::new(r);
                 kb.block(0).compute(dur);
                 kb.build()
             })

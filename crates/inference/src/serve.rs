@@ -70,6 +70,14 @@ pub struct ServeReport {
     pub p95_latency_us: f64,
     /// Fraction of serving time spent in decode iterations.
     pub decode_time_fraction: f64,
+    /// Rank-death recoveries survived (epoch shrinks of the backend).
+    pub recoveries: usize,
+    /// Total recovery latency in microseconds: rank death through the
+    /// shrunken communicator being ready, summed over recoveries.
+    pub recovery_latency_us: f64,
+    /// Tensor-parallel degree at the end of the run (smaller than the
+    /// starting degree when ranks died).
+    pub final_tp: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -82,9 +90,18 @@ struct Active {
 /// Serves `trace` with continuous batching on `engine` and returns the
 /// aggregate metrics.
 ///
+/// The loop subscribes to the backend's communicator epoch: when a step
+/// fails because a rank died, [`ServingEngine::recover`] shrinks the
+/// backend to the surviving tensor-parallel degree, the in-flight batch
+/// is re-queued (the failed step reruns from scratch — its in-place
+/// partial AllReduce results were discarded by the shrink), and decoding
+/// continues. Detection-to-ready latency lands in
+/// [`ServeReport::recovery_latency_us`].
+///
 /// # Errors
 ///
-/// Propagates kernel deadlocks from the communication stack.
+/// Propagates kernel deadlocks from the communication stack when no
+/// recovery is possible (no rank died, or the backend cannot shrink).
 pub fn serve_trace(
     engine: &mut ServingEngine,
     backend: &dyn CommBackend,
@@ -97,6 +114,9 @@ pub fn serve_trace(
     let mut active: Vec<Active> = Vec::new();
     let mut latencies: Vec<f64> = Vec::new();
     let mut generated_tokens = 0usize;
+    let mut recoveries = 0usize;
+    let mut recovery_latency_us = 0.0f64;
+    let mut epoch = backend.epoch();
 
     while !queue.is_empty() || !active.is_empty() {
         // Admit arrived requests up to the batch limit, prefilling each
@@ -114,13 +134,25 @@ pub fn serve_trace(
         if !admitted.is_empty() {
             let tokens: usize = admitted.iter().map(|r| r.prompt).sum();
             let mean_prompt = tokens / admitted.len();
-            let report = engine.prefill(
-                backend,
-                BatchConfig {
-                    bsz: admitted.len(),
-                    seqlen: mean_prompt,
+            let cfg = BatchConfig {
+                bsz: admitted.len(),
+                seqlen: mean_prompt,
+            };
+            let report = match engine.prefill(backend, cfg) {
+                Ok(r) => r,
+                Err(err) => match engine.recover(backend)? {
+                    // Epoch changed: re-queue the batch by rerunning the
+                    // prefill at the shrunken tensor-parallel degree.
+                    Some(lat) => {
+                        recoveries += 1;
+                        recovery_latency_us += lat;
+                        clock_us += lat;
+                        epoch = backend.epoch();
+                        engine.prefill(backend, cfg)?
+                    }
+                    None => return Err(err),
                 },
-            )?;
+            };
             clock_us += report.total_us();
             for r in admitted {
                 active.push(Active {
@@ -141,13 +173,25 @@ pub fn serve_trace(
 
         // One decode iteration for the whole running batch.
         let mean_context = active.iter().map(|a| a.context).sum::<usize>() / active.len();
-        let report = engine.decode_step(
-            backend,
-            BatchConfig {
-                bsz: active.len(),
-                seqlen: mean_context.max(1),
+        let cfg = BatchConfig {
+            bsz: active.len(),
+            seqlen: mean_context.max(1),
+        };
+        let report = match engine.decode_step(backend, cfg) {
+            Ok(r) => r,
+            Err(err) => match engine.recover(backend)? {
+                // Rank died mid-step: the batch stays active (re-queued)
+                // and the step reruns on the survivor group.
+                Some(lat) => {
+                    recoveries += 1;
+                    recovery_latency_us += lat;
+                    clock_us += lat;
+                    epoch = backend.epoch();
+                    engine.decode_step(backend, cfg)?
+                }
+                None => return Err(err),
             },
-        )?;
+        };
         clock_us += report.total_us();
         decode_us += report.total_us();
         generated_tokens += active.len();
@@ -173,6 +217,7 @@ pub fn serve_trace(
         .or_else(|| latencies.last())
         .copied()
         .unwrap_or(0.0);
+    debug_assert_eq!(epoch, backend.epoch(), "unobserved epoch change");
     Ok(ServeReport {
         completed,
         makespan_us: clock_us,
@@ -180,6 +225,9 @@ pub fn serve_trace(
         mean_latency_us,
         p95_latency_us,
         decode_time_fraction: decode_us / clock_us,
+        recoveries,
+        recovery_latency_us,
+        final_tp: engine.tp(),
     })
 }
 
@@ -216,5 +264,37 @@ mod tests {
             "decode fraction {}",
             report.decode_time_fraction
         );
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.final_tp, 8);
+    }
+
+    #[test]
+    fn serving_survives_rank_death_at_reduced_tp() {
+        use sim::{Duration, FaultPlan, Time};
+        // GPU 3 dies 100us of virtual time into the run — mid-step.
+        let plan = FaultPlan::new(11)
+            .rank_down(3, Time::from_ps(100_000_000))
+            .with_wait_timeout(Duration::from_us(300.0));
+        let mut engine = ServingEngine::with_fault_plan(
+            EnvKind::A100_80G,
+            ModelConfig::llama2_13b(),
+            16 * 1024,
+            Some(plan),
+        );
+        let backend = MscclppBackend::new();
+        let trace = synthetic_trace(6, 128, 24, 5_000.0, 3);
+        let report = serve_trace(&mut engine, &backend, &trace, 8).unwrap();
+        // Every request still completes, at the shrunken TP degree.
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.final_tp, 7);
+        assert_eq!(backend.epoch(), 1);
+        assert!(
+            report.recovery_latency_us > 0.0,
+            "recovery latency {} must cover death -> ready",
+            report.recovery_latency_us
+        );
+        // Recovery latency is part of the serving makespan.
+        assert!(report.makespan_us > report.recovery_latency_us);
     }
 }

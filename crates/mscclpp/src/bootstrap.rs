@@ -67,6 +67,16 @@ struct Store {
     /// Barrier arrival count and per-rank round.
     barrier_arrivals: Vec<usize>,
     barrier_round: Vec<usize>,
+    /// Global ranks participating in the current epoch, sorted. Initially
+    /// the full world; [`BootstrapStore::reconvene`] narrows it to the
+    /// survivors after a rank failure.
+    members: Vec<usize>,
+}
+
+impl Store {
+    fn is_member(&self, rank: usize) -> bool {
+        self.members.binary_search(&rank).is_ok()
+    }
 }
 
 /// A rendezvous shared by all [`MemBootstrap`] handles of one job.
@@ -87,14 +97,56 @@ impl BootstrapStore {
             let mut s = self.inner.borrow_mut();
             s.gather_round = vec![0; n];
             s.barrier_round = vec![0; n];
+            s.members = (0..n).collect();
         }
         (0..n)
             .map(|r| MemBootstrap {
                 rank: Rank(r),
-                world: n,
                 store: self.inner.clone(),
             })
             .collect()
+    }
+
+    /// Re-forms the rendezvous for the surviving subset after a rank
+    /// failure: every pending message, all-gather round, and barrier from
+    /// the dead epoch is discarded, and the collective phases thereafter
+    /// complete when every *survivor* has participated. Handles are
+    /// returned indexed by **global** rank (the full pre-failure world
+    /// size), so setup code keyed by rank keeps working; any use of — or
+    /// send to — a non-survivor fails with [`Error::Bootstrap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Bootstrap`] if `survivors` is empty or contains a
+    /// duplicate.
+    pub fn reconvene(&self, survivors: &[Rank]) -> Result<Vec<MemBootstrap>> {
+        if survivors.is_empty() {
+            return Err(Error::Bootstrap("reconvene: survivor set is empty".into()));
+        }
+        let mut members: Vec<usize> = survivors.iter().map(|r| r.0).collect();
+        members.sort_unstable();
+        if members.windows(2).any(|w| w[0] == w[1]) {
+            return Err(Error::Bootstrap(
+                "reconvene: duplicate rank in survivor set".into(),
+            ));
+        }
+        let world = {
+            let mut s = self.inner.borrow_mut();
+            let world = s.gather_round.len().max(members[members.len() - 1] + 1);
+            s.mailboxes.clear();
+            s.gather.clear();
+            s.barrier_arrivals.clear();
+            s.gather_round = vec![0; world];
+            s.barrier_round = vec![0; world];
+            s.members = members;
+            world
+        };
+        Ok((0..world)
+            .map(|r| MemBootstrap {
+                rank: Rank(r),
+                store: self.inner.clone(),
+            })
+            .collect())
     }
 }
 
@@ -103,8 +155,27 @@ impl BootstrapStore {
 #[derive(Debug, Clone)]
 pub struct MemBootstrap {
     rank: Rank,
-    world: usize,
     store: Rc<RefCell<Store>>,
+}
+
+impl MemBootstrap {
+    /// Fails unless both this handle's rank and `peer` are members of the
+    /// current epoch (a reconvened store excludes dead ranks).
+    fn check_members(&self, peer: Option<Rank>) -> Result<()> {
+        let s = self.store.borrow();
+        if !s.is_member(self.rank.0) {
+            return Err(Error::Bootstrap(format!(
+                "{} is not in the current epoch",
+                self.rank
+            )));
+        }
+        if let Some(p) = peer {
+            if !s.is_member(p.0) {
+                return Err(Error::Bootstrap(format!("{p} is not in the current epoch")));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Bootstrap for MemBootstrap {
@@ -113,16 +184,11 @@ impl Bootstrap for MemBootstrap {
     }
 
     fn world_size(&self) -> usize {
-        self.world
+        self.store.borrow().members.len()
     }
 
     fn send(&mut self, peer: Rank, tag: u64, payload: Vec<u8>) -> Result<()> {
-        if peer.0 >= self.world {
-            return Err(Error::Bootstrap(format!(
-                "send to {peer} but world size is {}",
-                self.world
-            )));
-        }
+        self.check_members(Some(peer))?;
         self.store
             .borrow_mut()
             .mailboxes
@@ -133,6 +199,7 @@ impl Bootstrap for MemBootstrap {
     }
 
     fn recv(&mut self, peer: Rank, tag: u64) -> Result<Vec<u8>> {
+        self.check_members(Some(peer))?;
         let mut s = self.store.borrow_mut();
         let q = s
             .mailboxes
@@ -147,6 +214,7 @@ impl Bootstrap for MemBootstrap {
     }
 
     fn all_gather_contribute(&mut self, payload: Vec<u8>) -> Result<()> {
+        self.check_members(None)?;
         let mut s = self.store.borrow_mut();
         let round = s.gather_round[self.rank.0];
         if s.gather.len() <= round {
@@ -162,24 +230,26 @@ impl Bootstrap for MemBootstrap {
     }
 
     fn all_gather_collect(&mut self) -> Result<Vec<Vec<u8>>> {
+        self.check_members(None)?;
         let mut s = self.store.borrow_mut();
         let round = s.gather_round[self.rank.0];
         let complete = s
             .gather
             .get(round)
-            .map(|m| m.len() == self.world)
+            .map(|m| m.len() == s.members.len())
             .unwrap_or(false);
         if !complete {
             return Err(Error::Bootstrap(format!(
-                "all-gather round {round} incomplete: every rank must contribute first"
+                "all-gather round {round} incomplete: every member must contribute first"
             )));
         }
         s.gather_round[self.rank.0] += 1;
         let m = &s.gather[round];
-        Ok((0..self.world).map(|r| m[&r].clone()).collect())
+        Ok(s.members.iter().map(|r| m[r].clone()).collect())
     }
 
     fn barrier_arrive(&mut self) -> Result<()> {
+        self.check_members(None)?;
         let mut s = self.store.borrow_mut();
         let round = s.barrier_round[self.rank.0];
         if s.barrier_arrivals.len() <= round {
@@ -194,8 +264,8 @@ impl Bootstrap for MemBootstrap {
         let s = self.store.borrow();
         let round = s.barrier_round[self.rank.0];
         // The rank has already arrived (round was advanced); the previous
-        // round is done when all ranks arrived at it.
-        round > 0 && s.barrier_arrivals.get(round - 1) == Some(&self.world)
+        // round is done when all members arrived at it.
+        round > 0 && s.barrier_arrivals.get(round - 1) == Some(&s.members.len())
     }
 }
 
@@ -276,5 +346,47 @@ mod tests {
         let store = BootstrapStore::new();
         let mut h = store.handles(2);
         assert!(h[0].send(Rank(5), 0, vec![]).is_err());
+    }
+
+    #[test]
+    fn reconvene_discards_dead_epoch_and_excludes_dead_ranks() {
+        let store = BootstrapStore::new();
+        let mut h = store.handles(4);
+        // In-flight state from the epoch that is about to die.
+        h[0].send(Rank(2), 9, vec![1]).unwrap();
+        h[1].all_gather_contribute(vec![7]).unwrap();
+        // Rank 2 dies; the survivors reconvene.
+        let mut h = store
+            .reconvene(&[Rank(0), Rank(1), Rank(3)])
+            .expect("reconvene");
+        assert_eq!(h.len(), 4, "handles stay indexed by global rank");
+        assert_eq!(h[0].world_size(), 3);
+        // Stale mail and half-finished gathers are gone.
+        assert!(h[0].recv(Rank(2), 9).is_err());
+        // Dead ranks are unusable, as source or destination.
+        assert!(h[2].send(Rank(0), 0, vec![]).is_err());
+        assert!(h[0].send(Rank(2), 0, vec![]).is_err());
+        assert!(h[2].all_gather_contribute(vec![]).is_err());
+        // Survivor collectives complete at survivor count.
+        h[0].all_gather_contribute(vec![0]).unwrap();
+        h[1].all_gather_contribute(vec![1]).unwrap();
+        h[3].all_gather_contribute(vec![3]).unwrap();
+        assert_eq!(
+            h[0].all_gather_collect().unwrap(),
+            vec![vec![0], vec![1], vec![3]]
+        );
+        h[0].barrier_arrive().unwrap();
+        h[1].barrier_arrive().unwrap();
+        assert!(!h[0].barrier_done());
+        h[3].barrier_arrive().unwrap();
+        assert!(h[0].barrier_done());
+    }
+
+    #[test]
+    fn reconvene_rejects_empty_and_duplicate_survivor_sets() {
+        let store = BootstrapStore::new();
+        let _ = store.handles(4);
+        assert!(store.reconvene(&[]).is_err());
+        assert!(store.reconvene(&[Rank(1), Rank(1)]).is_err());
     }
 }

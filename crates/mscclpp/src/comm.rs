@@ -21,6 +21,148 @@ use crate::error::{Error, Result};
 use crate::overheads::Overheads;
 use crate::proxy::ProxyProc;
 
+/// Shared registry of every proxy FIFO created through one [`Comm`]'s
+/// setups, so an abort can drain them all.
+pub(crate) type FifoRegistry = Rc<RefCell<Vec<Rc<RefCell<FifoState>>>>>;
+
+/// What [`Comm::abort_and_drain`] cancelled while quiescing the
+/// communicator after a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    /// In-flight `put` requests discarded from proxy FIFOs.
+    pub cancelled_puts: u64,
+    /// In-flight `signal` requests discarded from proxy FIFOs.
+    pub cancelled_signals: u64,
+    /// Number of FIFOs that held at least one cancelled request.
+    pub dirty_fifos: usize,
+    /// Total FIFOs registered with the communicator.
+    pub fifos: usize,
+}
+
+impl DrainReport {
+    /// Total cancelled requests.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled_puts + self.cancelled_signals
+    }
+}
+
+/// Durable communicator state that outlives individual [`Setup`] borrows:
+/// the bootstrap rendezvous plus a registry of every proxy FIFO created
+/// through it.
+///
+/// This is the recovery surface of the stack. After a rank failure
+/// surfaces as a timeout, [`Comm::abort_and_drain`] cancels all in-flight
+/// proxy work and quiesces every FIFO to a known-clean (empty) state —
+/// the invariant the commverify transport preset assumes when it banks
+/// FIFO credits across launches — and [`Comm::reconvene`] rebuilds
+/// bootstrap handles for the surviving subset so new channels can be
+/// wired on the shrunken group.
+#[derive(Debug, Clone, Default)]
+pub struct Comm {
+    store: BootstrapStore,
+    fifos: FifoRegistry,
+}
+
+impl Comm {
+    /// Creates an empty communicator.
+    pub fn new() -> Comm {
+        Comm::default()
+    }
+
+    /// Starts a setup whose port channels register their FIFOs with this
+    /// communicator, over the full world.
+    pub fn setup<'e>(&self, engine: &'e mut Engine<Machine>) -> Setup<'e> {
+        self.setup_with(engine, Overheads::mscclpp(), None)
+            .expect("full-world setup cannot fail")
+    }
+
+    /// Starts a registered setup with explicit overheads and, when
+    /// `group` is given, a restricted member set: bootstrap handles are
+    /// rebuilt for exactly those ranks (see
+    /// [`BootstrapStore::reconvene`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Bootstrap`] for an empty or duplicated group.
+    pub fn setup_with<'e>(
+        &self,
+        engine: &'e mut Engine<Machine>,
+        ov: Overheads,
+        group: Option<&[Rank]>,
+    ) -> Result<Setup<'e>> {
+        if !engine.world().is_wired() {
+            hw::wire(engine);
+        }
+        let world: Vec<Rank> = engine.world().topology().ranks().collect();
+        let group: Vec<Rank> = group.map_or(world, <[Rank]>::to_vec);
+        let bootstraps = self.store.reconvene(&group)?;
+        Ok(Setup {
+            engine,
+            ov,
+            bootstraps,
+            group,
+            fifo_registry: Some(self.fifos.clone()),
+        })
+    }
+
+    /// Cancels every in-flight proxy request and tears the engine down to
+    /// a quiescent state: all processes (thread blocks *and* proxy
+    /// daemons) are dropped, open trace spans are closed, and every
+    /// registered FIFO is drained empty. Returns what was cancelled.
+    ///
+    /// After this call the engine accepts new work and every FIFO is
+    /// clean, so freshly prepared plans satisfy the FIFO-credit invariant
+    /// the commverify transport preset checks.
+    pub fn abort_and_drain(&self, engine: &mut Engine<Machine>) -> DrainReport {
+        engine.abort();
+        let mut report = DrainReport {
+            fifos: self.fifos.borrow().len(),
+            ..DrainReport::default()
+        };
+        for fifo in self.fifos.borrow().iter() {
+            let mut f = fifo.borrow_mut();
+            if f.queue.is_empty() {
+                continue;
+            }
+            report.dirty_fifos += 1;
+            for req in f.queue.drain(..) {
+                match req {
+                    crate::channel::ProxyRequest::Put { .. } => report.cancelled_puts += 1,
+                    crate::channel::ProxyRequest::Signal => report.cancelled_signals += 1,
+                }
+            }
+        }
+        if report.cancelled() > 0 {
+            engine.count("fault.drained_requests", report.cancelled());
+        }
+        debug_assert!(self.quiesced(), "drain left a non-empty FIFO");
+        report
+    }
+
+    /// Whether every registered FIFO is empty (the post-drain invariant).
+    pub fn quiesced(&self) -> bool {
+        self.fifos
+            .borrow()
+            .iter()
+            .all(|f| f.borrow().queue.is_empty())
+    }
+
+    /// Rebuilds bootstrap handles for the surviving subset (see
+    /// [`BootstrapStore::reconvene`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Bootstrap`] for an empty or duplicated set.
+    pub fn reconvene(&self, survivors: &[Rank]) -> Result<Vec<MemBootstrap>> {
+        self.store.reconvene(survivors)
+    }
+
+    /// The underlying bootstrap rendezvous.
+    pub fn bootstrap_store(&self) -> &BootstrapStore {
+        &self.store
+    }
+}
+
 /// Host-side setup handle: registers memory and builds channels.
 ///
 /// Borrow the engine for the duration of setup; the returned channel
@@ -35,6 +177,11 @@ pub struct Setup<'e> {
     engine: &'e mut Engine<Machine>,
     ov: Overheads,
     bootstraps: Vec<MemBootstrap>,
+    /// The ranks participating in this setup's epoch (the full world
+    /// unless built through [`Comm::setup_with`] after a shrink).
+    group: Vec<Rank>,
+    /// Registry to report new proxy FIFOs into, when owned by a [`Comm`].
+    fifo_registry: Option<FifoRegistry>,
 }
 
 impl<'e> Setup<'e> {
@@ -52,11 +199,20 @@ impl<'e> Setup<'e> {
         }
         let n = engine.world().topology().world_size();
         let bootstraps = BootstrapStore::new().handles(n);
+        let group = engine.world().topology().ranks().collect();
         Setup {
             engine,
             ov,
             bootstraps,
+            group,
+            fifo_registry: None,
         }
+    }
+
+    /// The ranks participating in this setup's epoch, sorted. The full
+    /// world for a plain setup; the survivor subset after a shrink.
+    pub fn group(&self) -> &[Rank] {
+        &self.group
     }
 
     /// The stack overheads this setup was created with.
@@ -248,6 +404,9 @@ impl<'e> Setup<'e> {
                         my_arrival,
                         peer_arrival| {
             let fifo = Rc::new(RefCell::new(FifoState::default()));
+            if let Some(reg) = &self.fifo_registry {
+                reg.borrow_mut().push(fifo.clone());
+            }
             let pushed_cell = self.engine.alloc_cell();
             let completed_cell = self.engine.alloc_cell();
             self.engine.spawn_daemon(ProxyProc {

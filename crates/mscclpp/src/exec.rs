@@ -222,6 +222,21 @@ impl Process<Machine> for TbProc {
             return Step::Done;
         }
         let now = ctx.now();
+        // A dead GPU stops issuing entirely: its blocks park mid-stream
+        // and whatever they owed their peers never arrives. Peers learn
+        // of the death only through their own timeouts — no oracle.
+        if ctx
+            .fault_plan()
+            .is_some_and(|p| p.rank_down_at(now, self.rank.0))
+        {
+            ctx.count("fault.rank_down_halted", 1);
+            ctx.span_begin("wait.rank_down");
+            let dead = ctx.alloc_cell();
+            return Step::WaitCell {
+                cell: dead,
+                at_least: 1,
+            };
+        }
         let instr = self.prog[self.pc].clone();
         let site = SanSite {
             rank: self.rank,

@@ -65,7 +65,7 @@ mod sanitizer;
 
 pub use bootstrap::{Bootstrap, BootstrapStore, MemBootstrap};
 pub use channel::{DeviceBarrier, MemoryChannel, PortChannel, Protocol, Semaphore, SwitchChannel};
-pub use comm::Setup;
+pub use comm::{Comm, DrainReport, Setup};
 
 /// The paper's host-side object name for [`Setup`]: applications create a
 /// `Communicator` that registers buffers and builds channels (§4.1).

@@ -572,21 +572,37 @@ impl<W> Engine<W> {
     }
 
     /// Tears down all outstanding work after a failed run: drops every
-    /// unfinished process, clears the event queue, waiter lists, and open
-    /// span stacks. The clock, cells, resources, and metrics are kept for
-    /// post-mortem inspection, and the engine accepts new spawns again —
-    /// this is the clean abort path after a [`SimError::Timeout`].
+    /// unfinished process, clears the event queue and waiter lists, and
+    /// *closes* every open span at the abort instant so a post-mortem
+    /// trace is well-formed Chrome JSON. Resource busy horizons are
+    /// clamped to now and the cancelled overhang is subtracted from
+    /// [`Metrics`], so an aborted run's utilization reflects only work
+    /// that actually happened. The clock, cells, and metrics are kept
+    /// for post-mortem inspection, and the engine accepts new spawns
+    /// again — this is the clean abort path after a
+    /// [`SimError::Timeout`].
     pub fn abort(&mut self) {
         self.core.queue.clear();
         for w in &mut self.core.waiters {
             w.clear();
         }
+        let now = self.core.now;
         for (i, slot) in self.processes.iter_mut().enumerate() {
             if slot.state != ProcState::Done {
                 slot.state = ProcState::Done;
                 slot.proc = None;
             }
-            self.core.span_stacks[i].clear();
+            // Close open spans innermost-first so the trace balances.
+            while let Some(id) = self.core.span_stacks[i].pop() {
+                self.core.record(now, i, id, TraceEventKind::SpanEnd);
+            }
+        }
+        for r in 0..self.core.resources.len() {
+            let horizon = self.core.resources[r];
+            if horizon > now {
+                self.core.metrics.cancel_busy(ResourceId(r), horizon - now);
+                self.core.resources[r] = now;
+            }
         }
     }
 
@@ -993,6 +1009,48 @@ mod tests {
             vec!["allreduce", "wait.mem_sem"]
         );
         assert!(err.to_string().contains("in allreduce > wait.mem_sem"));
+    }
+
+    #[test]
+    fn abort_closes_spans_and_flushes_busy_time() {
+        struct Stuck {
+            cell: CellId,
+            res: ResourceId,
+        }
+        impl Process<()> for Stuck {
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Step {
+                ctx.span_begin("allreduce");
+                ctx.span_begin("wait.mem_sem");
+                // Book the resource far beyond the abort instant; the
+                // overhang must be refunded when the run is killed.
+                ctx.acquire(self.res, Duration::from_us(1000.0));
+                Step::WaitCell {
+                    cell: self.cell,
+                    at_least: 1,
+                }
+            }
+            fn label(&self) -> String {
+                "tb r0 b0".to_owned()
+            }
+        }
+        let mut e = Engine::new(());
+        e.enable_tracing();
+        let cell = e.alloc_cell();
+        let res = e.alloc_resource();
+        e.spawn(Stuck { cell, res });
+        e.run().unwrap_err();
+        e.abort();
+        // Post-mortem trace is balanced: every SpanBegin has a SpanEnd.
+        let trace = e.take_trace().expect("tracing enabled");
+        assert_eq!(trace.unmatched_begins(), 0);
+        let json = trace.to_chrome_json();
+        assert_eq!(json.matches("\"ph\":\"b\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"e\"").count(), 2);
+        // Busy time past the abort instant is refunded: nothing beyond
+        // the virtual clock can have actually happened.
+        assert!(e.metrics().busy(res) <= e.now() - Time::ZERO);
+        // The engine accepts new work after the teardown.
+        e.spawn(Stuck { cell, res });
     }
 
     #[test]

@@ -104,6 +104,11 @@ pub enum FaultKind {
         /// Issue-time multiplication factor (>= 1.0).
         factor: f64,
     },
+    /// The rank's GPU dies: every path touching it reports down from
+    /// `start` on, its own processes stop issuing, and peers observe the
+    /// death only through timeouts — there is no failure oracle. Always
+    /// permanent (`end == Time::MAX`); a dead GPU does not come back.
+    RankDown,
 }
 
 /// One scheduled fault: `kind` applies to `target` while
@@ -264,6 +269,18 @@ impl FaultPlan {
         })
     }
 
+    /// Kills `rank`'s GPU permanently at `at`. All paths touching the
+    /// rank go down, its processes stop issuing, and peers only learn of
+    /// the death through timeouts.
+    pub fn rank_down(self, rank: usize, at: Time) -> FaultPlan {
+        self.push(FaultEvent {
+            start: at,
+            end: Time::MAX,
+            target: FaultTarget::Rank(rank),
+            kind: FaultKind::RankDown,
+        })
+    }
+
     /// Takes the switch multimem datapath down permanently from `start`.
     pub fn multimem_down_forever(self, start: Time) -> FaultPlan {
         self.push(FaultEvent {
@@ -329,9 +346,13 @@ impl FaultPlan {
     }
 
     /// Fault status of the `src`↔`dst` path at `now` (link-down windows
-    /// and bandwidth degradations; see [`PathState`]).
+    /// and bandwidth degradations; see [`PathState`]). A dead endpoint
+    /// ([`FaultKind::RankDown`]) makes the path permanently down.
     pub fn path(&self, now: Time, src: usize, dst: usize) -> PathState {
         let mut st = PathState::CLEAN;
+        if self.rank_down_at(now, src) || self.rank_down_at(now, dst) {
+            st.down = true;
+        }
         for ev in &self.events {
             if !ev.active(now) || !ev.matches_path(src, dst) {
                 continue;
@@ -434,6 +455,61 @@ impl FaultPlan {
         out
     }
 
+    /// Whether `rank`'s GPU is dead at `now`.
+    pub fn rank_down_at(&self, now: Time, rank: usize) -> bool {
+        self.events.iter().any(|ev| {
+            ev.kind == FaultKind::RankDown
+                && ev.active(now)
+                && matches!(ev.target, FaultTarget::Rank(r) if r == rank)
+        })
+    }
+
+    /// Every rank with a scheduled [`FaultKind::RankDown`] event active at
+    /// `now`, sorted and deduplicated — what a survivor can infer *after*
+    /// a timeout, never consulted before one.
+    pub fn dead_ranks_at(&self, now: Time) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .events
+            .iter()
+            .filter(|ev| ev.kind == FaultKind::RankDown && ev.active(now))
+            .filter_map(|ev| match ev.target {
+                FaultTarget::Rank(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every rank scheduled to die at any point in the plan.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .events
+            .iter()
+            .filter(|ev| ev.kind == FaultKind::RankDown)
+            .filter_map(|ev| match ev.target {
+                FaultTarget::Rank(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// When `rank`'s GPU dies, if the plan ever kills it.
+    pub fn rank_down_time(&self, rank: usize) -> Option<Time> {
+        self.events
+            .iter()
+            .filter(|ev| {
+                ev.kind == FaultKind::RankDown
+                    && matches!(ev.target, FaultTarget::Rank(r) if r == rank)
+            })
+            .map(|ev| ev.start)
+            .min()
+    }
+
     /// Whether the multimem datapath has a permanent down event.
     pub fn multimem_permanently_down(&self) -> bool {
         self.events.iter().any(|ev| {
@@ -464,6 +540,7 @@ impl FaultPlan {
                 FaultKind::Degrade { factor } => format!("degrade x{factor:.2}"),
                 FaultKind::NicStall { extra } => format!("stall +{extra}"),
                 FaultKind::Straggler { factor } => format!("straggler x{factor:.2}"),
+                FaultKind::RankDown => "dead".to_owned(),
             };
             let window = if ev.is_permanent() {
                 format!("[{}..)", ev.start)
@@ -553,6 +630,26 @@ mod tests {
         assert!(a.events.iter().all(|e| !e.is_permanent()));
         let c = FaultPlan::random_transient(43, 8, Duration::from_us(100.0));
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn rank_down_kills_every_touching_path() {
+        let plan = FaultPlan::new(4).rank_down(2, Time::from_ps(100));
+        assert!(!plan.rank_down_at(Time::from_ps(50), 2));
+        assert!(plan.rank_down_at(Time::from_ps(100), 2));
+        assert!(plan.path(Time::from_ps(150), 2, 5).down);
+        assert!(plan.path(Time::from_ps(150), 0, 2).down);
+        assert!(!plan.path(Time::from_ps(150), 0, 1).down);
+        assert!(!plan.path(Time::from_ps(50), 0, 2).down);
+        assert_eq!(plan.dead_ranks(), vec![2]);
+        assert_eq!(plan.dead_ranks_at(Time::from_ps(50)), Vec::<usize>::new());
+        assert_eq!(plan.dead_ranks_at(Time::from_ps(100)), vec![2]);
+        assert_eq!(plan.rank_down_time(2), Some(Time::from_ps(100)));
+        assert_eq!(plan.rank_down_time(0), None);
+        assert!(plan.summary().contains("rank 2 dead"), "{}", plan.summary());
+        // A dead rank is not a dead *link*: link-level planning queries
+        // stay clean so survivor-only groups re-plan normally.
+        assert!(!plan.link_permanently_down(0, 2));
     }
 
     #[test]

@@ -93,6 +93,12 @@ impl Metrics {
         self.bytes[r.0] += bytes;
     }
 
+    /// Removes busy time that an abort cancelled before it elapsed
+    /// (best-effort: clamped to the accumulated total).
+    pub(crate) fn cancel_busy(&mut self, r: ResourceId, overhang: Duration) {
+        self.busy[r.0] = self.busy[r.0].saturating_sub(overhang);
+    }
+
     /// Cumulative occupied time of a resource.
     pub fn busy(&self, r: ResourceId) -> Duration {
         self.busy[r.0]

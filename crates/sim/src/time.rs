@@ -139,6 +139,11 @@ impl Duration {
     pub fn saturating_add(self, rhs: Duration) -> Duration {
         Duration(self.0.saturating_add(rhs.0))
     }
+
+    /// Saturating difference of two spans (zero when `rhs` is larger).
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
 }
 
 impl Add<Duration> for Time {

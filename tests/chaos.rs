@@ -11,7 +11,7 @@
 //! * **everything is reproducible** — the same seed and plan give
 //!   bit-identical timings, counters, and outputs.
 
-use collective::{AllReduceAlgo, CollComm, PeerOrder};
+use collective::{AllReduceAlgo, CollComm, PeerOrder, RecoveryOutcome};
 use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};
 use mscclpp::Setup;
 use proptest::prelude::*;
@@ -308,4 +308,70 @@ fn sanitizer_clean_under_transient_faults() {
         let got = e.world().pool().to_f32_vec(bufs[0], DataType::F32);
         assert_eq!(got, want, "fault seed {fault_seed}");
     }
+}
+
+/// Rank death and recovery are fully deterministic: the same seed and
+/// RankDown schedule give bit-identical survivor results, counters, and
+/// the exact same recovery latency in virtual time across two runs.
+#[test]
+fn rank_death_is_deterministic() {
+    let run_once = || {
+        let n = 8usize;
+        let dead = 3usize;
+        let count = 50_000usize;
+        let plan = FaultPlan::new(13)
+            .rank_down(dead, us(1))
+            .with_wait_timeout(Duration::from_us(300.0));
+        let mut e = engine_with_plan(EnvKind::A100_40G, plan);
+        let ins = alloc_filled(&mut e, n, count);
+        let outs: Vec<BufferId> = (0..n)
+            .map(|r| e.world_mut().pool_mut().alloc(Rank(r), count * 4))
+            .collect();
+        let comm = CollComm::new();
+        // GPU 3 dies 1us in: the collective stalls on its silence until
+        // the wait timeout fires.
+        comm.all_reduce(&mut e, &ins, &outs, count, DataType::F32, ReduceOp::Sum)
+            .unwrap_err();
+        // Shrink discovers the dead rank from the timeout (no oracle
+        // argument) and replays the out-of-place collective.
+        let recovery = comm.shrink(&mut e, &[]).unwrap();
+        assert_eq!(recovery.outcome, RecoveryOutcome::Replayed);
+        assert_eq!(recovery.epoch.0, 1);
+        assert!(!recovery.group.contains(&Rank(dead)));
+        assert_eq!(recovery.group.len(), n - 1);
+
+        // Survivors hold the reduction over the surviving inputs.
+        let want = reference_allreduce(n, count, |r, i| if r == dead { 0.0 } else { val(r, i) });
+        let mut out = Vec::new();
+        for &g in &recovery.group {
+            let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
+            assert_eq!(got, want, "rank {}", g.0);
+            out.extend(got);
+        }
+        let counters: Vec<(String, u64)> = e
+            .metrics()
+            .counters()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        (
+            e.now(),
+            counters,
+            out,
+            recovery.recovery_time,
+            recovery.drain,
+        )
+    };
+    let (now_a, counters_a, out_a, rec_a, drain_a) = run_once();
+    let (now_b, counters_b, out_b, rec_b, drain_b) = run_once();
+    assert_eq!(now_a, now_b, "virtual end time diverged");
+    assert_eq!(counters_a, counters_b, "counters diverged");
+    assert_eq!(out_a, out_b, "survivor outputs diverged");
+    assert_eq!(rec_a, rec_b, "recovery latency diverged");
+    assert_eq!(drain_a, drain_b, "drain report diverged");
+    assert!(counters_a
+        .iter()
+        .any(|(k, v)| k == "fault.epoch_shrinks" && *v == 1));
+    assert!(counters_a
+        .iter()
+        .any(|(k, v)| k == "fault.rank_down_halted" && *v > 0));
 }

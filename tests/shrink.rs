@@ -1,0 +1,242 @@
+//! Shrink golden pass: for every single-node built-in algorithm and
+//! every victim rank, a RankDown mid-collective must leave the stack
+//! recoverable — `CollComm::shrink` drains, re-wires the survivor
+//! subset, re-verifies the rebuilt plan through commverify (verification
+//! is on by default), and replays the interrupted collective with the
+//! dynamic sanitizer enabled. Survivors must end with the bit-exact
+//! result over the survivor inputs.
+//!
+//! Multi-node hierarchical algorithms (and ReduceScatter/AllToAll, whose
+//! layouts derive from the full topology) are documented as
+//! non-shrinkable in DESIGN.md §11 and are rejected at prepare time, so
+//! they are not swept here.
+
+use collective::{
+    AllGatherAlgo, AllReduceAlgo, CollComm, PeerOrder, RecoveryOutcome, ScratchReuse,
+};
+use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};
+use sim::{Duration, Engine, FaultPlan, Time};
+
+const N: usize = 8;
+const COUNT: usize = 4096;
+
+fn val(r: usize, i: usize) -> f32 {
+    ((r * 5 + i * 3) % 8) as f32
+}
+
+/// Engine whose fault plan kills `victim` 1us into the run.
+fn engine_with_dead(kind: EnvKind, victim: usize) -> Engine<Machine> {
+    let mut e = Engine::new(Machine::new(kind.spec(1)));
+    e.set_fault_plan(
+        FaultPlan::new(7)
+            .rank_down(victim, Time::from_ps(1_000_000))
+            .with_wait_timeout(Duration::from_us(300.0)),
+    );
+    hw::wire(&mut e);
+    e
+}
+
+fn alloc_filled(e: &mut Engine<Machine>, count: usize) -> Vec<BufferId> {
+    (0..N)
+        .map(|r| {
+            let b = e.world_mut().pool_mut().alloc(Rank(r), count * 4);
+            e.world_mut()
+                .pool_mut()
+                .fill_with(b, DataType::F32, move |i| val(r, i));
+            b
+        })
+        .collect()
+}
+
+fn alloc_out(e: &mut Engine<Machine>, count: usize) -> Vec<BufferId> {
+    (0..N)
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), count * 4))
+        .collect()
+}
+
+/// Kill `victim` mid-AllReduce, shrink, and check the replayed result on
+/// every survivor.
+fn shrink_allreduce_case(kind: EnvKind, algo: AllReduceAlgo, victim: usize) {
+    let mut e = engine_with_dead(kind, victim);
+    let ins = alloc_filled(&mut e, COUNT);
+    let outs = alloc_out(&mut e, COUNT);
+    let mut comm = CollComm::new();
+    comm.set_sanitize(true);
+    comm.all_reduce_with(
+        &mut e,
+        &ins,
+        &outs,
+        COUNT,
+        DataType::F32,
+        ReduceOp::Sum,
+        algo,
+    )
+    .expect_err("the dead rank must surface as a failure");
+    let recovery = comm
+        .shrink(&mut e, &[])
+        .unwrap_or_else(|err| panic!("{algo:?} victim {victim}: shrink failed: {err}"));
+    assert_eq!(
+        recovery.outcome,
+        RecoveryOutcome::Replayed,
+        "{algo:?} victim {victim}"
+    );
+    assert_eq!(recovery.group.len(), N - 1, "{algo:?} victim {victim}");
+    assert!(!recovery.group.contains(&Rank(victim)));
+    let want: Vec<f32> = (0..COUNT)
+        .map(|i| (0..N).filter(|&r| r != victim).map(|r| val(r, i)).sum())
+        .collect();
+    for &g in &recovery.group {
+        let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
+        assert_eq!(got, want, "{algo:?} victim {victim} rank {}", g.0);
+    }
+}
+
+/// Kill `victim` mid-AllGather, shrink, and check every survivor holds
+/// every surviving chunk at its renumbered position.
+fn shrink_allgather_case(kind: EnvKind, algo: AllGatherAlgo, victim: usize) {
+    let mut e = engine_with_dead(kind, victim);
+    let ins = alloc_filled(&mut e, COUNT);
+    let outs = alloc_out(&mut e, COUNT * N);
+    let mut comm = CollComm::new();
+    comm.set_sanitize(true);
+    comm.all_gather_with(&mut e, &ins, &outs, COUNT, DataType::F32, algo)
+        .expect_err("the dead rank must surface as a failure");
+    let recovery = comm
+        .shrink(&mut e, &[])
+        .unwrap_or_else(|err| panic!("{algo:?} victim {victim}: shrink failed: {err}"));
+    assert_eq!(
+        recovery.outcome,
+        RecoveryOutcome::Replayed,
+        "{algo:?} victim {victim}"
+    );
+    assert_eq!(recovery.group.len(), N - 1, "{algo:?} victim {victim}");
+    // The shrunken gather renumbers: the member at position `pos` of the
+    // survivor group lands at output offset `pos * COUNT`.
+    for &g in &recovery.group {
+        let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
+        for (pos, &src) in recovery.group.iter().enumerate() {
+            for i in [0, COUNT - 1] {
+                assert_eq!(
+                    got[pos * COUNT + i],
+                    val(src.0, i),
+                    "{algo:?} victim {victim} rank {} chunk {pos} elem {i}",
+                    g.0
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shrink_allreduce_one_phase_ll_every_victim() {
+    for victim in 0..N {
+        shrink_allreduce_case(EnvKind::A100_40G, AllReduceAlgo::OnePhaseLl, victim);
+    }
+}
+
+#[test]
+fn shrink_allreduce_two_phase_ll_every_victim() {
+    for victim in 0..N {
+        shrink_allreduce_case(
+            EnvKind::A100_40G,
+            AllReduceAlgo::TwoPhaseLl {
+                reuse: ScratchReuse::Rotate,
+                order: PeerOrder::Staggered,
+            },
+            victim,
+        );
+    }
+}
+
+#[test]
+fn shrink_allreduce_two_phase_hb_every_victim() {
+    for victim in 0..N {
+        shrink_allreduce_case(
+            EnvKind::A100_40G,
+            AllReduceAlgo::TwoPhaseHb {
+                order: PeerOrder::Staggered,
+            },
+            victim,
+        );
+    }
+}
+
+#[test]
+fn shrink_allreduce_two_phase_port_every_victim() {
+    for victim in 0..N {
+        shrink_allreduce_case(EnvKind::A100_40G, AllReduceAlgo::TwoPhasePort, victim);
+    }
+}
+
+#[test]
+fn shrink_allreduce_ring_every_victim() {
+    for victim in 0..N {
+        shrink_allreduce_case(EnvKind::A100_40G, AllReduceAlgo::Ring, victim);
+    }
+}
+
+#[test]
+fn shrink_allreduce_two_phase_switch_every_victim() {
+    // The switch group renumbers to the survivors (multimem hardware).
+    for victim in 0..N {
+        shrink_allreduce_case(EnvKind::H100, AllReduceAlgo::TwoPhaseSwitch, victim);
+    }
+}
+
+#[test]
+fn shrink_allgather_ll_every_victim() {
+    for victim in 0..N {
+        shrink_allgather_case(EnvKind::A100_40G, AllGatherAlgo::AllPairsLl, victim);
+    }
+}
+
+#[test]
+fn shrink_allgather_hb_every_victim() {
+    for victim in 0..N {
+        shrink_allgather_case(EnvKind::A100_40G, AllGatherAlgo::AllPairsHb, victim);
+    }
+}
+
+#[test]
+fn shrink_allgather_port_every_victim() {
+    for victim in 0..N {
+        shrink_allgather_case(EnvKind::A100_40G, AllGatherAlgo::AllPairsPort, victim);
+    }
+}
+
+/// Collectives whose layouts derive from the full topology are rejected
+/// with a typed error on a shrunken epoch instead of silently computing
+/// the wrong thing.
+#[test]
+fn non_shrinkable_collectives_fail_typed() {
+    let mut e = engine_with_dead(EnvKind::A100_40G, 5);
+    let ins = alloc_filled(&mut e, COUNT);
+    let outs = alloc_out(&mut e, COUNT * N);
+    let comm = CollComm::new();
+    comm.all_gather_with(
+        &mut e,
+        &ins,
+        &outs,
+        COUNT,
+        DataType::F32,
+        AllGatherAlgo::AllPairsLl,
+    )
+    .expect_err("the dead rank must surface as a failure");
+    let recovery = comm.shrink(&mut e, &[]).unwrap();
+    assert_eq!(recovery.outcome, RecoveryOutcome::Replayed);
+    let scatter_outs = alloc_out(&mut e, COUNT);
+    let err = comm
+        .reduce_scatter(
+            &mut e,
+            &ins,
+            &scatter_outs,
+            COUNT / N,
+            DataType::F32,
+            ReduceOp::Sum,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, mscclpp::Error::InvalidArgument(_)),
+        "expected InvalidArgument on a shrunken epoch, got {err}"
+    );
+}
