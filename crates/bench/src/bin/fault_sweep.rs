@@ -163,7 +163,10 @@ fn main() {
         &[run],
     ));
 
-    let mut json = String::from("{\"title\":\"fault_sweep\",\"scenarios\":[");
+    let mut json = format!(
+        "{{\"title\":\"fault_sweep\",\"schema_version\":{},\"scenarios\":[",
+        bench::report::SCHEMA_VERSION
+    );
     for (i, s) in scenarios.iter().enumerate() {
         if i > 0 {
             json.push(',');

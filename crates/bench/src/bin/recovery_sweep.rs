@@ -147,7 +147,10 @@ fn main() {
     }
     assert!(!points.is_empty(), "every run completed before its kill");
 
-    let mut json = String::from("{\"title\":\"recovery_sweep\",\"points\":[");
+    let mut json = format!(
+        "{{\"title\":\"recovery_sweep\",\"schema_version\":{},\"points\":[",
+        bench::report::SCHEMA_VERSION
+    );
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             json.push(',');

@@ -1,0 +1,509 @@
+//! The perf-regression gate: a pinned benchmark suite with
+//! histogram-backed per-case latency percentiles, a JSON artifact
+//! format, and a tolerance-band comparison against a committed
+//! baseline. The `perf_gate` binary drives this from CI.
+//!
+//! The simulator is deterministic, so re-running the suite on unchanged
+//! code reproduces the baseline bit-for-bit; the tolerance band exists
+//! to absorb *intentional* small timing shifts (a reworked overhead
+//! constant) while catching real regressions.
+
+use profile::Histogram;
+
+use crate::report::SCHEMA_VERSION;
+use crate::Target;
+use hw::EnvKind;
+
+/// Which collective a [`Case`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coll {
+    /// AllReduce over the full world.
+    AllReduce,
+    /// AllGather over the full world (`bytes` is the per-rank chunk).
+    AllGather,
+}
+
+/// Which stack runs the collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stack {
+    /// The NCCL model (ring/tree, tuner-pinned choice).
+    Nccl,
+    /// MSCCL over the NCCL transport.
+    Msccl,
+    /// MSCCL++ (default algorithm selection).
+    Mscclpp,
+}
+
+impl Stack {
+    fn name(self) -> &'static str {
+        match self {
+            Stack::Nccl => "nccl",
+            Stack::Msccl => "msccl",
+            Stack::Mscclpp => "mscclpp",
+        }
+    }
+}
+
+/// One pinned suite entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Case {
+    /// A collective micro-benchmark.
+    Collective {
+        /// The collective.
+        coll: Coll,
+        /// The stack running it.
+        stack: Stack,
+        /// Environment + nodes.
+        target: Target,
+        /// Message bytes (per-rank chunk for AllGather).
+        bytes: usize,
+    },
+    /// The end-to-end serving scenario (request latency percentiles).
+    Serving,
+}
+
+impl Case {
+    /// Stable case name used as the baseline join key.
+    pub fn name(&self) -> String {
+        match self {
+            Case::Collective {
+                coll,
+                stack,
+                target,
+                bytes,
+            } => {
+                let c = match coll {
+                    Coll::AllReduce => "allreduce",
+                    Coll::AllGather => "allgather",
+                };
+                format!(
+                    "{c}/{}/{:?}/{}/{}B",
+                    stack.name(),
+                    target.env,
+                    target.label(),
+                    bytes
+                )
+            }
+            Case::Serving => "serving/mscclpp/A100_80G/llama2-13b".to_owned(),
+        }
+    }
+}
+
+/// The pinned suite: AllReduce/AllGather × stacks × sizes on the A100
+/// and H100 topologies, plus one serving scenario. Append new cases;
+/// never re-order or rename existing ones (names are baseline keys).
+pub fn pinned_suite() -> Vec<Case> {
+    let a100 = Target {
+        env: EnvKind::A100_40G,
+        nodes: 1,
+    };
+    let h100 = Target {
+        env: EnvKind::H100,
+        nodes: 1,
+    };
+    let mut cases = Vec::new();
+    for &stack in &[Stack::Nccl, Stack::Msccl, Stack::Mscclpp] {
+        for &coll in &[Coll::AllReduce, Coll::AllGather] {
+            for &bytes in &[32 << 10, 1 << 20] {
+                cases.push(Case::Collective {
+                    coll,
+                    stack,
+                    target: a100,
+                    bytes,
+                });
+            }
+        }
+    }
+    for &stack in &[Stack::Nccl, Stack::Mscclpp] {
+        for &coll in &[Coll::AllReduce, Coll::AllGather] {
+            cases.push(Case::Collective {
+                coll,
+                stack,
+                target: h100,
+                bytes: 1 << 20,
+            });
+        }
+    }
+    cases.push(Case::Serving);
+    cases
+}
+
+/// Measured percentiles for one case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// The case's stable name.
+    pub name: String,
+    /// Samples folded into the percentiles.
+    pub samples: u64,
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 95th-percentile latency (µs).
+    pub p95_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: f64,
+    /// Exact maximum (µs).
+    pub max_us: f64,
+    /// Mean (µs).
+    pub mean_us: f64,
+}
+
+impl CaseResult {
+    fn from_hist(name: String, h: &Histogram) -> CaseResult {
+        CaseResult {
+            name,
+            samples: h.count(),
+            p50_us: h.p50() as f64 / 1e3,
+            p95_us: h.p95() as f64 / 1e3,
+            p99_us: h.p99() as f64 / 1e3,
+            max_us: h.max() as f64 / 1e3,
+            mean_us: h.mean() / 1e3,
+        }
+    }
+}
+
+/// Runs one case for `iters` iterations (collectives re-run on the same
+/// warm engine; the histogram records each iteration's latency in ns).
+pub fn run_case(case: &Case, iters: usize) -> CaseResult {
+    let name = case.name();
+    match case {
+        Case::Collective {
+            coll,
+            stack,
+            target,
+            bytes,
+        } => {
+            let mut h = Histogram::new();
+            for us in iterate_collective(*coll, *stack, *target, *bytes, iters) {
+                h.record((us * 1e3).round() as u64);
+            }
+            CaseResult::from_hist(name, &h)
+        }
+        Case::Serving => {
+            let mut engine = inference::ServingEngine::new(
+                EnvKind::A100_80G,
+                inference::ModelConfig::llama2_13b(),
+                16 * 1024,
+            );
+            let backend = inference::MscclppBackend::new();
+            let trace = inference::synthetic_trace(6, 128, 24, 5_000.0, 3);
+            let report =
+                inference::serve_trace(&mut engine, &backend, &trace, 8).expect("serving run");
+            let rl = report.request_latency;
+            CaseResult {
+                name,
+                samples: report.completed as u64,
+                p50_us: rl.p50_us,
+                p95_us: rl.p95_us,
+                p99_us: rl.p99_us,
+                max_us: rl.max_us,
+                mean_us: report.mean_latency_us,
+            }
+        }
+    }
+}
+
+/// Runs a collective `iters` times on one warm engine, returning each
+/// iteration's latency in µs. Output correctness is verified on the
+/// final iteration (earlier iterations reduce in place over already
+/// reduced data, so only timing is meaningful there).
+fn iterate_collective(
+    coll: Coll,
+    stack: Stack,
+    target: Target,
+    bytes: usize,
+    iters: usize,
+) -> Vec<f64> {
+    use hw::{BufferId, DataType, Rank, ReduceOp};
+    let count = bytes / 2;
+    let world = target.world();
+    let mut e = crate::fresh_engine(target);
+    let out_len = match coll {
+        Coll::AllReduce => bytes,
+        Coll::AllGather => bytes * world,
+    };
+    let outs: Vec<BufferId> = (0..world)
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), out_len))
+        .collect();
+    let mut lat = Vec::with_capacity(iters);
+
+    match stack {
+        Stack::Mscclpp => {
+            let comm = collective::CollComm::new();
+            for it in 0..iters {
+                let ins = crate::alloc_filled(&mut e, world, bytes);
+                let timing = match coll {
+                    Coll::AllReduce => {
+                        comm.all_reduce(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum)
+                    }
+                    Coll::AllGather => comm.all_gather(&mut e, &ins, &outs, count, DataType::F16),
+                }
+                .expect("mscclpp gate case");
+                lat.push(timing.elapsed().as_us());
+                if it + 1 == iters {
+                    verify(&e, coll, &outs, bytes, world, "mscclpp");
+                }
+            }
+        }
+        Stack::Nccl => {
+            let comm = {
+                let mut setup = mscclpp::Setup::new(&mut e);
+                ncclsim::NcclComm::new(&mut setup, ncclsim::NcclConfig::nccl())
+            };
+            let choice = ncclsim::tune(
+                match coll {
+                    Coll::AllReduce => bytes,
+                    Coll::AllGather => bytes * world,
+                },
+                target.nodes,
+            );
+            for it in 0..iters {
+                let ins = crate::alloc_filled(&mut e, world, bytes);
+                let timing = match coll {
+                    Coll::AllReduce => comm.all_reduce(
+                        &mut e,
+                        &ins,
+                        &outs,
+                        count,
+                        DataType::F16,
+                        ReduceOp::Sum,
+                        choice,
+                    ),
+                    Coll::AllGather => {
+                        comm.all_gather(&mut e, &ins, &outs, count, DataType::F16, choice)
+                    }
+                }
+                .expect("nccl gate case");
+                lat.push(timing.elapsed().as_us());
+                if it + 1 == iters {
+                    verify(&e, coll, &outs, bytes, world, "nccl");
+                }
+            }
+        }
+        Stack::Msccl => {
+            let comm = {
+                let mut setup = mscclpp::Setup::new(&mut e);
+                msccl::MscclComm::new(&mut setup, msccl::MscclConfig::default())
+            };
+            for it in 0..iters {
+                let ins = crate::alloc_filled(&mut e, world, bytes);
+                let timing = match coll {
+                    Coll::AllReduce => comm.all_reduce(
+                        &mut e,
+                        &ins,
+                        &outs,
+                        count,
+                        DataType::F16,
+                        ReduceOp::Sum,
+                        None,
+                    ),
+                    Coll::AllGather => {
+                        comm.all_gather(&mut e, &ins, &outs, count, DataType::F16, None)
+                    }
+                }
+                .expect("msccl gate case");
+                lat.push(timing.elapsed().as_us());
+                if it + 1 == iters {
+                    verify(&e, coll, &outs, bytes, world, "msccl");
+                }
+            }
+        }
+    }
+    lat
+}
+
+fn verify(
+    e: &sim::Engine<hw::Machine>,
+    coll: Coll,
+    outs: &[hw::BufferId],
+    bytes: usize,
+    world: usize,
+    tag: &str,
+) {
+    match coll {
+        Coll::AllReduce => crate::verify_allreduce(e, outs, bytes, world, tag),
+        Coll::AllGather => crate::verify_allgather(e, outs, bytes, world, tag),
+    }
+}
+
+/// Serializes gate results as the `BENCH_<date>.json` artifact.
+pub fn results_to_json(date: &str, iters: usize, results: &[CaseResult]) -> String {
+    use std::fmt::Write;
+    let mut out = format!(
+        "{{\"title\":\"perf_gate\",\"schema_version\":{SCHEMA_VERSION},\"date\":\"{date}\",\"iters\":{iters},\"cases\":["
+    );
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"samples\":{},\"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},\"max_us\":{:.3},\"mean_us\":{:.3}}}",
+            r.name, r.samples, r.p50_us, r.p95_us, r.p99_us, r.max_us, r.mean_us
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Minimal hand-rolled parser for the artifact format above (the
+/// workspace has no JSON dependency): extracts each case's name and
+/// numeric fields. Tolerant of unknown fields; a malformed document
+/// yields however many well-formed cases precede the damage.
+pub fn parse_results(json: &str) -> Vec<CaseResult> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("{\"name\":\"") {
+        rest = &rest[i + 9..];
+        let Some(q) = rest.find('"') else { break };
+        let name = rest[..q].to_owned();
+        let Some(end) = rest.find('}') else { break };
+        let body = &rest[q..end];
+        let num = |key: &str| -> f64 {
+            body.find(&format!("\"{key}\":"))
+                .and_then(|j| {
+                    let v = &body[j + key.len() + 3..];
+                    let stop = v
+                        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+                        .unwrap_or(v.len());
+                    v[..stop].parse::<f64>().ok()
+                })
+                .unwrap_or(0.0)
+        };
+        out.push(CaseResult {
+            name,
+            samples: num("samples") as u64,
+            p50_us: num("p50_us"),
+            p95_us: num("p95_us"),
+            p99_us: num("p99_us"),
+            max_us: num("max_us"),
+            mean_us: num("mean_us"),
+        });
+        rest = &rest[end..];
+    }
+    out
+}
+
+/// One baseline comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within the tolerance band.
+    Ok,
+    /// Slower than baseline beyond tolerance — fails the gate.
+    Regression {
+        /// Baseline median (µs).
+        base_p50_us: f64,
+        /// Measured median (µs).
+        new_p50_us: f64,
+    },
+    /// Faster than baseline beyond tolerance — passes, but the baseline
+    /// deserves a refresh.
+    Improvement {
+        /// Baseline median (µs).
+        base_p50_us: f64,
+        /// Measured median (µs).
+        new_p50_us: f64,
+    },
+    /// No baseline entry for this case (newly added).
+    New,
+}
+
+/// Compares measured results against a baseline. A case regresses when
+/// its median exceeds the baseline median by more than `tol`
+/// (fractional, e.g. 0.10) plus a small absolute slack absorbing
+/// histogram bucket granularity on microsecond-scale cases.
+pub fn compare(
+    results: &[CaseResult],
+    baseline: &[CaseResult],
+    tol: f64,
+) -> Vec<(String, Verdict)> {
+    const ABS_SLACK_US: f64 = 0.5;
+    results
+        .iter()
+        .map(|r| {
+            let verdict = match baseline.iter().find(|b| b.name == r.name) {
+                None => Verdict::New,
+                Some(b) => {
+                    let hi = b.p50_us * (1.0 + tol) + ABS_SLACK_US;
+                    let lo = b.p50_us * (1.0 - tol) - ABS_SLACK_US;
+                    if r.p50_us > hi {
+                        Verdict::Regression {
+                            base_p50_us: b.p50_us,
+                            new_p50_us: r.p50_us,
+                        }
+                    } else if r.p50_us < lo {
+                        Verdict::Improvement {
+                            base_p50_us: b.p50_us,
+                            new_p50_us: r.p50_us,
+                        }
+                    } else {
+                        Verdict::Ok
+                    }
+                }
+            };
+            (r.name.clone(), verdict)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, p50: f64) -> CaseResult {
+        CaseResult {
+            name: name.to_owned(),
+            samples: 3,
+            p50_us: p50,
+            p95_us: p50 * 1.1,
+            p99_us: p50 * 1.2,
+            max_us: p50 * 1.3,
+            mean_us: p50,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let results = vec![
+            case("allreduce/mscclpp/A100_40G/1n8g/32768B", 12.345),
+            case("serving", 987.0),
+        ];
+        let json = results_to_json("2026-08-06", 3, &results);
+        assert!(json.contains("\"schema_version\":"));
+        assert!(json.contains("\"date\":\"2026-08-06\""));
+        let parsed = parse_results(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, results[0].name);
+        assert!((parsed[0].p50_us - 12.345).abs() < 1e-9);
+        assert_eq!(parsed[1].samples, 3);
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_tolerates_noise() {
+        let base = vec![case("a", 100.0), case("b", 100.0), case("c", 100.0)];
+        let new = vec![
+            case("a", 125.0), // +25%: regression at 10% tol
+            case("b", 104.0), // +4%: inside the band
+            case("d", 50.0),  // not in baseline
+        ];
+        let verdicts = compare(&new, &base, 0.10);
+        assert!(matches!(verdicts[0].1, Verdict::Regression { .. }));
+        assert_eq!(verdicts[1].1, Verdict::Ok);
+        assert_eq!(verdicts[2].1, Verdict::New);
+        // Large speedups are reported as improvements, not silently Ok.
+        let faster = vec![case("c", 60.0)];
+        let v = compare(&faster, &base, 0.10);
+        assert!(matches!(v[0].1, Verdict::Improvement { .. }));
+    }
+
+    #[test]
+    fn pinned_suite_names_are_unique_and_stable() {
+        let suite = pinned_suite();
+        let names: std::collections::BTreeSet<String> = suite.iter().map(Case::name).collect();
+        assert_eq!(names.len(), suite.len(), "duplicate case names");
+        // The serving scenario is always last, and the suite covers both
+        // pinned topologies.
+        assert_eq!(suite.last(), Some(&Case::Serving));
+        assert!(names.iter().any(|n| n.contains("A100_40G")));
+        assert!(names.iter().any(|n| n.contains("H100")));
+    }
+}

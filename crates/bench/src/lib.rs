@@ -15,6 +15,7 @@
 //! take the best over the stack's tuning candidates.
 
 pub mod figures;
+pub mod gate;
 pub mod report;
 
 use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};

@@ -209,6 +209,11 @@ pub fn observe_mscclpp_faulted(
     snapshot("mscclpp", bytes, timing.elapsed().as_us(), &e)
 }
 
+/// Version stamped into every JSON artifact this crate writes
+/// (`"schema_version"`). Bump when a field is added, removed, or changes
+/// meaning, and add a row to `results/README.md`.
+pub const SCHEMA_VERSION: u32 = 2;
+
 fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -271,7 +276,7 @@ pub fn runs_to_json_with_fault(
         ),
     };
     out.push_str(&format!(
-        "{{\"title\":\"{}\",\"environment\":\"{}\",\"nodes\":{},\"world\":{},\"fault\":{},\"runs\":[",
+        "{{\"title\":\"{}\",\"schema_version\":{SCHEMA_VERSION},\"environment\":\"{}\",\"nodes\":{},\"world\":{},\"fault\":{},\"runs\":[",
         esc(title),
         esc(&t.env.spec(t.nodes).name),
         t.nodes,
@@ -288,11 +293,18 @@ pub fn runs_to_json_with_fault(
     out
 }
 
-/// Writes `json` to `results/<name>` (creating `results/` if needed) and
-/// returns the path written.
+/// The directory benchmark artifacts are written to: `$RESULTS_DIR` when
+/// set (CI points this at a per-job upload directory), `results/`
+/// otherwise.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("RESULTS_DIR").map_or_else(|| Path::new("results").to_path_buf(), Into::into)
+}
+
+/// Writes `json` to `<results_dir>/<name>` (creating the directory if
+/// needed) and returns the path written.
 pub fn write_results_json(name: &str, json: &str) -> io::Result<std::path::PathBuf> {
-    let dir = Path::new("results");
-    fs::create_dir_all(dir)?;
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
     let path = dir.join(name);
     fs::write(&path, json)?;
     Ok(path)

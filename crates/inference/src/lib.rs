@@ -46,4 +46,4 @@ mod serve;
 pub use backend::{CommBackend, MscclBackend, MscclppBackend, NcclBackend};
 pub use engine::{BatchConfig, ServingEngine, StepReport};
 pub use model::{layer_time, GpuPerf, ModelConfig};
-pub use serve::{serve_trace, synthetic_trace, Request, ServeReport};
+pub use serve::{serve_trace, synthetic_trace, LatencyStats, Request, ServeReport};

@@ -55,6 +55,35 @@ pub fn synthetic_trace(
         .collect()
 }
 
+/// Percentile summary of a latency distribution, in microseconds.
+///
+/// Backed by an allocation-free log-linear histogram
+/// ([`profile::Histogram`]): percentiles are bucket upper bounds (≤ ~6%
+/// relative error, never understated); `max` is exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Exact maximum.
+    pub max_us: f64,
+}
+
+impl LatencyStats {
+    fn from_hist(h: &profile::Histogram) -> Self {
+        // The histogram records nanoseconds.
+        LatencyStats {
+            p50_us: h.p50() as f64 / 1e3,
+            p95_us: h.p95() as f64 / 1e3,
+            p99_us: h.p99() as f64 / 1e3,
+            max_us: h.max() as f64 / 1e3,
+        }
+    }
+}
+
 /// Aggregate metrics of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeReport {
@@ -68,6 +97,11 @@ pub struct ServeReport {
     pub mean_latency_us: f64,
     /// 95th-percentile request latency in microseconds.
     pub p95_latency_us: f64,
+    /// Request latency distribution (arrival → last token).
+    pub request_latency: LatencyStats,
+    /// Per-iteration engine step latency distribution (prefill and
+    /// decode steps).
+    pub step_latency: LatencyStats,
     /// Fraction of serving time spent in decode iterations.
     pub decode_time_fraction: f64,
     /// Rank-death recoveries survived (epoch shrinks of the backend).
@@ -113,6 +147,8 @@ pub fn serve_trace(
     let mut queue: std::collections::VecDeque<Request> = trace.iter().copied().collect();
     let mut active: Vec<Active> = Vec::new();
     let mut latencies: Vec<f64> = Vec::new();
+    let mut req_hist = profile::Histogram::new();
+    let mut step_hist = profile::Histogram::new();
     let mut generated_tokens = 0usize;
     let mut recoveries = 0usize;
     let mut recovery_latency_us = 0.0f64;
@@ -154,6 +190,7 @@ pub fn serve_trace(
                 },
             };
             clock_us += report.total_us();
+            step_hist.record((report.total_us() * 1e3).round() as u64);
             for r in admitted {
                 active.push(Active {
                     context: r.prompt,
@@ -194,6 +231,7 @@ pub fn serve_trace(
         };
         clock_us += report.total_us();
         decode_us += report.total_us();
+        step_hist.record((report.total_us() * 1e3).round() as u64);
         generated_tokens += active.len();
         for a in &mut active {
             a.context += 1;
@@ -202,6 +240,7 @@ pub fn serve_trace(
         active.retain(|a| {
             if a.remaining == 0 {
                 latencies.push(clock_us - a.arrival_us);
+                req_hist.record(((clock_us - a.arrival_us) * 1e3).round() as u64);
                 false
             } else {
                 true
@@ -224,6 +263,8 @@ pub fn serve_trace(
         decode_throughput: generated_tokens as f64 / (clock_us / 1e6),
         mean_latency_us,
         p95_latency_us,
+        request_latency: LatencyStats::from_hist(&req_hist),
+        step_latency: LatencyStats::from_hist(&step_hist),
         decode_time_fraction: decode_us / clock_us,
         recoveries,
         recovery_latency_us,
@@ -258,6 +299,16 @@ mod tests {
         assert!(report.makespan_us > 0.0);
         assert!(report.decode_throughput > 0.0);
         assert!(report.p95_latency_us >= report.mean_latency_us * 0.5);
+        // Histogram-backed percentiles: ordered, bounded by the exact
+        // max, and consistent with the sort-based p95 (upper-bound
+        // buckets never understate).
+        let rl = report.request_latency;
+        assert!(rl.p50_us <= rl.p95_us && rl.p95_us <= rl.p99_us && rl.p99_us <= rl.max_us);
+        assert!(rl.p95_us >= report.p95_latency_us * 0.99);
+        assert!(rl.max_us > 0.0);
+        let sl = report.step_latency;
+        assert!(sl.p50_us > 0.0 && sl.p50_us <= sl.max_us);
+        assert!(sl.max_us <= report.makespan_us);
         // §5.2's premise: the majority of serving time is decode.
         assert!(
             report.decode_time_fraction > 0.5,

@@ -382,7 +382,7 @@ impl Process<Machine> for TbProc {
                 *self.mix.entry("port_put").or_insert(0) += 1;
                 self.puts += 1;
                 self.signals += u64::from(with_signal);
-                {
+                let depth = {
                     let mut f = ch.fifo.borrow_mut();
                     f.queue.push_back(crate::channel::ProxyRequest::Put {
                         src: ch.local_buf,
@@ -393,6 +393,13 @@ impl Process<Machine> for TbProc {
                         with_signal,
                     });
                     f.pushed += 1;
+                    f.queue.len() as u64
+                };
+                if ctx.tracing() {
+                    ctx.trace_counter(
+                        &format!("fifo.depth {}->{}", ch.local_rank, ch.peer_rank),
+                        depth,
+                    );
                 }
                 // The proxy's copy is attributed to the pushing block at
                 // push time: FIFO order plus completion-before-signal make
@@ -409,10 +416,17 @@ impl Process<Machine> for TbProc {
                 self.quick(ctx, self.ov.port_push)
             }
             Instr::PortSignal { ch } => {
-                {
+                let depth = {
                     let mut f = ch.fifo.borrow_mut();
                     f.queue.push_back(crate::channel::ProxyRequest::Signal);
                     f.pushed += 1;
+                    f.queue.len() as u64
+                };
+                if ctx.tracing() {
+                    ctx.trace_counter(
+                        &format!("fifo.depth {}->{}", ch.local_rank, ch.peer_rank),
+                        depth,
+                    );
                 }
                 self.san_release(&[ch.completed_cell, ch.peer_sem]);
                 ctx.cell_add(ch.pushed_cell, 1);

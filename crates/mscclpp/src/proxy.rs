@@ -126,6 +126,10 @@ impl Process<Machine> for ProxyProc {
             }
         }
         self.processed += 1;
+        if ctx.tracing() {
+            let depth = self.fifo.borrow().queue.len() as u64;
+            ctx.trace_counter(&format!("fifo.depth {}->{}", self.src, self.dst), depth);
+        }
         let mut busy = self.ov.proxy_handle;
         match req {
             ProxyRequest::Put {

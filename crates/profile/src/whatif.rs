@@ -1,0 +1,215 @@
+//! What-if analysis: re-times a recorded [`DepGraph`] under perturbed
+//! hardware parameters *without re-running the simulation*.
+//!
+//! The replay visits nodes in recorded order (node indices are a
+//! topological order of the happens-before DAG), recomputes each step's
+//! start from its wake cause, re-simulates its resource acquisitions
+//! against fresh per-resource free horizons (with busy times scaled per
+//! perturbation), and anchors signal deliveries and step ends to the
+//! acquisition that originally bounded them. Un-perturbed replays
+//! reproduce the recorded makespan exactly, which the tests pin — so a
+//! predicted speedup is attributable to the perturbation alone.
+//!
+//! The model holds the *schedule shape* fixed: per-resource grant order
+//! and per-process step order are as recorded. That is the standard
+//! critical-path what-if approximation — accurate for "would widening
+//! this link help?" questions, not for perturbations large enough to
+//! change algorithmic decisions (e.g. a planner picking a different
+//! ring).
+
+use sim::{DepGraph, Duration, Time, WakeCause};
+
+/// One hardware perturbation applied during replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Perturbation {
+    /// Scales the bandwidth of every resource whose label contains
+    /// `label_contains` by `factor` (2.0 = twice as fast: busy windows
+    /// halve).
+    ScaleBandwidth {
+        /// Substring match against [`DepGraph::resource_labels`].
+        label_contains: String,
+        /// Bandwidth multiplier; must be > 0.
+        factor: f64,
+    },
+    /// Adds fixed `extra` time to every step of processes whose label
+    /// contains `label_contains` (e.g. `+1µs` proxy handling overhead).
+    AddStepLatency {
+        /// Substring match against process labels.
+        label_contains: String,
+        /// Extra per-step latency.
+        extra: Duration,
+    },
+}
+
+impl Perturbation {
+    /// Doubles (or otherwise scales) the bandwidth of matching links.
+    pub fn scale_bandwidth(label_contains: &str, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "bad factor {factor}");
+        Perturbation::ScaleBandwidth {
+            label_contains: label_contains.to_owned(),
+            factor,
+        }
+    }
+
+    /// Adds per-step latency to matching processes.
+    pub fn add_step_latency(label_contains: &str, extra: Duration) -> Self {
+        Perturbation::AddStepLatency {
+            label_contains: label_contains.to_owned(),
+            extra,
+        }
+    }
+}
+
+/// Outcome of a what-if replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WhatIfOutcome {
+    /// Makespan of the recorded execution.
+    pub baseline: Duration,
+    /// Predicted makespan under the perturbations.
+    pub predicted: Duration,
+}
+
+impl WhatIfOutcome {
+    /// Predicted speedup (baseline / predicted); 1.0 means no change.
+    pub fn speedup(&self) -> f64 {
+        if self.predicted == Duration::ZERO {
+            1.0
+        } else {
+            self.baseline.as_ps() as f64 / self.predicted.as_ps() as f64
+        }
+    }
+}
+
+/// Scales a busy window by a bandwidth factor, rounding to ps.
+fn scale(busy: Duration, factor: f64) -> Duration {
+    Duration::from_ps((busy.as_ps() as f64 / factor).round() as u64)
+}
+
+/// Re-times `g` under `perturbations` and returns the predicted
+/// makespan next to the recorded baseline.
+pub fn retime(g: &DepGraph, perturbations: &[Perturbation]) -> WhatIfOutcome {
+    // Resolve perturbations against the label tables once.
+    let mut bw_factor: Vec<f64> = vec![1.0; g.resource_labels.len()];
+    let mut step_extra: Vec<Duration> = vec![Duration::ZERO; g.labels.len()];
+    for p in perturbations {
+        match p {
+            Perturbation::ScaleBandwidth {
+                label_contains,
+                factor,
+            } => {
+                for (r, label) in g.resource_labels.iter().enumerate() {
+                    if !label.is_empty() && label.contains(label_contains.as_str()) {
+                        bw_factor[r] *= factor;
+                    }
+                }
+            }
+            Perturbation::AddStepLatency {
+                label_contains,
+                extra,
+            } => {
+                for (l, label) in g.labels.iter().enumerate() {
+                    if label.contains(label_contains.as_str()) {
+                        step_extra[l] += *extra;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut free: Vec<Time> = vec![Time::ZERO; g.resource_labels.len()];
+    let mut new_end: Vec<Time> = vec![Time::ZERO; g.nodes.len()];
+    let mut new_begin: Vec<Time> = vec![Time::ZERO; g.nodes.len()];
+    let mut new_deliver: Vec<Time> = vec![Time::ZERO; g.issues.len()];
+    let mut baseline_end = Time::ZERO;
+    let mut predicted_end = Time::ZERO;
+    // Issues are recorded in issue order; each node's issues form a
+    // contiguous run, consumed as we replay that node.
+    let mut next_issue = 0usize;
+
+    for (i, n) in g.nodes.iter().enumerate() {
+        baseline_end = baseline_end.max(n.end);
+        // 1. When does the step start? Its wake cause, plus program
+        //    order, preserving any recorded residual gap (timeouts,
+        //    deliberate delays) so unperturbed replay is exact.
+        let mut begin = match n.cause {
+            WakeCause::Root => n.begin,
+            WakeCause::SpawnedBy { node } => new_begin[node as usize],
+            WakeCause::Seq => Time::ZERO,
+            WakeCause::Signal { issue } => new_deliver[issue as usize],
+        };
+        if let Some(p) = n.prev {
+            let gap = match n.cause {
+                // A Seq wake's schedule residual (yield width is in the
+                // *previous* node's end; timeouts land later).
+                WakeCause::Seq => n.begin - g.nodes[p as usize].end,
+                _ => Duration::ZERO,
+            };
+            begin = begin.max(new_end[p as usize] + gap);
+        }
+        new_begin[i] = begin;
+
+        // 2. Re-simulate the step's acquires against the free horizons.
+        //    Each acquire keeps its recorded request offset within the
+        //    step and its (scaled) busy width; queueing re-emerges from
+        //    the horizons rather than being replayed.
+        let mut granted: Vec<(Time, Time)> = Vec::with_capacity(n.acquires.len());
+        for a in &n.acquires {
+            // The request instant may itself be anchored to an earlier
+            // acquire's completion (chained grants: egress then ingress,
+            // DMA then NIC). Anchor to the latest prior completion at or
+            // before it; otherwise offset from the step begin.
+            let earliest = anchor(n.begin, begin, a.earliest, &n.acquires, &granted);
+            let start = earliest.max(free[a.resource]);
+            let done = start + scale(a.done - a.start, bw_factor[a.resource]);
+            free[a.resource] = done;
+            granted.push((start, done));
+        }
+
+        // 3. Anchor the step's busy end the same way, plus any per-step
+        //    latency perturbation.
+        let end =
+            anchor(n.begin, begin, n.end, &n.acquires, &granted) + step_extra[n.label as usize];
+        new_end[i] = end;
+        predicted_end = predicted_end.max(end);
+
+        // 4. Anchor this node's deliveries (signals it issued).
+        while next_issue < g.issues.len() && g.issues[next_issue].node as usize == i {
+            let iss = &g.issues[next_issue];
+            new_deliver[next_issue] = anchor(n.begin, begin, iss.deliver_at, &n.acquires, &granted)
+                + step_extra[n.label as usize];
+            next_issue += 1;
+        }
+    }
+    for t in &new_deliver {
+        predicted_end = predicted_end.max(*t);
+    }
+    let path_start = g.nodes.iter().map(|n| n.begin).min().unwrap_or(Time::ZERO);
+    WhatIfOutcome {
+        baseline: baseline_end - path_start.min(baseline_end),
+        predicted: predicted_end - path_start.min(predicted_end),
+    }
+}
+
+/// Maps a recorded instant `t` (within a node whose recorded begin is
+/// `old_begin`) to replay time: anchored to the completion of the
+/// latest recorded acquire finishing at or before `t` (plus the
+/// recorded residual), or offset from the step begin when no acquire
+/// precedes it.
+fn anchor(
+    old_begin: Time,
+    new_begin: Time,
+    t: Time,
+    acquires: &[sim::AcquireRec],
+    granted: &[(Time, Time)],
+) -> Time {
+    let mut best: Option<(Time, Time)> = None; // (recorded done, new done)
+    for (a, &(_, new_done)) in acquires.iter().zip(granted.iter()) {
+        if a.done <= t && best.is_none_or(|(bd, _)| a.done >= bd) {
+            best = Some((a.done, new_done));
+        }
+    }
+    match best {
+        Some((old_done, new_done)) => new_done + (t - old_done),
+        None => new_begin + (t - old_begin.min(t)),
+    }
+}

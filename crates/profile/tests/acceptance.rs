@@ -1,0 +1,124 @@
+//! Acceptance scenario for the critical-path profiler: on a two-node
+//! hierarchical AllReduce the profiler must (1) blame the inter-node
+//! NIC path, (2) have its diagnosis confirmed by what-if re-timing —
+//! doubling the blamed link's bandwidth shrinks the predicted makespan
+//! while doubling an off-path link changes nothing — and (3) account
+//! for every picosecond of the makespan (blame buckets tile it
+//! exactly).
+
+use hw::{DataType, EnvKind, Machine, Rank, ReduceOp};
+use profile::{critical_path, retime, Perturbation};
+use sim::{Duration, Engine};
+
+fn profiled_hier_allreduce() -> (sim::DepGraph, Duration) {
+    let n = 16usize;
+    // Large enough that the cross-node byte time dominates the fixed
+    // per-step overheads (the NICs are ~12x slower than NVLink here).
+    let count = 262_144usize;
+    let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(2)));
+    e.enable_profiling();
+    hw::wire(&mut e);
+    let bufs: Vec<_> = (0..n)
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), count * 4))
+        .collect();
+    for (r, &b) in bufs.iter().enumerate() {
+        e.world_mut()
+            .pool_mut()
+            .fill_with(b, DataType::F32, move |i| ((r + i) % 7) as f32);
+    }
+    let comm = collective::CollComm::new();
+    let start = e.now();
+    comm.all_reduce_with(
+        &mut e,
+        &bufs,
+        &bufs,
+        count,
+        DataType::F32,
+        ReduceOp::Sum,
+        collective::AllReduceAlgo::HierHb,
+    )
+    .unwrap();
+    let makespan = e.now() - start;
+    // Spot-check correctness so the profiled run is a real collective.
+    let got = e.world().pool().to_f32_vec(bufs[3], DataType::F32);
+    let want: f32 = (0..n).map(|r| ((r + 5) % 7) as f32).sum();
+    assert_eq!(got[5], want);
+    (e.take_dep_graph().expect("profiling enabled"), makespan)
+}
+
+#[test]
+fn profiler_blames_the_internode_path_and_whatif_confirms_it() {
+    let (g, makespan) = profiled_hier_allreduce();
+    let report = critical_path(&g).expect("nonempty graph");
+
+    // (3) Exactness: the blame buckets tile [start, end] with integer
+    // (picosecond) precision, and the path ends at the makespan.
+    assert_eq!(report.blame.total(), report.end - report.start);
+    assert!(
+        report.end - report.start <= makespan,
+        "path cannot exceed the run"
+    );
+    assert!(report.end.as_ps() > 0);
+
+    // (1) The bottleneck: on a hierarchical two-node AllReduce the
+    // cross-node phase rides the NICs, so the top-blamed resource is a
+    // NIC queue (`nic_send rN` / `nic_recv rN`).
+    let top = &report.by_resource[0];
+    assert!(
+        top.0.starts_with("nic_"),
+        "expected a NIC bottleneck, got {:?} (full: {:?})",
+        top,
+        &report.by_resource[..report.by_resource.len().min(4)]
+    );
+
+    // (2a) What-if confirms the diagnosis: doubling NIC bandwidth
+    // shrinks the predicted makespan.
+    let base = retime(&g, &[]);
+    assert_eq!(
+        base.predicted, base.baseline,
+        "unperturbed replay must be exact"
+    );
+    let faster_nic = retime(&g, &[Perturbation::scale_bandwidth("nic_", 2.0)]);
+    assert!(
+        faster_nic.predicted < base.baseline,
+        "2x NIC must help: baseline {} predicted {}",
+        base.baseline,
+        faster_nic.predicted
+    );
+
+    // (2b) ...and refutes a non-bottleneck: some intra-node link that
+    // carries zero critical-path blame leaves the makespan exactly
+    // unchanged when doubled.
+    let blamed: std::collections::BTreeSet<&str> =
+        report.by_resource.iter().map(|(l, _)| l.as_str()).collect();
+    let off_path = g
+        .resource_labels
+        .iter()
+        .find(|l| !l.is_empty() && !l.starts_with("nic_") && !blamed.contains(l.as_str()))
+        .expect("some intra-node resource is off the critical path");
+    let unchanged = retime(&g, &[Perturbation::scale_bandwidth(off_path, 2.0)]);
+    assert_eq!(
+        unchanged.predicted, base.baseline,
+        "off-path link {off_path} must not change the makespan"
+    );
+}
+
+#[test]
+fn slack_and_highlight_cover_all_ranks() {
+    let (g, _) = profiled_hier_allreduce();
+    let report = critical_path(&g).unwrap();
+    // All 16 ranks appear in the slack table; at least one rank binds
+    // the makespan (zero slack).
+    assert_eq!(report.slack_per_rank.len(), 16);
+    assert_eq!(report.slack_per_rank[0].1, Duration::ZERO);
+    // The Perfetto highlight covers the whole path in order.
+    let hl = report.highlight(&g);
+    assert!(!hl.is_empty());
+    assert_eq!(hl.first().unwrap().from, report.start);
+    assert_eq!(hl.last().unwrap().to, report.end);
+    // Consecutive segments tile with no gap (zero-width ones are
+    // filtered, so each begins where the previous ended).
+    for w in hl.windows(2) {
+        assert_eq!(w[0].to, w[1].from);
+    }
+}

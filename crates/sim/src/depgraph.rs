@@ -1,0 +1,239 @@
+//! Dependency-graph recording for critical-path profiling.
+//!
+//! When profiling is enabled ([`crate::Engine::enable_profiling`]), the
+//! engine records one [`DepNode`] per executed process step, together
+//! with the reason the step began (its [`WakeCause`]) and every resource
+//! acquisition the step performed. Cell updates issued by a step are
+//! recorded as [`IssueRec`]s; when such an update later wakes a blocked
+//! process, the woken process's next node carries a
+//! [`WakeCause::Signal`] edge back to the issuing node.
+//!
+//! Together these edges form the happens-before DAG of the execution —
+//! per-process program order, spawn edges, resource grants, and
+//! signal/wait deliveries — which is exactly what a critical-path walk
+//! needs: starting from the last-finishing node, every instant of the
+//! makespan can be attributed to the step, wait, or transfer that bounded
+//! it. The walk itself (and what-if re-timing over the same graph) lives
+//! in the `profile` crate; this module only records.
+//!
+//! Recording is allocation-light: nodes are appended to flat vectors,
+//! labels reuse the engine's interned label table, and nothing is
+//! recorded unless profiling was explicitly enabled.
+
+use crate::time::Time;
+
+/// Why a recorded step began when it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeCause {
+    /// First step of a process spawned from outside any step (a root).
+    Root,
+    /// First step of a process spawned during another process's step;
+    /// `node` is the spawning step.
+    SpawnedBy {
+        /// Index of the spawning node in [`DepGraph::nodes`].
+        node: u32,
+    },
+    /// Scheduled by the process's own previous step: a yield expiring, or
+    /// a wait whose condition was already satisfied.
+    Seq,
+    /// Woken by a cell update; `issue` indexes [`DepGraph::issues`] and
+    /// names the step that scheduled the update.
+    Signal {
+        /// Index of the waking update in [`DepGraph::issues`].
+        issue: u32,
+    },
+}
+
+/// One resource acquisition performed by a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcquireRec {
+    /// Index of the acquired resource (matches
+    /// [`DepGraph::resource_labels`]).
+    pub resource: usize,
+    /// Requested start instant.
+    pub earliest: Time,
+    /// Actual start (later than `earliest` when queued behind earlier
+    /// work on the same resource).
+    pub start: Time,
+    /// Completion instant; the resource is busy over `[start, done]`.
+    pub done: Time,
+}
+
+/// One executed process step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepNode {
+    /// Stable index of the process.
+    pub proc: usize,
+    /// Interned label of the process (resolve with [`DepGraph::label`]).
+    pub label: u32,
+    /// When the step began executing.
+    pub begin: Time,
+    /// End of the step's busy window (`begin + d` for a yield of `d`,
+    /// `begin` for waits and completion).
+    pub end: Time,
+    /// Why the step began when it did.
+    pub cause: WakeCause,
+    /// The same process's previous step, if any.
+    pub prev: Option<u32>,
+    /// Resource acquisitions performed by this step, in order.
+    pub acquires: Vec<AcquireRec>,
+}
+
+/// A cell update scheduled by a step (a signal, FIFO push, barrier
+/// arrival, or LL-flag deposit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueRec {
+    /// The issuing node.
+    pub node: u32,
+    /// When the update was issued (the issuing step's begin instant).
+    pub at: Time,
+    /// When the update lands (wakes waiters).
+    pub deliver_at: Time,
+}
+
+/// The recorded dependency graph of one execution.
+///
+/// Node indices are a valid topological order: every edge (cause, prev,
+/// issue) points at a strictly smaller index.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DepGraph {
+    /// Every executed step, in execution order.
+    pub nodes: Vec<DepNode>,
+    /// Every cell update issued while profiling, in issue order.
+    pub issues: Vec<IssueRec>,
+    /// Interned process-label table (snapshot at take time).
+    pub labels: Vec<String>,
+    /// Resource labels in allocation order (snapshot at take time).
+    pub resource_labels: Vec<String>,
+}
+
+impl DepGraph {
+    /// Resolves a node's process label.
+    pub fn label(&self, node: &DepNode) -> &str {
+        &self.labels[node.label as usize]
+    }
+
+    /// Resolves a resource label (empty if the resource was never
+    /// labeled).
+    pub fn resource_label(&self, resource: usize) -> &str {
+        self.resource_labels
+            .get(resource)
+            .map_or("", String::as_str)
+    }
+
+    /// The last-finishing node — where a critical-path walk starts. Ties
+    /// on the end instant break toward the later-recorded node.
+    pub fn last_node(&self) -> Option<u32> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, n)| (n.end, *i))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Recording state owned by the engine while profiling is enabled.
+#[derive(Debug, Default)]
+pub(crate) struct ProfState {
+    pub(crate) nodes: Vec<DepNode>,
+    pub(crate) issues: Vec<IssueRec>,
+    /// Per-process node currently being executed (open between step begin
+    /// and step end).
+    open: Vec<Option<u32>>,
+    /// Per-process most recently closed node.
+    last: Vec<Option<u32>>,
+    /// Per-process cause for the next node to open.
+    pending: Vec<WakeCause>,
+}
+
+impl ProfState {
+    /// Registers a newly spawned process. `origin` is the node of the
+    /// spawning step, if the spawn happened inside one.
+    pub(crate) fn on_spawn(&mut self, origin: Option<u32>) {
+        self.open.push(None);
+        self.last.push(None);
+        self.pending
+            .push(origin.map_or(WakeCause::Root, |node| WakeCause::SpawnedBy { node }));
+    }
+
+    /// Opens a node for the step that is about to execute.
+    pub(crate) fn open_node(&mut self, proc: usize, label: u32, begin: Time) {
+        let cause = std::mem::replace(&mut self.pending[proc], WakeCause::Seq);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(DepNode {
+            proc,
+            label,
+            begin,
+            end: begin,
+            cause,
+            prev: self.last[proc],
+            acquires: Vec::new(),
+        });
+        self.open[proc] = Some(id);
+    }
+
+    /// Closes the process's open node with the step's busy-window end.
+    pub(crate) fn close_node(&mut self, proc: usize, end: Time) {
+        if let Some(id) = self.open[proc].take() {
+            self.nodes[id as usize].end = end;
+            self.last[proc] = Some(id);
+        }
+    }
+
+    /// The node currently executing for `proc` (inside its step).
+    pub(crate) fn open_of(&self, proc: usize) -> Option<u32> {
+        self.open[proc]
+    }
+
+    /// Records an acquisition on the process's open node.
+    pub(crate) fn on_acquire(
+        &mut self,
+        proc: usize,
+        resource: usize,
+        earliest: Time,
+        start: Time,
+        done: Time,
+    ) {
+        if let Some(id) = self.open[proc] {
+            self.nodes[id as usize].acquires.push(AcquireRec {
+                resource,
+                earliest,
+                start,
+                done,
+            });
+        }
+    }
+
+    /// Records a cell update issued by the process's open node, returning
+    /// the issue index to stamp on the queued event (`u32::MAX` when the
+    /// issuer has no open node).
+    pub(crate) fn on_issue(&mut self, proc: usize, at: Time, deliver_at: Time) -> u32 {
+        let Some(node) = self.open[proc] else {
+            return u32::MAX;
+        };
+        let id = self.issues.len() as u32;
+        self.issues.push(IssueRec {
+            node,
+            at,
+            deliver_at,
+        });
+        id
+    }
+
+    /// Marks the cause of `proc`'s next node: it was woken by `issue`.
+    pub(crate) fn on_signal_wake(&mut self, proc: usize, issue: u32) {
+        if issue != u32::MAX {
+            self.pending[proc] = WakeCause::Signal { issue };
+        }
+    }
+}

@@ -5,6 +5,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
+use crate::depgraph::{DepGraph, ProfState};
 use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
 use crate::process::{Process, Step};
@@ -38,7 +39,11 @@ pub struct ResourceId(pub(crate) usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
     Wake(ProcId),
-    CellAdd(CellId, u64),
+    /// A cell update. The `u32` is the index of the issuing step's
+    /// [`crate::depgraph::IssueRec`] when profiling is enabled
+    /// (`u32::MAX` otherwise), so a wake caused by this update can be
+    /// traced back to its issuer.
+    CellAdd(CellId, u64, u32),
     /// Deadline check for a blocking wait. The `u64` is the blocking
     /// epoch of the process when the check was scheduled; a mismatch
     /// means the wait completed and the check is stale.
@@ -112,6 +117,8 @@ struct Core {
     span_stacks: Vec<Vec<u32>>,
     /// Recording sink, when tracing is enabled.
     trace: Option<Trace>,
+    /// Dependency-graph recorder, when profiling is enabled.
+    prof: Option<ProfState>,
     /// Deterministic fault schedule, when injection is enabled.
     faults: Option<FaultPlan>,
 }
@@ -170,8 +177,8 @@ impl<W> Ctx<'_, W> {
     /// Adds `delta` to a cell immediately, waking satisfied waiters at the
     /// current instant.
     pub fn cell_add(&mut self, cell: CellId, delta: u64) {
-        self.core
-            .push(self.core.now, EventKind::CellAdd(cell, delta));
+        let at = self.core.now;
+        self.cell_add_at(cell, delta, at);
     }
 
     /// Adds `delta` to a cell at a future instant (e.g. when a signal lands
@@ -181,7 +188,11 @@ impl<W> Ctx<'_, W> {
     ///
     /// Panics (in debug builds) if `at` is in the past.
     pub fn cell_add_at(&mut self, cell: CellId, delta: u64, at: Time) {
-        self.core.push(at, EventKind::CellAdd(cell, delta));
+        let issue = match &mut self.core.prof {
+            Some(p) => p.on_issue(self.pid.0, self.core.now, at),
+            None => u32::MAX,
+        };
+        self.core.push(at, EventKind::CellAdd(cell, delta, issue));
     }
 
     /// Allocates a fresh cell with value zero.
@@ -218,6 +229,9 @@ impl<W> Ctx<'_, W> {
         self.core
             .metrics
             .on_acquire(resource, busy, start - earliest);
+        if let Some(p) = &mut self.core.prof {
+            p.on_acquire(self.pid.0, resource.0, earliest, start, done);
+        }
         done
     }
 
@@ -267,6 +281,28 @@ impl<W> Ctx<'_, W> {
         self.core.span_stacks[self.pid.0].push(id);
         self.core
             .record(self.core.now, self.pid.0, id, TraceEventKind::SpanBegin);
+    }
+
+    /// Whether tracing is enabled for this engine. Guard any per-step
+    /// label formatting for [`Ctx::trace_counter`] behind this check to
+    /// keep untraced runs allocation-free.
+    pub fn tracing(&self) -> bool {
+        self.core.trace.is_some()
+    }
+
+    /// Records a named counter sample into the trace (a Chrome `C` event:
+    /// a step-function counter track in Perfetto). No-op when tracing is
+    /// disabled.
+    pub fn trace_counter(&mut self, name: &str, value: u64) {
+        if self.core.trace.is_some() {
+            let id = self.core.intern(name);
+            self.core.record(
+                self.core.now,
+                self.pid.0,
+                id,
+                TraceEventKind::Counter(value),
+            );
+        }
     }
 
     /// Closes the current process's innermost open span.
@@ -521,6 +557,7 @@ impl<W> Engine<W> {
                 label_index: HashMap::new(),
                 span_stacks: Vec::new(),
                 trace: None,
+                prof: None,
                 faults: None,
             },
             world,
@@ -534,6 +571,9 @@ impl<W> Engine<W> {
     pub fn enable_tracing(&mut self) {
         if self.core.trace.is_none() {
             self.core.trace = Some(Trace::default());
+            // Spans opened before tracing began get a synthetic begin, so
+            // their eventual ends (possibly recorded by an abort) balance.
+            self.reopen_live_spans();
         }
     }
 
@@ -541,10 +581,76 @@ impl<W> Engine<W> {
     /// empty trace in place so recording continues. The returned trace
     /// carries a snapshot of the label table; interned ids remain valid
     /// across takes because the table is append-only.
+    ///
+    /// Spans still open at take time (e.g. a daemon parked inside a wait
+    /// span) are re-opened in the fresh trace with a synthetic
+    /// `SpanBegin` at the current instant, so every trace segment is
+    /// self-balanced: a later teardown's `SpanEnd` never lands in a
+    /// segment missing its begin.
     pub fn take_trace(&mut self) -> Option<Trace> {
-        self.core.trace.as_mut().map(std::mem::take).map(|mut t| {
+        let taken = self.core.trace.as_mut().map(std::mem::take).map(|mut t| {
             t.labels = self.core.labels.clone();
             t
+        });
+        if taken.is_some() {
+            self.reopen_live_spans();
+        }
+        taken
+    }
+
+    /// Records a synthetic `SpanBegin` for every span currently open on a
+    /// live process, anchoring them in the current (fresh) trace segment.
+    fn reopen_live_spans(&mut self) {
+        let now = self.core.now;
+        for (i, stack) in self.core.span_stacks.iter().enumerate() {
+            if self.processes[i].state == ProcState::Done {
+                continue;
+            }
+            for &id in stack {
+                if let Some(trace) = &mut self.core.trace {
+                    trace.push(now, i, id, TraceEventKind::SpanBegin);
+                }
+            }
+        }
+    }
+
+    /// Starts recording the execution dependency graph (one node per
+    /// process step, with wake causes, spawn edges, and resource grants).
+    /// Call [`Engine::take_dep_graph`] to retrieve it. Enable before
+    /// spawning the work to profile: steps executed earlier are not
+    /// recorded.
+    pub fn enable_profiling(&mut self) {
+        if self.core.prof.is_none() {
+            let mut p = ProfState::default();
+            for _ in 0..self.processes.len() {
+                p.on_spawn(None);
+            }
+            self.core.prof = Some(p);
+        }
+    }
+
+    /// Takes the recorded dependency graph (if profiling was enabled),
+    /// leaving a fresh recorder in place so recording continues. The
+    /// graph carries snapshots of the process-label table and the
+    /// resource labels.
+    pub fn take_dep_graph(&mut self) -> Option<DepGraph> {
+        let prof = self.core.prof.as_mut()?;
+        let mut fresh = ProfState::default();
+        for _ in 0..self.processes.len() {
+            fresh.on_spawn(None);
+        }
+        let old = std::mem::replace(prof, fresh);
+        Some(DepGraph {
+            nodes: old.nodes,
+            issues: old.issues,
+            labels: self.core.labels.clone(),
+            resource_labels: self
+                .core
+                .metrics
+                .resources()
+                .into_iter()
+                .map(|s| s.label)
+                .collect(),
         })
     }
 
@@ -674,7 +780,7 @@ impl<W> Engine<W> {
     /// Spawns a process; it will first run at the current instant.
     pub fn spawn<P: Process<W> + 'static>(&mut self, proc: P) -> ProcId {
         let label = proc.label();
-        self.spawn_boxed(Box::new(proc), label, false)
+        self.spawn_boxed(Box::new(proc), label, false, None)
     }
 
     /// Spawns a *daemon* process: a long-lived server (such as a CPU proxy
@@ -684,13 +790,22 @@ impl<W> Engine<W> {
     /// batch of processes satisfies their condition.
     pub fn spawn_daemon<P: Process<W> + 'static>(&mut self, proc: P) -> ProcId {
         let label = proc.label();
-        self.spawn_boxed(Box::new(proc), label, true)
+        self.spawn_boxed(Box::new(proc), label, true, None)
     }
 
-    fn spawn_boxed(&mut self, proc: Box<dyn Process<W>>, label: String, daemon: bool) -> ProcId {
+    fn spawn_boxed(
+        &mut self,
+        proc: Box<dyn Process<W>>,
+        label: String,
+        daemon: bool,
+        origin: Option<u32>,
+    ) -> ProcId {
         let id = ProcId(self.processes.len());
         let label_id = self.core.intern(&label);
         self.core.span_stacks.push(Vec::new());
+        if let Some(p) = &mut self.core.prof {
+            p.on_spawn(origin);
+        }
         self.processes.push(Slot {
             proc: Some(proc),
             state: ProcState::Scheduled,
@@ -772,6 +887,9 @@ impl<W> Engine<W> {
                     let label_id = slot.label_id;
                     self.core
                         .record(self.core.now, pid.0, label_id, TraceEventKind::StepBegin);
+                    if let Some(p) = &mut self.core.prof {
+                        p.open_node(pid.0, label_id, self.core.now);
+                    }
                     let step = {
                         let mut ctx = Ctx {
                             core: &mut self.core,
@@ -781,13 +899,23 @@ impl<W> Engine<W> {
                         };
                         proc.step(&mut ctx)
                     };
+                    // The node that just ran is the spawn origin of any
+                    // processes its step created.
+                    let origin = self.core.prof.as_ref().and_then(|p| p.open_of(pid.0));
+                    let step_end = match step {
+                        // The step's busy window covers the yield span.
+                        Step::Yield(d) => self.core.now + d,
+                        _ => self.core.now,
+                    };
+                    if let Some(p) = &mut self.core.prof {
+                        p.close_node(pid.0, step_end);
+                    }
                     let slot = &mut self.processes[pid.0];
                     match step {
                         Step::Yield(d) => {
                             slot.proc = Some(proc);
                             slot.state = ProcState::Scheduled;
                             self.core.push(self.core.now + d, EventKind::Wake(pid));
-                            // The step's busy window covers the yield span.
                             self.core.record(
                                 self.core.now + d,
                                 pid.0,
@@ -849,10 +977,10 @@ impl<W> Engine<W> {
                         }
                     }
                     for (p, label, daemon) in spawned.drain(..) {
-                        self.spawn_boxed(p, label, daemon);
+                        self.spawn_boxed(p, label, daemon, origin);
                     }
                 }
-                EventKind::CellAdd(cell, delta) => {
+                EventKind::CellAdd(cell, delta, issue) => {
                     self.core.cells[cell.0] += delta;
                     let value = self.core.cells[cell.0];
                     let waiters = &mut self.core.waiters[cell.0];
@@ -861,6 +989,9 @@ impl<W> Engine<W> {
                         if waiters[i].0 <= value {
                             let (_, pid) = waiters.swap_remove(i);
                             self.processes[pid.0].state = ProcState::Scheduled;
+                            if let Some(p) = &mut self.core.prof {
+                                p.on_signal_wake(pid.0, issue);
+                            }
                             let seq = self.core.seq;
                             self.core.seq += 1;
                             self.core.queue.push(Reverse(Ev {
@@ -904,6 +1035,7 @@ impl<W> Engine<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::depgraph::WakeCause;
 
     /// Two processes: a producer signalling a cell after 100ns, and a
     /// consumer blocked on it.
@@ -1080,6 +1212,179 @@ mod tests {
         // The second acquisition at t=0 queued behind the first for 10ns.
         assert_eq!(s.queue_delay.as_ns(), 10.0);
         assert_eq!(e.metrics().counter("ops.puts"), 2);
+    }
+
+    /// Two writers contending for one link: the sum of busy time and
+    /// queueing delay decomposes exactly to the makespan. This identity
+    /// is load-bearing for critical-path blame buckets (`link-busy` +
+    /// `link-queue` must tile a contended link's timeline with no gap
+    /// and no overlap).
+    #[test]
+    fn two_writers_one_link_busy_plus_queue_decompose_to_makespan() {
+        struct Writer {
+            res: ResourceId,
+            busy: Duration,
+            out: usize,
+        }
+        impl Process<Vec<Time>> for Writer {
+            fn step(&mut self, ctx: &mut Ctx<'_, Vec<Time>>) -> Step {
+                let done = ctx.acquire(self.res, self.busy);
+                ctx.world[self.out] = done;
+                Step::Done
+            }
+        }
+        let mut e = Engine::new(vec![Time::ZERO; 2]);
+        let res = e.alloc_resource();
+        e.spawn(Writer {
+            res,
+            busy: Duration::from_ns(10.0),
+            out: 0,
+        });
+        e.spawn(Writer {
+            res,
+            busy: Duration::from_ns(15.0),
+            out: 1,
+        });
+        e.run().unwrap();
+        let makespan = e.world()[1] - Time::ZERO;
+        assert_eq!(makespan.as_ns(), 25.0);
+        let s = e.metrics().resource(res);
+        // Both writers requested t=0, so the link never idled: its total
+        // busy time IS the makespan, exactly (picosecond equality).
+        assert_eq!(s.busy, makespan);
+        // The second writer queued for exactly the first one's busy time,
+        // and its completion decomposes as queue-delay + own busy.
+        assert_eq!(s.queue_delay.as_ns(), 10.0);
+        assert_eq!(
+            e.world()[1] - Time::ZERO,
+            s.queue_delay + Duration::from_ns(15.0)
+        );
+    }
+
+    #[test]
+    fn dep_graph_records_signal_edges_and_acquires() {
+        struct Producer {
+            cell: CellId,
+            res: ResourceId,
+        }
+        impl Process<()> for Producer {
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Step {
+                // A 10ns transfer followed by a delivery 2ns after it
+                // lands, as a wire put would schedule.
+                let done = ctx.acquire(self.res, Duration::from_ns(10.0));
+                ctx.cell_add_at(self.cell, 1, done + Duration::from_ns(2.0));
+                Step::Done
+            }
+            fn label(&self) -> String {
+                "producer".to_owned()
+            }
+        }
+        struct Consumer {
+            cell: CellId,
+            waited: bool,
+        }
+        impl Process<()> for Consumer {
+            fn step(&mut self, _ctx: &mut Ctx<'_, ()>) -> Step {
+                if self.waited {
+                    return Step::Done;
+                }
+                self.waited = true;
+                Step::WaitCell {
+                    cell: self.cell,
+                    at_least: 1,
+                }
+            }
+            fn label(&self) -> String {
+                "consumer".to_owned()
+            }
+        }
+        let mut e = Engine::new(());
+        e.enable_profiling();
+        let cell = e.alloc_cell();
+        let res = e.alloc_resource();
+        e.spawn(Consumer {
+            cell,
+            waited: false,
+        });
+        e.spawn(Producer { cell, res });
+        e.run().unwrap();
+        let g = e.take_dep_graph().expect("profiling enabled");
+        assert!(e.take_dep_graph().is_some(), "recorder stays installed");
+
+        // The producer's node carries the acquire.
+        let prod = g
+            .nodes
+            .iter()
+            .find(|n| g.label(n) == "producer")
+            .expect("producer node");
+        assert_eq!(prod.acquires.len(), 1);
+        assert_eq!(prod.acquires[0].start.as_ns(), 0.0);
+        assert_eq!(prod.acquires[0].done.as_ns(), 10.0);
+        assert_eq!(prod.cause, WakeCause::Root);
+
+        // The consumer's woken step carries a Signal edge back to the
+        // producer's issue, with the right issue and delivery instants.
+        let last = g.last_node().expect("nonempty graph");
+        let woken = &g.nodes[last as usize];
+        assert_eq!(g.label(woken), "consumer");
+        assert_eq!(woken.begin.as_ns(), 12.0);
+        let WakeCause::Signal { issue } = woken.cause else {
+            panic!("expected Signal cause, got {:?}", woken.cause);
+        };
+        let iss = g.issues[issue as usize];
+        assert_eq!(g.label(&g.nodes[iss.node as usize]), "producer");
+        assert_eq!(iss.at.as_ns(), 0.0);
+        assert_eq!(iss.deliver_at.as_ns(), 12.0);
+        // Edges point backward: indices are a topological order.
+        assert!(iss.node < last);
+    }
+
+    #[test]
+    fn dep_graph_records_spawn_origin_and_seq_edges() {
+        struct Parent;
+        impl Process<()> for Parent {
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Step {
+                ctx.spawn(Child(false));
+                Step::Done
+            }
+            fn label(&self) -> String {
+                "parent".to_owned()
+            }
+        }
+        struct Child(bool);
+        impl Process<()> for Child {
+            fn step(&mut self, _ctx: &mut Ctx<'_, ()>) -> Step {
+                if self.0 {
+                    return Step::Done;
+                }
+                self.0 = true;
+                Step::Yield(Duration::from_ns(5.0))
+            }
+            fn label(&self) -> String {
+                "child".to_owned()
+            }
+        }
+        let mut e = Engine::new(());
+        e.enable_profiling();
+        e.spawn(Parent);
+        e.run().unwrap();
+        let g = e.take_dep_graph().unwrap();
+        let first_child = g
+            .nodes
+            .iter()
+            .position(|n| g.label(n) == "child")
+            .expect("child node");
+        let WakeCause::SpawnedBy { node } = g.nodes[first_child].cause else {
+            panic!("expected SpawnedBy, got {:?}", g.nodes[first_child].cause);
+        };
+        assert_eq!(g.label(&g.nodes[node as usize]), "parent");
+        // The child's yield window is its node's busy interval, and its
+        // second step chains with a Seq edge.
+        assert_eq!(g.nodes[first_child].end.as_ns(), 5.0);
+        let second = &g.nodes[g.last_node().unwrap() as usize];
+        assert_eq!(second.cause, WakeCause::Seq);
+        assert_eq!(second.prev, Some(first_child as u32));
+        assert_eq!(second.begin.as_ns(), 5.0);
     }
 
     #[test]

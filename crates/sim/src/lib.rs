@@ -38,6 +38,7 @@
 //! assert_eq!(engine.now().as_ns(), 30.0);
 //! ```
 
+mod depgraph;
 mod engine;
 mod fault;
 mod metrics;
@@ -46,6 +47,7 @@ mod time;
 mod trace;
 mod vclock;
 
+pub use depgraph::{AcquireRec, DepGraph, DepNode, IssueRec, WakeCause};
 pub use engine::{
     BlockedProcess, CellId, Ctx, DeadlockError, Engine, ProcId, ResourceId, SimError, TimeoutError,
 };
@@ -53,5 +55,5 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultTarget, PathState, SimRng
 pub use metrics::{Metrics, ResourceStat};
 pub use process::{Process, Step};
 pub use time::{Duration, Time};
-pub use trace::{Trace, TraceEvent, TraceEventKind};
+pub use trace::{HighlightSegment, Trace, TraceEvent, TraceEventKind};
 pub use vclock::VClock;

@@ -24,6 +24,9 @@ pub enum TraceEventKind {
     SpanEnd,
     /// A point-in-time marker (Chrome `i`).
     Instant,
+    /// A named counter sample (Chrome `C`): renders as a step-function
+    /// counter track in Perfetto (FIFO depths, queue occupancies, ...).
+    Counter(u64),
 }
 
 /// One recorded event.
@@ -80,7 +83,11 @@ impl Trace {
     }
 
     /// Per-process count of `StepBegin`/`SpanBegin` events missing a
-    /// matching end — zero for a trace of a run that reached quiescence.
+    /// matching end, *plus* ends missing a begin — zero for a trace of a
+    /// run that reached quiescence or was torn down by
+    /// [`crate::Engine::abort`]. Stray ends count too (they used to be
+    /// silently clamped away), so a teardown that double-closes a span,
+    /// or a trace segment that starts mid-span, is visible.
     pub fn unmatched_begins(&self) -> usize {
         let mut open: std::collections::BTreeMap<(usize, bool), i64> = Default::default();
         for e in &self.events {
@@ -95,10 +102,10 @@ impl Trace {
                 TraceEventKind::StepEnd | TraceEventKind::SpanEnd => {
                     *open.entry(key).or_insert(0) -= 1;
                 }
-                TraceEventKind::Instant => {}
+                TraceEventKind::Instant | TraceEventKind::Counter(_) => {}
             }
         }
-        open.values().map(|&v| v.max(0) as usize).sum()
+        open.values().map(|&v| v.unsigned_abs() as usize).sum()
     }
 
     /// Serializes the timeline as Chrome trace-event JSON: one track per
@@ -107,6 +114,13 @@ impl Trace {
     /// <https://ui.perfetto.dev> or `chrome://tracing`.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("[");
+        self.push_events_json(&mut out);
+        out.push(']');
+        out
+    }
+
+    fn push_events_json(&self, out: &mut String) {
+        use std::fmt::Write;
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -114,27 +128,98 @@ impl Trace {
             let name = self.label(e.label).replace('"', "'");
             let ts = e.at.as_us();
             let tid = e.proc_index;
-            match e.kind {
-                TraceEventKind::StepBegin => out.push_str(&format!(
+            let _ = match e.kind {
+                TraceEventKind::StepBegin => write!(
+                    out,
                     "{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{tid}}}"
-                )),
-                TraceEventKind::StepEnd => out.push_str(&format!(
+                ),
+                TraceEventKind::StepEnd => write!(
+                    out,
                     "{{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{tid}}}"
-                )),
-                TraceEventKind::SpanBegin => out.push_str(&format!(
+                ),
+                TraceEventKind::SpanBegin => write!(
+                    out,
                     "{{\"name\":\"{name}\",\"cat\":\"span\",\"id\":{tid},\"ph\":\"b\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{tid}}}"
-                )),
-                TraceEventKind::SpanEnd => out.push_str(&format!(
+                ),
+                TraceEventKind::SpanEnd => write!(
+                    out,
                     "{{\"name\":\"{name}\",\"cat\":\"span\",\"id\":{tid},\"ph\":\"e\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{tid}}}"
-                )),
-                TraceEventKind::Instant => out.push_str(&format!(
+                ),
+                TraceEventKind::Instant => write!(
+                    out,
                     "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts:.3},\"pid\":0,\"tid\":{tid},\"s\":\"t\"}}"
-                )),
-            }
+                ),
+                TraceEventKind::Counter(v) => write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts:.3},\"pid\":0,\"args\":{{\"value\":{v}}}}}"
+                ),
+            };
+        }
+    }
+
+    /// Serializes the timeline like [`Trace::to_chrome_json`], but also
+    /// renders [`TraceEventKind::Counter`] samples as Perfetto counter
+    /// tracks and overlays `highlight` as a dedicated *critical-path*
+    /// track (`pid` 1): one duration slice per segment, chained across
+    /// the contributing process tracks with flow (`s`/`t`/`f`) arrows so
+    /// the path is visually traceable through the timeline.
+    pub fn to_chrome_json_with_counters(&self, highlight: &[HighlightSegment]) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("[");
+        self.push_events_json(&mut out);
+        if !self.events.is_empty() && !highlight.is_empty() {
+            out.push(',');
+        }
+        if !highlight.is_empty() {
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{{\"name\":\"critical-path\"}}}}"
+            );
+        }
+        for (i, seg) in highlight.iter().enumerate() {
+            let name = seg.name.replace('"', "'");
+            let b = seg.from.as_us();
+            let e = seg.to.as_us();
+            let _ = write!(
+                out,
+                ",{{\"name\":\"{name}\",\"cat\":\"critical-path\",\"ph\":\"B\",\"ts\":{b:.3},\"pid\":1,\"tid\":0}}\
+                 ,{{\"name\":\"{name}\",\"cat\":\"critical-path\",\"ph\":\"E\",\"ts\":{e:.3},\"pid\":1,\"tid\":0}}"
+            );
+            // Flow arrows stitch the path across the process tracks it
+            // runs through.
+            let ph = if i == 0 {
+                "s"
+            } else if i + 1 == highlight.len() {
+                "f"
+            } else {
+                "t"
+            };
+            let bp = if ph == "f" { ",\"bp\":\"e\"" } else { "" };
+            let tid = seg.proc_index;
+            let _ = write!(
+                out,
+                ",{{\"name\":\"critical-path\",\"cat\":\"flow\",\"id\":1,\"ph\":\"{ph}\"{bp},\"ts\":{b:.3},\"pid\":0,\"tid\":{tid}}}"
+            );
         }
         out.push(']');
         out
     }
+}
+
+/// One segment of a critical path, for
+/// [`Trace::to_chrome_json_with_counters`]'s highlight track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HighlightSegment {
+    /// Slice name (e.g. the blame bucket and the resource or process it
+    /// charges).
+    pub name: String,
+    /// Segment start.
+    pub from: Time,
+    /// Segment end.
+    pub to: Time,
+    /// The process whose activity this segment ran through (flow arrows
+    /// bind to its track).
+    pub proc_index: usize,
 }
 
 #[cfg(test)]
