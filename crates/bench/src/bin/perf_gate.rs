@@ -8,13 +8,19 @@
 //!   perf_gate --write-baseline run suite and (re)write BENCH_baseline.json
 //!
 //! Environment:
-//!   RESULTS_DIR      output directory (default `results`)
-//!   PERF_GATE_TOL    fractional tolerance band on p50 (default 0.10)
-//!   PERF_GATE_ITERS  iterations per collective case (default 3)
-//!   BENCH_DATE       override the date stamp (e.g. `2026-08-06`)
+//!   RESULTS_DIR         output directory (default `results`)
+//!   PERF_GATE_TOL       fractional tolerance band on p50 (default 0.10)
+//!   PERF_GATE_WALL_TOL  tolerance for wall-clock `engine/` cases
+//!                       (default 0.60 — CI runners are noisy)
+//!   PERF_GATE_ITERS     iterations per collective case (default 3)
+//!   PERF_GATE_THREADS   worker threads for simulated-latency cases
+//!                       (default 1; wall-clock cases always run serial,
+//!                       alone on the machine, after the others)
+//!   BENCH_DATE          override the date stamp (e.g. `2026-08-06`)
 
 use bench::gate::{self, Verdict};
 use bench::report::results_dir;
+use bench::sweep;
 
 fn main() {
     let write_baseline = std::env::args().any(|a| a == "--write-baseline");
@@ -22,26 +28,47 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.10);
+    let wall_tol: f64 = std::env::var("PERF_GATE_WALL_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(gate::DEFAULT_WALL_TOL);
     let iters: usize = std::env::var("PERF_GATE_ITERS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3)
         .max(1);
+    let threads = sweep::threads_from_env("PERF_GATE_THREADS");
 
     let suite = gate::pinned_suite();
     println!(
-        "perf_gate: {} cases, {iters} iters each, tol {:.0}%",
+        "perf_gate: {} cases, {iters} iters each, tol {:.0}% (wall {:.0}%), {threads} thread(s)",
         suite.len(),
-        tol * 100.0
+        tol * 100.0,
+        wall_tol * 100.0
     );
-    let mut results = Vec::with_capacity(suite.len());
-    for case in &suite {
-        let r = gate::run_case(case, iters);
-        println!(
-            "  {:<48} p50 {:>10.1}us  p95 {:>10.1}us  p99 {:>10.1}us  max {:>10.1}us",
-            r.name, r.p50_us, r.p95_us, r.p99_us, r.max_us
-        );
-        results.push(r);
+    // Simulated-latency cases are deterministic, so they can fan out
+    // across threads; wall-clock (engine-throughput) cases run serially
+    // afterwards so nothing competes with them for the machine. Results
+    // are re-emitted in pinned-suite order either way.
+    let (sim_cases, wall_cases): (Vec<&gate::Case>, Vec<&gate::Case>) =
+        suite.iter().partition(|c| !c.is_wall_clock());
+    let mut results: Vec<gate::CaseResult> =
+        sweep::parallel_map(&sim_cases, threads, |case| gate::run_case(case, iters));
+    for case in &wall_cases {
+        results.push(gate::run_case(case, iters));
+    }
+    for r in &results {
+        if r.eps > 0.0 {
+            println!(
+                "  {:<48} p50 {:>10.1}us  p95 {:>10.1}us  p99 {:>10.1}us  {:>10.0} ev/s",
+                r.name, r.p50_us, r.p95_us, r.p99_us, r.eps
+            );
+        } else {
+            println!(
+                "  {:<48} p50 {:>10.1}us  p95 {:>10.1}us  p99 {:>10.1}us  max {:>10.1}us",
+                r.name, r.p50_us, r.p95_us, r.p99_us, r.max_us
+            );
+        }
     }
 
     let date = std::env::var("BENCH_DATE").unwrap_or_else(|_| today_utc());
@@ -71,7 +98,7 @@ fn main() {
     };
 
     let mut regressions = 0usize;
-    for (name, verdict) in gate::compare(&results, &baseline, tol) {
+    for (name, verdict) in gate::compare_with(&results, &baseline, tol, wall_tol) {
         match verdict {
             Verdict::Ok => {}
             Verdict::New => println!("  NEW         {name} (no baseline entry)"),

@@ -17,6 +17,7 @@
 pub mod figures;
 pub mod gate;
 pub mod report;
+pub mod sweep;
 
 use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};
 use mscclpp::Setup;

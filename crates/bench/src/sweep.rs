@@ -1,0 +1,133 @@
+//! Multi-seed / multi-case sweeps across OS threads.
+//!
+//! Every simulation in this workspace is single-threaded and
+//! deterministic, so a sweep over independent points (seeds, message
+//! sizes, suite cases) is embarrassingly parallel: each point builds
+//! its own engine and never shares state. This module provides the one
+//! primitive the sweep binaries need — an ordered parallel map over a
+//! work list — plus a seed-derivation helper, both on `std::thread`
+//! (the workspace has no async or thread-pool dependency).
+//!
+//! Determinism contract: `parallel_map` returns results in **input
+//! order** regardless of which thread ran which item or how the OS
+//! scheduled them. Work is handed out through a shared atomic cursor,
+//! so threads self-balance across uneven item costs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on up to `threads` OS threads, returning the
+/// results in input order. With `threads <= 1` (or a single item) it
+/// runs inline with no thread overhead. Panics in `f` propagate.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let n = items.len();
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("sweep slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot")
+                .expect("every item produced a result")
+        })
+        .collect()
+}
+
+/// Derives `n` well-separated 64-bit seeds from a base seed using the
+/// splitmix64 finalizer — the standard way to expand one user-facing
+/// seed into a family of independent per-point streams without
+/// correlated low bits.
+pub fn seeds(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            let mut z = base
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+/// Reads a thread-count override from the environment (e.g.
+/// `PERF_GATE_THREADS`), defaulting to 1 (serial — the deterministic
+/// baseline and the right choice for wall-clock measurements).
+pub fn threads_from_env(var: &str) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |t| t.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        // Uneven per-item cost: high items finish out of order.
+        let got = parallel_map(&items, 8, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x * x
+        });
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_map() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial = parallel_map(&items, 1, |&x| x + 1);
+        let parallel = parallel_map(&items, 4, |&x| x + 1);
+        assert_eq!(serial, parallel);
+        assert!(parallel_map::<u8, u8, _>(&[], 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_reproducible() {
+        let a = seeds(42, 64);
+        let b = seeds(42, 64);
+        assert_eq!(a, b, "same base gives the same family");
+        let distinct: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        assert_eq!(distinct.len(), 64, "no collisions in a small family");
+        assert_ne!(
+            seeds(43, 4),
+            seeds(42, 4),
+            "different base, different family"
+        );
+    }
+
+    #[test]
+    fn thread_env_parses_and_defaults() {
+        assert_eq!(threads_from_env("SWEEP_TEST_UNSET_VAR"), 1);
+        std::env::set_var("SWEEP_TEST_VAR", "6");
+        assert_eq!(threads_from_env("SWEEP_TEST_VAR"), 6);
+        std::env::set_var("SWEEP_TEST_VAR", "0");
+        assert_eq!(threads_from_env("SWEEP_TEST_VAR"), 1, "floor at 1");
+        std::env::remove_var("SWEEP_TEST_VAR");
+    }
+}

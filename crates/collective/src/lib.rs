@@ -53,7 +53,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use hw::{BufferId, DataType, Machine, Rank, ReduceOp};
-use mscclpp::{run_kernels, Comm, DrainReport, Kernel, KernelTiming, Overheads, Protocol, Result};
+use mscclpp::{Comm, DrainReport, Kernel, KernelTiming, Overheads, Protocol, Result};
 use sim::{Duration, Engine};
 
 pub use algos::{PeerOrder, ScratchReuse};
@@ -256,6 +256,54 @@ struct Entry {
     cap: usize,
     verified: Cell<bool>,
     plan: Prepared,
+    /// The kernel batch last built from this plan, keyed by its launch
+    /// shape. Steady-state collectives on the same tensors (the LLM
+    /// inference pattern) replay the cached batch instead of rebuilding
+    /// every instruction program; re-preparing for a larger capacity
+    /// replaces the whole entry, so a stale batch cannot survive.
+    kernels: RefCell<Option<BuiltKernels>>,
+}
+
+/// A kernel batch and the launch shape it was built for. `dtype`/`op`
+/// are `None` for collectives whose kernels do not depend on them
+/// (broadcast, all-to-all).
+struct BuiltKernels {
+    bytes: usize,
+    dtype: Option<DataType>,
+    op: Option<ReduceOp>,
+    batch: Rc<Vec<Kernel>>,
+}
+
+impl Entry {
+    /// The cached batch for this launch shape, if it is the one most
+    /// recently built.
+    fn cached_kernels(
+        &self,
+        bytes: usize,
+        dtype: Option<DataType>,
+        op: Option<ReduceOp>,
+    ) -> Option<Rc<Vec<Kernel>>> {
+        self.kernels
+            .borrow()
+            .as_ref()
+            .filter(|c| c.bytes == bytes && c.dtype == dtype && c.op == op)
+            .map(|c| Rc::clone(&c.batch))
+    }
+
+    fn store_kernels(
+        &self,
+        bytes: usize,
+        dtype: Option<DataType>,
+        op: Option<ReduceOp>,
+        batch: &Rc<Vec<Kernel>>,
+    ) {
+        *self.kernels.borrow_mut() = Some(BuiltKernels {
+            bytes,
+            dtype,
+            op,
+            batch: Rc::clone(batch),
+        });
+    }
 }
 
 enum Prepared {
@@ -414,10 +462,11 @@ impl CollComm {
         self.custom_all_reduce = Some(algo);
     }
 
-    fn run(&self, engine: &mut Engine<Machine>, kernels: &[Kernel]) -> Result<KernelTiming> {
-        mscclpp::record_launch_mix(engine, "mscclpp", kernels);
+    fn run(&self, engine: &mut Engine<Machine>, kernels: &Rc<Vec<Kernel>>) -> Result<KernelTiming> {
+        mscclpp::record_launch_mix(engine, "mscclpp", kernels.as_slice());
         if self.sanitize {
-            let (timing, report) = mscclpp::run_kernels_sanitized(engine, kernels, &self.ov)?;
+            let (timing, report) =
+                mscclpp::run_kernels_sanitized_shared(engine, kernels, &self.ov)?;
             if let Some(race) = report.races.first() {
                 return Err(mscclpp::Error::Verification(format!(
                     "dynamic sanitizer: {race}"
@@ -425,7 +474,7 @@ impl CollComm {
             }
             return Ok(timing);
         }
-        run_kernels(engine, kernels, &self.ov)
+        mscclpp::run_kernels_shared(engine, kernels, &self.ov)
     }
 
     /// Runs the static verifier over a freshly-built kernel batch, once
@@ -502,18 +551,25 @@ impl CollComm {
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
         let entry = prepared.get(&key).expect("just prepared");
-        let kernels = match &entry.plan {
-            Prepared::Ar1pa(a) => a.kernels(bytes, dtype, op)?,
-            Prepared::Ar2paLl(a) => a.kernels(bytes, dtype, op)?,
-            Prepared::Ar2paHb(a) => a.kernels(bytes, dtype, op)?,
-            Prepared::Ar2paPort(a) => a.kernels(bytes, dtype, op)?,
-            Prepared::Ar2paSwitch(a) => a.kernels(bytes, dtype, op)?,
-            Prepared::ArHier(a) => a.kernels(bytes, dtype, op)?,
-            Prepared::ArRing(a) => a.kernels(bytes, dtype, op)?,
-            _ => unreachable!("allreduce key maps to allreduce algorithm"),
+        let kernels = match entry.cached_kernels(bytes, Some(dtype), Some(op)) {
+            Some(batch) => batch,
+            None => {
+                let batch = Rc::new(match &entry.plan {
+                    Prepared::Ar1pa(a) => a.kernels(bytes, dtype, op)?,
+                    Prepared::Ar2paLl(a) => a.kernels(bytes, dtype, op)?,
+                    Prepared::Ar2paHb(a) => a.kernels(bytes, dtype, op)?,
+                    Prepared::Ar2paPort(a) => a.kernels(bytes, dtype, op)?,
+                    Prepared::Ar2paSwitch(a) => a.kernels(bytes, dtype, op)?,
+                    Prepared::ArHier(a) => a.kernels(bytes, dtype, op)?,
+                    Prepared::ArRing(a) => a.kernels(bytes, dtype, op)?,
+                    _ => unreachable!("allreduce key maps to allreduce algorithm"),
+                });
+                entry.store_kernels(bytes, Some(dtype), Some(op), &batch);
+                batch
+            }
         };
         drop(prepared);
-        self.maybe_verify(engine, &key, &kernels)?;
+        self.maybe_verify(engine, &key, kernels.as_slice())?;
         self.pending.replace(Some(LaunchRecord::AllReduce {
             algo,
             inputs: inputs.to_vec(),
@@ -570,14 +626,21 @@ impl CollComm {
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
         let entry = prepared.get(&key).expect("just prepared");
-        let kernels = match &entry.plan {
-            Prepared::AgAp(a) => a.kernels(bytes, dtype)?,
-            Prepared::AgPort(a) => a.kernels(bytes)?,
-            Prepared::AgHier(a) => a.kernels(bytes, dtype)?,
-            _ => unreachable!("allgather key maps to allgather algorithm"),
+        let kernels = match entry.cached_kernels(bytes, Some(dtype), None) {
+            Some(batch) => batch,
+            None => {
+                let batch = Rc::new(match &entry.plan {
+                    Prepared::AgAp(a) => a.kernels(bytes, dtype)?,
+                    Prepared::AgPort(a) => a.kernels(bytes)?,
+                    Prepared::AgHier(a) => a.kernels(bytes, dtype)?,
+                    _ => unreachable!("allgather key maps to allgather algorithm"),
+                });
+                entry.store_kernels(bytes, Some(dtype), None, &batch);
+                batch
+            }
         };
         drop(prepared);
-        self.maybe_verify(engine, &key, &kernels)?;
+        self.maybe_verify(engine, &key, kernels.as_slice())?;
         self.pending.replace(Some(LaunchRecord::AllGather {
             algo,
             inputs: inputs.to_vec(),
@@ -635,12 +698,19 @@ impl CollComm {
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
         let entry = prepared.get(&key).expect("just prepared");
-        let kernels = match &entry.plan {
-            Prepared::RsAp(a) => a.kernels(bytes, dtype, op)?,
-            _ => unreachable!("reducescatter key maps to reducescatter algorithm"),
+        let kernels = match entry.cached_kernels(bytes, Some(dtype), Some(op)) {
+            Some(batch) => batch,
+            None => {
+                let batch = Rc::new(match &entry.plan {
+                    Prepared::RsAp(a) => a.kernels(bytes, dtype, op)?,
+                    _ => unreachable!("reducescatter key maps to reducescatter algorithm"),
+                });
+                entry.store_kernels(bytes, Some(dtype), Some(op), &batch);
+                batch
+            }
         };
         drop(prepared);
-        self.maybe_verify(engine, &key, &kernels)?;
+        self.maybe_verify(engine, &key, kernels.as_slice())?;
         self.pending.replace(Some(LaunchRecord::Other));
         let timing = self.run(engine, &kernels)?;
         self.pending.replace(None);
@@ -700,13 +770,20 @@ impl CollComm {
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, root)?;
         let prepared = self.prepared.borrow();
         let entry = prepared.get(&key).expect("just prepared");
-        let kernels = match &entry.plan {
-            Prepared::BcAp(a) => a.kernels(bytes)?,
-            Prepared::BcSwitch(a) => a.kernels(bytes)?,
-            _ => unreachable!("broadcast key maps to broadcast algorithm"),
+        let kernels = match entry.cached_kernels(bytes, None, None) {
+            Some(batch) => batch,
+            None => {
+                let batch = Rc::new(match &entry.plan {
+                    Prepared::BcAp(a) => a.kernels(bytes)?,
+                    Prepared::BcSwitch(a) => a.kernels(bytes)?,
+                    _ => unreachable!("broadcast key maps to broadcast algorithm"),
+                });
+                entry.store_kernels(bytes, None, None, &batch);
+                batch
+            }
         };
         drop(prepared);
-        self.maybe_verify(engine, &key, &kernels)?;
+        self.maybe_verify(engine, &key, kernels.as_slice())?;
         self.pending.replace(Some(LaunchRecord::Other));
         let timing = self.run(engine, &kernels)?;
         self.pending.replace(None);
@@ -755,12 +832,19 @@ impl CollComm {
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
         let entry = prepared.get(&key).expect("just prepared");
-        let kernels = match &entry.plan {
-            Prepared::A2aAp(a) => a.kernels(bytes)?,
-            _ => unreachable!("alltoall key maps to alltoall algorithm"),
+        let kernels = match entry.cached_kernels(bytes, None, None) {
+            Some(batch) => batch,
+            None => {
+                let batch = Rc::new(match &entry.plan {
+                    Prepared::A2aAp(a) => a.kernels(bytes)?,
+                    _ => unreachable!("alltoall key maps to alltoall algorithm"),
+                });
+                entry.store_kernels(bytes, None, None, &batch);
+                batch
+            }
         };
         drop(prepared);
-        self.maybe_verify(engine, &key, &kernels)?;
+        self.maybe_verify(engine, &key, kernels.as_slice())?;
         self.pending.replace(Some(LaunchRecord::Other));
         let timing = self.run(engine, &kernels)?;
         self.pending.replace(None);
@@ -927,6 +1011,7 @@ impl CollComm {
                 cap,
                 verified: Cell::new(false),
                 plan: prepared,
+                kernels: RefCell::new(None),
             },
         );
         Ok(())

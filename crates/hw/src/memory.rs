@@ -27,6 +27,9 @@ pub struct MemoryPool {
     /// `reduce_into`, `multimem_*`), counting operand traffic. Host-side
     /// initialization (`write`, `fill_with`) is not counted.
     moved_bytes: u64,
+    /// Reusable `f32` staging buffer for the three-address reductions,
+    /// so the per-instruction hot path never allocates.
+    scratch: Vec<f32>,
 }
 
 impl MemoryPool {
@@ -150,27 +153,30 @@ impl MemoryPool {
         op: ReduceOp,
     ) {
         let es = dtype.size();
-        self.moved_bytes += 3 * (count * es) as u64;
+        let len = count * es;
+        self.moved_bytes += 3 * len as u64;
         if src.0 == dst.0 {
             let lo = src_off.min(dst_off);
-            let hi = (src_off.max(dst_off)) + count * es;
+            let hi = (src_off.max(dst_off)) + len;
             assert!(
-                src_off + count * es <= dst_off || dst_off + count * es <= src_off,
+                src_off + len <= dst_off || dst_off + len <= src_off,
                 "overlapping in-place reduce: [{lo}, {hi})"
             );
             let data = &mut self.buffers[src.0].data;
-            for i in 0..count {
-                let a = dtype.decode(data, dst_off + i * es);
-                let b = dtype.decode(data, src_off + i * es);
-                dtype.encode(data, dst_off + i * es, op.apply(a, b));
+            if src_off < dst_off {
+                let (a, b) = data.split_at_mut(dst_off);
+                dtype.reduce_lanes(op, &mut b[..len], &a[src_off..src_off + len]);
+            } else {
+                let (a, b) = data.split_at_mut(src_off);
+                dtype.reduce_lanes(op, &mut a[dst_off..dst_off + len], &b[..len]);
             }
         } else {
             let (s, d) = split_two(&mut self.buffers, src.0, dst.0);
-            for i in 0..count {
-                let a = dtype.decode(&d.data, dst_off + i * es);
-                let b = dtype.decode(&s.data, src_off + i * es);
-                dtype.encode(&mut d.data, dst_off + i * es, op.apply(a, b));
-            }
+            dtype.reduce_lanes(
+                op,
+                &mut d.data[dst_off..dst_off + len],
+                &s.data[src_off..src_off + len],
+            );
         }
     }
 
@@ -197,24 +203,17 @@ impl MemoryPool {
         op: ReduceOp,
     ) {
         let es = dtype.size();
-        self.moved_bytes += 3 * (count * es) as u64;
-        let mut acc = vec![0f32; count];
-        {
-            let da = &self.buffers[a.0].data;
-            for (i, slot) in acc.iter_mut().enumerate() {
-                *slot = dtype.decode(da, a_off + i * es);
-            }
-        }
-        {
-            let db = &self.buffers[b.0].data;
-            for (i, slot) in acc.iter_mut().enumerate() {
-                *slot = op.apply(*slot, dtype.decode(db, b_off + i * es));
-            }
-        }
-        let dd = &mut self.buffers[dst.0].data;
-        for (i, v) in acc.iter().enumerate() {
-            dtype.encode(dd, dst_off + i * es, *v);
-        }
+        let len = count * es;
+        self.moved_bytes += 3 * len as u64;
+        // Staging through `scratch` keeps the "no intermediate store"
+        // register semantics under any aliasing of the three ranges.
+        let mut acc = std::mem::take(&mut self.scratch);
+        acc.clear();
+        acc.resize(count, 0.0);
+        dtype.decode_lanes(&self.buffers[a.0].data[a_off..a_off + len], &mut acc);
+        dtype.accumulate_lanes(op, &mut acc, &self.buffers[b.0].data[b_off..b_off + len]);
+        dtype.encode_lanes(&mut self.buffers[dst.0].data[dst_off..dst_off + len], &acc);
+        self.scratch = acc;
     }
 
     /// Switch-style multimem load-reduce: `dst = op(srcs...)` over `count`
@@ -237,19 +236,21 @@ impl MemoryPool {
             "multimem_reduce needs at least one source"
         );
         let es = dtype.size();
-        self.moved_bytes += ((srcs.len() + 1) * count * es) as u64;
-        let mut acc = vec![0f32; count];
+        let len = count * es;
+        self.moved_bytes += ((srcs.len() + 1) * len) as u64;
+        let mut acc = std::mem::take(&mut self.scratch);
+        acc.clear();
+        acc.resize(count, 0.0);
         for (si, &(src, src_off)) in srcs.iter().enumerate() {
-            let data = &self.buffers[src.0].data;
-            for (i, slot) in acc.iter_mut().enumerate() {
-                let v = dtype.decode(data, src_off + i * es);
-                *slot = if si == 0 { v } else { op.apply(*slot, v) };
+            let data = &self.buffers[src.0].data[src_off..src_off + len];
+            if si == 0 {
+                dtype.decode_lanes(data, &mut acc);
+            } else {
+                dtype.accumulate_lanes(op, &mut acc, data);
             }
         }
-        let d = &mut self.buffers[dst.0].data;
-        for (i, v) in acc.iter().enumerate() {
-            dtype.encode(d, dst_off + i * es, *v);
-        }
+        dtype.encode_lanes(&mut self.buffers[dst.0].data[dst_off..dst_off + len], &acc);
+        self.scratch = acc;
     }
 
     /// Switch-style multimem store-broadcast: writes `len` bytes from

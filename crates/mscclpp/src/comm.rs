@@ -421,6 +421,8 @@ impl<'e> Setup<'e> {
                 ov: self.ov.clone(),
                 attempts: 0,
                 rng: sim::SimRng::new(fault_seed ^ ((local.0 as u64) << 32) ^ (peer.0 as u64 + 1)),
+                ids: None,
+                intra: self.engine.world().topology().same_node(local, peer),
             });
             PortChannel {
                 local_rank: local,

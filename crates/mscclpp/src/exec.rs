@@ -10,7 +10,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use hw::{BufferId, CopyMode, LinkFault, Machine, Rank};
-use sim::{CellId, Ctx, Duration, Engine, Process, Step, Time};
+use sim::{CellId, Ctx, Duration, Engine, Process, SpanLabelId, Step, Time};
 
 use crate::error::Result;
 use crate::kernel::{Instr, Kernel};
@@ -41,6 +41,71 @@ impl KernelTiming {
 #[derive(Debug)]
 struct LaunchStats {
     per_rank_end: Vec<Time>,
+    /// Executed-instruction mix summed over finished blocks (indexed by
+    /// [`Instr::opcode`]); flushed into the engine metrics once per
+    /// launch, so the per-instruction hot path never touches a map.
+    mix: [u64; Instr::KIND_COUNT],
+    syncs: u64,
+    signals: u64,
+    puts: u64,
+}
+
+/// Metrics counter names for each instruction kind, indexed like
+/// [`Instr::MNEMONICS`].
+const INSTR_COUNTERS: [&str; Instr::KIND_COUNT] = [
+    "instr.mem_put",
+    "instr.mem_signal",
+    "instr.mem_wait",
+    "instr.mem_wait_data",
+    "instr.mem_read_reduce",
+    "instr.port_put",
+    "instr.port_signal",
+    "instr.port_flush",
+    "instr.port_wait",
+    "instr.switch_reduce",
+    "instr.switch_broadcast",
+    "instr.copy",
+    "instr.reduce",
+    "instr.raw_put",
+    "instr.raw_reduce_put",
+    "instr.reduce_into",
+    "instr.sem_wait",
+    "instr.sem_signal",
+    "instr.barrier",
+    "instr.compute",
+];
+
+/// [`Instr::opcode`] of `PortPut`, which is metered on its success path
+/// only (it re-executes while the proxy FIFO is full).
+const OP_PORT_PUT: usize = 5;
+
+/// Pre-resolved span labels for the interpreter's wait sites, resolved
+/// once per launch so the per-wait hot path never hashes a string. The
+/// fault-path spans (`wait.link_down`, `wait.rank_down`) stay on the
+/// string API — they fire at most once per block.
+#[derive(Debug, Clone, Copy)]
+struct SpanIds {
+    mem_sem: SpanLabelId,
+    mem_data: SpanLabelId,
+    port_fifo: SpanLabelId,
+    port_flush: SpanLabelId,
+    port_sem: SpanLabelId,
+    sem: SpanLabelId,
+    barrier: SpanLabelId,
+}
+
+impl SpanIds {
+    fn resolve(engine: &mut Engine<Machine>) -> SpanIds {
+        SpanIds {
+            mem_sem: engine.span_label_id("wait.mem_sem"),
+            mem_data: engine.span_label_id("wait.mem_data"),
+            port_fifo: engine.span_label_id("wait.port_fifo"),
+            port_flush: engine.span_label_id("wait.port_flush"),
+            port_sem: engine.span_label_id("wait.port_sem"),
+            sem: engine.span_label_id("wait.sem"),
+            barrier: engine.span_label_id("wait.barrier"),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,18 +123,21 @@ enum Pending {
 /// One simulated thread block interpreting its instruction stream.
 struct TbProc {
     rank: Rank,
+    /// Index of this block's kernel in the shared launch batch.
+    ki: usize,
     tb: usize,
-    prog: Vec<Instr>,
+    /// The whole launch batch, shared by every block (spawning a launch
+    /// clones `Rc`s, never instruction programs).
+    kernels: Rc<Vec<Kernel>>,
     pc: usize,
     launched: bool,
     pending: Pending,
     launch: Duration,
     ov: Overheads,
     stats: Rc<RefCell<LaunchStats>>,
-    /// Executed-instruction mix, flushed into the engine metrics when the
-    /// block finishes (local accumulation keeps the hot path free of map
-    /// lookups and string formatting).
-    mix: std::collections::BTreeMap<&'static str, u64>,
+    /// Executed-instruction mix (indexed by [`Instr::opcode`]), folded
+    /// into the shared [`LaunchStats`] when the block finishes.
+    mix: [u64; Instr::KIND_COUNT],
     syncs: u64,
     signals: u64,
     puts: u64,
@@ -79,6 +147,8 @@ struct TbProc {
     /// The cell whose published clock must be acquired when the pending
     /// wait resumes (sanitized runs only).
     acquired: Option<CellId>,
+    /// Pre-resolved wait-span labels (see [`SpanIds`]).
+    sids: SpanIds,
 }
 
 impl TbProc {
@@ -136,9 +206,14 @@ impl TbProc {
         a != b && matches!(hw::link_fault(ctx, a, b), LinkFault::Down)
     }
 
+    /// This block's instruction program.
+    fn prog(&self) -> &[Instr] {
+        &self.kernels[self.ki].blocks[self.tb]
+    }
+
     /// Records one executed instruction in the block-local accumulators.
     fn meter(&mut self, instr: &Instr) {
-        *self.mix.entry(instr.mnemonic()).or_insert(0) += 1;
+        self.mix[instr.opcode()] += 1;
         if instr.is_sync() {
             self.syncs += 1;
         }
@@ -170,20 +245,15 @@ impl TbProc {
         }
     }
 
-    /// Flushes the block-local accumulators into the engine metrics.
-    fn flush_metrics(&mut self, ctx: &mut Ctx<'_, Machine>) {
-        for (m, c) in std::mem::take(&mut self.mix) {
-            ctx.count(&format!("instr.{m}"), c);
+    /// Folds the block-local accumulators into the shared launch stats
+    /// (flushed to the engine metrics once per launch).
+    fn flush_into_stats(&mut self, stats: &mut LaunchStats) {
+        for (slot, c) in stats.mix.iter_mut().zip(std::mem::take(&mut self.mix)) {
+            *slot += c;
         }
-        if self.syncs > 0 {
-            ctx.count("sync.waits", std::mem::take(&mut self.syncs));
-        }
-        if self.signals > 0 {
-            ctx.count("sync.signals", std::mem::take(&mut self.signals));
-        }
-        if self.puts > 0 {
-            ctx.count("ops.puts", std::mem::take(&mut self.puts));
-        }
+        stats.syncs += std::mem::take(&mut self.syncs);
+        stats.signals += std::mem::take(&mut self.signals);
+        stats.puts += std::mem::take(&mut self.puts);
     }
 }
 
@@ -212,10 +282,11 @@ impl Process<Machine> for TbProc {
             }
             Pending::None => {}
         }
-        if self.pc >= self.prog.len() {
-            self.flush_metrics(ctx);
+        if self.pc >= self.prog().len() {
             {
-                let mut s = self.stats.borrow_mut();
+                let stats = Rc::clone(&self.stats);
+                let mut s = stats.borrow_mut();
+                self.flush_into_stats(&mut s);
                 let slot = &mut s.per_rank_end[self.rank.0];
                 *slot = (*slot).max(ctx.now());
             }
@@ -237,7 +308,12 @@ impl Process<Machine> for TbProc {
                 at_least: 1,
             };
         }
-        let instr = self.prog[self.pc].clone();
+        // Borrow the instruction through a cloned batch handle rather than
+        // deep-cloning it: the program is immutable for the launch's
+        // lifetime, and the `Rc` keeps the borrow independent of
+        // `&mut self` uses inside the match arms.
+        let kernels = Rc::clone(&self.kernels);
+        let instr = &kernels[self.ki].blocks[self.tb][self.pc];
         let site = SanSite {
             rank: self.rank,
             tb: self.tb,
@@ -246,11 +322,11 @@ impl Process<Machine> for TbProc {
         // PortPut is metered on its success path only (it re-executes when
         // the proxy FIFO is full); everything else executes exactly once.
         if !matches!(instr, Instr::PortPut { .. }) {
-            self.meter(&instr);
+            self.meter(instr);
         }
-        match instr {
+        match *instr {
             Instr::MemPut {
-                ch,
+                ref ch,
                 src_off,
                 dst_off,
                 bytes,
@@ -281,7 +357,7 @@ impl Process<Machine> for TbProc {
                 self.pc += 1;
                 self.busy_until(ctx, now, xfer.sender_free, self.ov.mem_put_issue)
             }
-            Instr::MemSignal { ch } => {
+            Instr::MemSignal { ref ch } => {
                 if self.path_dead(ctx, ch.local_rank, ch.peer_rank) {
                     return self.park_link_down(ctx);
                 }
@@ -299,30 +375,30 @@ impl Process<Machine> for TbProc {
                 self.pc += 1;
                 self.quick(ctx, self.ov.signal_issue)
             }
-            Instr::MemWait { ch } => {
+            Instr::MemWait { ref ch } => {
                 let expect = ch.sem_expect.get() + 1;
                 ch.sem_expect.set(expect);
                 self.pending = Pending::Advance;
                 self.san_wait(ch.my_sem);
-                ctx.span_begin("wait.mem_sem");
+                ctx.span_begin_id(self.sids.mem_sem);
                 Step::WaitCell {
                     cell: ch.my_sem,
                     at_least: expect,
                 }
             }
-            Instr::MemWaitData { ch } => {
+            Instr::MemWaitData { ref ch } => {
                 let expect = ch.arrival_expect.get() + 1;
                 ch.arrival_expect.set(expect);
                 self.pending = Pending::Advance;
                 self.san_wait(ch.my_arrival);
-                ctx.span_begin("wait.mem_data");
+                ctx.span_begin_id(self.sids.mem_data);
                 Step::WaitCell {
                     cell: ch.my_arrival,
                     at_least: expect,
                 }
             }
             Instr::MemReadReduce {
-                ch,
+                ref ch,
                 remote_off,
                 local_buf,
                 local_off,
@@ -358,7 +434,7 @@ impl Process<Machine> for TbProc {
                 self.busy_until(ctx, now, xfer.arrival, self.ov.mem_put_issue)
             }
             Instr::PortPut {
-                ch,
+                ref ch,
                 src_off,
                 dst_off,
                 bytes,
@@ -373,13 +449,13 @@ impl Process<Machine> for TbProc {
                     // processed at least one request).
                     self.pending = Pending::Retry;
                     self.san_wait(ch.completed_cell);
-                    ctx.span_begin("wait.port_fifo");
+                    ctx.span_begin_id(self.sids.port_fifo);
                     return Step::WaitCell {
                         cell: ch.completed_cell,
                         at_least: pushed - self.ov.fifo_capacity as u64 + 1,
                     };
                 }
-                *self.mix.entry("port_put").or_insert(0) += 1;
+                self.mix[OP_PORT_PUT] += 1;
                 self.puts += 1;
                 self.signals += u64::from(with_signal);
                 let depth = {
@@ -415,7 +491,7 @@ impl Process<Machine> for TbProc {
                 self.pc += 1;
                 self.quick(ctx, self.ov.port_push)
             }
-            Instr::PortSignal { ch } => {
+            Instr::PortSignal { ref ch } => {
                 let depth = {
                     let mut f = ch.fifo.borrow_mut();
                     f.queue.push_back(crate::channel::ProxyRequest::Signal);
@@ -433,11 +509,11 @@ impl Process<Machine> for TbProc {
                 self.pc += 1;
                 self.quick(ctx, self.ov.port_push)
             }
-            Instr::PortFlush { ch, deadline } => {
+            Instr::PortFlush { ref ch, deadline } => {
                 let pushed = ch.fifo.borrow().pushed;
                 self.pending = Pending::Advance;
                 self.san_wait(ch.completed_cell);
-                ctx.span_begin("wait.port_flush");
+                ctx.span_begin_id(self.sids.port_flush);
                 match deadline {
                     Some(timeout) => Step::WaitCellTimeout {
                         cell: ch.completed_cell,
@@ -450,19 +526,19 @@ impl Process<Machine> for TbProc {
                     },
                 }
             }
-            Instr::PortWait { ch } => {
+            Instr::PortWait { ref ch } => {
                 let expect = ch.sem_expect.get() + 1;
                 ch.sem_expect.set(expect);
                 self.pending = Pending::Advance;
                 self.san_wait(ch.my_sem);
-                ctx.span_begin("wait.port_sem");
+                ctx.span_begin_id(self.sids.port_sem);
                 Step::WaitCell {
                     cell: ch.my_sem,
                     at_least: expect,
                 }
             }
             Instr::SwitchReduce {
-                ch,
+                ref ch,
                 src_off,
                 dst_buf,
                 dst_off,
@@ -487,7 +563,7 @@ impl Process<Machine> for TbProc {
                 self.busy_until(ctx, now, done, self.ov.switch_issue)
             }
             Instr::SwitchBroadcast {
-                ch,
+                ref ch,
                 src_buf,
                 src_off,
                 dst_off,
@@ -550,7 +626,7 @@ impl Process<Machine> for TbProc {
                 dst_off,
                 bytes,
                 wire_factor,
-                notify,
+                ref notify,
             } => {
                 if self.path_dead(ctx, src_rank, dst_rank) {
                     return self.park_link_down(ctx);
@@ -593,7 +669,7 @@ impl Process<Machine> for TbProc {
                 wire_factor,
                 dtype,
                 op,
-                notify,
+                ref notify,
             } => {
                 if self.path_dead(ctx, src_rank, dst_rank) {
                     return self.park_link_down(ctx);
@@ -645,18 +721,18 @@ impl Process<Machine> for TbProc {
                 self.pc += 1;
                 self.busy_until(ctx, now, done, Duration::ZERO)
             }
-            Instr::SemWait { sem } => {
+            Instr::SemWait { ref sem } => {
                 let expect = sem.expect.get() + 1;
                 sem.expect.set(expect);
                 self.pending = Pending::Advance;
                 self.san_wait(sem.cell);
-                ctx.span_begin("wait.sem");
+                ctx.span_begin_id(self.sids.sem);
                 Step::WaitCell {
                     cell: sem.cell,
                     at_least: expect,
                 }
             }
-            Instr::SemSignal { sem } => {
+            Instr::SemSignal { ref sem } => {
                 if self.path_dead(ctx, self.rank, sem.owner) {
                     return self.park_link_down(ctx);
                 }
@@ -676,14 +752,14 @@ impl Process<Machine> for TbProc {
                 self.pc += 1;
                 self.quick(ctx, self.ov.signal_issue)
             }
-            Instr::Barrier { barrier } => {
+            Instr::Barrier { ref barrier } => {
                 let round = barrier.round.get() + 1;
                 barrier.round.set(round);
                 self.san_release(&[barrier.cell]);
                 ctx.cell_add_at(barrier.cell, 1, now + self.ov.barrier_arrive + barrier.prop);
                 self.pending = Pending::Advance;
                 self.san_wait(barrier.cell);
-                ctx.span_begin("wait.barrier");
+                ctx.span_begin_id(self.sids.barrier);
                 Step::WaitCell {
                     cell: barrier.cell,
                     at_least: round * barrier.parties as u64,
@@ -702,7 +778,7 @@ impl Process<Machine> for TbProc {
             self.rank,
             self.tb,
             self.pc,
-            self.prog.len()
+            self.prog().len()
         )
     }
 }
@@ -727,9 +803,17 @@ impl Process<Machine> for TbProc {
 /// usage can be compared even though every stack executes through the same
 /// interpreter. Call once per launch, before [`run_kernels`].
 pub fn record_launch_mix(engine: &mut Engine<Machine>, stack: &str, kernels: &[Kernel]) {
+    let mut mix = [0u64; Instr::KIND_COUNT];
     for k in kernels {
-        for (mnemonic, count) in k.instr_mix() {
-            engine.count(&format!("{stack}.{mnemonic}"), count);
+        for block in &k.blocks {
+            for instr in block {
+                mix[instr.opcode()] += 1;
+            }
+        }
+    }
+    for (kind, &count) in mix.iter().enumerate() {
+        if count > 0 {
+            engine.count(&format!("{stack}.{}", Instr::MNEMONICS[kind]), count);
         }
     }
 }
@@ -737,6 +821,17 @@ pub fn record_launch_mix(engine: &mut Engine<Machine>, stack: &str, kernels: &[K
 pub fn run_kernels(
     engine: &mut Engine<Machine>,
     kernels: &[Kernel],
+    ov: &Overheads,
+) -> Result<KernelTiming> {
+    run_kernels_inner(engine, &Rc::new(kernels.to_vec()), ov, None)
+}
+
+/// Like [`run_kernels`], for a launch batch already behind an `Rc` (the
+/// cached-plan replay path): spawning thread blocks shares the batch
+/// instead of deep-cloning every instruction program.
+pub fn run_kernels_shared(
+    engine: &mut Engine<Machine>,
+    kernels: &Rc<Vec<Kernel>>,
     ov: &Overheads,
 ) -> Result<KernelTiming> {
     run_kernels_inner(engine, kernels, ov, None)
@@ -762,15 +857,46 @@ pub fn run_kernels_sanitized(
     kernels: &[Kernel],
     ov: &Overheads,
 ) -> Result<(KernelTiming, SanReport)> {
+    run_kernels_sanitized_shared(engine, &Rc::new(kernels.to_vec()), ov)
+}
+
+/// [`run_kernels_sanitized`] for an `Rc`-shared launch batch (see
+/// [`run_kernels_shared`]).
+pub fn run_kernels_sanitized_shared(
+    engine: &mut Engine<Machine>,
+    kernels: &Rc<Vec<Kernel>>,
+    ov: &Overheads,
+) -> Result<(KernelTiming, SanReport)> {
     let state = Rc::new(RefCell::new(SanState::default()));
     let timing = run_kernels_inner(engine, kernels, ov, Some(&state))?;
     let report = state.borrow().report();
     Ok((timing, report))
 }
 
+/// Flushes the launch-wide accumulators into the engine metrics. Runs on
+/// both the success and the error path, so blocks that finished before a
+/// deadlock or timeout keep their executed-instruction counts, exactly
+/// as when every block flushed its own counters at exit.
+fn flush_launch_metrics(engine: &mut Engine<Machine>, stats: &LaunchStats) {
+    for (kind, &count) in stats.mix.iter().enumerate() {
+        if count > 0 {
+            engine.count(INSTR_COUNTERS[kind], count);
+        }
+    }
+    if stats.syncs > 0 {
+        engine.count("sync.waits", stats.syncs);
+    }
+    if stats.signals > 0 {
+        engine.count("sync.signals", stats.signals);
+    }
+    if stats.puts > 0 {
+        engine.count("ops.puts", stats.puts);
+    }
+}
+
 fn run_kernels_inner(
     engine: &mut Engine<Machine>,
-    kernels: &[Kernel],
+    kernels: &Rc<Vec<Kernel>>,
     ov: &Overheads,
     san: Option<&Rc<RefCell<SanState>>>,
 ) -> Result<KernelTiming> {
@@ -779,32 +905,41 @@ fn run_kernels_inner(
     let launch = engine.world().spec().gpu.kernel_launch;
     let stats = Rc::new(RefCell::new(LaunchStats {
         per_rank_end: vec![start; world],
+        mix: [0; Instr::KIND_COUNT],
+        syncs: 0,
+        signals: 0,
+        puts: 0,
     }));
+    let sids = SpanIds::resolve(engine);
     let mut tid = 0;
-    for k in kernels {
-        for (tb, prog) in k.blocks.iter().enumerate() {
+    for (ki, k) in kernels.iter().enumerate() {
+        for tb in 0..k.blocks.len() {
             let hook = san.map(|s| SanHook::new(s.clone(), tid));
             tid += 1;
             engine.spawn(TbProc {
                 rank: k.rank,
+                ki,
                 tb,
-                prog: prog.clone(),
+                kernels: Rc::clone(kernels),
                 pc: 0,
                 launched: false,
                 pending: Pending::None,
                 launch,
                 ov: ov.clone(),
                 stats: stats.clone(),
-                mix: Default::default(),
+                mix: [0; Instr::KIND_COUNT],
                 syncs: 0,
                 signals: 0,
                 puts: 0,
                 san: hook,
                 acquired: None,
+                sids,
             });
         }
     }
-    if let Err(e) = engine.run() {
+    let run_result = engine.run();
+    flush_launch_metrics(engine, &stats.borrow());
+    if let Err(e) = run_result {
         // Tear down outstanding waiters and unfinished processes so the
         // engine (clock, buffers, metrics intact) stays usable — callers
         // may re-plan onto a degraded topology and retry.

@@ -284,31 +284,64 @@ pub enum Instr {
 }
 
 impl Instr {
+    /// Number of instruction kinds ([`Instr::opcode`] is `< KIND_COUNT`).
+    pub const KIND_COUNT: usize = 20;
+
+    /// Mnemonics indexed by [`Instr::opcode`].
+    pub const MNEMONICS: [&'static str; Instr::KIND_COUNT] = [
+        "mem_put",
+        "mem_signal",
+        "mem_wait",
+        "mem_wait_data",
+        "mem_read_reduce",
+        "port_put",
+        "port_signal",
+        "port_flush",
+        "port_wait",
+        "switch_reduce",
+        "switch_broadcast",
+        "copy",
+        "reduce",
+        "raw_put",
+        "raw_reduce_put",
+        "reduce_into",
+        "sem_wait",
+        "sem_signal",
+        "barrier",
+        "compute",
+    ];
+
+    /// Dense instruction-kind index, for array-backed per-kind accounting
+    /// on the interpreter hot path (no map lookups, no string hashing).
+    pub fn opcode(&self) -> usize {
+        match self {
+            Instr::MemPut { .. } => 0,
+            Instr::MemSignal { .. } => 1,
+            Instr::MemWait { .. } => 2,
+            Instr::MemWaitData { .. } => 3,
+            Instr::MemReadReduce { .. } => 4,
+            Instr::PortPut { .. } => 5,
+            Instr::PortSignal { .. } => 6,
+            Instr::PortFlush { .. } => 7,
+            Instr::PortWait { .. } => 8,
+            Instr::SwitchReduce { .. } => 9,
+            Instr::SwitchBroadcast { .. } => 10,
+            Instr::Copy { .. } => 11,
+            Instr::Reduce { .. } => 12,
+            Instr::RawPut { .. } => 13,
+            Instr::RawReducePut { .. } => 14,
+            Instr::ReduceInto { .. } => 15,
+            Instr::SemWait { .. } => 16,
+            Instr::SemSignal { .. } => 17,
+            Instr::Barrier { .. } => 18,
+            Instr::Compute { .. } => 19,
+        }
+    }
+
     /// Short stable name of this instruction kind, used for metrics
     /// counters (`instr.<mnemonic>`) and emitted-mix attribution.
     pub fn mnemonic(&self) -> &'static str {
-        match self {
-            Instr::MemPut { .. } => "mem_put",
-            Instr::MemSignal { .. } => "mem_signal",
-            Instr::MemWait { .. } => "mem_wait",
-            Instr::MemWaitData { .. } => "mem_wait_data",
-            Instr::MemReadReduce { .. } => "mem_read_reduce",
-            Instr::PortPut { .. } => "port_put",
-            Instr::PortSignal { .. } => "port_signal",
-            Instr::PortFlush { .. } => "port_flush",
-            Instr::PortWait { .. } => "port_wait",
-            Instr::SwitchReduce { .. } => "switch_reduce",
-            Instr::SwitchBroadcast { .. } => "switch_broadcast",
-            Instr::Copy { .. } => "copy",
-            Instr::Reduce { .. } => "reduce",
-            Instr::RawPut { .. } => "raw_put",
-            Instr::RawReducePut { .. } => "raw_reduce_put",
-            Instr::ReduceInto { .. } => "reduce_into",
-            Instr::SemWait { .. } => "sem_wait",
-            Instr::SemSignal { .. } => "sem_signal",
-            Instr::Barrier { .. } => "barrier",
-            Instr::Compute { .. } => "compute",
-        }
+        Instr::MNEMONICS[self.opcode()]
     }
 
     /// Whether executing this instruction may block the thread block on a
@@ -375,13 +408,20 @@ impl Kernel {
     /// Instruction mix of this kernel: `(mnemonic, count)` pairs in
     /// mnemonic order.
     pub fn instr_mix(&self) -> Vec<(&'static str, u64)> {
-        let mut mix: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        let mut mix = [0u64; Instr::KIND_COUNT];
         for block in &self.blocks {
             for instr in block {
-                *mix.entry(instr.mnemonic()).or_insert(0) += 1;
+                mix[instr.opcode()] += 1;
             }
         }
-        mix.into_iter().collect()
+        let mut out: Vec<(&'static str, u64)> = mix
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (Instr::MNEMONICS[k], c))
+            .collect();
+        out.sort_unstable_by_key(|&(m, _)| m);
+        out
     }
 }
 

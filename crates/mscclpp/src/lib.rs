@@ -71,7 +71,10 @@ pub use comm::{Comm, DrainReport, Setup};
 /// `Communicator` that registers buffers and builds channels (§4.1).
 pub type Communicator<'e> = Setup<'e>;
 pub use error::{Error, LinkDownError, Result};
-pub use exec::{record_launch_mix, run_kernels, run_kernels_sanitized, KernelTiming};
+pub use exec::{
+    record_launch_mix, run_kernels, run_kernels_sanitized, run_kernels_sanitized_shared,
+    run_kernels_shared, KernelTiming,
+};
 pub use kernel::{BlockBuilder, Instr, Kernel, KernelBuilder};
 pub use overheads::Overheads;
 pub use sanitizer::{SanRace, SanReport, SanSite};

@@ -28,7 +28,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use hw::{CopyMode, LinkFault, Machine, Rank};
-use sim::{CellId, Ctx, Duration, Process, SimRng, Step};
+use sim::{CellId, CounterId, Ctx, Duration, Process, SimRng, Step};
 
 use crate::channel::{FifoState, ProxyRequest};
 use crate::overheads::Overheads;
@@ -63,14 +63,28 @@ pub(crate) struct ProxyProc {
     /// Deterministic jitter source, seeded from the fault plan and this
     /// proxy's (src, dst) so every proxy has an independent stream.
     pub rng: SimRng,
+    /// Pre-resolved hot counters (`proxy.idle_waits` / `proxy.puts` /
+    /// `proxy.signals`), resolved on the first step so the per-request
+    /// path never hashes a counter name.
+    pub ids: Option<ProxyCounters>,
+    /// Whether `src` and `dst` share a node. Topology is immutable, so
+    /// this is resolved once at spawn instead of per request.
+    pub intra: bool,
+}
+
+/// See [`ProxyProc::ids`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ProxyCounters {
+    idle_waits: CounterId,
+    puts: CounterId,
+    signals: CounterId,
 }
 
 impl ProxyProc {
     /// Times and performs one transfer of `bytes` from `src` to `dst`,
     /// returning the transfer's `(sender_free, arrival)` instants.
     fn transfer(&self, ctx: &mut Ctx<'_, Machine>, bytes: usize) -> hw::Xfer {
-        let topo = ctx.world.topology();
-        if topo.same_node(self.src, self.dst) {
+        if self.intra {
             hw::p2p_time(ctx, self.src, self.dst, bytes as u64, CopyMode::Dma)
         } else {
             hw::net_time(ctx, self.src, self.dst, bytes as u64)
@@ -80,10 +94,15 @@ impl ProxyProc {
 
 impl Process<Machine> for ProxyProc {
     fn step(&mut self, ctx: &mut Ctx<'_, Machine>) -> Step {
+        let ids = *self.ids.get_or_insert_with(|| ProxyCounters {
+            idle_waits: ctx.counter_id("proxy.idle_waits"),
+            puts: ctx.counter_id("proxy.puts"),
+            signals: ctx.counter_id("proxy.signals"),
+        });
         let req = self.fifo.borrow_mut().queue.pop_front();
         let Some(req) = req else {
             // Figure 7 ②: spin on the FIFO tail until the GPU pushes.
-            ctx.count("proxy.idle_waits", 1);
+            ctx.count_id(ids.idle_waits, 1);
             return Step::WaitCell {
                 cell: self.pushed_cell,
                 at_least: self.processed + 1,
@@ -141,9 +160,9 @@ impl Process<Machine> for ProxyProc {
                 with_signal,
             } => {
                 busy += self.ov.proxy_post;
-                ctx.count("proxy.puts", 1);
+                ctx.count_id(ids.puts, 1);
                 if with_signal {
-                    ctx.count("proxy.signals", 1);
+                    ctx.count_id(ids.signals, 1);
                 }
                 let xfer = self.transfer(ctx, bytes);
                 ctx.world.pool_mut().copy(src, src_off, dst, dst_off, bytes);
@@ -155,7 +174,7 @@ impl Process<Machine> for ProxyProc {
             }
             ProxyRequest::Signal => {
                 busy += self.ov.proxy_post;
-                ctx.count("proxy.signals", 1);
+                ctx.count_id(ids.signals, 1);
                 // The semaphore update is itself a tiny ordered transfer
                 // (ibv atomic / flagged store); riding the same NIC or DMA
                 // resource orders it after every preceding put.

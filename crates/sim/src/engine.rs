@@ -1,18 +1,23 @@
 //! The discrete-event engine: event queue, cells, resources, scheduling.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
+use crate::calendar::{CalendarQueue, Entry};
 use crate::depgraph::{DepGraph, ProfState};
 use crate::fault::FaultPlan;
-use crate::metrics::Metrics;
+use crate::intern::Interner;
+use crate::metrics::{CounterId, Metrics};
 use crate::process::{Process, Step};
 use crate::time::{Duration, Time};
 use crate::trace::{Trace, TraceEventKind};
 
 /// Identifies a process spawned on an [`Engine`].
+///
+/// When neither tracing nor profiling is enabled, the engine recycles the
+/// slots of finished processes, so a `ProcId` may be reissued to a later
+/// spawn; pending events carry a generation stamp so a recycled id can
+/// never be woken by its previous incarnation's events.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(usize);
 
@@ -26,6 +31,14 @@ pub struct ProcId(usize);
 #[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellId(usize);
 
+/// A pre-resolved span label for [`Ctx::span_begin_id`].
+///
+/// Resolving a label to an id ([`Ctx::span_label_id`] /
+/// [`Engine::span_label_id`]) hashes the string once; opening a span by
+/// id afterwards is a plain vector push. Ids are engine-local.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct SpanLabelId(u32);
+
 /// Identifies a serializing resource (an interconnect link port, a DMA
 /// engine, a NIC).
 ///
@@ -36,36 +49,84 @@ pub struct CellId(usize);
 #[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ResourceId(pub(crate) usize);
 
+/// Sentinel for "label not interned yet" (lazy interning keeps untraced
+/// spawns allocation-free).
+const UNSET_LABEL: u32 = u32::MAX;
+
+/// Sentinel index for arena linked lists.
+const NIL: u32 = u32::MAX;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
-    Wake(ProcId),
+    /// Wake a process. The `u32` is the slot generation the wake targets;
+    /// a mismatch means the slot was recycled and the wake is stale.
+    Wake(ProcId, u32),
     /// A cell update. The `u32` is the index of the issuing step's
     /// [`crate::depgraph::IssueRec`] when profiling is enabled
     /// (`u32::MAX` otherwise), so a wake caused by this update can be
     /// traced back to its issuer.
     CellAdd(CellId, u64, u32),
-    /// Deadline check for a blocking wait. The `u64` is the blocking
-    /// epoch of the process when the check was scheduled; a mismatch
-    /// means the wait completed and the check is stale.
-    TimeoutCheck(ProcId, u64),
+    /// Deadline check for a blocking wait. The `u32` is the slot
+    /// generation and the `u64` the blocking epoch when the check was
+    /// scheduled; any mismatch means the wait completed (or the slot was
+    /// recycled) and the check is stale.
+    TimeoutCheck(ProcId, u32, u64),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Ev {
-    time: Time,
-    seq: u64,
-    kind: EventKind,
+/// A queued event: raw-picosecond time, global sequence, payload.
+type Ev = Entry<EventKind>;
+
+/// The pending-event store. The calendar queue is the production path;
+/// the legacy binary heap is kept only behind the `ab-legacy-queue`
+/// feature so differential tests can replay identical programs through
+/// both and assert bit-identical results.
+enum EventQueue {
+    Calendar(CalendarQueue<EventKind>),
+    #[cfg(feature = "ab-legacy-queue")]
+    Legacy(std::collections::BinaryHeap<std::cmp::Reverse<LegacyEv>>),
 }
 
-impl Ord for Ev {
+#[cfg(feature = "ab-legacy-queue")]
+#[derive(PartialEq, Eq)]
+struct LegacyEv(Ev);
+
+#[cfg(feature = "ab-legacy-queue")]
+impl Ord for LegacyEv {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.0.time, self.0.seq).cmp(&(other.0.time, other.0.seq))
     }
 }
 
-impl PartialOrd for Ev {
+#[cfg(feature = "ab-legacy-queue")]
+impl PartialOrd for LegacyEv {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+impl EventQueue {
+    fn push(&mut self, ev: Ev) {
+        match self {
+            EventQueue::Calendar(q) => q.push(ev),
+            #[cfg(feature = "ab-legacy-queue")]
+            EventQueue::Legacy(q) => q.push(std::cmp::Reverse(LegacyEv(ev))),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Ev> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            #[cfg(feature = "ab-legacy-queue")]
+            EventQueue::Legacy(q) => q.pop().map(|std::cmp::Reverse(LegacyEv(e))| e),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            EventQueue::Calendar(q) => q.clear(),
+            #[cfg(feature = "ab-legacy-queue")]
+            EventQueue::Legacy(q) => q.clear(),
+        }
     }
 }
 
@@ -82,37 +143,109 @@ enum ProcState {
 struct Slot<W> {
     proc: Option<Box<dyn Process<W>>>,
     state: ProcState,
-    label: String,
-    /// The label interned at spawn time (index into `Core::labels`), so
-    /// trace recording never allocates per step.
+    /// Interned label id, or [`UNSET_LABEL`] until first needed. Labels
+    /// are formatted and interned lazily — at the first traced/profiled
+    /// step, or when an error snapshot wants one — so a plain run never
+    /// pays a per-spawn `String`.
     label_id: u32,
     /// Daemons (e.g. CPU proxy threads) may remain blocked when the queue
     /// drains without counting as deadlock.
     daemon: bool,
+    /// Incremented each time the slot is recycled for a new process;
+    /// stamped into [`EventKind::Wake`]/[`EventKind::TimeoutCheck`] so
+    /// events aimed at a previous incarnation are discarded.
+    gen: u32,
     /// Incremented every time the process blocks; lets a pending
     /// [`EventKind::TimeoutCheck`] detect that the wait it guarded has
-    /// already completed.
+    /// already completed. Deliberately *not* reset when the slot is
+    /// recycled, as a second line of defense against stale checks.
     epoch: u64,
     /// When the current (or most recent) blocking wait began.
     blocked_at: Time,
+}
+
+/// A cell's value plus the head/tail of its waiter list in the arena.
+/// Waiters append at the tail and are woken in list (i.e. block) order.
+#[derive(Debug, Clone, Copy)]
+struct CellSlot {
+    value: u64,
+    head: u32,
+    tail: u32,
+}
+
+/// One blocked waiter: an intrusive singly-linked node.
+#[derive(Debug, Clone, Copy)]
+struct WaiterNode {
+    at_least: u64,
+    pid: u32,
+    next: u32,
+}
+
+/// Arena for waiter nodes: blocking a process and waking it are both a
+/// free-list pop/push — no per-wait allocation once the arena has grown
+/// to the simulation's high-water mark of concurrent waiters.
+struct WaiterArena {
+    nodes: Vec<WaiterNode>,
+    free: u32,
+}
+
+impl Default for WaiterArena {
+    fn default() -> Self {
+        WaiterArena {
+            nodes: Vec::new(),
+            free: NIL,
+        }
+    }
+}
+
+impl WaiterArena {
+    fn alloc(&mut self, at_least: u64, pid: u32) -> u32 {
+        let node = WaiterNode {
+            at_least,
+            pid,
+            next: NIL,
+        };
+        if self.free != NIL {
+            let idx = self.free;
+            self.free = self.nodes[idx as usize].next;
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            let idx = u32::try_from(self.nodes.len()).expect("waiter arena overflow");
+            self.nodes.push(node);
+            idx
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.nodes[idx as usize].next = self.free;
+        self.free = idx;
+    }
+
+    fn reset(&mut self) {
+        self.nodes.clear();
+        self.free = NIL;
+    }
 }
 
 /// Engine internals shared with processes through [`Ctx`].
 struct Core {
     now: Time,
     seq: u64,
-    queue: BinaryHeap<Reverse<Ev>>,
-    cells: Vec<u64>,
-    /// Per-cell list of `(threshold, process)` waiters.
-    waiters: Vec<Vec<(u64, ProcId)>>,
+    queue: EventQueue,
+    cells: Vec<CellSlot>,
+    waiters: WaiterArena,
     /// Per-resource busy-until horizon.
     resources: Vec<Time>,
     events_processed: u64,
+    /// Events whose requested time was in the past and got clamped to
+    /// `now` (see [`Core::push`]).
+    clamped_past: u64,
     /// Counters and per-resource accounting.
     metrics: Metrics,
     /// Interned label table shared by the trace and the span stacks.
-    labels: Vec<String>,
-    label_index: HashMap<String, u32>,
+    /// Single-storage: each distinct label is owned exactly once.
+    labels: Interner,
     /// Per-process stack of open explicit spans (interned label ids).
     span_stacks: Vec<Vec<u32>>,
     /// Recording sink, when tracing is enabled.
@@ -124,29 +257,42 @@ struct Core {
 }
 
 impl Core {
+    /// Queues an event. A request in the past is **clamped to now** (and
+    /// counted — see [`Engine::clamped_past_events`]): the old
+    /// `debug_assert!` left release builds free to reorder the queue
+    /// behind the clock, which silently corrupts causality; clamping
+    /// preserves it in every build profile.
     fn push(&mut self, time: Time, kind: EventKind) {
-        debug_assert!(time >= self.now, "event scheduled in the past");
+        let mut time = time.as_ps();
+        let now = self.now.as_ps();
+        if time < now {
+            time = now;
+            self.clamped_past += 1;
+        }
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Ev { time, seq, kind }));
+        self.queue.push(Ev {
+            time,
+            seq,
+            payload: kind,
+        });
     }
 
     /// Interns a label, returning its stable index. Allocates only the
-    /// first time a distinct label is seen.
+    /// first time a distinct label is seen (single owned copy).
     fn intern(&mut self, label: &str) -> u32 {
-        if let Some(&id) = self.label_index.get(label) {
-            return id;
-        }
-        let id = self.labels.len() as u32;
-        self.labels.push(label.to_owned());
-        self.label_index.insert(label.to_owned(), id);
-        id
+        self.labels.get_or_intern(label)
     }
 
     fn record(&mut self, at: Time, proc_index: usize, label: u32, kind: TraceEventKind) {
         if let Some(trace) = &mut self.trace {
             trace.push(at, proc_index, label, kind);
         }
+    }
+
+    /// Whether any observer needs per-step labels and stable slot ids.
+    fn observed(&self) -> bool {
+        self.trace.is_some() || self.prof.is_some()
     }
 }
 
@@ -158,7 +304,7 @@ pub struct Ctx<'a, W> {
     core: &'a mut Core,
     /// The domain state (GPU memories, topology, cost model, ...).
     pub world: &'a mut W,
-    spawned: &'a mut Vec<(Box<dyn Process<W>>, String, bool)>,
+    spawned: &'a mut Vec<(Box<dyn Process<W>>, bool)>,
     /// The process currently being stepped.
     pid: ProcId,
 }
@@ -171,7 +317,7 @@ impl<W> Ctx<'_, W> {
 
     /// Current value of a cell.
     pub fn cell(&self, cell: CellId) -> u64 {
-        self.core.cells[cell.0]
+        self.core.cells[cell.0].value
     }
 
     /// Adds `delta` to a cell immediately, waking satisfied waiters at the
@@ -184,9 +330,9 @@ impl<W> Ctx<'_, W> {
     /// Adds `delta` to a cell at a future instant (e.g. when a signal lands
     /// on the peer GPU after its propagation latency).
     ///
-    /// # Panics
-    ///
-    /// Panics (in debug builds) if `at` is in the past.
+    /// An `at` in the past is clamped to the current instant (and counted
+    /// in [`Engine::clamped_past_events`]): updates can never be reordered
+    /// behind the clock.
     pub fn cell_add_at(&mut self, cell: CellId, delta: u64, at: Time) {
         let issue = match &mut self.core.prof {
             Some(p) => p.on_issue(self.pid.0, self.core.now, at),
@@ -197,8 +343,11 @@ impl<W> Ctx<'_, W> {
 
     /// Allocates a fresh cell with value zero.
     pub fn alloc_cell(&mut self) -> CellId {
-        self.core.cells.push(0);
-        self.core.waiters.push(Vec::new());
+        self.core.cells.push(CellSlot {
+            value: 0,
+            head: NIL,
+            tail: NIL,
+        });
         CellId(self.core.cells.len() - 1)
     }
 
@@ -262,6 +411,18 @@ impl<W> Ctx<'_, W> {
         self.core.metrics.inc(name, delta);
     }
 
+    /// Resolves a counter name to a stable id for [`Ctx::count_id`]. Do
+    /// this once per process (or per program), not per increment.
+    pub fn counter_id(&mut self, name: &str) -> CounterId {
+        self.core.metrics.counter_id(name)
+    }
+
+    /// Adds `delta` to a pre-resolved counter: a single array add, the
+    /// form hot per-instruction accounting should use.
+    pub fn count_id(&mut self, id: CounterId, delta: u64) {
+        self.core.metrics.inc_id(id, delta);
+    }
+
     /// Read access to the metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.core.metrics
@@ -281,6 +442,20 @@ impl<W> Ctx<'_, W> {
         self.core.span_stacks[self.pid.0].push(id);
         self.core
             .record(self.core.now, self.pid.0, id, TraceEventKind::SpanBegin);
+    }
+
+    /// Resolves a span label to a stable id for [`Ctx::span_begin_id`].
+    /// Do this once per process (or per launch), not per wait.
+    pub fn span_label_id(&mut self, label: &str) -> SpanLabelId {
+        SpanLabelId(self.core.intern(label))
+    }
+
+    /// Opens a span by pre-resolved label id: a plain vector push, the
+    /// form hot per-wait paths should use (no string hashing).
+    pub fn span_begin_id(&mut self, id: SpanLabelId) {
+        self.core.span_stacks[self.pid.0].push(id.0);
+        self.core
+            .record(self.core.now, self.pid.0, id.0, TraceEventKind::SpanBegin);
     }
 
     /// Whether tracing is enabled for this engine. Guard any per-step
@@ -317,14 +492,12 @@ impl<W> Ctx<'_, W> {
 
     /// Spawns a new process that will first run at the current instant.
     pub fn spawn<P: Process<W> + 'static>(&mut self, proc: P) {
-        let label = proc.label();
-        self.spawned.push((Box::new(proc), label, false));
+        self.spawned.push((Box::new(proc), false));
     }
 
     /// Spawns a daemon process (see [`Engine::spawn_daemon`]).
     pub fn spawn_daemon<P: Process<W> + 'static>(&mut self, proc: P) {
-        let label = proc.label();
-        self.spawned.push((Box::new(proc), label, true));
+        self.spawned.push((Box::new(proc), true));
     }
 }
 
@@ -526,6 +699,10 @@ pub struct Engine<W> {
     core: Core,
     world: W,
     processes: Vec<Slot<W>>,
+    /// Recycled slot indices, usable while neither tracing nor profiling
+    /// is enabled (observers key per-process state by slot index, so
+    /// identity must be stable under observation).
+    free_slots: Vec<u32>,
 }
 
 impl<W: fmt::Debug> fmt::Debug for Engine<W> {
@@ -547,14 +724,14 @@ impl<W> Engine<W> {
             core: Core {
                 now: Time::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::Calendar(CalendarQueue::default()),
                 cells: Vec::new(),
-                waiters: Vec::new(),
+                waiters: WaiterArena::default(),
                 resources: Vec::new(),
                 events_processed: 0,
+                clamped_past: 0,
                 metrics: Metrics::default(),
-                labels: Vec::new(),
-                label_index: HashMap::new(),
+                labels: Interner::default(),
                 span_stacks: Vec::new(),
                 trace: None,
                 prof: None,
@@ -562,15 +739,33 @@ impl<W> Engine<W> {
             },
             world,
             processes: Vec::new(),
+            free_slots: Vec::new(),
         }
+    }
+
+    /// Replays all pending events through the legacy `BinaryHeap` queue
+    /// instead of the calendar queue. Exists solely so differential tests
+    /// can assert the two scheduler implementations produce bit-identical
+    /// executions; never use it for real workloads.
+    #[cfg(feature = "ab-legacy-queue")]
+    pub fn use_legacy_binary_heap_queue(&mut self) {
+        let mut heap = std::collections::BinaryHeap::new();
+        while let Some(ev) = self.core.queue.pop() {
+            heap.push(std::cmp::Reverse(LegacyEv(ev)));
+        }
+        self.core.queue = EventQueue::Legacy(heap);
     }
 
     /// Starts recording an execution [`Trace`] (paired begin/end events
     /// per process step plus explicit spans). Call [`Engine::take_trace`]
     /// to retrieve it.
+    ///
+    /// Enabling tracing also stops process-slot recycling: trace tracks
+    /// are keyed by slot index, so indices must be stable from here on.
     pub fn enable_tracing(&mut self) {
         if self.core.trace.is_none() {
             self.core.trace = Some(Trace::default());
+            self.free_slots.clear();
             // Spans opened before tracing began get a synthetic begin, so
             // their eventual ends (possibly recorded by an abort) balance.
             self.reopen_live_spans();
@@ -588,8 +783,9 @@ impl<W> Engine<W> {
     /// self-balanced: a later teardown's `SpanEnd` never lands in a
     /// segment missing its begin.
     pub fn take_trace(&mut self) -> Option<Trace> {
+        let labels = self.core.labels.strings().to_vec();
         let taken = self.core.trace.as_mut().map(std::mem::take).map(|mut t| {
-            t.labels = self.core.labels.clone();
+            t.labels = labels;
             t
         });
         if taken.is_some() {
@@ -619,6 +815,9 @@ impl<W> Engine<W> {
     /// Call [`Engine::take_dep_graph`] to retrieve it. Enable before
     /// spawning the work to profile: steps executed earlier are not
     /// recorded.
+    ///
+    /// Enabling profiling also stops process-slot recycling: the recorder
+    /// keys per-process state by slot index.
     pub fn enable_profiling(&mut self) {
         if self.core.prof.is_none() {
             let mut p = ProfState::default();
@@ -626,6 +825,7 @@ impl<W> Engine<W> {
                 p.on_spawn(None);
             }
             self.core.prof = Some(p);
+            self.free_slots.clear();
         }
     }
 
@@ -643,7 +843,7 @@ impl<W> Engine<W> {
         Some(DepGraph {
             nodes: old.nodes,
             issues: old.issues,
-            labels: self.core.labels.clone(),
+            labels: self.core.labels.strings().to_vec(),
             resource_labels: self
                 .core
                 .metrics
@@ -689,14 +889,20 @@ impl<W> Engine<W> {
     /// [`SimError::Timeout`].
     pub fn abort(&mut self) {
         self.core.queue.clear();
-        for w in &mut self.core.waiters {
-            w.clear();
+        self.core.waiters.reset();
+        for c in &mut self.core.cells {
+            c.head = NIL;
+            c.tail = NIL;
         }
         let now = self.core.now;
+        let recycle = !self.core.observed();
         for (i, slot) in self.processes.iter_mut().enumerate() {
             if slot.state != ProcState::Done {
                 slot.state = ProcState::Done;
                 slot.proc = None;
+                if recycle {
+                    self.free_slots.push(i as u32);
+                }
             }
             // Close open spans innermost-first so the trace balances.
             while let Some(id) = self.core.span_stacks[i].pop() {
@@ -723,6 +929,18 @@ impl<W> Engine<W> {
         self.core.metrics.inc(name, delta);
     }
 
+    /// Resolves a span label to a stable id for [`Ctx::span_begin_id`]
+    /// ahead of a run (e.g. once per launch batch).
+    pub fn span_label_id(&mut self, label: &str) -> SpanLabelId {
+        SpanLabelId(self.core.intern(label))
+    }
+
+    /// Resolves a counter name to a stable id for [`Ctx::count_id`]
+    /// ahead of a run.
+    pub fn counter_id(&mut self, name: &str) -> CounterId {
+        self.core.metrics.counter_id(name)
+    }
+
     /// Attaches a diagnostic label to a resource.
     pub fn label_resource(&mut self, resource: ResourceId, label: &str) {
         self.core.metrics.set_label(resource, label);
@@ -736,6 +954,13 @@ impl<W> Engine<W> {
     /// Total events processed so far (a proxy for simulation effort).
     pub fn events_processed(&self) -> u64 {
         self.core.events_processed
+    }
+
+    /// How many event pushes requested a past instant and were clamped to
+    /// the then-current time. Normally zero; a nonzero value flags a cost
+    /// model or process emitting events behind the clock.
+    pub fn clamped_past_events(&self) -> u64 {
+        self.core.clamped_past
     }
 
     /// Shared access to the world.
@@ -755,14 +980,17 @@ impl<W> Engine<W> {
 
     /// Allocates a fresh cell with value zero.
     pub fn alloc_cell(&mut self) -> CellId {
-        self.core.cells.push(0);
-        self.core.waiters.push(Vec::new());
+        self.core.cells.push(CellSlot {
+            value: 0,
+            head: NIL,
+            tail: NIL,
+        });
         CellId(self.core.cells.len() - 1)
     }
 
     /// Current value of a cell.
     pub fn cell(&self, cell: CellId) -> u64 {
-        self.core.cells[cell.0]
+        self.core.cells[cell.0].value
     }
 
     /// Allocates a fresh resource that is free immediately.
@@ -779,8 +1007,7 @@ impl<W> Engine<W> {
 
     /// Spawns a process; it will first run at the current instant.
     pub fn spawn<P: Process<W> + 'static>(&mut self, proc: P) -> ProcId {
-        let label = proc.label();
-        self.spawn_boxed(Box::new(proc), label, false, None)
+        self.spawn_boxed(Box::new(proc), false, None)
     }
 
     /// Spawns a *daemon* process: a long-lived server (such as a CPU proxy
@@ -789,19 +1016,33 @@ impl<W> Engine<W> {
     /// returns `Ok` with daemons still blocked; they wake again if a later
     /// batch of processes satisfies their condition.
     pub fn spawn_daemon<P: Process<W> + 'static>(&mut self, proc: P) -> ProcId {
-        let label = proc.label();
-        self.spawn_boxed(Box::new(proc), label, true, None)
+        self.spawn_boxed(Box::new(proc), true, None)
     }
 
     fn spawn_boxed(
         &mut self,
         proc: Box<dyn Process<W>>,
-        label: String,
         daemon: bool,
         origin: Option<u32>,
     ) -> ProcId {
+        if !self.core.observed() {
+            if let Some(i) = self.free_slots.pop() {
+                let slot = &mut self.processes[i as usize];
+                slot.proc = Some(proc);
+                slot.state = ProcState::Scheduled;
+                slot.label_id = UNSET_LABEL;
+                slot.daemon = daemon;
+                slot.gen = slot.gen.wrapping_add(1);
+                // `epoch` deliberately persists across incarnations.
+                slot.blocked_at = self.core.now;
+                let gen = slot.gen;
+                self.core.span_stacks[i as usize].clear();
+                let id = ProcId(i as usize);
+                self.core.push(self.core.now, EventKind::Wake(id, gen));
+                return id;
+            }
+        }
         let id = ProcId(self.processes.len());
-        let label_id = self.core.intern(&label);
         self.core.span_stacks.push(Vec::new());
         if let Some(p) = &mut self.core.prof {
             p.on_spawn(origin);
@@ -809,26 +1050,40 @@ impl<W> Engine<W> {
         self.processes.push(Slot {
             proc: Some(proc),
             state: ProcState::Scheduled,
-            label,
-            label_id,
+            label_id: UNSET_LABEL,
             daemon,
+            gen: 0,
             epoch: 0,
             blocked_at: self.core.now,
         });
-        self.core.push(self.core.now, EventKind::Wake(id));
+        self.core.push(self.core.now, EventKind::Wake(id, 0));
         id
+    }
+
+    /// A blocked process's diagnostic label, resolved lazily: the interned
+    /// id if one exists, otherwise formatted from the process itself.
+    /// Labels are only materialized on error paths and under observation,
+    /// never on plain spawns.
+    fn label_of(&self, i: usize) -> String {
+        let slot = &self.processes[i];
+        if slot.label_id != UNSET_LABEL {
+            return self.core.labels.resolve(slot.label_id).to_owned();
+        }
+        slot.proc
+            .as_ref()
+            .map_or_else(|| "<finished process>".to_owned(), |p| p.label())
     }
 
     fn snapshot_blocked(&self, i: usize, cell: CellId, at_least: u64) -> BlockedProcess {
         BlockedProcess {
             proc: ProcId(i),
-            label: self.processes[i].label.clone(),
+            label: self.label_of(i),
             cell,
             needed: at_least,
-            actual: self.core.cells[cell.0],
+            actual: self.core.cells[cell.0].value,
             span_stack: self.core.span_stacks[i]
                 .iter()
-                .map(|&id| self.core.labels[id as usize].clone())
+                .map(|&id| self.core.labels.resolve(id).to_owned())
                 .collect(),
         }
     }
@@ -844,19 +1099,22 @@ impl<W> Engine<W> {
     /// plan's watchdog). After a timeout, call [`Engine::abort`] before
     /// reusing the engine.
     pub fn run(&mut self) -> Result<(), SimError> {
-        let mut spawned: Vec<(Box<dyn Process<W>>, String, bool)> = Vec::new();
-        while let Some(Reverse(ev)) = self.core.queue.pop() {
-            debug_assert!(ev.time >= self.core.now, "time went backwards");
-            if let EventKind::TimeoutCheck(pid, epoch) = ev.kind {
+        let mut spawned: Vec<(Box<dyn Process<W>>, bool)> = Vec::new();
+        while let Some(ev) = self.core.queue.pop() {
+            debug_assert!(ev.time >= self.core.now.as_ps(), "time went backwards");
+            if let EventKind::TimeoutCheck(pid, gen, epoch) = ev.payload {
                 let slot = &self.processes[pid.0];
-                let fired = slot.epoch == epoch && matches!(slot.state, ProcState::Blocked { .. });
+                let fired = slot.gen == gen
+                    && slot.epoch == epoch
+                    && matches!(slot.state, ProcState::Blocked { .. });
                 if !fired {
-                    // Stale check: the guarded wait completed. Crucially the
-                    // clock is NOT advanced, so an unused deadline leaves no
-                    // trace on a healthy run's timings.
+                    // Stale check: the guarded wait completed (or the slot
+                    // was recycled). Crucially the clock is NOT advanced,
+                    // so an unused deadline leaves no trace on a healthy
+                    // run's timings.
                     continue;
                 }
-                self.core.now = ev.time;
+                self.core.now = Time::from_ps(ev.time);
                 self.core.events_processed += 1;
                 let ProcState::Blocked { cell, at_least } = slot.state else {
                     unreachable!("fired timeout check on non-blocked process");
@@ -874,17 +1132,24 @@ impl<W> Engine<W> {
                     span_stack: std::mem::take(&mut err.span_stack),
                 }));
             }
-            self.core.now = ev.time;
+            self.core.now = Time::from_ps(ev.time);
             self.core.events_processed += 1;
-            match ev.kind {
+            match ev.payload {
                 EventKind::TimeoutCheck(..) => unreachable!("handled above"),
-                EventKind::Wake(pid) => {
+                EventKind::Wake(pid, gen) => {
                     let slot = &mut self.processes[pid.0];
-                    if slot.state != ProcState::Scheduled {
+                    if slot.gen != gen || slot.state != ProcState::Scheduled {
                         continue; // stale wake
                     }
                     let mut proc = slot.proc.take().expect("scheduled process missing body");
-                    let label_id = slot.label_id;
+                    let label_id = if self.core.trace.is_some() || self.core.prof.is_some() {
+                        if slot.label_id == UNSET_LABEL {
+                            slot.label_id = self.core.labels.get_or_intern(&proc.label());
+                        }
+                        slot.label_id
+                    } else {
+                        UNSET_LABEL
+                    };
                     self.core
                         .record(self.core.now, pid.0, label_id, TraceEventKind::StepBegin);
                     if let Some(p) = &mut self.core.prof {
@@ -915,7 +1180,7 @@ impl<W> Engine<W> {
                         Step::Yield(d) => {
                             slot.proc = Some(proc);
                             slot.state = ProcState::Scheduled;
-                            self.core.push(self.core.now + d, EventKind::Wake(pid));
+                            self.core.push(self.core.now + d, EventKind::Wake(pid, gen));
                             self.core.record(
                                 self.core.now + d,
                                 pid.0,
@@ -932,17 +1197,25 @@ impl<W> Engine<W> {
                                 label_id,
                                 TraceEventKind::StepEnd,
                             );
-                            if self.core.cells[cell.0] >= at_least {
+                            if self.core.cells[cell.0].value >= at_least {
                                 slot.state = ProcState::Scheduled;
-                                self.core.push(self.core.now, EventKind::Wake(pid));
+                                self.core.push(self.core.now, EventKind::Wake(pid, gen));
                             } else {
                                 slot.state = ProcState::Blocked { cell, at_least };
                                 slot.epoch += 1;
                                 slot.blocked_at = self.core.now;
-                                self.core.waiters[cell.0].push((at_least, pid));
+                                let node = self.core.waiters.alloc(at_least, pid.0 as u32);
+                                let c = &mut self.core.cells[cell.0];
+                                if c.tail == NIL {
+                                    c.head = node;
+                                } else {
+                                    self.core.waiters.nodes[c.tail as usize].next = node;
+                                }
+                                self.core.cells[cell.0].tail = node;
                                 // Effective deadline: the step's own, and/or
                                 // the plan watchdog (non-daemons only —
                                 // daemons legitimately park on idle FIFOs).
+                                let slot = &self.processes[pid.0];
                                 let explicit = match step {
                                     Step::WaitCellTimeout { timeout, .. } => Some(timeout),
                                     _ => None,
@@ -960,7 +1233,7 @@ impl<W> Engine<W> {
                                     let epoch = slot.epoch;
                                     self.core.push(
                                         self.core.now + d,
-                                        EventKind::TimeoutCheck(pid, epoch),
+                                        EventKind::TimeoutCheck(pid, gen, epoch),
                                     );
                                 }
                             }
@@ -973,59 +1246,82 @@ impl<W> Engine<W> {
                                 label_id,
                                 TraceEventKind::StepEnd,
                             );
-                            // proc dropped here
+                            // proc dropped here; the slot becomes
+                            // recyclable unless an observer pins indices.
+                            drop(proc);
+                            if !self.core.observed() {
+                                self.core.span_stacks[pid.0].clear();
+                                self.free_slots.push(pid.0 as u32);
+                            }
                         }
                     }
-                    for (p, label, daemon) in spawned.drain(..) {
-                        self.spawn_boxed(p, label, daemon, origin);
+                    for (p, daemon) in spawned.drain(..) {
+                        self.spawn_boxed(p, daemon, origin);
                     }
                 }
                 EventKind::CellAdd(cell, delta, issue) => {
-                    self.core.cells[cell.0] += delta;
-                    let value = self.core.cells[cell.0];
-                    let waiters = &mut self.core.waiters[cell.0];
-                    let mut i = 0;
-                    while i < waiters.len() {
-                        if waiters[i].0 <= value {
-                            let (_, pid) = waiters.swap_remove(i);
-                            self.processes[pid.0].state = ProcState::Scheduled;
-                            if let Some(p) = &mut self.core.prof {
-                                p.on_signal_wake(pid.0, issue);
+                    let c = cell.0;
+                    self.core.cells[c].value += delta;
+                    let value = self.core.cells[c].value;
+                    // Walk the waiter list in block (FIFO) order, waking
+                    // and unlinking every satisfied waiter.
+                    let mut prev = NIL;
+                    let mut cur = self.core.cells[c].head;
+                    while cur != NIL {
+                        let node = self.core.waiters.nodes[cur as usize];
+                        if node.at_least <= value {
+                            if prev == NIL {
+                                self.core.cells[c].head = node.next;
+                            } else {
+                                self.core.waiters.nodes[prev as usize].next = node.next;
                             }
-                            let seq = self.core.seq;
-                            self.core.seq += 1;
-                            self.core.queue.push(Reverse(Ev {
-                                time: self.core.now,
-                                seq,
-                                kind: EventKind::Wake(pid),
-                            }));
+                            if self.core.cells[c].tail == cur {
+                                self.core.cells[c].tail = prev;
+                            }
+                            self.core.waiters.release(cur);
+                            let pid = node.pid as usize;
+                            let slot = &mut self.processes[pid];
+                            slot.state = ProcState::Scheduled;
+                            let gen = slot.gen;
+                            if let Some(p) = &mut self.core.prof {
+                                p.on_signal_wake(pid, issue);
+                            }
+                            self.core
+                                .push(self.core.now, EventKind::Wake(ProcId(pid), gen));
                         } else {
-                            i += 1;
+                            prev = cur;
                         }
+                        cur = node.next;
                     }
                 }
             }
         }
-        let mut blocked = Vec::new();
-        let mut daemons = Vec::new();
+        // First pass collects indices only: parked daemons at quiescence are
+        // the normal idle state of proxy threads, and snapshotting them
+        // (label format + span-stack clone) must not tax the success path.
+        let mut blocked_idx = Vec::new();
+        let mut daemon_idx = Vec::new();
         for (i, s) in self.processes.iter().enumerate() {
-            if let ProcState::Blocked { cell, at_least } = s.state {
-                let snap = self.snapshot_blocked(i, cell, at_least);
+            if matches!(s.state, ProcState::Blocked { .. }) {
                 if s.daemon {
-                    daemons.push(snap);
+                    daemon_idx.push(i);
                 } else {
-                    blocked.push(snap);
+                    blocked_idx.push(i);
                 }
             }
         }
-        if blocked.is_empty() {
-            // Daemon-only parked processes at quiescence are the normal
-            // idle state of proxy threads, not a deadlock.
+        if blocked_idx.is_empty() {
             Ok(())
         } else {
+            let snap = |i: usize| {
+                let ProcState::Blocked { cell, at_least } = self.processes[i].state else {
+                    unreachable!("index collected from a blocked slot");
+                };
+                self.snapshot_blocked(i, cell, at_least)
+            };
             Err(SimError::Deadlock(DeadlockError {
-                blocked,
-                daemons,
+                blocked: blocked_idx.iter().map(|&i| snap(i)).collect(),
+                daemons: daemon_idx.iter().map(|&i| snap(i)).collect(),
                 at: self.core.now,
             }))
         }
@@ -1682,5 +1978,223 @@ mod tests {
         assert_eq!(*e2.world(), 2);
         assert!(e2.now() >= t1);
         drop(e);
+    }
+
+    /// Regression (works in release builds too, unlike the old
+    /// `debug_assert!`): an event scheduled behind the clock is clamped
+    /// to now instead of silently reordering the queue.
+    #[test]
+    fn past_scheduled_event_is_clamped_to_now() {
+        struct LatePoster {
+            cell: CellId,
+            phase: u8,
+        }
+        impl Process<Option<Time>> for LatePoster {
+            fn step(&mut self, ctx: &mut Ctx<'_, Option<Time>>) -> Step {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Step::Yield(Duration::from_ns(100.0))
+                    }
+                    _ => {
+                        // The clock is at 100ns; request delivery at t=0.
+                        ctx.cell_add_at(self.cell, 1, Time::ZERO);
+                        Step::Done
+                    }
+                }
+            }
+        }
+        struct Waiter {
+            cell: CellId,
+            started: bool,
+        }
+        impl Process<Option<Time>> for Waiter {
+            fn step(&mut self, ctx: &mut Ctx<'_, Option<Time>>) -> Step {
+                if self.started {
+                    *ctx.world = Some(ctx.now());
+                    return Step::Done;
+                }
+                self.started = true;
+                Step::WaitCell {
+                    cell: self.cell,
+                    at_least: 1,
+                }
+            }
+        }
+        let mut e = Engine::new(None);
+        let cell = e.alloc_cell();
+        e.spawn(Waiter {
+            cell,
+            started: false,
+        });
+        e.spawn(LatePoster { cell, phase: 0 });
+        e.run().unwrap();
+        // The update landed at the clamp instant, not in the past, and
+        // the clamp was counted.
+        assert_eq!(e.world().unwrap().as_ns(), 100.0);
+        assert_eq!(e.clamped_past_events(), 1);
+        assert_eq!(e.now().as_ns(), 100.0, "clock never moved backwards");
+    }
+
+    /// Waiters blocked on the same cell wake in block (FIFO) order when
+    /// one update satisfies them all.
+    #[test]
+    fn simultaneous_wakes_are_fifo_in_block_order() {
+        struct Blocker {
+            cell: CellId,
+            tag: u8,
+            waited: bool,
+        }
+        impl Process<Vec<u8>> for Blocker {
+            fn step(&mut self, ctx: &mut Ctx<'_, Vec<u8>>) -> Step {
+                if self.waited {
+                    ctx.world.push(self.tag);
+                    return Step::Done;
+                }
+                self.waited = true;
+                Step::WaitCell {
+                    cell: self.cell,
+                    at_least: 1,
+                }
+            }
+        }
+        struct Kick {
+            cell: CellId,
+            phase: u8,
+        }
+        impl Process<Vec<u8>> for Kick {
+            fn step(&mut self, ctx: &mut Ctx<'_, Vec<u8>>) -> Step {
+                if self.phase == 0 {
+                    self.phase = 1;
+                    return Step::Yield(Duration::from_ns(10.0));
+                }
+                ctx.cell_add(self.cell, 1);
+                Step::Done
+            }
+        }
+        let mut e = Engine::new(Vec::new());
+        let cell = e.alloc_cell();
+        for tag in 0..3 {
+            e.spawn(Blocker {
+                cell,
+                tag,
+                waited: false,
+            });
+        }
+        e.spawn(Kick { cell, phase: 0 });
+        e.run().unwrap();
+        assert_eq!(*e.world(), vec![0, 1, 2]);
+    }
+
+    /// Finished slots are recycled between run batches when nothing
+    /// observes process identity — and never recycled once tracing or
+    /// profiling pins slot indices.
+    #[test]
+    fn slots_recycle_only_when_unobserved() {
+        struct Once;
+        impl Process<()> for Once {
+            fn step(&mut self, _ctx: &mut Ctx<'_, ()>) -> Step {
+                Step::Done
+            }
+        }
+        let mut e = Engine::new(());
+        let a = e.spawn(Once);
+        e.run().unwrap();
+        let b = e.spawn(Once);
+        assert_eq!(a, b, "finished slot is reused");
+        e.run().unwrap();
+        e.enable_tracing();
+        let c = e.spawn(Once);
+        assert_ne!(a, c, "tracing pins slot identity");
+        e.run().unwrap();
+        let d = e.spawn(Once);
+        assert_ne!(c, d, "no recycling while tracing stays on");
+    }
+
+    /// A timeout check armed by a previous occupant of a recycled slot
+    /// must never fire against the new occupant: the generation stamp
+    /// (and the persistent epoch) make it stale.
+    #[test]
+    fn stale_timeout_check_ignores_recycled_slot() {
+        struct BriefWait {
+            cell: CellId,
+            waited: bool,
+        }
+        impl Process<()> for BriefWait {
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Step {
+                if self.waited {
+                    return Step::Done;
+                }
+                self.waited = true;
+                // Long deadline; the wait is satisfied at 1us, leaving the
+                // check pending in the queue.
+                ctx.cell_add_at(self.cell, 1, ctx.now() + Duration::from_us(1.0));
+                Step::WaitCellTimeout {
+                    cell: self.cell,
+                    at_least: 1,
+                    timeout: Duration::from_us(50.0),
+                }
+            }
+        }
+        let mut e = Engine::new(());
+        let wait_cell = e.alloc_cell();
+        let never = e.alloc_cell();
+        let first = e.spawn(BriefWait {
+            cell: wait_cell,
+            waited: false,
+        });
+        e.run().unwrap();
+        // Recycle the finished slot for a process that blocks forever.
+        let second = e.spawn(Parked { cell: never });
+        assert_eq!(first, second, "precondition: the slot was recycled");
+        // A long-yield bystander keeps the queue alive past the stale
+        // check's deadline; the check must not convert the parked process
+        // into a bogus timeout.
+        struct SlowBystander(bool);
+        impl Process<()> for SlowBystander {
+            fn step(&mut self, _ctx: &mut Ctx<'_, ()>) -> Step {
+                if self.0 {
+                    return Step::Done;
+                }
+                self.0 = true;
+                Step::Yield(Duration::from_us(100.0))
+            }
+        }
+        e.spawn(SlowBystander(false));
+        let err = e.run().unwrap_err();
+        assert!(
+            err.as_deadlock().is_some(),
+            "expected deadlock at quiescence, got {err}"
+        );
+    }
+
+    /// Spawning the same process shape many times stores its label once
+    /// (single-copy interning), and only when something observes labels.
+    #[test]
+    fn labels_are_interned_once_and_lazily() {
+        struct Labeled;
+        impl Process<()> for Labeled {
+            fn step(&mut self, _ctx: &mut Ctx<'_, ()>) -> Step {
+                Step::Done
+            }
+            fn label(&self) -> String {
+                "worker tb".to_owned()
+            }
+        }
+        let mut e = Engine::new(());
+        for _ in 0..100 {
+            e.spawn(Labeled);
+        }
+        e.run().unwrap();
+        // Unobserved run: no label was ever formatted or interned.
+        assert_eq!(e.core.labels.len(), 0);
+        e.enable_tracing();
+        for _ in 0..100 {
+            e.spawn(Labeled);
+        }
+        e.run().unwrap();
+        let trace = e.take_trace().unwrap();
+        // 100 traced spawns of the same shape intern exactly one label.
+        assert_eq!(trace.labels, vec!["worker tb".to_owned()]);
     }
 }

@@ -38,9 +38,11 @@
 //! assert_eq!(engine.now().as_ns(), 30.0);
 //! ```
 
+mod calendar;
 mod depgraph;
 mod engine;
 mod fault;
+mod intern;
 mod metrics;
 mod process;
 mod time;
@@ -49,10 +51,11 @@ mod vclock;
 
 pub use depgraph::{AcquireRec, DepGraph, DepNode, IssueRec, WakeCause};
 pub use engine::{
-    BlockedProcess, CellId, Ctx, DeadlockError, Engine, ProcId, ResourceId, SimError, TimeoutError,
+    BlockedProcess, CellId, Ctx, DeadlockError, Engine, ProcId, ResourceId, SimError, SpanLabelId,
+    TimeoutError,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultTarget, PathState, SimRng};
-pub use metrics::{Metrics, ResourceStat};
+pub use metrics::{CounterId, Metrics, ResourceStat};
 pub use process::{Process, Step};
 pub use time::{Duration, Time};
 pub use trace::{HighlightSegment, Trace, TraceEvent, TraceEventKind};

@@ -7,11 +7,22 @@
 //! explicit [`crate::Ctx::meter_bytes`] calls at transfer sites. The
 //! registry is append-only and deterministic: counters iterate in name
 //! order, resources in allocation order.
-
-use std::collections::BTreeMap;
+//!
+//! Counter names are interned (single owned copy per distinct name) and
+//! values live in a dense id-indexed array, so `inc` is a short hash
+//! probe plus an array add — cheap enough for per-instruction accounting
+//! on the simulator's hot path. Sites that increment the same counter
+//! many times should resolve a [`CounterId`] once and use
+//! [`Metrics::inc_id`], which skips even the hash.
 
 use crate::engine::ResourceId;
+use crate::intern::Interner;
 use crate::time::Duration;
+
+/// A pre-resolved counter handle (see [`Metrics::counter_id`]): stable
+/// for the lifetime of the registry that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
 
 /// A snapshot of one resource's accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,9 +43,10 @@ pub struct ResourceStat {
 }
 
 /// Monotonic counters and per-resource accounting for one engine.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
+    names: Interner,
+    values: Vec<u64>,
     labels: Vec<String>,
     busy: Vec<Duration>,
     bytes: Vec<u64>,
@@ -42,32 +54,79 @@ pub struct Metrics {
     queue_delay: Vec<Duration>,
 }
 
+/// Counter equality is *content* equality (same name → value mapping),
+/// independent of first-increment order, so two deterministic runs that
+/// discover counters in different orders still compare equal.
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels == other.labels
+            && self.busy == other.busy
+            && self.bytes == other.bytes
+            && self.acquires == other.acquires
+            && self.queue_delay == other.queue_delay
+            && self.sorted_counters() == other.sorted_counters()
+    }
+}
+
+impl Eq for Metrics {}
+
 impl Metrics {
     /// Adds `delta` to the named counter, creating it at zero first.
     pub fn inc(&mut self, name: &str, delta: u64) {
-        if let Some(v) = self.counters.get_mut(name) {
-            *v += delta;
-        } else {
-            self.counters.insert(name.to_owned(), delta);
+        let id = self.counter_id(name);
+        self.values[id.0 as usize] += delta;
+    }
+
+    /// Resolves a name to a stable [`CounterId`] (creating the counter at
+    /// zero if new). Resolve once, then use [`Metrics::inc_id`] on hot
+    /// paths.
+    pub fn counter_id(&mut self, name: &str) -> CounterId {
+        let id = self.names.get_or_intern(name);
+        if id as usize == self.values.len() {
+            self.values.push(0);
         }
+        CounterId(id)
+    }
+
+    /// Adds `delta` to a pre-resolved counter: one array add.
+    pub fn inc_id(&mut self, id: CounterId, delta: u64) {
+        self.values[id.0 as usize] += delta;
     }
 
     /// Current value of a counter (zero if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.names
+            .get(name)
+            .map_or(0, |id| self.values[id as usize])
+    }
+
+    /// Name/value pairs sorted by name (the deterministic iteration
+    /// order, regardless of first-increment order).
+    fn sorted_counters(&self) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> = self
+            .names
+            .strings()
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.as_str(), self.values[i]))
+            .collect();
+        v.sort_unstable_by_key(|&(name, _)| name);
+        v
     }
 
     /// All counters, in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        self.sorted_counters().into_iter()
     }
 
     /// Sum of every counter whose name starts with `prefix`.
     pub fn counter_sum(&self, prefix: &str) -> u64 {
-        self.counters
-            .range(prefix.to_owned()..)
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(_, &v)| v)
+        self.names
+            .strings()
+            .iter()
+            .enumerate()
+            .filter(|(_, name)| name.starts_with(prefix))
+            .map(|(i, _)| self.values[i])
             .sum()
     }
 
@@ -161,6 +220,30 @@ mod tests {
         assert_eq!(m.counter_sum("sync."), 6);
         assert_eq!(m.counter_sum("sync"), 106);
         assert_eq!(m.counter_sum("zzz"), 0);
+    }
+
+    #[test]
+    fn counter_ids_are_stable_and_fast_path_matches_named_path() {
+        let mut m = Metrics::default();
+        let id = m.counter_id("instr.put");
+        assert_eq!(m.counter("instr.put"), 0, "resolved counters exist at 0");
+        m.inc_id(id, 3);
+        m.inc("instr.put", 2);
+        assert_eq!(m.counter_id("instr.put"), id);
+        assert_eq!(m.counter("instr.put"), 5);
+    }
+
+    #[test]
+    fn equality_ignores_first_increment_order() {
+        let mut a = Metrics::default();
+        a.inc("x", 1);
+        a.inc("y", 2);
+        let mut b = Metrics::default();
+        b.inc("y", 2);
+        b.inc("x", 1);
+        assert_eq!(a, b);
+        b.inc("x", 1);
+        assert_ne!(a, b);
     }
 
     #[test]
