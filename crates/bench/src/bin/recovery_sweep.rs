@@ -6,10 +6,19 @@
 //! Every single-node built-in algorithm is swept; the kill time slides
 //! from "barely launched" to "deep in flight" so the sweep shows how
 //! much in-flight state the drain has to discard at each point.
+//!
+//! A second, multi-node section sweeps the hierarchical algorithms by
+//! *failure class* (DESIGN.md §14): a non-leader member death, a node
+//! leader death (forcing re-election), a whole node lost at once, and a
+//! straggler quarantine (a voluntary shrink — no drain, no wreckage).
+//! Each point's `class` field carries the label; single-node points are
+//! all `member` deaths.
 
 use bench::report::write_results_json;
 use bench::{fmt_bytes, Target};
-use collective::{AllReduceAlgo, CollComm, PeerOrder, RecoveryOutcome, ScratchReuse};
+use collective::{
+    AllReduceAlgo, CollComm, PeerOrder, RecoveryOutcome, ScratchReuse, StragglerPolicy,
+};
 use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};
 use sim::{Duration, Engine, FaultPlan, Time};
 
@@ -23,6 +32,7 @@ fn us(x: u64) -> Time {
 struct Point {
     algo: &'static str,
     env: EnvKind,
+    class: &'static str,
     kill_us: u64,
     outcome: String,
     recovery_us: f64,
@@ -87,12 +97,128 @@ fn run_point(
     Some(Point {
         algo: label,
         env,
+        class: "member",
         kill_us,
         outcome: format!("{:?}", recovery.outcome),
         recovery_us: recovery.recovery_time.as_us(),
         drained: recovery.drain.cancelled(),
         survivors: recovery.group.len(),
     })
+}
+
+/// One multi-node kill-and-recover run: a two-node world, a hierarchical
+/// algorithm, and a failure-class-specific victim set (one member, one
+/// leader, or a whole node).
+fn run_class_point(
+    label: &'static str,
+    algo: AllReduceAlgo,
+    class: &'static str,
+    victims: &[usize],
+) -> Point {
+    let env = EnvKind::A100_40G;
+    let n = Target { env, nodes: 2 }.world();
+    let count = BYTES / 4;
+    let mut e = Engine::new(Machine::new(env.spec(2)));
+    // The detection timeout must exceed the worst-case legitimate wait of
+    // the shrunken leader-relay plan (members wait while the whole
+    // message funnels through their leader).
+    e.set_fault_plan(
+        FaultPlan::new(7)
+            .node_down(victims, us(20))
+            .with_wait_timeout(Duration::from_us(2_000.0)),
+    );
+    hw::wire(&mut e);
+    let ins: Vec<BufferId> = (0..n)
+        .map(|r| {
+            let b = e.world_mut().pool_mut().alloc(Rank(r), count * 4);
+            e.world_mut()
+                .pool_mut()
+                .fill_with(b, DataType::F32, move |i| ((r + i) % 5) as f32);
+            b
+        })
+        .collect();
+    let outs: Vec<BufferId> = (0..n)
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), count * 4))
+        .collect();
+    let comm = CollComm::new();
+    comm.all_reduce_with(
+        &mut e,
+        &ins,
+        &outs,
+        count,
+        DataType::F32,
+        ReduceOp::Sum,
+        algo,
+    )
+    .expect_err("the scheduled deaths must interrupt the collective");
+    let recovery = comm
+        .shrink(&mut e, &[])
+        .unwrap_or_else(|err| panic!("{label} {class}: shrink failed: {err}"));
+    assert_eq!(
+        recovery.outcome,
+        RecoveryOutcome::Replayed,
+        "{label} {class}"
+    );
+    Point {
+        algo: label,
+        env,
+        class,
+        kill_us: 20,
+        outcome: format!("{:?}", recovery.outcome),
+        recovery_us: recovery.recovery_time.as_us(),
+        drained: recovery.drain.cancelled(),
+        survivors: recovery.group.len(),
+    }
+}
+
+/// Straggler quarantine on a two-node world: rank 5's SM clock degrades
+/// until the detector suspects it, then the quarantine evicts it via a
+/// voluntary shrink. The recovery latency here is pure re-wire cost —
+/// there is no wreckage to drain. The launches use the default algorithm
+/// selection (as a serving loop would); the detector threshold is tuned
+/// to that plan's completion-time spread.
+fn run_straggler_point() -> Point {
+    let env = EnvKind::A100_40G;
+    let n = 16;
+    let count = BYTES / 4;
+    let mut e = Engine::new(Machine::new(env.spec(2)));
+    e.set_fault_plan(FaultPlan::new(5).straggler(5, 1000.0, Time::from_ps(0), Time::MAX));
+    hw::wire(&mut e);
+    let bufs: Vec<BufferId> = (0..n)
+        .map(|r| {
+            let b = e.world_mut().pool_mut().alloc(Rank(r), count * 4);
+            e.world_mut()
+                .pool_mut()
+                .fill_with(b, DataType::F32, move |i| ((r + i) % 5) as f32);
+            b
+        })
+        .collect();
+    let mut comm = CollComm::new();
+    comm.set_straggler_policy(StragglerPolicy {
+        window: 4,
+        threshold: 1.2,
+        quorum: 3,
+        quarantine: true,
+    });
+    for launch in 0..3 {
+        comm.all_reduce(&mut e, &bufs, &bufs, count, DataType::F32, ReduceOp::Sum)
+            .unwrap_or_else(|err| panic!("straggler launch {launch}: {err}"));
+    }
+    assert_eq!(comm.suspected_stragglers(), vec![Rank(5)]);
+    let recovery = comm
+        .quarantine_stragglers(&mut e)
+        .unwrap_or_else(|err| panic!("straggler quarantine: {err}"))
+        .expect("a suspect with quarantine enabled must shrink");
+    Point {
+        algo: "auto",
+        env,
+        class: "straggler",
+        kill_us: 0,
+        outcome: format!("{:?}", recovery.outcome),
+        recovery_us: recovery.recovery_time.as_us(),
+        drained: recovery.drain.cancelled(),
+        survivors: recovery.group.len(),
+    }
 }
 
 fn main() {
@@ -147,6 +273,31 @@ fn main() {
     }
     assert!(!points.is_empty(), "every run completed before its kill");
 
+    println!("\n==== multi-node failure classes (2 nodes, hierarchical) ====");
+    let node1: Vec<usize> = (8..16).collect();
+    let classes: [(&'static str, &[usize]); 3] =
+        [("member", &[3]), ("leader", &[8]), ("node", &node1)];
+    for (hier_label, hier_algo) in [
+        ("hier_ll", AllReduceAlgo::HierLl),
+        ("hier_hb", AllReduceAlgo::HierHb),
+    ] {
+        for (class, victims) in classes {
+            let p = run_class_point(hier_label, hier_algo, class, victims);
+            println!(
+                "{hier_label:>18} {class:>9}: recovery {:>8.1} us, \
+                 {} drained, {} survivors",
+                p.recovery_us, p.drained, p.survivors
+            );
+            points.push(p);
+        }
+    }
+    let p = run_straggler_point();
+    println!(
+        "{:>18} straggler: recovery {:>8.1} us, {} drained, {} survivors",
+        p.algo, p.recovery_us, p.drained, p.survivors
+    );
+    points.push(p);
+
     let mut json = format!(
         "{{\"title\":\"recovery_sweep\",\"schema_version\":{},\"points\":[",
         bench::report::SCHEMA_VERSION
@@ -156,9 +307,10 @@ fn main() {
             json.push(',');
         }
         json.push_str(&format!(
-            "{{\"algo\":\"{}\",\"env\":\"{:?}\",\"kill_us\":{},\"outcome\":\"{}\",\
+            "{{\"algo\":\"{}\",\"env\":\"{:?}\",\"class\":\"{}\",\"kill_us\":{},\
+             \"outcome\":\"{}\",\
              \"recovery_us\":{:.3},\"drained_requests\":{},\"survivors\":{}}}",
-            p.algo, p.env, p.kill_us, p.outcome, p.recovery_us, p.drained, p.survivors
+            p.algo, p.env, p.class, p.kill_us, p.outcome, p.recovery_us, p.drained, p.survivors
         ));
     }
     json.push_str("]}\n");

@@ -69,6 +69,17 @@ pub enum Case {
         /// Message bytes (small, so engine cost dominates).
         bytes: usize,
     },
+    /// Post-recovery steady state: a multi-node world loses one rank
+    /// mid-AllReduce, shrinks, and then runs AllReduce on the survivor
+    /// group's rebuilt hierarchical (leader-relay) plan. Gates the
+    /// recovery path's plan quality — a regression here means shrunken
+    /// epochs got slower even though the healthy path is unchanged.
+    ShrunkenAllReduce {
+        /// Environment + nodes (8 ranks/node; one rank dies).
+        target: Target,
+        /// Message bytes.
+        bytes: usize,
+    },
 }
 
 impl Case {
@@ -97,6 +108,14 @@ impl Case {
             Case::EngineThroughput { target, bytes } => {
                 format!(
                     "engine/allreduce/{:?}/{}/{}B",
+                    target.env,
+                    target.label(),
+                    bytes
+                )
+            }
+            Case::ShrunkenAllReduce { target, bytes } => {
+                format!(
+                    "shrunken-allreduce/mscclpp/{:?}/{}/{}B",
                     target.env,
                     target.label(),
                     bytes
@@ -163,6 +182,15 @@ pub fn pinned_suite() -> Vec<Case> {
             nodes: 8,
         },
         bytes: 1 << 10,
+    });
+    // Post-recovery steady state on a two-node survivor group (one rank
+    // lost): pins the shrunken hierarchical plan's latency.
+    cases.push(Case::ShrunkenAllReduce {
+        target: Target {
+            env: EnvKind::A100_40G,
+            nodes: 2,
+        },
+        bytes: 1 << 20,
     });
     cases
 }
@@ -249,7 +277,58 @@ pub fn run_case(case: &Case, iters: usize) -> CaseResult {
             r.eps = eps;
             r
         }
+        Case::ShrunkenAllReduce { target, bytes } => {
+            let mut h = Histogram::new();
+            for us in iterate_shrunken_allreduce(*target, *bytes, iters) {
+                h.record((us * 1e3).round() as u64);
+            }
+            CaseResult::from_hist(name, &h)
+        }
     }
+}
+
+/// Kills one rank mid-AllReduce, shrinks, and then times `iters`
+/// steady-state launches on the survivor group's rebuilt plan. The
+/// timed iterations exclude the recovery itself — that latency is
+/// covered by the `recovery_sweep` artifact; this case pins the
+/// *post-recovery* epoch's launch latency.
+fn iterate_shrunken_allreduce(target: Target, bytes: usize, iters: usize) -> Vec<f64> {
+    use hw::{BufferId, DataType, Rank, ReduceOp};
+    use sim::{Duration, FaultPlan, Time};
+    let world = target.world();
+    let count = bytes / 2;
+    let mut e = sim::Engine::new(hw::Machine::new(target.env.spec(target.nodes)));
+    // The detection timeout must exceed the shrunken leader-relay plan's
+    // longest legitimate wait, or healthy post-recovery launches read as
+    // further deaths.
+    e.set_fault_plan(
+        FaultPlan::new(7)
+            .rank_down(3, Time::from_ps(20_000_000))
+            .with_wait_timeout(Duration::from_us(2_000.0)),
+    );
+    hw::wire(&mut e);
+    let ins = crate::alloc_filled(&mut e, world, bytes);
+    let outs: Vec<BufferId> = (0..world)
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes))
+        .collect();
+    let comm = collective::CollComm::new();
+    comm.all_reduce(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum)
+        .expect_err("the scheduled death must interrupt the collective");
+    let recovery = comm.shrink(&mut e, &[]).expect("shrink");
+    assert_eq!(
+        recovery.outcome,
+        collective::RecoveryOutcome::Replayed,
+        "shrunken-allreduce gate case"
+    );
+    assert_eq!(recovery.group.len(), world - 1);
+    let mut lat = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let timing = comm
+            .all_reduce(&mut e, &ins, &outs, count, DataType::F16, ReduceOp::Sum)
+            .expect("shrunken steady-state launch");
+        lat.push(timing.elapsed().as_us());
+    }
+    lat
 }
 
 /// Measures DES-core throughput: repeated small-message AllReduce on one
@@ -631,6 +710,8 @@ mod tests {
         assert!(engine.iter().any(|n| n.contains("8n64g")));
         let wall = suite.iter().filter(|c| c.is_wall_clock()).count();
         assert_eq!(wall, 2);
+        // The post-recovery steady-state case pins the shrunken plan.
+        assert!(names.iter().any(|n| n.starts_with("shrunken-allreduce/")));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use hw::{BufferId, Rank};
 use mscclpp::{Error, Kernel, KernelBuilder, Protocol, Result, Setup};
 
-use crate::wiring::{split_range, MemMesh, PortMesh};
+use crate::wiring::{node_groups, split_range, MemMesh, PortMesh};
 
 fn peers(n: usize, me: usize, tb: usize) -> impl Iterator<Item = usize> {
     (0..n - 1).map(move |j| (me + 1 + (tb + j) % (n - 1)) % n)
@@ -15,9 +15,15 @@ fn peers(n: usize, me: usize, tb: usize) -> impl Iterator<Item = usize> {
 
 /// All-pairs AllToAll over memory channels (intra-node) and RDMA port
 /// channels (cross-node).
+///
+/// Subset-capable: on a shrunken epoch the plan runs over the survivor
+/// `group` with chunk indices renumbered by position in the sorted
+/// survivor list (the epoch contract every shrunken collective follows).
 #[derive(Debug)]
 pub(crate) struct AllPairsAllToAll {
-    world: Vec<Rank>,
+    group: Vec<Rank>,
+    /// Node id per group position (for the memory-vs-port channel pick).
+    node_of: Vec<usize>,
     inputs: Vec<BufferId>,
     outputs: Vec<BufferId>,
     /// Per-pair chunk capacity in bytes.
@@ -26,13 +32,13 @@ pub(crate) struct AllPairsAllToAll {
     protocol: Protocol,
     mesh: MemMesh,
     cross: Option<PortMesh>,
-    gpn: usize,
-    same_node_only: bool,
 }
 
 impl AllPairsAllToAll {
+    #[allow(clippy::too_many_arguments)]
     pub fn prepare(
         setup: &mut Setup<'_>,
+        group: &[Rank],
         inputs: &[BufferId],
         outputs: &[BufferId],
         cap: usize,
@@ -40,40 +46,45 @@ impl AllPairsAllToAll {
         protocol: Protocol,
     ) -> Result<AllPairsAllToAll> {
         let topo = setup.topology();
-        let world: Vec<Rank> = topo.ranks().collect();
-        let n = world.len();
-        let same_node_only = topo.nodes() == 1;
+        let mut group = group.to_vec();
+        group.sort_unstable();
+        let n = group.len();
+        let node_of: Vec<usize> = group.iter().map(|&r| topo.node_of(r)).collect();
+        let node_members = node_groups(&topo, &group);
+        let same_node_only = node_members.len() == 1;
+        // Intra-node pairs per node, merged into one grid indexed by
+        // group *position*.
         let mesh = if same_node_only {
-            MemMesh::build(setup, &world, inputs, outputs, protocol, tbs)?
+            MemMesh::build(setup, &group, inputs, outputs, protocol, tbs)?
         } else {
             let mut grid = vec![vec![vec![None; n]; n]; tbs];
-            for node in 0..topo.nodes() {
-                let ranks: Vec<Rank> = (0..topo.gpus_per_node())
-                    .map(|l| topo.rank_at(node, l))
-                    .collect();
-                let sub = MemMesh::build(setup, &ranks, inputs, outputs, protocol, tbs)?;
+            for members in &node_members {
+                let sub = MemMesh::build(setup, members, inputs, outputs, protocol, tbs)?;
                 for t in 0..tbs {
-                    for (ia, &a) in ranks.iter().enumerate() {
-                        for (ib, &b) in ranks.iter().enumerate() {
+                    for (ia, &a) in members.iter().enumerate() {
+                        for (ib, &b) in members.iter().enumerate() {
                             if ia != ib {
-                                grid[t][a.0][b.0] = Some(sub.at(t, ia, ib).clone());
+                                let pa = group.iter().position(|&x| x == a).expect("member");
+                                let pb = group.iter().position(|&x| x == b).expect("member");
+                                grid[t][pa][pb] = Some(sub.at(t, ia, ib).clone());
                             }
                         }
                     }
                 }
             }
             MemMesh {
-                ranks: world.clone(),
+                ranks: group.clone(),
                 chans: grid,
             }
         };
         let cross = if same_node_only {
             None
         } else {
-            Some(PortMesh::build(setup, &world, inputs, outputs, tbs)?)
+            Some(PortMesh::build(setup, &group, inputs, outputs, tbs)?)
         };
         Ok(AllPairsAllToAll {
-            world,
+            group,
+            node_of,
             inputs: inputs.to_vec(),
             outputs: outputs.to_vec(),
             cap,
@@ -81,8 +92,6 @@ impl AllPairsAllToAll {
             protocol,
             mesh,
             cross,
-            gpn: topo.gpus_per_node(),
-            same_node_only,
         })
     }
 
@@ -96,11 +105,10 @@ impl AllPairsAllToAll {
                 self.cap
             )));
         }
-        let n = self.world.len();
-        let gpn = self.gpn;
-        let same = |a: Rank, b: Rank| self.same_node_only || (a.0 / gpn == b.0 / gpn);
+        let n = self.group.len();
+        let same = |ia: usize, ib: usize| self.node_of[ia] == self.node_of[ib];
         let mut out = Vec::with_capacity(n);
-        for (ig, &g) in self.world.iter().enumerate() {
+        for (ig, &g) in self.group.iter().enumerate() {
             let mut kb = KernelBuilder::new(g);
             for t in 0..self.tbs {
                 let mut tb = kb.block(t);
@@ -110,7 +118,7 @@ impl AllPairsAllToAll {
                     // My chunk p lands in p's output slot ig.
                     let src_off = p * bytes + ms;
                     let dst_off = ig * bytes + ms;
-                    if same(g, self.world[p]) {
+                    if same(ig, p) {
                         match self.protocol {
                             Protocol::LL => {
                                 tb.put(self.mesh.at(t, ig, p), dst_off, src_off, ml);
@@ -132,7 +140,7 @@ impl AllPairsAllToAll {
                     ml,
                 );
                 for &p in &plist {
-                    if same(g, self.world[p]) {
+                    if same(ig, p) {
                         match self.protocol {
                             Protocol::LL => tb.wait_data(self.mesh.at(t, ig, p)),
                             Protocol::HB => tb.wait(self.mesh.at(t, ig, p)),

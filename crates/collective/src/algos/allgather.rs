@@ -5,7 +5,7 @@ use hw::{BufferId, DataType, Rank};
 use mscclpp::{Error, Kernel, KernelBuilder, Protocol, Result, Setup};
 
 use crate::algos::allreduce::PeerOrder;
-use crate::wiring::{split_range, MemMesh, PortMesh};
+use crate::wiring::{isect, node_groups, split_range, MemMesh, PortMesh};
 
 /// Chunk size for pipelined PortChannel transfers.
 const PORT_CHUNK: usize = 1 << 20;
@@ -303,6 +303,168 @@ impl AllPairsAllGatherPort {
                 }
             }
             out.push(kb.build());
+        }
+        Ok(out)
+    }
+}
+
+/// Hierarchical AllGather rebuilt on an asymmetric survivor group after
+/// an epoch shrink. Output slots are renumbered by *position* in the
+/// sorted survivor list (the epoch contract every shrunken collective
+/// follows): survivor at position `pos` contributes output slot `pos`.
+///
+/// Leader relay, mirroring [`crate::algos::allreduce::ShrunkenHierarchical`]:
+/// members push their chunk into their node leader's output, leaders
+/// exchange node-contiguous ranges over re-wired RDMA port channels, and
+/// each leader pushes the fully gathered result to its members. Every
+/// thread block owns one contiguous slice of the *gathered* output and
+/// carries it through all three phases, so no cross-block ordering is
+/// needed.
+#[derive(Debug)]
+pub(crate) struct ShrunkenHierAllGather {
+    /// Survivors partitioned by node; `node_members[ni][0]` is the leader.
+    node_members: Vec<Vec<Rank>>,
+    /// Position in the sorted survivor list of each node's first member.
+    node_start: Vec<usize>,
+    /// Survivor count.
+    k: usize,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    cap: usize,
+    tbs: usize,
+    /// Per node: members' chunks into the leader's output.
+    up: Vec<MemMesh>,
+    /// Leaders all-pairs over RDMA ports: outputs -> outputs.
+    cross: PortMesh,
+    /// Per node: leader's gathered result to members' outputs.
+    down: Vec<MemMesh>,
+}
+
+impl ShrunkenHierAllGather {
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        group: &[Rank],
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+    ) -> Result<ShrunkenHierAllGather> {
+        let topo = setup.topology();
+        let node_members = node_groups(&topo, group);
+        if node_members.len() < 2 {
+            return Err(Error::InvalidArgument(
+                "shrunken hierarchical allgather needs survivors on at \
+                 least two nodes"
+                    .into(),
+            ));
+        }
+        let mut node_start = Vec::with_capacity(node_members.len());
+        let mut pos = 0;
+        for members in &node_members {
+            node_start.push(pos);
+            pos += members.len();
+        }
+        let leaders: Vec<Rank> = node_members.iter().map(|m| m[0]).collect();
+        let mut up = Vec::with_capacity(node_members.len());
+        let mut down = Vec::with_capacity(node_members.len());
+        for members in &node_members {
+            up.push(MemMesh::build(
+                setup,
+                members,
+                inputs,
+                outputs,
+                Protocol::HB,
+                tbs,
+            )?);
+            down.push(MemMesh::build(
+                setup,
+                members,
+                outputs,
+                outputs,
+                Protocol::HB,
+                tbs,
+            )?);
+        }
+        let cross = PortMesh::build(setup, &leaders, outputs, outputs, tbs)?;
+        Ok(ShrunkenHierAllGather {
+            node_members,
+            node_start,
+            k: pos,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            tbs,
+            up,
+            cross,
+            down,
+        })
+    }
+
+    /// Kernels gathering `bytes` per survivor into position-indexed slots.
+    pub fn kernels(&self, bytes: usize, _dtype: DataType) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "chunk of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let total = self.k * bytes;
+        let nleads = self.node_members.len();
+        let mut out = Vec::new();
+        for (ni, members) in self.node_members.iter().enumerate() {
+            let m = members.len();
+            for (mi, &g) in members.iter().enumerate() {
+                let pos = self.node_start[ni] + mi;
+                let mut kb = KernelBuilder::new(g);
+                for t in 0..self.tbs {
+                    let mut tb = kb.block(t);
+                    // Each thread block owns one slice of the gathered
+                    // output and carries it end to end. Empty clips are
+                    // skipped on both the put and the wait side — each
+                    // peer computes the other's clip deterministically,
+                    // so signal/wait counts stay balanced.
+                    let (ts, tl) = split_range(total, self.tbs, t);
+                    // My slot, clipped to this block's slice.
+                    let (s, l) = isect(ts, tl, pos * bytes, bytes);
+                    if mi != 0 {
+                        // Member: push my chunk up, receive everything.
+                        if l > 0 {
+                            tb.put_with_signal(self.up[ni].at(t, mi, 0), s, s - pos * bytes, l);
+                        }
+                        tb.wait(self.down[ni].at(t, mi, 0));
+                        continue;
+                    }
+                    // Leader. Phase 1: collect my node's chunks.
+                    for p in 1..m {
+                        let ppos = self.node_start[ni] + p;
+                        if isect(ts, tl, ppos * bytes, bytes).1 > 0 {
+                            tb.wait(self.up[ni].at(t, 0, p));
+                        }
+                    }
+                    if l > 0 {
+                        tb.copy(self.inputs[g.0], s - pos * bytes, self.outputs[g.0], s, l);
+                    }
+                    // Phase 2: exchange node-contiguous ranges among
+                    // leaders (my node's range, clipped to my slice).
+                    let (ns, nl) = isect(ts, tl, self.node_start[ni] * bytes, m * bytes);
+                    for lj in peers(nleads, ni, t) {
+                        if nl > 0 {
+                            tb.port_put_with_signal(self.cross.at(t, ni, lj), ns, ns, nl);
+                        }
+                    }
+                    for lj in peers(nleads, ni, t) {
+                        let mj = self.node_members[lj].len();
+                        if isect(ts, tl, self.node_start[lj] * bytes, mj * bytes).1 > 0 {
+                            tb.port_wait(self.cross.at(t, ni, lj));
+                        }
+                    }
+                    // Phase 3: push the fully gathered slice down.
+                    for p in 1..m {
+                        tb.put_with_signal(self.down[ni].at(t, 0, p), ts, ts, tl);
+                    }
+                }
+                out.push(kb.build());
+            }
         }
         Ok(out)
     }

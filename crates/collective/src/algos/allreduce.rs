@@ -16,7 +16,7 @@ use mscclpp::{
     Setup, SwitchChannel,
 };
 
-use crate::wiring::{split_range, MemMesh, PortMesh};
+use crate::wiring::{node_groups, split_range, MemMesh, PortMesh};
 
 /// How an LL-protocol algorithm makes its scratch safe for the next
 /// launch (the rotating-buffers ablation of §4.4).
@@ -1144,6 +1144,181 @@ impl TwoPhaseHierarchical {
                 }
             }
             out.push(kb.build());
+        }
+        Ok(out)
+    }
+}
+
+/// Hierarchical AllReduce rebuilt on an *asymmetric* survivor group after
+/// an epoch shrink (node groups of unequal size, re-elected leaders).
+///
+/// The full-topology [`TwoPhaseHierarchical`] shards by local index —
+/// impossible once nodes have different member counts — so the shrunken
+/// rebuild uses a leader relay instead: each surviving node's lowest rank
+/// is elected leader, members funnel their inputs into the leader via
+/// zero-copy `read_reduce` (inputs are valid at launch, so no handshake
+/// is needed), leaders run a whole-message all-pairs exchange over the
+/// RDMA port channels (re-wired to whichever ranks survived), and each
+/// leader distributes the result node-locally. The whole-message leader
+/// exchange is redundant — `O(leaders × bytes)` like the LL variant's
+/// whole-shard phase — a deliberate recovery-path tradeoff: one verified
+/// plan serves both the LL and HB steady-state variants.
+#[derive(Debug)]
+pub(crate) struct ShrunkenHierarchical {
+    /// Survivors partitioned by node; `node_members[ni][0]` is node
+    /// `ni`'s elected leader.
+    node_members: Vec<Vec<Rank>>,
+    inputs: Vec<BufferId>,
+    outputs: Vec<BufferId>,
+    cap: usize,
+    tbs: usize,
+    /// Per node: leader's zero-copy read channels over members' inputs.
+    local_read: Vec<MemMesh>,
+    /// Leaders all-pairs over RDMA ports: acc -> gather.
+    cross: PortMesh,
+    /// Per node: leader's result distribution, acc -> outputs.
+    local_out: Vec<MemMesh>,
+    /// Per-leader node accumulator (full message).
+    acc: Vec<BufferId>,
+    /// Per-leader receive scratch (one `cap` slot per peer leader).
+    gather: Vec<BufferId>,
+}
+
+impl ShrunkenHierarchical {
+    pub fn prepare(
+        setup: &mut Setup<'_>,
+        group: &[Rank],
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        cap: usize,
+        tbs: usize,
+    ) -> Result<ShrunkenHierarchical> {
+        let topo = setup.topology();
+        let node_members = node_groups(&topo, group);
+        let nleads = node_members.len();
+        if nleads < 2 {
+            return Err(Error::InvalidArgument(
+                "shrunken hierarchical allreduce needs survivors on at \
+                 least two nodes"
+                    .into(),
+            ));
+        }
+        let leaders: Vec<Rank> = node_members.iter().map(|m| m[0]).collect();
+        // Leader-only buffers live in world-sized vectors so channel
+        // builders can index them by global rank; non-leader slots hold a
+        // placeholder (their input id) that no channel or kernel touches.
+        let mut acc = inputs.to_vec();
+        let mut gather = inputs.to_vec();
+        for &l in &leaders {
+            acc[l.0] = setup.alloc(l, cap);
+            gather[l.0] = setup.alloc(l, nleads * cap);
+        }
+        let mut local_read = Vec::with_capacity(nleads);
+        let mut local_out = Vec::with_capacity(nleads);
+        for members in &node_members {
+            local_read.push(MemMesh::build(
+                setup,
+                members,
+                inputs,
+                inputs,
+                Protocol::HB,
+                tbs,
+            )?);
+            local_out.push(MemMesh::build(
+                setup,
+                members,
+                &acc,
+                outputs,
+                Protocol::HB,
+                tbs,
+            )?);
+        }
+        let cross = PortMesh::build(setup, &leaders, &acc, &gather, tbs)?;
+        Ok(ShrunkenHierarchical {
+            node_members,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            cap,
+            tbs,
+            local_read,
+            cross,
+            local_out,
+            acc,
+            gather,
+        })
+    }
+
+    pub fn kernels(&self, bytes: usize, dtype: DataType, op: ReduceOp) -> Result<Vec<Kernel>> {
+        if bytes > self.cap {
+            return Err(Error::InvalidArgument(format!(
+                "message of {bytes} B exceeds prepared capacity {} B",
+                self.cap
+            )));
+        }
+        let nleads = self.node_members.len();
+        let mut out = Vec::new();
+        for (ni, members) in self.node_members.iter().enumerate() {
+            let m = members.len();
+            for (mi, &g) in members.iter().enumerate() {
+                let mut kb = KernelBuilder::new(g);
+                for t in 0..self.tbs {
+                    let mut tb = kb.block(t);
+                    let (ms, ml) = split_range(bytes, self.tbs, t);
+                    if mi != 0 {
+                        // Member: the leader reads my input and pushes
+                        // the final result into my output.
+                        tb.wait(self.local_out[ni].at(t, mi, 0));
+                        continue;
+                    }
+                    // Phase 1: node reduction into the leader's acc.
+                    tb.copy(self.inputs[g.0], ms, self.acc[g.0], ms, ml);
+                    for p in 1..m {
+                        tb.read_reduce(
+                            self.local_read[ni].at(t, 0, p),
+                            ms,
+                            self.acc[g.0],
+                            ms,
+                            ml,
+                            dtype,
+                            op,
+                        );
+                    }
+                    // Phase 2: whole-message all-pairs among leaders;
+                    // sender `ni`'s message lands in slot `ni`.
+                    for lj in peers_staggered(nleads, ni, t) {
+                        tb.port_put_with_signal(
+                            self.cross.at(t, ni, lj),
+                            ni * self.cap + ms,
+                            ms,
+                            ml,
+                        );
+                    }
+                    // The reduces below overwrite the range the DMA
+                    // engines are still reading out of `acc`; flush every
+                    // outbound put before the first reduce.
+                    for lj in peers_staggered(nleads, ni, t) {
+                        tb.port_flush(self.cross.at(t, ni, lj));
+                    }
+                    for lj in peers_staggered(nleads, ni, t) {
+                        tb.port_wait(self.cross.at(t, ni, lj));
+                        tb.reduce(
+                            self.gather[g.0],
+                            lj * self.cap + ms,
+                            self.acc[g.0],
+                            ms,
+                            ml,
+                            dtype,
+                            op,
+                        );
+                    }
+                    // Phase 3: distribute the global result node-locally.
+                    for p in 1..m {
+                        tb.put_with_signal(self.local_out[ni].at(t, 0, p), ms, ms, ml);
+                    }
+                    tb.copy(self.acc[g.0], ms, self.outputs[g.0], ms, ml);
+                }
+                out.push(kb.build());
+            }
         }
         Ok(out)
     }

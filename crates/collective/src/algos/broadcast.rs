@@ -5,29 +5,38 @@
 use hw::{BufferId, Rank};
 use mscclpp::{Error, Kernel, KernelBuilder, Protocol, Result, Setup, SwitchChannel};
 
-use crate::wiring::{split_range, MemMesh, PortMesh};
+use crate::wiring::{node_groups, split_range, MemMesh, PortMesh};
 
 /// Broadcast from a root rank.
 ///
-/// Single node: the root's thread blocks put slices directly into every
-/// peer's output. Multi-node: the root first RDMAs the message to one
-/// leader per remote node (its corresponding GPU), then each node's
-/// leader distributes locally.
+/// Single node (or survivors confined to one node): the root's thread
+/// blocks put slices directly into every member's output. Multi-node:
+/// the root RDMAs the message to one elected leader per other node, then
+/// each node's leader distributes locally.
+///
+/// Subset-capable: the relay tree is re-derived from the epoch's member
+/// list, so a shrunken multi-node group re-elects leaders among the
+/// survivors — the member at the root's local index when it survived,
+/// else the node's lowest surviving rank.
 #[derive(Debug)]
 pub(crate) struct AllPairsBroadcast {
-    world: Vec<Rank>,
+    /// Members partitioned by node (single entry when the group spans
+    /// one node).
+    node_members: Vec<Vec<Rank>>,
     root: Rank,
     inputs: Vec<BufferId>,
     outputs: Vec<BufferId>,
     cap: usize,
     tbs: usize,
+    /// Index into `node_members[ni]` of node `ni`'s leader.
+    leader_mi: Vec<usize>,
+    /// Index into `node_members` of the root's node.
+    root_ni: usize,
     /// Local distribution mesh per node (output -> output, plus the
     /// root's input as source on the root's node).
     local: Vec<MemMesh>,
-    /// Root -> remote node leaders.
+    /// Root -> other node leaders (absent when one node spans the group).
     cross: Option<PortMesh>,
-    gpn: usize,
-    nodes: usize,
 }
 
 impl AllPairsBroadcast {
@@ -42,81 +51,80 @@ impl AllPairsBroadcast {
         tbs: usize,
     ) -> Result<AllPairsBroadcast> {
         let topo = setup.topology();
-        let (nodes, gpn) = (topo.nodes(), topo.gpus_per_node());
         if !group.contains(&root) {
             return Err(Error::InvalidArgument(format!(
                 "broadcast root {} is not in the current epoch",
                 root.0
             )));
         }
-        if group.len() != topo.world_size() && nodes > 1 {
-            return Err(Error::InvalidArgument(
-                "multi-node broadcast derives its relay tree from the full \
-                 topology and cannot run on a shrunken epoch"
-                    .into(),
-            ));
-        }
+        let node_members = node_groups(&topo, group);
+        // Leader election per node: the member at the root's local index
+        // when it survived (the full-topology relay layout), else the
+        // node's lowest surviving rank. The root leads its own node.
+        let root_li = topo.local_index(root);
+        let leader_mi: Vec<usize> = node_members
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .position(|&r| topo.local_index(r) == root_li)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let root_ni = node_members
+            .iter()
+            .position(|members| members.contains(&root))
+            .expect("root membership checked above");
         // Source vector: every rank "sends" from its output copy except
         // the root, which sends from its input.
         let mut src = outputs.to_vec();
         src[root.0] = inputs[root.0];
         let mut local = Vec::new();
-        if nodes == 1 {
-            // Single node: one distribution mesh over the epoch's
-            // members (a survivor subset after a shrink).
+        for members in &node_members {
             local.push(MemMesh::build(
                 setup,
-                group,
+                members,
                 &src,
                 outputs,
                 Protocol::HB,
                 tbs,
             )?);
-        } else {
-            for node in 0..nodes {
-                let ranks: Vec<Rank> = (0..gpn).map(|l| topo.rank_at(node, l)).collect();
-                local.push(MemMesh::build(
-                    setup,
-                    &ranks,
-                    &src,
-                    outputs,
-                    Protocol::HB,
-                    tbs,
-                )?);
-            }
         }
-        let cross = if nodes > 1 {
-            let li = topo.local_index(root);
-            let ranks: Vec<Rank> = (0..nodes).map(|a| topo.rank_at(a, li)).collect();
-            Some(PortMesh::build(setup, &ranks, &src, outputs, tbs)?)
+        let cross = if node_members.len() > 1 {
+            let leaders: Vec<Rank> = node_members
+                .iter()
+                .zip(&leader_mi)
+                .map(|(members, &mi)| members[mi])
+                .collect();
+            Some(PortMesh::build(setup, &leaders, &src, outputs, tbs)?)
         } else {
             None
         };
         Ok(AllPairsBroadcast {
-            world: group.to_vec(),
+            node_members,
             root,
             inputs: inputs.to_vec(),
             outputs: outputs.to_vec(),
             cap,
             tbs,
+            leader_mi,
+            root_ni,
             local,
             cross,
-            gpn,
-            nodes,
         })
     }
 
     /// Single-node kernels: the root puts every member's slice directly,
     /// indexed by position in the (possibly shrunken) member list.
     fn single_node_kernels(&self, bytes: usize) -> Vec<Kernel> {
-        let root_ig = self
-            .world
+        let members = &self.node_members[0];
+        let root_ig = members
             .iter()
             .position(|&r| r == self.root)
             .expect("root membership checked at prepare");
         let mesh = &self.local[0];
-        let mut out = Vec::with_capacity(self.world.len());
-        for (ig, &g) in self.world.iter().enumerate() {
+        let mut out = Vec::with_capacity(members.len());
+        for (ig, &g) in members.iter().enumerate() {
             let mut kb = KernelBuilder::new(g);
             for t in 0..self.tbs {
                 let mut tb = kb.block(t);
@@ -125,7 +133,7 @@ impl AllPairsBroadcast {
                     if self.inputs[g.0] != self.outputs[g.0] {
                         tb.copy(self.inputs[g.0], ms, self.outputs[g.0], ms, ml);
                     }
-                    for p in 0..self.world.len() {
+                    for p in 0..members.len() {
                         if p != ig {
                             tb.put_with_signal(mesh.at(t, ig, p), ms, ms, ml);
                         }
@@ -147,57 +155,52 @@ impl AllPairsBroadcast {
                 self.cap
             )));
         }
-        if self.nodes == 1 {
+        if self.node_members.len() == 1 {
             return Ok(self.single_node_kernels(bytes));
         }
-        let root_node = self.root.0 / self.gpn;
-        let root_li = self.root.0 % self.gpn;
-        let mut out = Vec::with_capacity(self.world.len());
-        for &g in &self.world {
-            let node = g.0 / self.gpn;
-            let li = g.0 % self.gpn;
-            let is_leader = li == root_li;
-            let mut kb = KernelBuilder::new(g);
-            for t in 0..self.tbs {
-                let mut tb = kb.block(t);
-                let (ms, ml) = split_range(bytes, self.tbs, t);
-                if g == self.root {
-                    // Phase 1: RDMA to each remote node's leader.
-                    if let Some(cross) = &self.cross {
-                        for b in 0..self.nodes {
-                            if b != root_node {
-                                tb.port_put_with_signal(cross.at(t, root_node, b), ms, ms, ml);
+        let mut out = Vec::new();
+        for (ni, members) in self.node_members.iter().enumerate() {
+            let leader_mi = self.leader_mi[ni];
+            for (mi, &g) in members.iter().enumerate() {
+                let is_leader = mi == leader_mi;
+                let mut kb = KernelBuilder::new(g);
+                for t in 0..self.tbs {
+                    let mut tb = kb.block(t);
+                    let (ms, ml) = split_range(bytes, self.tbs, t);
+                    if g == self.root {
+                        // Phase 1: RDMA to each other node's leader.
+                        let cross = self.cross.as_ref().expect("multi-node");
+                        for b in 0..self.node_members.len() {
+                            if b != self.root_ni {
+                                tb.port_put_with_signal(cross.at(t, self.root_ni, b), ms, ms, ml);
                             }
                         }
-                    }
-                    // In-place (input == output) the local copy is a
-                    // no-op, and would alias the range the phase-1
-                    // proxies are still DMA-reading.
-                    if self.inputs[g.0] != self.outputs[g.0] {
-                        tb.copy(self.inputs[g.0], ms, self.outputs[g.0], ms, ml);
-                    }
-                } else if is_leader && self.nodes > 1 {
-                    let cross = self.cross.as_ref().unwrap();
-                    tb.port_wait(cross.at(t, node, root_node));
-                }
-                // Phase 2: node-local distribution by the leader (the
-                // root on its own node).
-                let leader = (g == self.root) || (is_leader && node != root_node);
-                if leader {
-                    let mesh = &self.local[node];
-                    for p in 0..self.gpn {
-                        if p != li {
-                            tb.put_with_signal(mesh.at(t, li, p), ms, ms, ml);
+                        // In-place (input == output) the local copy is a
+                        // no-op, and would alias the range the phase-1
+                        // proxies are still DMA-reading.
+                        if self.inputs[g.0] != self.outputs[g.0] {
+                            tb.copy(self.inputs[g.0], ms, self.outputs[g.0], ms, ml);
                         }
+                    } else if is_leader {
+                        let cross = self.cross.as_ref().expect("multi-node");
+                        tb.port_wait(cross.at(t, ni, self.root_ni));
                     }
-                } else {
-                    // Wait for my node's leader (the root's local index
-                    // on every node) to push my slice.
-                    let mesh = &self.local[node];
-                    tb.wait(mesh.at(t, li, root_li));
+                    // Phase 2: node-local distribution by the leader (the
+                    // root on its own node).
+                    if is_leader {
+                        let mesh = &self.local[ni];
+                        for p in 0..members.len() {
+                            if p != mi {
+                                tb.put_with_signal(mesh.at(t, mi, p), ms, ms, ml);
+                            }
+                        }
+                    } else {
+                        // Wait for my node's leader to push my slice.
+                        tb.wait(self.local[ni].at(t, mi, leader_mi));
+                    }
                 }
+                out.push(kb.build());
             }
-            out.push(kb.build());
         }
         Ok(out)
     }

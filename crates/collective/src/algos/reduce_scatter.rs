@@ -5,19 +5,25 @@
 use hw::{BufferId, DataType, Rank, ReduceOp};
 use mscclpp::{Error, Kernel, KernelBuilder, Protocol, Result, Setup};
 
-use crate::wiring::{split_range, MemMesh, PortMesh};
+use crate::wiring::{node_groups, split_range, MemMesh, PortMesh};
 
 fn peers(n: usize, me: usize, tb: usize) -> impl Iterator<Item = usize> {
     (0..n - 1).map(move |j| (me + 1 + (tb + j) % (n - 1)) % n)
 }
 
-/// All-pairs ReduceScatter: rank `r` receives every peer's `r`-th shard
-/// into per-sender scratch slots and reduces them into its output.
-/// Intra-node pairs ride memory channels; cross-node pairs (multi-node
-/// clusters) ride RDMA port channels.
+/// All-pairs ReduceScatter: the member at group position `p` receives
+/// every peer's `p`-th shard into per-sender scratch slots and reduces
+/// them into its output. Intra-node pairs ride memory channels;
+/// cross-node pairs (multi-node clusters) ride RDMA port channels.
+///
+/// Subset-capable: on a shrunken epoch the plan runs over the survivor
+/// `group` with shards renumbered by position in the sorted survivor
+/// list (the epoch contract every shrunken collective follows).
 #[derive(Debug)]
 pub(crate) struct AllPairsReduceScatter {
-    world: Vec<Rank>,
+    group: Vec<Rank>,
+    /// Node id per group position (for the memory-vs-port channel pick).
+    node_of: Vec<usize>,
     inputs: Vec<BufferId>,
     outputs: Vec<BufferId>,
     /// Total input capacity in bytes (output shard is `cap / N`).
@@ -28,13 +34,12 @@ pub(crate) struct AllPairsReduceScatter {
     mesh: MemMesh,
     cross: Option<PortMesh>,
     scratch: Vec<BufferId>,
-    same_node_only: bool,
-    gpn: usize,
 }
 
 impl AllPairsReduceScatter {
     pub fn prepare(
         setup: &mut Setup<'_>,
+        group: &[Rank],
         inputs: &[BufferId],
         outputs: &[BufferId],
         cap: usize,
@@ -42,39 +47,42 @@ impl AllPairsReduceScatter {
         protocol: Protocol,
     ) -> Result<AllPairsReduceScatter> {
         let topo = setup.topology();
-        let world: Vec<Rank> = topo.ranks().collect();
-        let n = world.len();
+        let mut group = group.to_vec();
+        group.sort_unstable();
+        let n = group.len();
+        let node_of: Vec<usize> = group.iter().map(|&r| topo.node_of(r)).collect();
         let slot_cap = cap.div_ceil(n).next_multiple_of(16);
-        let mut scratch = Vec::with_capacity(n);
-        for r in 0..n {
-            scratch.push(setup.alloc(Rank(r), n * slot_cap));
+        // Scratch lives in a world-sized vector so channel builders can
+        // index it by global rank; non-member slots hold a placeholder
+        // (their input id) that nothing touches.
+        let mut scratch = inputs.to_vec();
+        for &r in &group {
+            scratch[r.0] = setup.alloc(r, n * slot_cap);
         }
-        let same_node_only = topo.nodes() == 1;
-        // Memory mesh covers intra-node pairs of each node; build per
-        // node and merge into one lookup keyed by global rank.
+        let node_members = node_groups(&topo, &group);
+        let same_node_only = node_members.len() == 1;
+        // Memory mesh covers intra-node pairs; build per node and merge
+        // into one grid indexed by group *position*.
         let mesh = if same_node_only {
-            MemMesh::build(setup, &world, inputs, &scratch, protocol, tbs)?
+            MemMesh::build(setup, &group, inputs, &scratch, protocol, tbs)?
         } else {
-            // Build a world-sized mesh with only intra-node channels by
-            // building per node and merging.
             let mut grid = vec![vec![vec![None; n]; n]; tbs];
-            for node in 0..topo.nodes() {
-                let ranks: Vec<Rank> = (0..topo.gpus_per_node())
-                    .map(|l| topo.rank_at(node, l))
-                    .collect();
-                let sub = MemMesh::build(setup, &ranks, inputs, &scratch, protocol, tbs)?;
+            for members in &node_members {
+                let sub = MemMesh::build(setup, members, inputs, &scratch, protocol, tbs)?;
                 for t in 0..tbs {
-                    for (ia, &a) in ranks.iter().enumerate() {
-                        for (ib, &b) in ranks.iter().enumerate() {
+                    for (ia, &a) in members.iter().enumerate() {
+                        for (ib, &b) in members.iter().enumerate() {
                             if ia != ib {
-                                grid[t][a.0][b.0] = Some(sub.at(t, ia, ib).clone());
+                                let pa = group.iter().position(|&x| x == a).expect("member");
+                                let pb = group.iter().position(|&x| x == b).expect("member");
+                                grid[t][pa][pb] = Some(sub.at(t, ia, ib).clone());
                             }
                         }
                     }
                 }
             }
             MemMesh {
-                ranks: world.clone(),
+                ranks: group.clone(),
                 chans: grid,
             }
         };
@@ -82,13 +90,13 @@ impl AllPairsReduceScatter {
             None
         } else {
             // Port channels for every cross-node ordered pair: build an
-            // all-pairs port mesh over the world and only use the
+            // all-pairs port mesh over the group and only use the
             // cross-node entries.
-            Some(PortMesh::build(setup, &world, inputs, &scratch, tbs)?)
+            Some(PortMesh::build(setup, &group, inputs, &scratch, tbs)?)
         };
-        let gpn = topo.gpus_per_node();
         Ok(AllPairsReduceScatter {
-            world,
+            group,
+            node_of,
             inputs: inputs.to_vec(),
             outputs: outputs.to_vec(),
             cap,
@@ -98,8 +106,6 @@ impl AllPairsReduceScatter {
             mesh,
             cross,
             scratch,
-            same_node_only,
-            gpn,
         })
     }
 
@@ -112,14 +118,13 @@ impl AllPairsReduceScatter {
                 self.cap
             )));
         }
-        let n = self.world.len();
+        let n = self.group.len();
         let es = dtype.size();
         let count = bytes / es;
         let shard = |i: usize| split_range(count, n, i);
-        let gpn = self.gpn;
-        let topo_same = |a: Rank, b: Rank| self.same_node_only || (a.0 / gpn == b.0 / gpn);
+        let topo_same = |ia: usize, ib: usize| self.node_of[ia] == self.node_of[ib];
         let mut out = Vec::with_capacity(n);
-        for (ig, &g) in self.world.iter().enumerate() {
+        for (ig, &g) in self.group.iter().enumerate() {
             let mut kb = KernelBuilder::new(g);
             for t in 0..self.tbs {
                 let mut tb = kb.block(t);
@@ -129,7 +134,7 @@ impl AllPairsReduceScatter {
                     let (sl, sll) = split_range(pl, self.tbs, t);
                     let dst_off = ig * self.slot_cap + sl * es;
                     let src_off = (ps + sl) * es;
-                    if topo_same(g, self.world[p]) {
+                    if topo_same(ig, p) {
                         match self.protocol {
                             Protocol::LL => {
                                 tb.put(self.mesh.at(t, ig, p), dst_off, src_off, sll * es);
@@ -158,7 +163,7 @@ impl AllPairsReduceScatter {
                     ml * es,
                 );
                 for &p in &plist {
-                    if topo_same(g, self.world[p]) {
+                    if topo_same(ig, p) {
                         match self.protocol {
                             Protocol::LL => tb.wait_data(self.mesh.at(t, ig, p)),
                             Protocol::HB => tb.wait(self.mesh.at(t, ig, p)),

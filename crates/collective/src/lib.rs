@@ -46,6 +46,7 @@
 
 mod algos;
 mod selector;
+mod straggler;
 mod wiring;
 
 use std::cell::{Cell, RefCell};
@@ -61,15 +62,19 @@ pub use selector::{
     degrade_all_reduce, degrade_broadcast, fit_all_gather, fit_all_reduce, select_all_gather,
     select_all_reduce,
 };
+pub use straggler::StragglerPolicy;
 
 use algos::all_to_all::AllPairsAllToAll;
-use algos::allgather::{AllPairsAllGather, AllPairsAllGatherPort, HierAllGather};
+use algos::allgather::{
+    AllPairsAllGather, AllPairsAllGatherPort, HierAllGather, ShrunkenHierAllGather,
+};
 use algos::allreduce::{
-    OnePhaseAllPairs, RingAllReduce, TwoPhaseAllPairsHb, TwoPhaseAllPairsLl, TwoPhaseAllPairsPort,
-    TwoPhaseHierarchical, TwoPhaseSwitch,
+    OnePhaseAllPairs, RingAllReduce, ShrunkenHierarchical, TwoPhaseAllPairsHb, TwoPhaseAllPairsLl,
+    TwoPhaseAllPairsPort, TwoPhaseHierarchical, TwoPhaseSwitch,
 };
 use algos::broadcast::{AllPairsBroadcast, SwitchBroadcast};
 use algos::reduce_scatter::AllPairsReduceScatter;
+use straggler::StragglerState;
 
 /// An AllReduce algorithm choice (§4.4).
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
@@ -209,11 +214,16 @@ pub struct Recovery {
     pub outcome: RecoveryOutcome,
     /// The surviving ranks, sorted: the new communicator group.
     pub group: Vec<Rank>,
-    /// In-flight proxy work cancelled while quiescing.
+    /// In-flight proxy work cancelled while quiescing (summed across
+    /// nested recoveries when further ranks died mid-shrink).
     pub drain: DrainReport,
     /// Virtual time the shrink consumed, from the abort instant through
     /// the replayed collective (zero when nothing was replayed).
     pub recovery_time: Duration,
+    /// When the interrupted collective was a Broadcast whose root died,
+    /// the lowest surviving rank — the root the caller should reissue
+    /// from. `None` otherwise.
+    pub failover_root: Option<Rank>,
 }
 
 /// Everything needed to replay the collective that a launch was running
@@ -235,9 +245,29 @@ enum LaunchRecord {
         count: usize,
         dtype: DataType,
     },
-    /// ReduceScatter / Broadcast / AllToAll: not replayable on a
-    /// shrunken epoch (their plans are full-world only).
-    Other,
+    ReduceScatter {
+        algo: ReduceScatterAlgo,
+        inputs: Vec<BufferId>,
+        outputs: Vec<BufferId>,
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+    },
+    Broadcast {
+        algo: BroadcastAlgo,
+        inputs: Vec<BufferId>,
+        outputs: Vec<BufferId>,
+        count: usize,
+        dtype: DataType,
+        root: Rank,
+    },
+    AllToAll {
+        algo: AllToAllAlgo,
+        inputs: Vec<BufferId>,
+        outputs: Vec<BufferId>,
+        count: usize,
+        dtype: DataType,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -313,10 +343,12 @@ enum Prepared {
     Ar2paPort(Rc<TwoPhaseAllPairsPort>),
     Ar2paSwitch(Rc<TwoPhaseSwitch>),
     ArHier(Rc<TwoPhaseHierarchical>),
+    ArHierShrunk(Rc<ShrunkenHierarchical>),
     ArRing(Rc<RingAllReduce>),
     AgAp(Rc<AllPairsAllGather>),
     AgPort(Rc<AllPairsAllGatherPort>),
     AgHier(Rc<HierAllGather>),
+    AgHierShrunk(Rc<ShrunkenHierAllGather>),
     RsAp(Rc<AllPairsReduceScatter>),
     BcAp(Rc<AllPairsBroadcast>),
     BcSwitch(Rc<SwitchBroadcast>),
@@ -364,6 +396,11 @@ pub struct CollComm {
     custom_all_reduce: Option<Box<dyn CustomAllReduce>>,
     verify: bool,
     sanitize: bool,
+    /// Straggler detection policy; `None` (the default) disables the
+    /// per-launch completion-time tracking entirely.
+    straggler_policy: Cell<Option<StragglerPolicy>>,
+    /// Sliding-window outlier state, reset at every epoch change.
+    straggler: RefCell<StragglerState>,
 }
 
 impl std::fmt::Debug for CollComm {
@@ -405,6 +442,8 @@ impl CollComm {
             custom_all_reduce: None,
             verify: true,
             sanitize: false,
+            straggler_policy: Cell::new(None),
+            straggler: RefCell::new(StragglerState::default()),
         }
     }
 
@@ -464,7 +503,7 @@ impl CollComm {
 
     fn run(&self, engine: &mut Engine<Machine>, kernels: &Rc<Vec<Kernel>>) -> Result<KernelTiming> {
         mscclpp::record_launch_mix(engine, "mscclpp", kernels.as_slice());
-        if self.sanitize {
+        let timing = if self.sanitize {
             let (timing, report) =
                 mscclpp::run_kernels_sanitized_shared(engine, kernels, &self.ov)?;
             if let Some(race) = report.races.first() {
@@ -472,9 +511,67 @@ impl CollComm {
                     "dynamic sanitizer: {race}"
                 )));
             }
-            return Ok(timing);
+            timing
+        } else {
+            mscclpp::run_kernels_shared(engine, kernels, &self.ov)?
+        };
+        self.observe_stragglers(engine, &timing);
+        Ok(timing)
+    }
+
+    /// Feeds one successful launch's per-rank completion times into the
+    /// straggler detector (a no-op without a policy installed).
+    fn observe_stragglers(&self, engine: &mut Engine<Machine>, timing: &KernelTiming) {
+        let Some(policy) = self.straggler_policy.get() else {
+            return;
+        };
+        let group = self.active_group(engine);
+        let fresh = self.straggler.borrow_mut().observe(&policy, &group, timing);
+        if fresh > 0 {
+            engine.count("fault.straggler_suspected", fresh);
         }
-        mscclpp::run_kernels_shared(engine, kernels, &self.ov)
+    }
+
+    /// Installs (or replaces) the straggler-detection policy. Once set,
+    /// every successful launch feeds per-rank completion times into a
+    /// sliding outlier window; ranks whose recent launches persistently
+    /// finish far behind the group median are reported by
+    /// [`CollComm::suspected_stragglers`] and counted under
+    /// `fault.straggler_suspected`.
+    pub fn set_straggler_policy(&mut self, policy: StragglerPolicy) {
+        self.straggler_policy.set(Some(policy));
+    }
+
+    /// Ranks the detector currently suspects of straggling (empty
+    /// without a policy, and cleared at every epoch change).
+    pub fn suspected_stragglers(&self) -> Vec<Rank> {
+        self.straggler.borrow().suspected()
+    }
+
+    /// Evicts every currently-suspected straggler via a voluntary
+    /// [`CollComm::shrink`], when the installed policy opted into
+    /// quarantine. Returns `Ok(None)` when quarantine is off or nothing
+    /// is suspected; otherwise the shrink's [`Recovery`] (the suspects
+    /// are treated exactly like dead ranks — counted under
+    /// `fault.straggler_quarantined`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CollComm::shrink`] errors (e.g. no rank survives).
+    pub fn quarantine_stragglers(&self, engine: &mut Engine<Machine>) -> Result<Option<Recovery>> {
+        let Some(policy) = self.straggler_policy.get() else {
+            return Ok(None);
+        };
+        if !policy.quarantine {
+            return Ok(None);
+        }
+        let suspects = self.suspected_stragglers();
+        if suspects.is_empty() {
+            return Ok(None);
+        }
+        engine.count("fault.straggler_quarantined", suspects.len() as u64);
+        let recovery = self.shrink(engine, &suspects)?;
+        Ok(Some(recovery))
     }
 
     /// Runs the static verifier over a freshly-built kernel batch, once
@@ -542,11 +639,11 @@ impl CollComm {
     ) -> Result<KernelTiming> {
         let bytes = count * dtype.size();
         // On a shrunken epoch the asked algorithm may be impossible on a
-        // subset (hierarchical layouts); re-map it and attribute the
-        // re-plan before the key is formed.
-        let group = self.active_group(engine).len();
-        let world = engine.world().topology().world_size();
-        let algo = Self::fit_replan(engine, algo, fit_all_reduce(algo, group, world));
+        // subset (hierarchical layouts collapsed onto one node); re-map
+        // it and attribute the re-plan before the key is formed.
+        let group = self.active_group(engine);
+        let topo = engine.world().topology();
+        let algo = Self::fit_replan(engine, algo, fit_all_reduce(algo, &group, &topo));
         let key = Key::Ar(algo, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
@@ -561,6 +658,7 @@ impl CollComm {
                     Prepared::Ar2paPort(a) => a.kernels(bytes, dtype, op)?,
                     Prepared::Ar2paSwitch(a) => a.kernels(bytes, dtype, op)?,
                     Prepared::ArHier(a) => a.kernels(bytes, dtype, op)?,
+                    Prepared::ArHierShrunk(a) => a.kernels(bytes, dtype, op)?,
                     Prepared::ArRing(a) => a.kernels(bytes, dtype, op)?,
                     _ => unreachable!("allreduce key maps to allreduce algorithm"),
                 });
@@ -619,9 +717,9 @@ impl CollComm {
         algo: AllGatherAlgo,
     ) -> Result<KernelTiming> {
         let bytes = count * dtype.size();
-        let group = self.active_group(engine).len();
-        let world = engine.world().topology().world_size();
-        let algo = Self::fit_replan(engine, algo, fit_all_gather(algo, group, world));
+        let group = self.active_group(engine);
+        let topo = engine.world().topology();
+        let algo = Self::fit_replan(engine, algo, fit_all_gather(algo, &group, &topo));
         let key = Key::Ag(algo, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
         let prepared = self.prepared.borrow();
@@ -633,6 +731,7 @@ impl CollComm {
                     Prepared::AgAp(a) => a.kernels(bytes, dtype)?,
                     Prepared::AgPort(a) => a.kernels(bytes)?,
                     Prepared::AgHier(a) => a.kernels(bytes, dtype)?,
+                    Prepared::AgHierShrunk(a) => a.kernels(bytes, dtype)?,
                     _ => unreachable!("allgather key maps to allgather algorithm"),
                 });
                 entry.store_kernels(bytes, Some(dtype), None, &batch);
@@ -711,7 +810,14 @@ impl CollComm {
         };
         drop(prepared);
         self.maybe_verify(engine, &key, kernels.as_slice())?;
-        self.pending.replace(Some(LaunchRecord::Other));
+        self.pending.replace(Some(LaunchRecord::ReduceScatter {
+            algo,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            count,
+            dtype,
+            op,
+        }));
         let timing = self.run(engine, &kernels)?;
         self.pending.replace(None);
         Ok(timing)
@@ -784,7 +890,14 @@ impl CollComm {
         };
         drop(prepared);
         self.maybe_verify(engine, &key, kernels.as_slice())?;
-        self.pending.replace(Some(LaunchRecord::Other));
+        self.pending.replace(Some(LaunchRecord::Broadcast {
+            algo,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            count,
+            dtype,
+            root,
+        }));
         let timing = self.run(engine, &kernels)?;
         self.pending.replace(None);
         Ok(timing)
@@ -845,7 +958,13 @@ impl CollComm {
         };
         drop(prepared);
         self.maybe_verify(engine, &key, kernels.as_slice())?;
-        self.pending.replace(Some(LaunchRecord::Other));
+        self.pending.replace(Some(LaunchRecord::AllToAll {
+            algo,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            count,
+            dtype,
+        }));
         let timing = self.run(engine, &kernels)?;
         self.pending.replace(None);
         Ok(timing)
@@ -877,22 +996,10 @@ impl CollComm {
         // The "world" every plan is built over is the epoch's member set:
         // the full topology until a shrink restricts it to the survivors.
         let world: Vec<Rank> = setup.group().to_vec();
+        // A shrunken multi-node epoch re-derives the hierarchical layout
+        // (leaders re-elected among the survivors) instead of the
+        // full-topology plan; every all-pairs plan is subset-capable.
         let shrunken = world.len() < setup.topology().world_size();
-        if shrunken
-            && matches!(
-                key,
-                Key::Ar(AllReduceAlgo::HierLl | AllReduceAlgo::HierHb, _, _)
-                    | Key::Ag(AllGatherAlgo::HierLl | AllGatherAlgo::HierHb, _, _)
-                    | Key::Rs(..)
-                    | Key::A2a(..)
-            )
-        {
-            return Err(mscclpp::Error::InvalidArgument(
-                "this collective derives its layout from the full topology \
-                 and cannot run on a shrunken epoch"
-                    .into(),
-            ));
-        }
         let cap = bytes;
         let (ts, tl) = (self.cfg.tbs_small, self.cfg.tbs_large);
         let prepared = match key {
@@ -922,6 +1029,12 @@ impl CollComm {
                 )),
                 AllReduceAlgo::TwoPhaseSwitch => Prepared::Ar2paSwitch(Rc::new(
                     TwoPhaseSwitch::prepare(&mut setup, &world, inputs, outputs, cap, tl)?,
+                )),
+                AllReduceAlgo::HierLl if shrunken => Prepared::ArHierShrunk(Rc::new(
+                    ShrunkenHierarchical::prepare(&mut setup, &world, inputs, outputs, cap, 1)?,
+                )),
+                AllReduceAlgo::HierHb if shrunken => Prepared::ArHierShrunk(Rc::new(
+                    ShrunkenHierarchical::prepare(&mut setup, &world, inputs, outputs, cap, tl)?,
                 )),
                 AllReduceAlgo::HierLl => Prepared::ArHier(Rc::new(TwoPhaseHierarchical::prepare(
                     &mut setup, inputs, outputs, cap, 1, false,
@@ -957,6 +1070,12 @@ impl CollComm {
                 AllGatherAlgo::AllPairsPort => Prepared::AgPort(Rc::new(
                     AllPairsAllGatherPort::prepare(&mut setup, &world, inputs, outputs, cap, tl)?,
                 )),
+                AllGatherAlgo::HierLl if shrunken => Prepared::AgHierShrunk(Rc::new(
+                    ShrunkenHierAllGather::prepare(&mut setup, &world, inputs, outputs, cap, 1)?,
+                )),
+                AllGatherAlgo::HierHb if shrunken => Prepared::AgHierShrunk(Rc::new(
+                    ShrunkenHierAllGather::prepare(&mut setup, &world, inputs, outputs, cap, tl)?,
+                )),
                 AllGatherAlgo::HierLl => Prepared::AgHier(Rc::new(HierAllGather::prepare(
                     &mut setup,
                     inputs,
@@ -984,7 +1103,7 @@ impl CollComm {
                     ReduceScatterAlgo::AllPairsHb => tl,
                 };
                 Prepared::RsAp(Rc::new(AllPairsReduceScatter::prepare(
-                    &mut setup, inputs, outputs, cap, tbs, proto,
+                    &mut setup, &world, inputs, outputs, cap, tbs, proto,
                 )?))
             }
             Key::A2a(algo, _, _) => {
@@ -993,7 +1112,7 @@ impl CollComm {
                     AllToAllAlgo::AllPairsHb => (Protocol::HB, tl),
                 };
                 Prepared::A2aAp(Rc::new(AllPairsAllToAll::prepare(
-                    &mut setup, inputs, outputs, cap, tbs, proto,
+                    &mut setup, &world, inputs, outputs, cap, tbs, proto,
                 )?))
             }
             Key::Bc(algo, _, _, _) => match algo {
@@ -1024,16 +1143,26 @@ impl CollComm {
     /// `dead` names ranks to evict explicitly; ranks the engine's fault
     /// plan has already killed (`RankDown`) are evicted automatically,
     /// so callers that learned of the death through a timeout can pass
-    /// `&[]`.
+    /// `&[]`. Deaths are re-sampled *after* the drain, so a rank that
+    /// dies during the drain window itself is evicted in the same
+    /// shrink rather than poisoning the new epoch.
     ///
-    /// The shrink, in order: [`mscclpp::Comm::abort_and_drain`] cancels
-    /// every in-flight proxy request and quiesces the FIFOs; the epoch
-    /// counter is bumped and all prepared plans are dropped (so each is
-    /// rebuilt on the survivor group and re-cleared by the `commverify`
-    /// static verifier before its first launch); the bootstrap store
-    /// reconvenes over the survivors; and the collective that was in
-    /// flight is replayed when its inputs are intact (out-of-place) or
-    /// rejected with a typed [`RecoveryOutcome`] otherwise.
+    /// One shrink iteration, in order: [`mscclpp::Comm::abort_and_drain`]
+    /// cancels every in-flight proxy request and quiesces the FIFOs; the
+    /// epoch counter is bumped and all prepared plans are dropped (so
+    /// each is rebuilt on the survivor group and re-cleared by the
+    /// `commverify` static verifier before its first launch); the
+    /// bootstrap store reconvenes over the survivors; and the collective
+    /// that was in flight is replayed when its inputs are intact
+    /// (out-of-place) or rejected with a typed [`RecoveryOutcome`].
+    ///
+    /// **Nested recovery**: when the replay itself is interrupted by a
+    /// *further* rank death, the shrink restarts from the union of all
+    /// dead ranks — drain, reconvene, epoch bump, replay — until the
+    /// replay converges or no new deaths explain the failure. Each
+    /// restart is counted under `fault.nested_recoveries`, and the
+    /// returned [`Recovery`] carries the final epoch, the summed drain
+    /// and the total recovery time.
     ///
     /// # Errors
     ///
@@ -1042,69 +1171,64 @@ impl CollComm {
     /// [`RecoveryOutcome::Unrecoverable`] with the epoch still advanced.
     pub fn shrink(&self, engine: &mut Engine<Machine>, dead: &[Rank]) -> Result<Recovery> {
         let t0 = engine.now();
-        let drain = self.comm.abort_and_drain(engine);
-        let mut gone: Vec<usize> = dead.iter().map(|r| r.0).collect();
-        if let Some(plan) = engine.fault_plan() {
-            gone.extend(plan.dead_ranks_at(t0));
-        }
-        let survivors: Vec<Rank> = self
-            .active_group(engine)
-            .into_iter()
-            .filter(|r| !gone.contains(&r.0))
-            .collect();
-        // Validates the survivor set (non-empty, no duplicates) and
-        // resets the rendezvous for the new epoch's setups.
-        self.comm.reconvene(&survivors)?;
-        self.prepared.borrow_mut().clear();
-        self.group.replace(Some(survivors.clone()));
-        self.epoch.set(self.epoch.get() + 1);
-        engine.count("fault.epoch_shrinks", 1);
+        // Capture the interrupted launch once: every nested-recovery
+        // iteration replays the same record (and a failed replay must
+        // not leave its own pending record behind).
         let interrupted = self.pending.replace(None);
-        let outcome = if survivors.len() < 2 {
-            // A single survivor cannot run any collective; whatever was
-            // in flight is lost.
-            RecoveryOutcome::Unrecoverable
-        } else {
-            match interrupted {
-                None => RecoveryOutcome::Replayed,
-                Some(LaunchRecord::AllReduce {
-                    algo,
-                    inputs,
-                    outputs,
-                    count,
-                    dtype,
-                    op,
-                }) => {
-                    if survivors.iter().any(|r| inputs[r.0] == outputs[r.0]) {
-                        RecoveryOutcome::PartialDiscarded
-                    } else if self
-                        .all_reduce_with(engine, &inputs, &outputs, count, dtype, op, algo)
-                        .is_ok()
-                    {
-                        RecoveryOutcome::Replayed
-                    } else {
-                        RecoveryOutcome::Unrecoverable
+        let mut gone: Vec<usize> = dead.iter().map(|r| r.0).collect();
+        let mut drain = DrainReport::default();
+        let mut failover_root = None;
+        let (outcome, survivors) = loop {
+            let d = self.comm.abort_and_drain(engine);
+            drain.cancelled_puts += d.cancelled_puts;
+            drain.cancelled_signals += d.cancelled_signals;
+            drain.dirty_fifos += d.dirty_fifos;
+            drain.fifos = d.fifos;
+            if let Some(plan) = engine.fault_plan() {
+                for r in plan.dead_ranks_at(engine.now()) {
+                    if !gone.contains(&r) {
+                        gone.push(r);
                     }
                 }
-                Some(LaunchRecord::AllGather {
-                    algo,
-                    inputs,
-                    outputs,
-                    count,
-                    dtype,
-                }) => {
-                    if survivors.iter().any(|r| inputs[r.0] == outputs[r.0]) {
-                        RecoveryOutcome::PartialDiscarded
-                    } else if self
-                        .all_gather_with(engine, &inputs, &outputs, count, dtype, algo)
-                        .is_ok()
-                    {
-                        RecoveryOutcome::Replayed
-                    } else {
-                        RecoveryOutcome::Unrecoverable
+            }
+            let survivors: Vec<Rank> = self
+                .active_group(engine)
+                .into_iter()
+                .filter(|r| !gone.contains(&r.0))
+                .collect();
+            // Validates the survivor set (non-empty, no duplicates) and
+            // resets the rendezvous for the new epoch's setups.
+            self.comm.reconvene(&survivors)?;
+            self.prepared.borrow_mut().clear();
+            self.group.replace(Some(survivors.clone()));
+            self.epoch.set(self.epoch.get() + 1);
+            self.straggler.borrow_mut().clear();
+            engine.count("fault.epoch_shrinks", 1);
+            if survivors.len() < 2 {
+                // A single survivor cannot run any collective; whatever
+                // was in flight is lost.
+                break (RecoveryOutcome::Unrecoverable, survivors);
+            }
+            match self.replay(engine, &interrupted, &survivors, &mut failover_root) {
+                Ok(outcome) => break (outcome, survivors),
+                Err(_) => {
+                    // The replay launch itself failed. Clear the record
+                    // it left pending, then check whether a *new* death
+                    // explains it — if so, restart the shrink from the
+                    // union of every death seen so far.
+                    self.pending.replace(None);
+                    let newly_dead = engine
+                        .fault_plan()
+                        .map(|p| p.dead_ranks_at(engine.now()))
+                        .unwrap_or_default()
+                        .into_iter()
+                        .any(|r| !gone.contains(&r));
+                    if newly_dead {
+                        engine.count("fault.nested_recoveries", 1);
+                        continue;
                     }
+                    break (RecoveryOutcome::Unrecoverable, survivors);
                 }
-                Some(LaunchRecord::Other) => RecoveryOutcome::Unrecoverable,
             }
         };
         Ok(Recovery {
@@ -1113,6 +1237,111 @@ impl CollComm {
             group: survivors,
             drain,
             recovery_time: engine.now() - t0,
+            failover_root,
         })
+    }
+
+    /// Replays (or rejects with a typed outcome) the interrupted
+    /// collective on the survivor group. `Ok` is a final verdict;
+    /// `Err` means the replay launch itself failed — the caller decides
+    /// whether a further death explains it.
+    fn replay(
+        &self,
+        engine: &mut Engine<Machine>,
+        interrupted: &Option<LaunchRecord>,
+        survivors: &[Rank],
+        failover_root: &mut Option<Rank>,
+    ) -> Result<RecoveryOutcome> {
+        let in_place = |inputs: &[BufferId], outputs: &[BufferId]| {
+            survivors.iter().any(|r| inputs[r.0] == outputs[r.0])
+        };
+        match interrupted {
+            None => Ok(RecoveryOutcome::Replayed),
+            Some(LaunchRecord::AllReduce {
+                algo,
+                inputs,
+                outputs,
+                count,
+                dtype,
+                op,
+            }) => {
+                if in_place(inputs, outputs) {
+                    return Ok(RecoveryOutcome::PartialDiscarded);
+                }
+                self.all_reduce_with(engine, inputs, outputs, *count, *dtype, *op, *algo)?;
+                Ok(RecoveryOutcome::Replayed)
+            }
+            Some(LaunchRecord::AllGather {
+                algo,
+                inputs,
+                outputs,
+                count,
+                dtype,
+            }) => {
+                if in_place(inputs, outputs) {
+                    return Ok(RecoveryOutcome::PartialDiscarded);
+                }
+                self.all_gather_with(engine, inputs, outputs, *count, *dtype, *algo)?;
+                Ok(RecoveryOutcome::Replayed)
+            }
+            Some(LaunchRecord::ReduceScatter {
+                algo,
+                inputs,
+                outputs,
+                count,
+                dtype,
+                op,
+            }) => {
+                if in_place(inputs, outputs) {
+                    return Ok(RecoveryOutcome::PartialDiscarded);
+                }
+                // Shards grow when the group shrinks (count / k versus
+                // count / world elements): a replay only fits when every
+                // survivor's output can hold its renumbered shard.
+                let shard_bytes = count.div_ceil(survivors.len()) * dtype.size();
+                if survivors
+                    .iter()
+                    .any(|r| engine.world().pool().len(outputs[r.0]) < shard_bytes)
+                {
+                    return Ok(RecoveryOutcome::PartialDiscarded);
+                }
+                self.reduce_scatter_with(engine, inputs, outputs, *count, *dtype, *op, *algo)?;
+                Ok(RecoveryOutcome::Replayed)
+            }
+            Some(LaunchRecord::Broadcast {
+                algo,
+                inputs,
+                outputs,
+                count,
+                dtype,
+                root,
+            }) => {
+                if !survivors.contains(root) {
+                    // Root died mid-broadcast: nobody holds the source
+                    // any more. Fail over to the lowest survivor — the
+                    // caller refills its input and reissues from there.
+                    *failover_root = survivors.first().copied();
+                    return Ok(RecoveryOutcome::PartialDiscarded);
+                }
+                // The root's input is intact even for an in-place
+                // broadcast, and the replay overwrites every survivor's
+                // output in full — always safe to re-run.
+                self.broadcast_with(engine, inputs, outputs, *count, *dtype, *root, *algo)?;
+                Ok(RecoveryOutcome::Replayed)
+            }
+            Some(LaunchRecord::AllToAll {
+                algo,
+                inputs,
+                outputs,
+                count,
+                dtype,
+            }) => {
+                if in_place(inputs, outputs) {
+                    return Ok(RecoveryOutcome::PartialDiscarded);
+                }
+                self.all_to_all_with(engine, inputs, outputs, *count, *dtype, *algo)?;
+                Ok(RecoveryOutcome::Replayed)
+            }
+        }
     }
 }

@@ -6,10 +6,25 @@
 //! hardware, the PortChannel variant wins at ~1 GB, and hierarchical
 //! algorithms serve multi-node clusters (LL small, HB large).
 
-use hw::Machine;
+use hw::{Machine, Rank, Topology};
 use sim::Engine;
 
 use crate::{AllGatherAlgo, AllReduceAlgo, BroadcastAlgo, PeerOrder, ScratchReuse};
+
+/// True when the survivor `group` still spans at least two nodes — the
+/// shape hierarchical (two-phase multi-node) plans require.
+fn spans_multiple_nodes(group: &[Rank], topo: &Topology) -> bool {
+    let mut first = None;
+    for &r in group {
+        let node = topo.node_of(r);
+        match first {
+            None => first = Some(node),
+            Some(f) if f != node => return true,
+            Some(_) => {}
+        }
+    }
+    false
+}
 
 /// Picks the default AllReduce algorithm for a message of `bytes`.
 pub fn select_all_reduce(machine: &Machine, bytes: usize) -> AllReduceAlgo {
@@ -75,18 +90,23 @@ pub fn degrade_all_reduce(engine: &Engine<Machine>, selected: AllReduceAlgo) -> 
     algo
 }
 
-/// Re-maps an AllReduce choice onto a shrunken epoch of `group` ranks
-/// (out of `world` total). The hierarchical algorithms derive their
-/// leader layout from the full topology and cannot run on a strict
-/// subset, so they fall back to their all-pairs counterparts; every
+/// Re-maps an AllReduce choice onto a shrunken epoch of `group` ranks.
+/// Hierarchical algorithms stay hierarchical as long as the survivors
+/// still span at least two nodes — the shrunken two-phase plan re-elects
+/// node leaders among the survivors. When a shrink collapses the group
+/// onto one node the hierarchy has nothing to relay across, so the
+/// choice falls back to the single-node all-pairs counterpart. Every
 /// other algorithm already accepts an explicit rank set (ring re-closure
 /// and switch-group renumbering happen inside its `prepare`). Returns
 /// `selected` unchanged on a full-world epoch.
-pub fn fit_all_reduce(selected: AllReduceAlgo, group: usize, world: usize) -> AllReduceAlgo {
-    if group >= world {
+pub fn fit_all_reduce(selected: AllReduceAlgo, group: &[Rank], topo: &Topology) -> AllReduceAlgo {
+    if group.len() >= topo.world_size() {
         return selected;
     }
     match selected {
+        AllReduceAlgo::HierLl | AllReduceAlgo::HierHb if spans_multiple_nodes(group, topo) => {
+            selected
+        }
         AllReduceAlgo::HierLl => AllReduceAlgo::TwoPhaseLl {
             reuse: ScratchReuse::Rotate,
             order: PeerOrder::Staggered,
@@ -99,12 +119,16 @@ pub fn fit_all_reduce(selected: AllReduceAlgo, group: usize, world: usize) -> Al
 }
 
 /// The AllGather counterpart of [`fit_all_reduce`]: hierarchical plans
-/// fall back to all-pairs on a shrunken epoch.
-pub fn fit_all_gather(selected: AllGatherAlgo, group: usize, world: usize) -> AllGatherAlgo {
-    if group >= world {
+/// stay hierarchical while the survivors span multiple nodes, and fall
+/// back to all-pairs once a shrink confines the epoch to one node.
+pub fn fit_all_gather(selected: AllGatherAlgo, group: &[Rank], topo: &Topology) -> AllGatherAlgo {
+    if group.len() >= topo.world_size() {
         return selected;
     }
     match selected {
+        AllGatherAlgo::HierLl | AllGatherAlgo::HierHb if spans_multiple_nodes(group, topo) => {
+            selected
+        }
         AllGatherAlgo::HierLl => AllGatherAlgo::AllPairsLl,
         AllGatherAlgo::HierHb => AllGatherAlgo::AllPairsHb,
         other => other,
@@ -187,5 +211,51 @@ mod tests {
         assert_eq!(select_all_reduce(&two, 256 << 20), AllReduceAlgo::HierHb);
         assert_eq!(select_all_gather(&two, 1 << 10), AllGatherAlgo::HierLl);
         assert_eq!(select_all_gather(&two, 16 << 20), AllGatherAlgo::HierHb);
+    }
+
+    #[test]
+    fn fit_keeps_hierarchical_while_survivors_span_nodes() {
+        let two = Machine::new(EnvKind::A100_40G.spec(2));
+        let topo = two.topology();
+        // Rank 3 died: survivors still span both nodes.
+        let group: Vec<Rank> = (0..16).filter(|&r| r != 3).map(Rank).collect();
+        assert_eq!(
+            fit_all_reduce(AllReduceAlgo::HierLl, &group, &topo),
+            AllReduceAlgo::HierLl
+        );
+        assert_eq!(
+            fit_all_reduce(AllReduceAlgo::HierHb, &group, &topo),
+            AllReduceAlgo::HierHb
+        );
+        assert_eq!(
+            fit_all_gather(AllGatherAlgo::HierHb, &group, &topo),
+            AllGatherAlgo::HierHb
+        );
+    }
+
+    #[test]
+    fn fit_falls_back_when_shrunk_to_one_node() {
+        let two = Machine::new(EnvKind::A100_40G.spec(2));
+        let topo = two.topology();
+        // All of node 1 died: survivors fit on node 0 — no hierarchy left.
+        let group: Vec<Rank> = (0..8).map(Rank).collect();
+        assert!(matches!(
+            fit_all_reduce(AllReduceAlgo::HierLl, &group, &topo),
+            AllReduceAlgo::TwoPhaseLl { .. }
+        ));
+        assert!(matches!(
+            fit_all_reduce(AllReduceAlgo::HierHb, &group, &topo),
+            AllReduceAlgo::TwoPhaseHb { .. }
+        ));
+        assert_eq!(
+            fit_all_gather(AllGatherAlgo::HierLl, &group, &topo),
+            AllGatherAlgo::AllPairsLl
+        );
+        // Full world stays untouched.
+        let full: Vec<Rank> = (0..16).map(Rank).collect();
+        assert_eq!(
+            fit_all_reduce(AllReduceAlgo::HierLl, &full, &topo),
+            AllReduceAlgo::HierLl
+        );
     }
 }

@@ -1,0 +1,201 @@
+//! Straggler detection: per-rank completion-time outlier tracking over a
+//! sliding window of launches.
+//!
+//! A straggler is a rank that is alive — it answers signals, its puts
+//! land — but persistently finishes collectives far behind its peers
+//! (thermal throttling, a flapping NIC rail, a noisy neighbour). Dead
+//! ranks surface as timeouts and are handled by `CollComm::shrink`;
+//! stragglers silently drag every launch down to their pace, which is
+//! why serving systems evict them proactively.
+//!
+//! The detector is deliberately simple and deterministic: for each
+//! successful launch it compares every member's completion time against
+//! the group median; a rank whose time exceeds `threshold x median` is
+//! an outlier for that launch. Each rank keeps a sliding window of the
+//! last `window` launches, and once `quorum` of them were outliers the
+//! rank is *suspected*. Suspicion is a report, not an action — eviction
+//! only happens through `CollComm::quarantine_stragglers`, and only when
+//! the policy opted into it.
+
+use std::collections::HashMap;
+
+use hw::Rank;
+use mscclpp::KernelTiming;
+
+/// Knobs for the sliding-window straggler detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerPolicy {
+    /// Launches per rank in the sliding window.
+    pub window: usize,
+    /// A launch is an outlier for a rank when its completion time
+    /// exceeds `threshold` times the group median for that launch.
+    pub threshold: f64,
+    /// A rank is suspected once at least `quorum` launches of its
+    /// current window were outliers.
+    pub quorum: usize,
+    /// When true, [`crate::CollComm::quarantine_stragglers`] evicts the
+    /// suspects via a voluntary shrink; when false it reports only.
+    pub quarantine: bool,
+}
+
+impl Default for StragglerPolicy {
+    fn default() -> StragglerPolicy {
+        StragglerPolicy {
+            window: 8,
+            threshold: 3.0,
+            quorum: 6,
+            quarantine: false,
+        }
+    }
+}
+
+/// Sliding outlier windows per rank plus the current suspect set.
+#[derive(Debug, Default)]
+pub(crate) struct StragglerState {
+    /// Outlier flags per rank, newest last, capped at the policy window.
+    windows: HashMap<usize, Vec<bool>>,
+    /// Ranks currently suspected, sorted.
+    suspected: Vec<Rank>,
+}
+
+impl StragglerState {
+    /// Folds one successful launch into the windows. Returns the number
+    /// of ranks that *newly* became suspected (for the
+    /// `fault.straggler_suspected` counter — each transition counts
+    /// once until the state is cleared by an epoch change).
+    pub(crate) fn observe(
+        &mut self,
+        policy: &StragglerPolicy,
+        group: &[Rank],
+        timing: &KernelTiming,
+    ) -> u64 {
+        if group.len() < 3 {
+            // With fewer than three members a median is meaningless —
+            // one slow rank *is* half the group.
+            return 0;
+        }
+        let elapsed: Vec<f64> = group
+            .iter()
+            .map(|r| (timing.per_rank_end[r.0] - timing.start).as_us())
+            .collect();
+        let mut sorted = elapsed.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("virtual times are finite"));
+        let median = sorted[sorted.len() / 2];
+        if median <= 0.0 {
+            return 0;
+        }
+        let mut fresh = 0;
+        for (i, &r) in group.iter().enumerate() {
+            let outlier = elapsed[i] > policy.threshold * median;
+            let w = self.windows.entry(r.0).or_default();
+            w.push(outlier);
+            if w.len() > policy.window {
+                w.remove(0);
+            }
+            let hits = w.iter().filter(|&&o| o).count();
+            if hits >= policy.quorum && !self.suspected.contains(&r) {
+                self.suspected.push(r);
+                fresh += 1;
+            }
+        }
+        self.suspected.sort_unstable();
+        fresh
+    }
+
+    /// The current suspects, sorted.
+    pub(crate) fn suspected(&self) -> Vec<Rank> {
+        self.suspected.clone()
+    }
+
+    /// Drops all windows and suspicions — called at every epoch change,
+    /// because completion-time baselines from the old group shape do not
+    /// transfer to the new one.
+    pub(crate) fn clear(&mut self) {
+        self.windows.clear();
+        self.suspected.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Time;
+
+    fn timing(start_us: u64, ends_us: &[u64]) -> KernelTiming {
+        let us = |v: u64| Time::from_ps(v * 1_000_000);
+        let start = us(start_us);
+        let per_rank_end: Vec<Time> = ends_us.iter().map(|&e| us(e)).collect();
+        let end = *per_rank_end.iter().max().expect("non-empty");
+        KernelTiming {
+            start,
+            end,
+            per_rank_end,
+        }
+    }
+
+    #[test]
+    fn persistent_outlier_becomes_suspected_exactly_once() {
+        let policy = StragglerPolicy {
+            window: 4,
+            threshold: 2.0,
+            quorum: 3,
+            quarantine: false,
+        };
+        let group: Vec<Rank> = (0..4).map(Rank).collect();
+        let mut st = StragglerState::default();
+        // Rank 2 finishes 10x behind the rest, every launch.
+        for i in 0..2 {
+            let fresh = st.observe(&policy, &group, &timing(0, &[10, 10, 100, 11]));
+            assert_eq!(fresh, 0, "below quorum after launch {i}");
+        }
+        let fresh = st.observe(&policy, &group, &timing(0, &[10, 10, 100, 11]));
+        assert_eq!(fresh, 1, "third outlier meets quorum");
+        assert_eq!(st.suspected(), vec![Rank(2)]);
+        // Further outliers do not re-count the transition.
+        let fresh = st.observe(&policy, &group, &timing(0, &[10, 10, 100, 11]));
+        assert_eq!(fresh, 0);
+        assert_eq!(st.suspected(), vec![Rank(2)]);
+    }
+
+    #[test]
+    fn transient_blips_age_out_of_the_window() {
+        let policy = StragglerPolicy {
+            window: 4,
+            threshold: 2.0,
+            quorum: 3,
+            quarantine: false,
+        };
+        let group: Vec<Rank> = (0..4).map(Rank).collect();
+        let mut st = StragglerState::default();
+        // Two outlier launches, then healthy ones: the window slides the
+        // blips out before quorum is ever met.
+        for _ in 0..2 {
+            st.observe(&policy, &group, &timing(0, &[10, 10, 100, 11]));
+        }
+        for _ in 0..6 {
+            let fresh = st.observe(&policy, &group, &timing(0, &[10, 10, 11, 11]));
+            assert_eq!(fresh, 0);
+        }
+        assert!(st.suspected().is_empty());
+    }
+
+    #[test]
+    fn clear_resets_windows_and_suspicions() {
+        let policy = StragglerPolicy {
+            window: 2,
+            threshold: 2.0,
+            quorum: 2,
+            quarantine: true,
+        };
+        let group: Vec<Rank> = (0..4).map(Rank).collect();
+        let mut st = StragglerState::default();
+        for _ in 0..2 {
+            st.observe(&policy, &group, &timing(0, &[10, 10, 100, 11]));
+        }
+        assert_eq!(st.suspected(), vec![Rank(2)]);
+        st.clear();
+        assert!(st.suspected().is_empty());
+        let fresh = st.observe(&policy, &group, &timing(0, &[10, 10, 100, 11]));
+        assert_eq!(fresh, 0, "one post-clear outlier is below quorum");
+    }
+}

@@ -5,7 +5,7 @@
 //! needs — per thread block and per peer pair, exactly as the real
 //! library instantiates device handles — and reuses them across launches.
 
-use hw::{BufferId, Rank};
+use hw::{BufferId, Rank, Topology};
 use mscclpp::{MemoryChannel, PortChannel, Protocol, Result, Setup};
 
 /// Per-thread-block, per-ordered-pair memory channels within one rank
@@ -108,6 +108,39 @@ impl PortMesh {
     }
 }
 
+/// Partitions a (sorted) rank group into per-node member lists, skipping
+/// nodes with no surviving member. The hierarchical shrunken plans elect
+/// the first member of each list as that node's leader.
+pub(crate) fn node_groups(topo: &Topology, group: &[Rank]) -> Vec<Vec<Rank>> {
+    let mut out: Vec<Vec<Rank>> = Vec::new();
+    let mut last_node = usize::MAX;
+    let mut sorted = group.to_vec();
+    sorted.sort_unstable();
+    for r in sorted {
+        let node = topo.node_of(r);
+        if node != last_node {
+            out.push(Vec::new());
+            last_node = node;
+        }
+        out.last_mut().expect("pushed above").push(r);
+    }
+    out
+}
+
+/// Intersects the half-open ranges `[a0, a0+al)` and `[b0, b0+bl)`,
+/// returning `(start, len)` in absolute coordinates. An empty
+/// intersection is anchored at `b0` so callers can subtract `b0` from the
+/// start without underflow when emitting balanced zero-length transfers.
+pub(crate) fn isect(a0: usize, al: usize, b0: usize, bl: usize) -> (usize, usize) {
+    let s = a0.max(b0);
+    let e = (a0 + al).min(b0 + bl);
+    if e > s {
+        (s, e - s)
+    } else {
+        (b0, 0)
+    }
+}
+
 /// Splits `total` into `parts` nearly-equal ranges; returns `(start, len)`
 /// of range `idx`.
 pub(crate) fn split_range(total: usize, parts: usize, idx: usize) -> (usize, usize) {
@@ -121,6 +154,28 @@ pub(crate) fn split_range(total: usize, parts: usize, idx: usize) -> (usize, usi
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn isect_clamps_and_anchors_empty() {
+        assert_eq!(isect(0, 10, 4, 4), (4, 4));
+        assert_eq!(isect(5, 10, 4, 4), (5, 3));
+        assert_eq!(isect(0, 3, 4, 4), (4, 0), "empty anchors at b0");
+        assert_eq!(isect(9, 3, 4, 4), (4, 0));
+    }
+
+    #[test]
+    fn node_groups_partition_survivors_by_node() {
+        use hw::EnvKind;
+        let topo = hw::Machine::new(EnvKind::A100_40G.spec(2)).topology();
+        let group: Vec<Rank> = [0, 3, 5, 8, 15].into_iter().map(Rank).collect();
+        let groups = node_groups(&topo, &group);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![Rank(0), Rank(3), Rank(5)]);
+        assert_eq!(groups[1], vec![Rank(8), Rank(15)]);
+        // A whole dead node disappears from the partition.
+        let ones: Vec<Rank> = (8..16).map(Rank).collect();
+        assert_eq!(node_groups(&topo, &ones).len(), 1);
+    }
 
     #[test]
     fn split_range_covers_everything_without_overlap() {

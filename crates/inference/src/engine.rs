@@ -40,6 +40,59 @@ impl std::fmt::Display for BatchConfig {
     }
 }
 
+/// Why a recovery happened, classified from where the dead ranks sat in
+/// the tensor-parallel group at the moment of the failure.
+///
+/// The class determines how much of the communicator the shrink has to
+/// rebuild — a member death renumbers one node's intra-node phase, a
+/// leader death additionally re-elects the node's inter-node endpoint,
+/// and a node death renumbers the whole inter-node phase — so recovery
+/// latencies are reported per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// A rank died that was not its node's inter-node leader.
+    Member,
+    /// The lowest-ranked serving member of a node — its inter-node
+    /// leader — died, forcing a leader re-election on that node.
+    Leader,
+    /// Every serving rank of one node died at once.
+    Node,
+    /// A live-but-slow rank was voluntarily evicted by the straggler
+    /// quarantine (never produced by [`ServingEngine::recover`], which
+    /// only sees dead ranks).
+    Straggler,
+}
+
+impl FailureClass {
+    /// All classes, in [`FailureClass::index`] order.
+    pub const ALL: [FailureClass; 4] = [
+        FailureClass::Member,
+        FailureClass::Leader,
+        FailureClass::Node,
+        FailureClass::Straggler,
+    ];
+
+    /// Stable index into per-class report arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FailureClass::Member => 0,
+            FailureClass::Leader => 1,
+            FailureClass::Node => 2,
+            FailureClass::Straggler => 3,
+        }
+    }
+
+    /// Lowercase display name (used in benchmark output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureClass::Member => "member",
+            FailureClass::Leader => "leader",
+            FailureClass::Node => "node",
+            FailureClass::Straggler => "straggler",
+        }
+    }
+}
+
 /// Timing breakdown of one inference step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepReport {
@@ -99,7 +152,21 @@ impl ServingEngine {
         max_tokens: usize,
         plan: Option<sim::FaultPlan>,
     ) -> ServingEngine {
-        let mut engine = Engine::new(Machine::new(env.spec(1)));
+        ServingEngine::with_cluster(env, 1, model, max_tokens, plan)
+    }
+
+    /// Like [`ServingEngine::with_fault_plan`], but serves at multi-node
+    /// tensor parallelism: TP spans all GPUs of `nodes` nodes, so the
+    /// per-layer AllReduces cross the inter-node fabric and a whole node
+    /// can fail.
+    pub fn with_cluster(
+        env: EnvKind,
+        nodes: usize,
+        model: ModelConfig,
+        max_tokens: usize,
+        plan: Option<sim::FaultPlan>,
+    ) -> ServingEngine {
+        let mut engine = Engine::new(Machine::new(env.spec(nodes)));
         if let Some(plan) = plan {
             engine.set_fault_plan(plan);
         }
@@ -140,15 +207,16 @@ impl ServingEngine {
     /// Detects ranks the fault plan has killed and fails the serving
     /// group over to the survivors: the backend's communicator shrinks
     /// to a new epoch and subsequent steps run at the reduced
-    /// tensor-parallel degree. Returns the recovery latency in
-    /// microseconds of virtual time — from the instant the rank died to
-    /// the shrunken communicator being ready — or `None` when no rank
-    /// died or the backend cannot shrink.
+    /// tensor-parallel degree. Returns the failure class and the
+    /// recovery latency in microseconds of virtual time — from the
+    /// instant the first rank died to the shrunken communicator being
+    /// ready — or `None` when no rank died or the backend cannot
+    /// shrink.
     ///
     /// # Errors
     ///
     /// Propagates communicator-rebuild failures.
-    pub fn recover(&mut self, backend: &dyn CommBackend) -> Result<Option<f64>> {
+    pub fn recover(&mut self, backend: &dyn CommBackend) -> Result<Option<(FailureClass, f64)>> {
         let now = self.engine.now();
         let (dead, t_down) = {
             let Some(plan) = self.engine.fault_plan() else {
@@ -166,12 +234,44 @@ impl ServingEngine {
         if dead.is_empty() {
             return Ok(None);
         }
+        let class = self.classify(&dead);
         let Some(survivors) = backend.shrink(&mut self.engine, &dead)? else {
             return Ok(None);
         };
         self.tp = survivors.len();
         self.group = survivors;
-        Ok(Some((self.engine.now() - t_down.unwrap_or(now)).as_us()))
+        Ok(Some((
+            class,
+            (self.engine.now() - t_down.unwrap_or(now)).as_us(),
+        )))
+    }
+
+    /// Classifies a set of deaths against the serving group as it stood
+    /// before the shrink. Severity wins: if any node lost all its
+    /// serving members it is a node failure; otherwise if any node lost
+    /// its inter-node leader (lowest serving rank) it is a leader
+    /// failure; otherwise a member failure.
+    fn classify(&self, dead: &[Rank]) -> FailureClass {
+        let topo = self.engine.world().topology();
+        let mut class = FailureClass::Member;
+        for node in 0..topo.nodes() {
+            let members: Vec<Rank> = self
+                .group
+                .iter()
+                .copied()
+                .filter(|&r| topo.node_of(r) == node)
+                .collect();
+            if members.is_empty() || !members.iter().any(|r| dead.contains(r)) {
+                continue;
+            }
+            if members.iter().all(|r| dead.contains(r)) {
+                return FailureClass::Node;
+            }
+            if dead.contains(&members[0]) {
+                class = FailureClass::Leader;
+            }
+        }
+        class
     }
 
     /// Runs the per-GPU compute of one layer as a kernel on every

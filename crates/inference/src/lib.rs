@@ -44,6 +44,6 @@ mod model;
 mod serve;
 
 pub use backend::{CommBackend, MscclBackend, MscclppBackend, NcclBackend};
-pub use engine::{BatchConfig, ServingEngine, StepReport};
+pub use engine::{BatchConfig, FailureClass, ServingEngine, StepReport};
 pub use model::{layer_time, GpuPerf, ModelConfig};
 pub use serve::{serve_trace, synthetic_trace, LatencyStats, Request, ServeReport};

@@ -109,6 +109,12 @@ pub struct ServeReport {
     /// Total recovery latency in microseconds: rank death through the
     /// shrunken communicator being ready, summed over recoveries.
     pub recovery_latency_us: f64,
+    /// Recoveries per failure class, indexed by
+    /// [`crate::FailureClass::index`] (member, leader, node, straggler).
+    pub recoveries_by_class: [usize; 4],
+    /// Summed recovery latency in microseconds per failure class,
+    /// indexed like [`ServeReport::recoveries_by_class`].
+    pub recovery_latency_us_by_class: [f64; 4],
     /// Tensor-parallel degree at the end of the run (smaller than the
     /// starting degree when ranks died).
     pub final_tp: usize,
@@ -152,6 +158,8 @@ pub fn serve_trace(
     let mut generated_tokens = 0usize;
     let mut recoveries = 0usize;
     let mut recovery_latency_us = 0.0f64;
+    let mut recoveries_by_class = [0usize; 4];
+    let mut recovery_latency_us_by_class = [0.0f64; 4];
     let mut epoch = backend.epoch();
 
     while !queue.is_empty() || !active.is_empty() {
@@ -179,9 +187,11 @@ pub fn serve_trace(
                 Err(err) => match engine.recover(backend)? {
                     // Epoch changed: re-queue the batch by rerunning the
                     // prefill at the shrunken tensor-parallel degree.
-                    Some(lat) => {
+                    Some((class, lat)) => {
                         recoveries += 1;
                         recovery_latency_us += lat;
+                        recoveries_by_class[class.index()] += 1;
+                        recovery_latency_us_by_class[class.index()] += lat;
                         clock_us += lat;
                         epoch = backend.epoch();
                         engine.prefill(backend, cfg)?
@@ -219,9 +229,11 @@ pub fn serve_trace(
             Err(err) => match engine.recover(backend)? {
                 // Rank died mid-step: the batch stays active (re-queued)
                 // and the step reruns on the survivor group.
-                Some(lat) => {
+                Some((class, lat)) => {
                     recoveries += 1;
                     recovery_latency_us += lat;
+                    recoveries_by_class[class.index()] += 1;
+                    recovery_latency_us_by_class[class.index()] += lat;
                     clock_us += lat;
                     epoch = backend.epoch();
                     engine.decode_step(backend, cfg)?
@@ -268,6 +280,8 @@ pub fn serve_trace(
         decode_time_fraction: decode_us / clock_us,
         recoveries,
         recovery_latency_us,
+        recoveries_by_class,
+        recovery_latency_us_by_class,
         final_tp: engine.tp(),
     })
 }
@@ -347,5 +361,74 @@ mod tests {
         );
         // Recovery latency is part of the serving makespan.
         assert!(report.makespan_us > report.recovery_latency_us);
+        // Rank 3 is not node 0's leader (rank 0 is): a member failure.
+        assert_eq!(report.recoveries_by_class, [1, 0, 0, 0]);
+        assert!(report.recovery_latency_us_by_class[0] > 0.0);
+        assert_eq!(
+            report.recovery_latency_us_by_class[0],
+            report.recovery_latency_us
+        );
+    }
+
+    #[test]
+    fn serving_survives_node_loss_at_multi_node_tp() {
+        use crate::engine::FailureClass;
+        use sim::{Duration, FaultPlan, Time};
+        // The whole second node (ranks 8..16) dies 100us into the run.
+        let node1: Vec<usize> = (8..16).collect();
+        let plan = FaultPlan::new(17)
+            .node_down(&node1, Time::from_ps(100_000_000))
+            .with_wait_timeout(Duration::from_us(300.0));
+        let mut engine = ServingEngine::with_cluster(
+            EnvKind::A100_40G,
+            2,
+            ModelConfig::llama2_13b(),
+            16 * 1024,
+            Some(plan),
+        );
+        assert_eq!(engine.tp(), 16);
+        let backend = MscclppBackend::new();
+        let trace = synthetic_trace(4, 128, 12, 5_000.0, 3);
+        let report = serve_trace(&mut engine, &backend, &trace, 8).unwrap();
+        // Every request completes on the surviving node at TP 8.
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.final_tp, 8);
+        assert_eq!(backend.epoch(), 1);
+        let node = FailureClass::Node.index();
+        assert_eq!(report.recoveries_by_class[node], 1);
+        assert!(report.recovery_latency_us_by_class[node] > 0.0);
+        assert!(report.makespan_us > report.recovery_latency_us);
+    }
+
+    #[test]
+    fn serving_classifies_leader_death_at_multi_node_tp() {
+        use crate::engine::FailureClass;
+        use sim::{Duration, FaultPlan, Time};
+        // Rank 8 — node 1's lowest serving rank, its inter-node leader —
+        // dies mid-run, forcing a leader re-election on that node. The
+        // detection timeout must exceed the worst-case *legitimate* wait
+        // of the shrunken leader-relay plan (members wait while the
+        // whole prefill-sized message funnels through their leader), or
+        // healthy post-recovery steps read as deaths.
+        let plan = FaultPlan::new(19)
+            .rank_down(8, Time::from_ps(100_000_000))
+            .with_wait_timeout(Duration::from_us(2_000.0));
+        let mut engine = ServingEngine::with_cluster(
+            EnvKind::A100_40G,
+            2,
+            ModelConfig::llama2_13b(),
+            16 * 1024,
+            Some(plan),
+        );
+        let backend = MscclppBackend::new();
+        let trace = synthetic_trace(4, 128, 12, 5_000.0, 3);
+        let report = serve_trace(&mut engine, &backend, &trace, 8).unwrap();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.final_tp, 15);
+        let leader = FailureClass::Leader.index();
+        assert_eq!(report.recoveries_by_class[leader], 1);
+        assert!(report.recovery_latency_us_by_class[leader] > 0.0);
     }
 }

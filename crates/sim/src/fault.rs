@@ -281,6 +281,29 @@ impl FaultPlan {
         })
     }
 
+    /// Kills a whole node at `at`: every rank in `ranks` gets a
+    /// [`FaultKind::RankDown`] event. The caller supplies the node's rank
+    /// list (the simulator core stays topology-agnostic).
+    pub fn node_down(mut self, ranks: &[usize], at: Time) -> FaultPlan {
+        for &r in ranks {
+            self = self.rank_down(r, at);
+        }
+        self
+    }
+
+    /// Kills `rank`'s NIC permanently from `from` on: every path between
+    /// `rank` and the given cross-node `peers` goes down forever, while
+    /// the rank itself (and its intra-node links) stays alive — the
+    /// rail-level fault class, distinct from a GPU death. The caller
+    /// supplies the peer list (the simulator core stays
+    /// topology-agnostic).
+    pub fn nic_down(mut self, rank: usize, peers: &[usize], from: Time) -> FaultPlan {
+        for &p in peers {
+            self = self.link_down_forever(rank, p, from);
+        }
+        self
+    }
+
     /// Takes the switch multimem datapath down permanently from `start`.
     pub fn multimem_down_forever(self, start: Time) -> FaultPlan {
         self.push(FaultEvent {
@@ -619,6 +642,31 @@ mod tests {
             Duration::from_ns(500.0)
         );
         assert_eq!(plan.nic_extra(Time::from_ps(10), 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn node_down_kills_every_listed_rank() {
+        let plan = FaultPlan::new(4).node_down(&[8, 9, 10, 11], Time::from_ps(50));
+        for r in 8..12 {
+            assert_eq!(plan.rank_down_time(r), Some(Time::from_ps(50)));
+            assert!(plan.rank_down_at(Time::from_ps(60), r));
+            assert!(!plan.rank_down_at(Time::from_ps(40), r));
+        }
+        assert_eq!(plan.rank_down_time(0), None);
+        let mut dead = plan.dead_ranks_at(Time::from_ps(60));
+        dead.sort_unstable();
+        assert_eq!(dead, vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn nic_down_kills_cross_paths_but_not_the_rank() {
+        let plan = FaultPlan::new(5).nic_down(3, &[8, 9], Time::from_ps(10));
+        assert!(plan.link_permanently_down(3, 8));
+        assert!(plan.link_permanently_down(9, 3));
+        assert!(!plan.link_permanently_down(3, 2));
+        assert!(plan.path(Time::from_ps(20), 3, 8).down);
+        assert!(!plan.rank_down_at(Time::from_ps(20), 3));
+        assert!(plan.dead_ranks().is_empty());
     }
 
     #[test]

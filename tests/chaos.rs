@@ -375,3 +375,85 @@ fn rank_death_is_deterministic() {
         .iter()
         .any(|(k, v)| k == "fault.rank_down_halted" && *v > 0));
 }
+
+/// A second rank dies while the first death's recovery is replaying the
+/// interrupted collective. The shrink must restart from the union of
+/// both deaths (a nested recovery), converge to one consistent final
+/// epoch, leave bit-exact results on the six survivors — and do all of
+/// it deterministically across reruns.
+#[test]
+fn double_failure_during_recovery_is_deterministic() {
+    let run_once = || {
+        let n = 8usize;
+        let count = 500_000usize;
+        // Rank 3 dies 1us in; rank 5 dies ~40us after the first death's
+        // wait timeout fires — mid-way through the replay that shrink
+        // launched on the 7-rank epoch.
+        let plan = FaultPlan::new(21)
+            .rank_down(3, us(1))
+            .rank_down(5, us(310))
+            .with_wait_timeout(Duration::from_us(300.0));
+        let mut e = engine_with_plan(EnvKind::A100_40G, plan);
+        let ins = alloc_filled(&mut e, n, count);
+        let outs: Vec<BufferId> = (0..n)
+            .map(|r| e.world_mut().pool_mut().alloc(Rank(r), count * 4))
+            .collect();
+        let comm = CollComm::new();
+        comm.all_reduce_with(
+            &mut e,
+            &ins,
+            &outs,
+            count,
+            DataType::F32,
+            ReduceOp::Sum,
+            AllReduceAlgo::TwoPhaseHb {
+                order: PeerOrder::Staggered,
+            },
+        )
+        .unwrap_err();
+        let recovery = comm.shrink(&mut e, &[]).unwrap();
+        assert_eq!(recovery.outcome, RecoveryOutcome::Replayed);
+        // Two epochs were opened (7 ranks, then 6); the second is the
+        // one in force.
+        assert_eq!(recovery.epoch.0, 2, "nested recovery opens a second epoch");
+        assert_eq!(comm.epoch().0, 2);
+        assert_eq!(recovery.group.len(), n - 2);
+        assert!(!recovery.group.contains(&Rank(3)));
+        assert!(!recovery.group.contains(&Rank(5)));
+        assert_eq!(e.metrics().counter("fault.epoch_shrinks"), 2);
+        assert!(
+            e.metrics().counter("fault.nested_recoveries") >= 1,
+            "the second death must surface as a nested recovery"
+        );
+        let want = reference_allreduce(
+            n,
+            count,
+            |r, i| if r == 3 || r == 5 { 0.0 } else { val(r, i) },
+        );
+        let mut out = Vec::new();
+        for &g in &recovery.group {
+            let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
+            assert_eq!(got, want, "rank {}", g.0);
+            out.extend(got);
+        }
+        let counters: Vec<(String, u64)> = e
+            .metrics()
+            .counters()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        (
+            e.now(),
+            counters,
+            out,
+            recovery.recovery_time,
+            recovery.drain,
+        )
+    };
+    let (now_a, counters_a, out_a, rec_a, drain_a) = run_once();
+    let (now_b, counters_b, out_b, rec_b, drain_b) = run_once();
+    assert_eq!(now_a, now_b, "virtual end time diverged");
+    assert_eq!(counters_a, counters_b, "counters diverged");
+    assert_eq!(out_a, out_b, "survivor outputs diverged");
+    assert_eq!(rec_a, rec_b, "recovery latency diverged");
+    assert_eq!(drain_a, drain_b, "drain report diverged");
+}

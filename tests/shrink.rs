@@ -1,15 +1,17 @@
-//! Shrink golden pass: for every single-node built-in algorithm and
-//! every victim rank, a RankDown mid-collective must leave the stack
-//! recoverable — `CollComm::shrink` drains, re-wires the survivor
-//! subset, re-verifies the rebuilt plan through commverify (verification
-//! is on by default), and replays the interrupted collective with the
-//! dynamic sanitizer enabled. Survivors must end with the bit-exact
-//! result over the survivor inputs.
+//! Shrink golden pass: for every built-in algorithm and a sweep of
+//! victims, a RankDown mid-collective must leave the stack recoverable —
+//! `CollComm::shrink` drains, re-wires the survivor subset, re-verifies
+//! the rebuilt plan through commverify (verification is on by default),
+//! and replays the interrupted collective with the dynamic sanitizer
+//! enabled. Survivors must end with the bit-exact result over the
+//! survivor inputs.
 //!
-//! Multi-node hierarchical algorithms (and ReduceScatter/AllToAll, whose
-//! layouts derive from the full topology) are documented as
-//! non-shrinkable in DESIGN.md §11 and are rejected at prepare time, so
-//! they are not swept here.
+//! Multi-node coverage (DESIGN.md §14): the hierarchical algorithms
+//! rebuild their two-phase plan on asymmetric survivor node groups, with
+//! node leaders re-elected among the survivors — swept for victim ∈
+//! {node leader, non-leader member, a whole node}. ReduceScatter and
+//! AllToAll replay with position-renumbered shards/chunks; a Broadcast
+//! whose root died reports the failover root instead of replaying.
 
 use collective::{
     AllGatherAlgo, AllReduceAlgo, CollComm, PeerOrder, RecoveryOutcome, ScratchReuse,
@@ -18,6 +20,8 @@ use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};
 use sim::{Duration, Engine, FaultPlan, Time};
 
 const N: usize = 8;
+/// Two-node world size (8 GPUs per node).
+const N2: usize = 16;
 const COUNT: usize = 4096;
 
 fn val(r: usize, i: usize) -> f32 {
@@ -36,8 +40,21 @@ fn engine_with_dead(kind: EnvKind, victim: usize) -> Engine<Machine> {
     e
 }
 
-fn alloc_filled(e: &mut Engine<Machine>, count: usize) -> Vec<BufferId> {
-    (0..N)
+/// Two-node engine whose fault plan kills every rank in `victims` 1us
+/// into the run (one rank = member/leader death, eight = a whole node).
+fn engine2_with_dead(kind: EnvKind, victims: &[usize]) -> Engine<Machine> {
+    let mut e = Engine::new(Machine::new(kind.spec(2)));
+    e.set_fault_plan(
+        FaultPlan::new(7)
+            .node_down(victims, Time::from_ps(1_000_000))
+            .with_wait_timeout(Duration::from_us(300.0)),
+    );
+    hw::wire(&mut e);
+    e
+}
+
+fn alloc_filled_n(e: &mut Engine<Machine>, n: usize, count: usize) -> Vec<BufferId> {
+    (0..n)
         .map(|r| {
             let b = e.world_mut().pool_mut().alloc(Rank(r), count * 4);
             e.world_mut()
@@ -48,10 +65,18 @@ fn alloc_filled(e: &mut Engine<Machine>, count: usize) -> Vec<BufferId> {
         .collect()
 }
 
-fn alloc_out(e: &mut Engine<Machine>, count: usize) -> Vec<BufferId> {
-    (0..N)
+fn alloc_out_n(e: &mut Engine<Machine>, n: usize, count: usize) -> Vec<BufferId> {
+    (0..n)
         .map(|r| e.world_mut().pool_mut().alloc(Rank(r), count * 4))
         .collect()
+}
+
+fn alloc_filled(e: &mut Engine<Machine>, count: usize) -> Vec<BufferId> {
+    alloc_filled_n(e, N, count)
+}
+
+fn alloc_out(e: &mut Engine<Machine>, count: usize) -> Vec<BufferId> {
+    alloc_out_n(e, N, count)
 }
 
 /// Kill `victim` mid-AllReduce, shrink, and check the replayed result on
@@ -204,39 +229,283 @@ fn shrink_allgather_port_every_victim() {
     }
 }
 
-/// Collectives whose layouts derive from the full topology are rejected
-/// with a typed error on a shrunken epoch instead of silently computing
-/// the wrong thing.
-#[test]
-fn non_shrinkable_collectives_fail_typed() {
-    let mut e = engine_with_dead(EnvKind::A100_40G, 5);
-    let ins = alloc_filled(&mut e, COUNT);
-    let outs = alloc_out(&mut e, COUNT * N);
-    let comm = CollComm::new();
-    comm.all_gather_with(
+/// Kill `victims` mid-hierarchical-AllReduce on a two-node cluster,
+/// shrink, and check the replayed result on every survivor. Covers the
+/// leader re-election path: a dead node leader (lowest rank of a node)
+/// hands leadership to the node's next surviving rank, and a whole dead
+/// node renumbers the inter-node phase (or collapses to single-node
+/// all-pairs when only one node survives).
+fn shrink_allreduce_multinode_case(algo: AllReduceAlgo, victims: &[usize]) {
+    let mut e = engine2_with_dead(EnvKind::A100_40G, victims);
+    let ins = alloc_filled_n(&mut e, N2, COUNT);
+    let outs = alloc_out_n(&mut e, N2, COUNT);
+    let mut comm = CollComm::new();
+    comm.set_sanitize(true);
+    comm.all_reduce_with(
         &mut e,
         &ins,
         &outs,
         COUNT,
         DataType::F32,
-        AllGatherAlgo::AllPairsLl,
+        ReduceOp::Sum,
+        algo,
     )
     .expect_err("the dead rank must surface as a failure");
+    let recovery = comm
+        .shrink(&mut e, &[])
+        .unwrap_or_else(|err| panic!("{algo:?} victims {victims:?}: shrink failed: {err}"));
+    assert_eq!(
+        recovery.outcome,
+        RecoveryOutcome::Replayed,
+        "{algo:?} victims {victims:?}"
+    );
+    assert_eq!(recovery.group.len(), N2 - victims.len());
+    assert_eq!(e.metrics().counter("fault.epoch_shrinks"), 1);
+    let want: Vec<f32> = (0..COUNT)
+        .map(|i| {
+            (0..N2)
+                .filter(|r| !victims.contains(r))
+                .map(|r| val(r, i))
+                .sum()
+        })
+        .collect();
+    for &g in &recovery.group {
+        let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
+        assert_eq!(got, want, "{algo:?} victims {victims:?} rank {}", g.0);
+    }
+}
+
+/// The AllGather counterpart: survivors hold every surviving chunk at
+/// its renumbered (group-position) output slot.
+fn shrink_allgather_multinode_case(algo: AllGatherAlgo, victims: &[usize]) {
+    let mut e = engine2_with_dead(EnvKind::A100_40G, victims);
+    let ins = alloc_filled_n(&mut e, N2, COUNT);
+    let outs = alloc_out_n(&mut e, N2, COUNT * N2);
+    let mut comm = CollComm::new();
+    comm.set_sanitize(true);
+    comm.all_gather_with(&mut e, &ins, &outs, COUNT, DataType::F32, algo)
+        .expect_err("the dead rank must surface as a failure");
+    let recovery = comm
+        .shrink(&mut e, &[])
+        .unwrap_or_else(|err| panic!("{algo:?} victims {victims:?}: shrink failed: {err}"));
+    assert_eq!(
+        recovery.outcome,
+        RecoveryOutcome::Replayed,
+        "{algo:?} victims {victims:?}"
+    );
+    assert_eq!(recovery.group.len(), N2 - victims.len());
+    for &g in &recovery.group {
+        let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
+        for (pos, &src) in recovery.group.iter().enumerate() {
+            for i in [0, COUNT / 2, COUNT - 1] {
+                assert_eq!(
+                    got[pos * COUNT + i],
+                    val(src.0, i),
+                    "{algo:?} victims {victims:?} rank {} chunk {pos} elem {i}",
+                    g.0
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shrink_allreduce_hier_ll_two_nodes_leader_member_and_node() {
+    // Rank 0 leads node 0, rank 8 leads node 1; rank 3 is a plain
+    // member; ranks 8..16 are all of node 1.
+    let node1: Vec<usize> = (8..16).collect();
+    for victims in [&[0usize][..], &[8][..], &[3][..], &node1[..]] {
+        shrink_allreduce_multinode_case(AllReduceAlgo::HierLl, victims);
+    }
+}
+
+#[test]
+fn shrink_allreduce_hier_hb_two_nodes_leader_member_and_node() {
+    let node1: Vec<usize> = (8..16).collect();
+    for victims in [&[0usize][..], &[8][..], &[3][..], &node1[..]] {
+        shrink_allreduce_multinode_case(AllReduceAlgo::HierHb, victims);
+    }
+}
+
+#[test]
+fn shrink_allgather_hier_ll_two_nodes_leader_member_and_node() {
+    let node1: Vec<usize> = (8..16).collect();
+    for victims in [&[0usize][..], &[8][..], &[3][..], &node1[..]] {
+        shrink_allgather_multinode_case(AllGatherAlgo::HierLl, victims);
+    }
+}
+
+#[test]
+fn shrink_allgather_hier_hb_two_nodes_leader_member_and_node() {
+    let node1: Vec<usize> = (8..16).collect();
+    for victims in [&[0usize][..], &[8][..], &[3][..], &node1[..]] {
+        shrink_allgather_multinode_case(AllGatherAlgo::HierHb, victims);
+    }
+}
+
+/// ReduceScatter replays on a shrunken epoch with position-renumbered
+/// shards: the survivor at group position `p` owns shard `p` of the
+/// (count / k)-element split.
+#[test]
+fn shrink_reduce_scatter_replays_renumbered() {
+    let mut e = engine_with_dead(EnvKind::A100_40G, 5);
+    let ins = alloc_filled(&mut e, COUNT);
+    let outs = alloc_out(&mut e, COUNT);
+    let mut comm = CollComm::new();
+    comm.set_sanitize(true);
+    comm.reduce_scatter(&mut e, &ins, &outs, COUNT, DataType::F32, ReduceOp::Sum)
+        .expect_err("the dead rank must surface as a failure");
     let recovery = comm.shrink(&mut e, &[]).unwrap();
     assert_eq!(recovery.outcome, RecoveryOutcome::Replayed);
-    let scatter_outs = alloc_out(&mut e, COUNT);
-    let err = comm
-        .reduce_scatter(
-            &mut e,
-            &ins,
-            &scatter_outs,
-            COUNT / N,
-            DataType::F32,
-            ReduceOp::Sum,
-        )
-        .unwrap_err();
+    let k = recovery.group.len();
+    assert_eq!(k, N - 1);
+    for (pos, &g) in recovery.group.iter().enumerate() {
+        let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
+        // Shard `pos` of an even split of COUNT over k survivors.
+        let base = COUNT / k;
+        let extra = COUNT % k;
+        let start = pos * base + pos.min(extra);
+        let len = base + usize::from(pos < extra);
+        for j in [0, len - 1] {
+            let want: f32 = recovery.group.iter().map(|&s| val(s.0, start + j)).sum();
+            assert_eq!(got[j], want, "rank {} shard elem {j}", g.0);
+        }
+    }
+}
+
+/// AllToAll replays on a shrunken epoch with position-renumbered chunks:
+/// survivor position `a`'s input chunk `b` lands in survivor position
+/// `b`'s output chunk `a`.
+#[test]
+fn shrink_all_to_all_replays_renumbered() {
+    let mut e = engine_with_dead(EnvKind::A100_40G, 5);
+    let chunk = 256usize;
+    let ins = alloc_filled(&mut e, chunk * N);
+    let outs = alloc_out(&mut e, chunk * N);
+    let mut comm = CollComm::new();
+    comm.set_sanitize(true);
+    comm.all_to_all(&mut e, &ins, &outs, chunk, DataType::F32)
+        .expect_err("the dead rank must surface as a failure");
+    let recovery = comm.shrink(&mut e, &[]).unwrap();
+    assert_eq!(recovery.outcome, RecoveryOutcome::Replayed);
+    for (pb, &g) in recovery.group.iter().enumerate() {
+        let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
+        for (pa, &src) in recovery.group.iter().enumerate() {
+            for j in [0, chunk - 1] {
+                assert_eq!(
+                    got[pa * chunk + j],
+                    val(src.0, pb * chunk + j),
+                    "rank {} chunk {pa} elem {j}",
+                    g.0
+                );
+            }
+        }
+    }
+}
+
+/// A Broadcast interrupted by its *root's* death cannot be replayed —
+/// nobody holds the source any more. The contract: the shrink reports
+/// `PartialDiscarded` plus the failover root (lowest survivor), and a
+/// reissue from that root completes on the survivor group.
+#[test]
+fn shrink_broadcast_root_death_fails_over() {
+    let mut e = engine2_with_dead(EnvKind::A100_40G, &[0]);
+    let ins = alloc_filled_n(&mut e, N2, COUNT);
+    let outs = alloc_out_n(&mut e, N2, COUNT);
+    let mut comm = CollComm::new();
+    comm.set_sanitize(true);
+    comm.broadcast(&mut e, &ins, &outs, COUNT, DataType::F32, Rank(0))
+        .expect_err("the dead root must surface as a failure");
+    let recovery = comm.shrink(&mut e, &[]).unwrap();
+    assert_eq!(recovery.outcome, RecoveryOutcome::PartialDiscarded);
+    assert_eq!(recovery.failover_root, Some(Rank(1)));
+    // Reissue from the failover root: every survivor ends with rank 1's
+    // data, relayed through the re-elected node leaders.
+    let root = recovery.failover_root.unwrap();
+    comm.broadcast(&mut e, &ins, &outs, COUNT, DataType::F32, root)
+        .expect("reissue from the failover root");
+    for &g in &recovery.group {
+        let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
+        for i in [0, COUNT / 2, COUNT - 1] {
+            assert_eq!(got[i], val(root.0, i), "rank {} elem {i}", g.0);
+        }
+    }
+}
+
+/// A Broadcast interrupted by a non-root death replays: the root's
+/// source is intact and the rebuilt relay tree (re-elected leaders)
+/// re-pushes the full message.
+#[test]
+fn shrink_broadcast_non_root_death_replays() {
+    // Rank 8 is node 1's leader in the full relay tree: its death forces
+    // a leader re-election on node 1.
+    let mut e = engine2_with_dead(EnvKind::A100_40G, &[8]);
+    let ins = alloc_filled_n(&mut e, N2, COUNT);
+    let outs = alloc_out_n(&mut e, N2, COUNT);
+    let mut comm = CollComm::new();
+    comm.set_sanitize(true);
+    comm.broadcast(&mut e, &ins, &outs, COUNT, DataType::F32, Rank(0))
+        .expect_err("the dead leader must surface as a failure");
+    let recovery = comm.shrink(&mut e, &[]).unwrap();
+    assert_eq!(recovery.outcome, RecoveryOutcome::Replayed);
+    assert_eq!(recovery.failover_root, None);
+    for &g in &recovery.group {
+        let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
+        for i in [0, COUNT / 2, COUNT - 1] {
+            assert_eq!(got[i], val(0, i), "rank {} elem {i}", g.0);
+        }
+    }
+}
+
+/// Straggler quarantine is a *voluntary* shrink: a rank that stays alive
+/// but persistently finishes far behind its peers is suspected by the
+/// sliding-window detector and — with `quarantine` enabled — evicted
+/// exactly like a dead rank, minus the drain (there is no wreckage; the
+/// group simply reconvenes without it).
+#[test]
+fn straggler_quarantine_evicts_slow_rank() {
+    use collective::StragglerPolicy;
+    let mut e = Engine::new(Machine::new(EnvKind::A100_40G.spec(2)));
+    // Rank 5's SM clock degrades 1000x for the whole run: its kernels
+    // still complete (everything is signal-driven, nothing times out),
+    // they just finish far behind the rest of its node.
+    e.set_fault_plan(FaultPlan::new(5).straggler(5, 1000.0, Time::from_ps(0), Time::MAX));
+    hw::wire(&mut e);
+    let count = 1 << 20;
+    let bufs = alloc_filled_n(&mut e, N2, count);
+    let mut comm = CollComm::new();
+    comm.set_straggler_policy(StragglerPolicy {
+        window: 4,
+        // An AllReduce synchronizes the straggler's whole node to its
+        // pace, so the gap over the group median is modest — the
+        // threshold must sit below the node-vs-node spread.
+        threshold: 1.2,
+        quorum: 3,
+        quarantine: true,
+    });
+    for launch in 0..3 {
+        comm.all_reduce(&mut e, &bufs, &bufs, count, DataType::F32, ReduceOp::Sum)
+            .unwrap_or_else(|err| panic!("launch {launch}: {err}"));
+    }
+    assert_eq!(comm.suspected_stragglers(), vec![Rank(5)]);
+    assert_eq!(e.metrics().counter("fault.straggler_suspected"), 1);
+
+    let recovery = comm
+        .quarantine_stragglers(&mut e)
+        .unwrap()
+        .expect("quarantine-enabled policy with a suspect must shrink");
+    assert_eq!(recovery.group.len(), N2 - 1);
+    assert!(!recovery.group.contains(&Rank(5)));
+    assert_eq!(comm.epoch().0, 1);
+    assert_eq!(e.metrics().counter("fault.straggler_quarantined"), 1);
+    assert_eq!(e.metrics().counter("fault.epoch_shrinks"), 1);
     assert!(
-        matches!(err, mscclpp::Error::InvalidArgument(_)),
-        "expected InvalidArgument on a shrunken epoch, got {err}"
+        comm.suspected_stragglers().is_empty(),
+        "epoch change clears suspicion"
     );
+
+    // The evicted rank no longer paces the group: the shrunken epoch's
+    // launches run without it and still verify.
+    comm.all_reduce(&mut e, &bufs, &bufs, count, DataType::F32, ReduceOp::Sum)
+        .expect("post-quarantine launch");
 }
