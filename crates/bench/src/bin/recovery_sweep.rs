@@ -38,6 +38,11 @@ struct Point {
     recovery_us: f64,
     drained: u64,
     survivors: usize,
+    /// Whether the shrunken epoch's rebuilt plan passed the semantic
+    /// dataflow pass. Always true for points that completed: the pass is
+    /// on by default in `CollComm` plan preparation (replay included),
+    /// and a finding fails the shrink instead of producing a point.
+    semantics_verified: bool,
 }
 
 /// One kill-and-recover run; `None` when the collective finished before
@@ -103,6 +108,7 @@ fn run_point(
         recovery_us: recovery.recovery_time.as_us(),
         drained: recovery.drain.cancelled(),
         survivors: recovery.group.len(),
+        semantics_verified: true,
     })
 }
 
@@ -168,6 +174,7 @@ fn run_class_point(
         recovery_us: recovery.recovery_time.as_us(),
         drained: recovery.drain.cancelled(),
         survivors: recovery.group.len(),
+        semantics_verified: true,
     }
 }
 
@@ -218,6 +225,7 @@ fn run_straggler_point() -> Point {
         recovery_us: recovery.recovery_time.as_us(),
         drained: recovery.drain.cancelled(),
         survivors: recovery.group.len(),
+        semantics_verified: true,
     }
 }
 
@@ -309,8 +317,17 @@ fn main() {
         json.push_str(&format!(
             "{{\"algo\":\"{}\",\"env\":\"{:?}\",\"class\":\"{}\",\"kill_us\":{},\
              \"outcome\":\"{}\",\
-             \"recovery_us\":{:.3},\"drained_requests\":{},\"survivors\":{}}}",
-            p.algo, p.env, p.class, p.kill_us, p.outcome, p.recovery_us, p.drained, p.survivors
+             \"recovery_us\":{:.3},\"drained_requests\":{},\"survivors\":{},\
+             \"semantics_verified\":{}}}",
+            p.algo,
+            p.env,
+            p.class,
+            p.kill_us,
+            p.outcome,
+            p.recovery_us,
+            p.drained,
+            p.survivors,
+            p.semantics_verified
         ));
     }
     json.push_str("]}\n");

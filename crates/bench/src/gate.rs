@@ -69,6 +69,18 @@ pub enum Case {
         /// Message bytes (small, so engine cost dominates).
         bytes: usize,
     },
+    /// A verifier-scalability case: host wall-clock of one full static
+    /// verification (happens-before construction, race scan, and the
+    /// semantic dataflow pass) over a large hierarchical AllReduce plan.
+    /// Gates the prover's own speed on big worlds — verification is
+    /// default-on in every comm, so a slow verifier taxes every first
+    /// launch.
+    SemanticVerify {
+        /// Environment + nodes (8 ranks/node).
+        target: Target,
+        /// Message bytes.
+        bytes: usize,
+    },
     /// Post-recovery steady state: a multi-node world loses one rank
     /// mid-AllReduce, shrinks, and then runs AllReduce on the survivor
     /// group's rebuilt hierarchical (leader-relay) plan. Gates the
@@ -113,6 +125,14 @@ impl Case {
                     bytes
                 )
             }
+            Case::SemanticVerify { target, bytes } => {
+                format!(
+                    "commverify/allreduce/{:?}/{}/{}B",
+                    target.env,
+                    target.label(),
+                    bytes
+                )
+            }
             Case::ShrunkenAllReduce { target, bytes } => {
                 format!(
                     "shrunken-allreduce/mscclpp/{:?}/{}/{}B",
@@ -129,7 +149,10 @@ impl Case {
     /// tolerance band in [`compare_with`] and must not share the machine
     /// with concurrent benchmark threads.
     pub fn is_wall_clock(&self) -> bool {
-        matches!(self, Case::EngineThroughput { .. })
+        matches!(
+            self,
+            Case::EngineThroughput { .. } | Case::SemanticVerify { .. }
+        )
     }
 }
 
@@ -177,6 +200,16 @@ pub fn pinned_suite() -> Vec<Case> {
         bytes: 1 << 10,
     });
     cases.push(Case::EngineThroughput {
+        target: Target {
+            env: EnvKind::A100_40G,
+            nodes: 8,
+        },
+        bytes: 1 << 10,
+    });
+    // Verifier scalability: one full verification (HB + races + the
+    // semantic dataflow pass) of a 64-rank hierarchical AllReduce plan,
+    // measured in host wall-clock.
+    cases.push(Case::SemanticVerify {
         target: Target {
             env: EnvKind::A100_40G,
             nodes: 8,
@@ -277,6 +310,9 @@ pub fn run_case(case: &Case, iters: usize) -> CaseResult {
             r.eps = eps;
             r
         }
+        Case::SemanticVerify { target, bytes } => {
+            CaseResult::from_hist(name, &run_semantic_verify(*target, *bytes, iters))
+        }
         Case::ShrunkenAllReduce { target, bytes } => {
             let mut h = Histogram::new();
             for us in iterate_shrunken_allreduce(*target, *bytes, iters) {
@@ -329,6 +365,46 @@ fn iterate_shrunken_allreduce(target: Target, bytes: usize, iters: usize) -> Vec
         lat.push(timing.elapsed().as_us());
     }
     lat
+}
+
+/// Times the full static verifier — happens-before graph, race scan,
+/// and the semantic dataflow pass against the plan's [`commverify::CollectiveSpec`]
+/// — over a hierarchical AllReduce plan compiled once. Each iteration is
+/// one cold verification (the verifier keeps no cross-run state), so the
+/// histogram is pure prover wall-clock.
+fn run_semantic_verify(target: Target, bytes: usize, iters: usize) -> Histogram {
+    use hw::{BufferId, DataType, Rank, ReduceOp};
+    let world = target.world();
+    let count = bytes / 2;
+    let mut e = crate::fresh_engine(target);
+    let ins = crate::alloc_filled(&mut e, world, bytes);
+    let outs: Vec<BufferId> = (0..world)
+        .map(|r| e.world_mut().pool_mut().alloc(Rank(r), bytes))
+        .collect();
+    let comm = collective::CollComm::new();
+    let (kernels, spec) = comm
+        .plan_all_reduce_with(
+            &mut e,
+            &ins,
+            &outs,
+            count,
+            DataType::F16,
+            ReduceOp::Sum,
+            collective::AllReduceAlgo::HierHb,
+        )
+        .expect("semantic-verify gate plan");
+    let checks = commverify::Checks::all();
+    let mut h = Histogram::new();
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        let report = commverify::analyze_collective(&kernels, e.world().pool(), &checks, &spec);
+        h.record(t0.elapsed().as_nanos() as u64);
+        assert!(
+            report.is_clean(),
+            "semantic-verify gate case must verify clean: {report}"
+        );
+    }
+    h
 }
 
 /// Measures DES-core throughput: repeated small-message AllReduce on one
@@ -494,8 +570,12 @@ fn verify(
 /// Serializes gate results as the `BENCH_<date>.json` artifact.
 pub fn results_to_json(date: &str, iters: usize, results: &[CaseResult]) -> String {
     use std::fmt::Write;
+    // Every case plans through a comm whose pre-launch verification runs
+    // the semantic dataflow pass by default, and the `commverify/` wall
+    // case re-asserts a clean report each iteration — a finding anywhere
+    // aborts the gate, so a written artifact always carries `true`.
     let mut out = format!(
-        "{{\"title\":\"perf_gate\",\"schema_version\":{SCHEMA_VERSION},\"date\":\"{date}\",\"iters\":{iters},\"cases\":["
+        "{{\"title\":\"perf_gate\",\"schema_version\":{SCHEMA_VERSION},\"date\":\"{date}\",\"iters\":{iters},\"semantics_verified\":true,\"cases\":["
     );
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
@@ -612,7 +692,7 @@ pub fn compare_with(
     results
         .iter()
         .map(|r| {
-            let tol = if r.name.starts_with("engine/") {
+            let tol = if r.name.starts_with("engine/") || r.name.starts_with("commverify/") {
                 wall_tol
             } else {
                 tol
@@ -708,8 +788,16 @@ mod tests {
         assert_eq!(engine.len(), 2, "two pinned engine-throughput cases");
         assert!(engine.iter().any(|n| n.contains("1n8g")));
         assert!(engine.iter().any(|n| n.contains("8n64g")));
+        // Wall-clock cases: the two engine shapes plus the 64-rank
+        // verifier-scalability case.
+        let commv: Vec<&String> = names
+            .iter()
+            .filter(|n| n.starts_with("commverify/"))
+            .collect();
+        assert_eq!(commv.len(), 1, "one pinned verifier-scalability case");
+        assert!(commv[0].contains("8n64g"));
         let wall = suite.iter().filter(|c| c.is_wall_clock()).count();
-        assert_eq!(wall, 2);
+        assert_eq!(wall, 3);
         // The post-recovery steady-state case pins the shrunken plan.
         assert!(names.iter().any(|n| n.starts_with("shrunken-allreduce/")));
     }

@@ -44,6 +44,12 @@ pub struct StackRun {
     /// static verifier. Always true for runs that completed: every comm
     /// verifies its plan before launch and a finding aborts the run.
     pub verified: bool,
+    /// Whether the plan also passed the semantic dataflow pass — the
+    /// proof that it computes its declared collective, not merely that
+    /// it is transport-safe. Always true for runs that completed: the
+    /// semantic pass is on by default in every comm's pre-launch
+    /// verification, and a semantic finding aborts the run.
+    pub semantics_verified: bool,
     /// Every metrics counter, in name order.
     pub counters: Vec<(String, u64)>,
     /// Per-link accounting (labeled resources only, non-idle first).
@@ -85,6 +91,7 @@ pub(crate) fn snapshot(
         bytes,
         latency_us,
         verified: true,
+        semantics_verified: true,
         counters: engine
             .metrics()
             .counters()
@@ -212,7 +219,7 @@ pub fn observe_mscclpp_faulted(
 /// Version stamped into every JSON artifact this crate writes
 /// (`"schema_version"`). Bump when a field is added, removed, or changes
 /// meaning, and add a row to `results/README.md`.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -220,11 +227,12 @@ fn esc(s: &str) -> String {
 
 fn push_run(out: &mut String, run: &StackRun) {
     out.push_str(&format!(
-        "{{\"stack\":\"{}\",\"bytes\":{},\"latency_us\":{:.3},\"verified\":{},",
+        "{{\"stack\":\"{}\",\"bytes\":{},\"latency_us\":{:.3},\"verified\":{},\"semantics_verified\":{},",
         esc(&run.stack),
         run.bytes,
         run.latency_us,
-        run.verified
+        run.verified,
+        run.semantics_verified
     ));
     out.push_str("\"counters\":{");
     for (i, (k, v)) in run.counters.iter().enumerate() {
@@ -326,6 +334,11 @@ mod tests {
         for run in &runs {
             assert!(run.latency_us > 0.0, "{}", run.stack);
             assert!(run.verified, "{}: plan was not verified", run.stack);
+            assert!(
+                run.semantics_verified,
+                "{}: plan was not semantically verified",
+                run.stack
+            );
             assert!(run.counter("sync.waits") > 0, "{}", run.stack);
             assert!(
                 run.links.iter().any(|l| l.bytes > 0),
@@ -356,6 +369,7 @@ mod tests {
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"stack\":").count(), 3);
         assert_eq!(json.matches("\"verified\":true").count(), 3);
+        assert_eq!(json.matches("\"semantics_verified\":true").count(), 3);
         assert!(json.contains("\"sync.waits\":"));
         assert!(json.contains("\"label\":\"egress r0\""));
         assert!(json.contains("\"fault\":null"), "healthy header: {json}");

@@ -53,9 +53,12 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use commverify::{CollectiveSpec, SpecMember};
 use hw::{BufferId, DataType, Machine, Rank, ReduceOp};
 use mscclpp::{Comm, DrainReport, Kernel, KernelTiming, Overheads, Protocol, Result};
 use sim::{Duration, Engine};
+
+use wiring::split_range;
 
 pub use algos::{PeerOrder, ScratchReuse};
 pub use selector::{
@@ -574,10 +577,17 @@ impl CollComm {
         Ok(Some(recovery))
     }
 
-    /// Runs the static verifier over a freshly-built kernel batch, once
-    /// per prepared plan (re-verified if the plan is rebuilt for a larger
-    /// capacity).
-    fn maybe_verify(&self, engine: &Engine<Machine>, key: &Key, kernels: &[Kernel]) -> Result<()> {
+    /// Runs the static verifier — including the semantic dataflow pass
+    /// against the collective's declared spec — over a freshly-built
+    /// kernel batch, once per prepared plan (re-verified if the plan is
+    /// rebuilt for a larger capacity).
+    fn maybe_verify(
+        &self,
+        engine: &Engine<Machine>,
+        key: &Key,
+        kernels: &[Kernel],
+        spec: &CollectiveSpec,
+    ) -> Result<()> {
         if !self.verify {
             return Ok(());
         }
@@ -586,9 +596,27 @@ impl CollComm {
         if entry.verified.get() {
             return Ok(());
         }
-        commverify::verify_kernels(kernels, engine.world().pool())?;
+        commverify::verify_collective(
+            kernels,
+            engine.world().pool(),
+            &commverify::Checks::all(),
+            spec,
+        )?;
         entry.verified.set(true);
         Ok(())
+    }
+
+    /// The spec member list for the current epoch's group: survivors in
+    /// position order, each bound to its caller-indexed buffers.
+    fn spec_members(group: &[Rank], inputs: &[BufferId], outputs: &[BufferId]) -> Vec<SpecMember> {
+        group
+            .iter()
+            .map(|&r| SpecMember {
+                rank: r,
+                input: inputs[r.0],
+                output: outputs[r.0],
+            })
+            .collect()
     }
 
     /// AllReduce with automatic algorithm selection (the NCCL-API entry
@@ -618,16 +646,11 @@ impl CollComm {
         self.all_reduce_with(engine, inputs, outputs, count, dtype, op, algo)
     }
 
-    /// AllReduce with an explicit algorithm.
-    ///
-    /// # Errors
-    ///
-    /// Propagates kernel deadlocks; returns [`mscclpp::Error::Unsupported`]
-    /// for `TwoPhaseSwitch` without multimem hardware and
-    /// [`mscclpp::Error::InvalidArgument`] for single-node algorithms on
-    /// multi-node clusters (and vice versa).
+    /// Prepares channels and builds (or replays from cache) the kernel
+    /// batch for one AllReduce launch shape, plus the spec the batch
+    /// must satisfy.
     #[allow(clippy::too_many_arguments)]
-    pub fn all_reduce_with(
+    fn build_all_reduce(
         &self,
         engine: &mut Engine<Machine>,
         inputs: &[BufferId],
@@ -636,7 +659,7 @@ impl CollComm {
         dtype: DataType,
         op: ReduceOp,
         algo: AllReduceAlgo,
-    ) -> Result<KernelTiming> {
+    ) -> Result<(AllReduceAlgo, Key, Rc<Vec<Kernel>>, CollectiveSpec)> {
         let bytes = count * dtype.size();
         // On a shrunken epoch the asked algorithm may be impossible on a
         // subset (hierarchical layouts collapsed onto one node); re-map
@@ -667,7 +690,56 @@ impl CollComm {
             }
         };
         drop(prepared);
-        self.maybe_verify(engine, &key, kernels.as_slice())?;
+        let spec = CollectiveSpec::all_reduce(Self::spec_members(&group, inputs, outputs), bytes);
+        Ok((algo, key, kernels, spec))
+    }
+
+    /// Compiles the kernel batch an AllReduce launch would run — and the
+    /// [`CollectiveSpec`] it must satisfy — without launching it. This
+    /// is the plan-inspection entry point the mutation harness (and any
+    /// future plan autotuner) builds on.
+    ///
+    /// # Errors
+    ///
+    /// Same preparation errors as [`CollComm::all_reduce_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_all_reduce_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        algo: AllReduceAlgo,
+    ) -> Result<(Vec<Kernel>, CollectiveSpec)> {
+        let (_, _, kernels, spec) =
+            self.build_all_reduce(engine, inputs, outputs, count, dtype, op, algo)?;
+        Ok((kernels.as_slice().to_vec(), spec))
+    }
+
+    /// AllReduce with an explicit algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks; returns [`mscclpp::Error::Unsupported`]
+    /// for `TwoPhaseSwitch` without multimem hardware and
+    /// [`mscclpp::Error::InvalidArgument`] for single-node algorithms on
+    /// multi-node clusters (and vice versa).
+    #[allow(clippy::too_many_arguments)]
+    pub fn all_reduce_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        algo: AllReduceAlgo,
+    ) -> Result<KernelTiming> {
+        let (algo, key, kernels, spec) =
+            self.build_all_reduce(engine, inputs, outputs, count, dtype, op, algo)?;
+        self.maybe_verify(engine, &key, kernels.as_slice(), &spec)?;
         self.pending.replace(Some(LaunchRecord::AllReduce {
             algo,
             inputs: inputs.to_vec(),
@@ -701,13 +773,9 @@ impl CollComm {
         self.all_gather_with(engine, inputs, outputs, count, dtype, algo)
     }
 
-    /// AllGather with an explicit algorithm.
-    ///
-    /// # Errors
-    ///
-    /// Propagates kernel deadlocks and invalid-argument errors.
-    #[allow(clippy::too_many_arguments)]
-    pub fn all_gather_with(
+    /// Prepares channels and builds (or replays from cache) one
+    /// AllGather launch shape's kernel batch and spec.
+    fn build_all_gather(
         &self,
         engine: &mut Engine<Machine>,
         inputs: &[BufferId],
@@ -715,7 +783,7 @@ impl CollComm {
         count: usize,
         dtype: DataType,
         algo: AllGatherAlgo,
-    ) -> Result<KernelTiming> {
+    ) -> Result<(AllGatherAlgo, Key, Rc<Vec<Kernel>>, CollectiveSpec)> {
         let bytes = count * dtype.size();
         let group = self.active_group(engine);
         let topo = engine.world().topology();
@@ -739,7 +807,48 @@ impl CollComm {
             }
         };
         drop(prepared);
-        self.maybe_verify(engine, &key, kernels.as_slice())?;
+        let spec = CollectiveSpec::all_gather(Self::spec_members(&group, inputs, outputs), bytes);
+        Ok((algo, key, kernels, spec))
+    }
+
+    /// Compiles an AllGather launch's kernel batch and spec without
+    /// launching (see [`CollComm::plan_all_reduce_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same preparation errors as [`CollComm::all_gather_with`].
+    pub fn plan_all_gather_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        algo: AllGatherAlgo,
+    ) -> Result<(Vec<Kernel>, CollectiveSpec)> {
+        let (_, _, kernels, spec) =
+            self.build_all_gather(engine, inputs, outputs, count, dtype, algo)?;
+        Ok((kernels.as_slice().to_vec(), spec))
+    }
+
+    /// AllGather with an explicit algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn all_gather_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        algo: AllGatherAlgo,
+    ) -> Result<KernelTiming> {
+        let (algo, key, kernels, spec) =
+            self.build_all_gather(engine, inputs, outputs, count, dtype, algo)?;
+        self.maybe_verify(engine, &key, kernels.as_slice(), &spec)?;
         self.pending.replace(Some(LaunchRecord::AllGather {
             algo,
             inputs: inputs.to_vec(),
@@ -776,13 +885,10 @@ impl CollComm {
         self.reduce_scatter_with(engine, inputs, outputs, count, dtype, op, algo)
     }
 
-    /// ReduceScatter with an explicit algorithm.
-    ///
-    /// # Errors
-    ///
-    /// Propagates kernel deadlocks and invalid-argument errors.
+    /// Prepares channels and builds (or replays from cache) one
+    /// ReduceScatter launch shape's kernel batch and spec.
     #[allow(clippy::too_many_arguments)]
-    pub fn reduce_scatter_with(
+    fn build_reduce_scatter(
         &self,
         engine: &mut Engine<Machine>,
         inputs: &[BufferId],
@@ -791,7 +897,7 @@ impl CollComm {
         dtype: DataType,
         op: ReduceOp,
         algo: ReduceScatterAlgo,
-    ) -> Result<KernelTiming> {
+    ) -> Result<(Key, Rc<Vec<Kernel>>, CollectiveSpec)> {
         let bytes = count * dtype.size();
         let key = Key::Rs(algo, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
@@ -809,7 +915,65 @@ impl CollComm {
             }
         };
         drop(prepared);
-        self.maybe_verify(engine, &key, kernels.as_slice())?;
+        // Shards are position-renumbered `split_range` pieces of the
+        // element count — the same carve-up the kernels compute with.
+        let group = self.active_group(engine);
+        let es = dtype.size();
+        let shards: Vec<(usize, usize)> = (0..group.len())
+            .map(|j| {
+                let (s, l) = split_range(count, group.len(), j);
+                (s * es, l * es)
+            })
+            .collect();
+        let spec = CollectiveSpec::reduce_scatter(
+            Self::spec_members(&group, inputs, outputs),
+            bytes,
+            shards,
+        );
+        Ok((key, kernels, spec))
+    }
+
+    /// Compiles a ReduceScatter launch's kernel batch and spec without
+    /// launching (see [`CollComm::plan_all_reduce_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same preparation errors as [`CollComm::reduce_scatter_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_reduce_scatter_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        algo: ReduceScatterAlgo,
+    ) -> Result<(Vec<Kernel>, CollectiveSpec)> {
+        let (_, kernels, spec) =
+            self.build_reduce_scatter(engine, inputs, outputs, count, dtype, op, algo)?;
+        Ok((kernels.as_slice().to_vec(), spec))
+    }
+
+    /// ReduceScatter with an explicit algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_scatter_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        op: ReduceOp,
+        algo: ReduceScatterAlgo,
+    ) -> Result<KernelTiming> {
+        let (key, kernels, spec) =
+            self.build_reduce_scatter(engine, inputs, outputs, count, dtype, op, algo)?;
+        self.maybe_verify(engine, &key, kernels.as_slice(), &spec)?;
         self.pending.replace(Some(LaunchRecord::ReduceScatter {
             algo,
             inputs: inputs.to_vec(),
@@ -855,13 +1019,10 @@ impl CollComm {
         self.broadcast_with(engine, inputs, outputs, count, dtype, root, algo)
     }
 
-    /// Broadcast with an explicit algorithm.
-    ///
-    /// # Errors
-    ///
-    /// Propagates kernel deadlocks and invalid-argument errors.
+    /// Prepares channels and builds (or replays from cache) one
+    /// Broadcast launch shape's kernel batch and spec.
     #[allow(clippy::too_many_arguments)]
-    pub fn broadcast_with(
+    fn build_broadcast(
         &self,
         engine: &mut Engine<Machine>,
         inputs: &[BufferId],
@@ -870,7 +1031,7 @@ impl CollComm {
         dtype: DataType,
         root: Rank,
         algo: BroadcastAlgo,
-    ) -> Result<KernelTiming> {
+    ) -> Result<(Key, Rc<Vec<Kernel>>, CollectiveSpec)> {
         let bytes = count * dtype.size();
         let key = Key::Bc(algo, root, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, root)?;
@@ -889,7 +1050,58 @@ impl CollComm {
             }
         };
         drop(prepared);
-        self.maybe_verify(engine, &key, kernels.as_slice())?;
+        let group = self.active_group(engine);
+        let root_pos = group.iter().position(|&r| r == root).ok_or_else(|| {
+            mscclpp::Error::InvalidArgument(format!(
+                "broadcast root {root} is not in the active group"
+            ))
+        })?;
+        let spec =
+            CollectiveSpec::broadcast(Self::spec_members(&group, inputs, outputs), bytes, root_pos);
+        Ok((key, kernels, spec))
+    }
+
+    /// Compiles a Broadcast launch's kernel batch and spec without
+    /// launching (see [`CollComm::plan_all_reduce_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same preparation errors as [`CollComm::broadcast_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_broadcast_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        root: Rank,
+        algo: BroadcastAlgo,
+    ) -> Result<(Vec<Kernel>, CollectiveSpec)> {
+        let (_, kernels, spec) =
+            self.build_broadcast(engine, inputs, outputs, count, dtype, root, algo)?;
+        Ok((kernels.as_slice().to_vec(), spec))
+    }
+
+    /// Broadcast with an explicit algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn broadcast_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        root: Rank,
+        algo: BroadcastAlgo,
+    ) -> Result<KernelTiming> {
+        let (key, kernels, spec) =
+            self.build_broadcast(engine, inputs, outputs, count, dtype, root, algo)?;
+        self.maybe_verify(engine, &key, kernels.as_slice(), &spec)?;
         self.pending.replace(Some(LaunchRecord::Broadcast {
             algo,
             inputs: inputs.to_vec(),
@@ -926,12 +1138,9 @@ impl CollComm {
         self.all_to_all_with(engine, inputs, outputs, count, dtype, algo)
     }
 
-    /// AllToAll with an explicit algorithm.
-    ///
-    /// # Errors
-    ///
-    /// Propagates kernel deadlocks and invalid-argument errors.
-    pub fn all_to_all_with(
+    /// Prepares channels and builds (or replays from cache) one AllToAll
+    /// launch shape's kernel batch and spec.
+    fn build_all_to_all(
         &self,
         engine: &mut Engine<Machine>,
         inputs: &[BufferId],
@@ -939,7 +1148,7 @@ impl CollComm {
         count: usize,
         dtype: DataType,
         algo: AllToAllAlgo,
-    ) -> Result<KernelTiming> {
+    ) -> Result<(Key, Rc<Vec<Kernel>>, CollectiveSpec)> {
         let bytes = count * dtype.size();
         let key = Key::A2a(algo, inputs.to_vec(), outputs.to_vec());
         self.ensure_prepared(engine, &key, bytes, inputs, outputs, Rank(0))?;
@@ -957,7 +1166,48 @@ impl CollComm {
             }
         };
         drop(prepared);
-        self.maybe_verify(engine, &key, kernels.as_slice())?;
+        let group = self.active_group(engine);
+        let spec = CollectiveSpec::all_to_all(Self::spec_members(&group, inputs, outputs), bytes);
+        Ok((key, kernels, spec))
+    }
+
+    /// Compiles an AllToAll launch's kernel batch and spec without
+    /// launching (see [`CollComm::plan_all_reduce_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same preparation errors as [`CollComm::all_to_all_with`].
+    pub fn plan_all_to_all_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        algo: AllToAllAlgo,
+    ) -> Result<(Vec<Kernel>, CollectiveSpec)> {
+        let (_, kernels, spec) =
+            self.build_all_to_all(engine, inputs, outputs, count, dtype, algo)?;
+        Ok((kernels.as_slice().to_vec(), spec))
+    }
+
+    /// AllToAll with an explicit algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks and invalid-argument errors.
+    pub fn all_to_all_with(
+        &self,
+        engine: &mut Engine<Machine>,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        count: usize,
+        dtype: DataType,
+        algo: AllToAllAlgo,
+    ) -> Result<KernelTiming> {
+        let (key, kernels, spec) =
+            self.build_all_to_all(engine, inputs, outputs, count, dtype, algo)?;
+        self.maybe_verify(engine, &key, kernels.as_slice(), &spec)?;
         self.pending.replace(Some(LaunchRecord::AllToAll {
             algo,
             inputs: inputs.to_vec(),

@@ -37,6 +37,11 @@ pub struct Checks {
     pub orphan_signals: bool,
     /// Port puts with no completion guarantee before kernel exit.
     pub unflushed_puts: bool,
+    /// Semantic dataflow: the final provenance of every output range
+    /// matches the declared [`crate::CollectiveSpec`]. Only runs when the
+    /// caller supplies a spec (see [`crate::analyze_collective`]) and the
+    /// plan is race-free (provenance is only well-defined then).
+    pub semantics: bool,
 }
 
 impl Default for Checks {
@@ -47,6 +52,7 @@ impl Default for Checks {
             races: true,
             orphan_signals: true,
             unflushed_puts: true,
+            semantics: true,
         }
     }
 }
@@ -61,10 +67,14 @@ impl Checks {
     /// signals are expected there, because rendezvous *credit* semaphores
     /// are signalled on every receive but only waited on once the sender
     /// wraps the staging FIFO — a short transfer legitimately leaves them
-    /// dangling.
+    /// dangling. Semantics is off by default here because carried-over
+    /// FIFO credits on re-launches make later batches' dataflow depend on
+    /// state this pass cannot see; transports that verify their *first*
+    /// launch opt back in with `Checks { semantics: true, ..Checks::transport() }`.
     pub fn transport() -> Checks {
         Checks {
             orphan_signals: false,
+            semantics: false,
             ..Checks::default()
         }
     }
@@ -142,6 +152,78 @@ pub enum VerifyError {
         /// The dangling put.
         site: Site,
     },
+    /// Semantic dataflow: a live rank's contribution never reaches an
+    /// output byte range the spec says must carry it.
+    MissingContribution {
+        /// Rank whose output diverges.
+        rank: Rank,
+        /// The output buffer.
+        buf: BufferId,
+        /// First divergent byte range.
+        range: (usize, usize),
+        /// The live rank whose contribution is absent.
+        missing: Rank,
+        /// Instruction that last wrote the range (`None`: the range still
+        /// holds its initial in-place value).
+        writer: Option<Site>,
+        /// Instruction that delivered one contribution that *is* present
+        /// (`None`: only the initial in-place value is present).
+        present: Option<Site>,
+    },
+    /// Semantic dataflow: one rank's contribution lands in an output byte
+    /// range more than the spec allows (double-reduce / double-gather).
+    DuplicateContribution {
+        /// Rank whose output diverges.
+        rank: Rank,
+        /// The output buffer.
+        buf: BufferId,
+        /// First divergent byte range.
+        range: (usize, usize),
+        /// The rank contributed more than once.
+        dup: Rank,
+        /// Instruction that delivered the first copy (`None`: it is the
+        /// range's initial in-place value).
+        first: Option<Site>,
+        /// Instruction that delivered the second copy.
+        second: Option<Site>,
+    },
+    /// Semantic dataflow: an output byte range holds data from the wrong
+    /// source rank or the wrong source offset (a misrouted gather slot,
+    /// shard, or broadcast).
+    WrongPlacement {
+        /// Rank whose output diverges.
+        rank: Rank,
+        /// The output buffer.
+        buf: BufferId,
+        /// First divergent byte range.
+        range: (usize, usize),
+        /// `(rank, source byte offset)` the spec expects at `range.0`.
+        want: (Rank, usize),
+        /// `(rank, source byte offset)` actually found there.
+        got: (Rank, usize),
+        /// Instruction that last wrote the range (`None`: initial value).
+        writer: Option<Site>,
+        /// Instruction that introduced the misplaced data (`None`: it is
+        /// the range's initial in-place value).
+        origin: Option<Site>,
+    },
+    /// Semantic dataflow: an output byte range ends the plan holding
+    /// stale/uninitialized data — never written, or written from memory
+    /// that was itself never initialized.
+    StaleOutput {
+        /// Rank whose output diverges.
+        rank: Rank,
+        /// The output buffer.
+        buf: BufferId,
+        /// First divergent byte range.
+        range: (usize, usize),
+        /// Instruction that last wrote the range (`None`: never written).
+        writer: Option<Site>,
+        /// Instruction where the staleness originated — the first op that
+        /// read uninitialized memory (`None`: the range was never written,
+        /// so there is no originating instruction).
+        origin: Option<Site>,
+    },
 }
 
 impl VerifyError {
@@ -155,24 +237,49 @@ impl VerifyError {
             VerifyError::Race { .. } => 3,
             VerifyError::OrphanSignal { .. } => 4,
             VerifyError::UnflushedPortPut { .. } => 5,
+            VerifyError::MissingContribution { .. } => 6,
+            VerifyError::DuplicateContribution { .. } => 7,
+            VerifyError::WrongPlacement { .. } => 8,
+            VerifyError::StaleOutput { .. } => 9,
         }
     }
 
     /// A site to sort by within a class.
     pub(crate) fn anchor(&self) -> Site {
+        let fallback = |rank: Rank| Site { rank, tb: 0, pc: 0 };
         match self {
             VerifyError::Race { first, .. } => *first,
-            VerifyError::DeadlockCycle { path } => path.iter().copied().min().unwrap_or(Site {
-                rank: Rank(0),
-                tb: 0,
-                pc: 0,
-            }),
+            VerifyError::DeadlockCycle { path } => {
+                path.iter().copied().min().unwrap_or(fallback(Rank(0)))
+            }
             VerifyError::SignalWaitImbalance { wait, .. } => *wait,
             VerifyError::OutOfBounds { site, .. }
             | VerifyError::OrphanSignal { site, .. }
             | VerifyError::UnflushedPortPut { site } => *site,
+            VerifyError::MissingContribution { rank, writer, .. } => {
+                writer.unwrap_or(fallback(*rank))
+            }
+            VerifyError::DuplicateContribution {
+                rank,
+                first,
+                second,
+                ..
+            } => first.or(*second).unwrap_or(fallback(*rank)),
+            VerifyError::WrongPlacement { rank, writer, .. } => writer.unwrap_or(fallback(*rank)),
+            VerifyError::StaleOutput {
+                rank,
+                writer,
+                origin,
+                ..
+            } => writer.or(*origin).unwrap_or(fallback(*rank)),
         }
     }
+}
+
+/// Renders an optional site, with `none` standing in for "no
+/// instruction" (an initial in-place value or never-written memory).
+fn opt_site(s: &Option<Site>, none: &'static str) -> String {
+    s.map_or_else(|| none.to_owned(), |s| s.to_string())
 }
 
 impl fmt::Display for VerifyError {
@@ -238,6 +345,78 @@ impl fmt::Display for VerifyError {
                 f,
                 "port put at {site} is never flushed or signalled before kernel exit"
             ),
+            VerifyError::MissingContribution {
+                rank,
+                buf,
+                range,
+                missing,
+                writer,
+                present,
+            } => write!(
+                f,
+                "semantic: {rank} output {:?} [{}, {}) is missing {missing}'s contribution \
+                 (last write {}, a present contribution arrived via {})",
+                buf,
+                range.0,
+                range.1,
+                opt_site(writer, "never (initial value)"),
+                opt_site(present, "the initial value"),
+            ),
+            VerifyError::DuplicateContribution {
+                rank,
+                buf,
+                range,
+                dup,
+                first,
+                second,
+            } => write!(
+                f,
+                "semantic: {rank} output {:?} [{}, {}) counts {dup}'s contribution twice \
+                 (first via {}, again via {})",
+                buf,
+                range.0,
+                range.1,
+                opt_site(first, "the initial value"),
+                opt_site(second, "the initial value"),
+            ),
+            VerifyError::WrongPlacement {
+                rank,
+                buf,
+                range,
+                want,
+                got,
+                writer,
+                origin,
+            } => write!(
+                f,
+                "semantic: {rank} output {:?} [{}, {}) expects bytes of {} @ {}, holds {} @ {} \
+                 (last write {}, misplaced data introduced at {})",
+                buf,
+                range.0,
+                range.1,
+                want.0,
+                want.1,
+                got.0,
+                got.1,
+                opt_site(writer, "never (initial value)"),
+                opt_site(origin, "the initial value"),
+            ),
+            VerifyError::StaleOutput {
+                rank,
+                buf,
+                range,
+                writer,
+                origin,
+            } => write!(
+                f,
+                "semantic: {rank} output {:?} [{}, {}) ends the plan stale \
+                 (last write {}, staleness originated at {})",
+                buf,
+                range.0,
+                range.1,
+                opt_site(writer, "never"),
+                opt_site(origin, "uninitialized memory"),
+            ),
         }
     }
 }
@@ -251,7 +430,8 @@ impl From<VerifyError> for mscclpp::Error {
 }
 
 /// Everything the verifier found in one kernel batch, sorted by class
-/// (bounds, imbalance, deadlock, race, orphan, unflushed) and then by
+/// (bounds, imbalance, deadlock, race, orphan, unflushed, then the
+/// semantic classes: missing, duplicate, misplaced, stale) and then by
 /// instruction site.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
@@ -260,7 +440,13 @@ pub struct Report {
 }
 
 impl Report {
-    /// Whether no check fired.
+    /// Whether no *enabled* check fired. The families a clean report
+    /// covers are exactly the [`Checks`] that produced it: bounds,
+    /// sync (imbalance + deadlock cycles), races, orphan signals,
+    /// unflushed port puts, and — when a [`crate::CollectiveSpec`] was
+    /// supplied — semantic dataflow (missing/duplicate/misplaced/stale
+    /// output ranges). A clean report from a spec-less analysis says
+    /// nothing about semantic correctness.
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }

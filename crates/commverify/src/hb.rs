@@ -13,9 +13,15 @@ use sim::{CellId, VClock};
 
 use crate::error::{Checks, Site, VerifyError};
 use crate::model::{Access, Kind, Model};
+use crate::semantics::{self, CollectiveSpec};
 
 /// Runs all enabled checks over an extracted model.
-pub(crate) fn analyze(model: &Model, pool: &MemoryPool, checks: &Checks) -> Vec<VerifyError> {
+pub(crate) fn analyze(
+    model: &Model,
+    pool: &MemoryPool,
+    checks: &Checks,
+    spec: Option<&CollectiveSpec>,
+) -> Vec<VerifyError> {
     let mut findings = Vec::new();
     let graph = Graph::build(model, checks, &mut findings);
 
@@ -27,6 +33,20 @@ pub(crate) fn analyze(model: &Model, pool: &MemoryPool, checks: &Checks) -> Vec<
         Ok(order) => {
             if checks.races {
                 check_races(model, &graph, &order, &mut findings);
+            }
+            // The provenance pass replays one linearization; that final
+            // state only speaks for *every* linearization when
+            // conflicting accesses are ordered, so a racy plan skips
+            // straight to its Race findings.
+            let racy = findings
+                .iter()
+                .any(|f| matches!(f, VerifyError::Race { .. }));
+            if checks.semantics && !racy {
+                if let Some(spec) = spec {
+                    let located: Vec<(usize, usize)> =
+                        order.iter().map(|&id| graph.locate(id)).collect();
+                    semantics::check(model, &located, spec, &mut findings);
+                }
             }
         }
         Err(cycle) => {

@@ -14,6 +14,12 @@
 //! * **Orphan signals** — semaphores signalled but never waited on.
 //! * **Unflushed port puts** — posted transfers with no completion
 //!   guarantee before kernel exit.
+//! * **Semantic divergence** — when the caller declares a
+//!   [`CollectiveSpec`] (see [`analyze_collective`]), a symbolic
+//!   provenance pass proves every member's output range holds exactly
+//!   the contributions the collective demands, reporting the first
+//!   divergent byte range as a missing / duplicated / misplaced / stale
+//!   contribution with the instruction sites that produced it.
 //!
 //! The analysis is *sound for a single kernel launch over freshly-zeroed
 //! synchronization cells*: every reported deadlock cycle and imbalance is
@@ -35,21 +41,35 @@
 mod error;
 mod hb;
 mod model;
+pub mod mutate;
+mod semantics;
 
 pub use error::{Checks, Report, Site, VerifyError};
+pub use semantics::{CollectiveKind, CollectiveSpec, SpecMember};
 
 use hw::MemoryPool;
 use mscclpp::Kernel;
 
-/// Analyzes a kernel batch with an explicit check selection and returns
-/// every finding.
-pub fn analyze_with(kernels: &[Kernel], pool: &MemoryPool, checks: &Checks) -> Report {
+fn analyze_inner(
+    kernels: &[Kernel],
+    pool: &MemoryPool,
+    checks: &Checks,
+    spec: Option<&CollectiveSpec>,
+) -> Report {
     let model = model::extract(kernels);
     let mut report = Report {
-        findings: hb::analyze(&model, pool, checks),
+        findings: hb::analyze(&model, pool, checks, spec),
     };
     report.sort();
     report
+}
+
+/// Analyzes a kernel batch with an explicit check selection and returns
+/// every finding. Without a [`CollectiveSpec`] the semantic dataflow
+/// pass has nothing to check against and is skipped even when
+/// [`Checks::semantics`] is set — use [`analyze_collective`] to run it.
+pub fn analyze_with(kernels: &[Kernel], pool: &MemoryPool, checks: &Checks) -> Report {
+    analyze_inner(kernels, pool, checks, None)
 }
 
 /// Analyzes a kernel batch with all checks enabled.
@@ -59,6 +79,9 @@ pub fn analyze_kernels(kernels: &[Kernel], pool: &MemoryPool) -> Report {
 
 /// Verifies a kernel batch with an explicit check selection, returning
 /// the first (highest-priority) finding as an error.
+// The Err is a rich diagnostic carrying both instruction sites; it is
+// constructed once per aborted launch, never on the success path.
+#[allow(clippy::result_large_err)]
 pub fn verify_kernels_with(
     kernels: &[Kernel],
     pool: &MemoryPool,
@@ -72,6 +95,36 @@ pub fn verify_kernels_with(
 }
 
 /// Verifies a kernel batch with all checks enabled.
+#[allow(clippy::result_large_err)]
 pub fn verify_kernels(kernels: &[Kernel], pool: &MemoryPool) -> Result<(), VerifyError> {
     verify_kernels_with(kernels, pool, &Checks::all())
+}
+
+/// Analyzes a kernel batch against a declared collective: all the checks
+/// of [`analyze_with`], plus the semantic dataflow pass proving every
+/// member's output range holds exactly the contributions `spec` demands
+/// (gated on [`Checks::semantics`] and on the plan being race-free).
+pub fn analyze_collective(
+    kernels: &[Kernel],
+    pool: &MemoryPool,
+    checks: &Checks,
+    spec: &CollectiveSpec,
+) -> Report {
+    analyze_inner(kernels, pool, checks, Some(spec))
+}
+
+/// Verifies a kernel batch against a declared collective, returning the
+/// first (highest-priority) finding as an error.
+#[allow(clippy::result_large_err)]
+pub fn verify_collective(
+    kernels: &[Kernel],
+    pool: &MemoryPool,
+    checks: &Checks,
+    spec: &CollectiveSpec,
+) -> Result<(), VerifyError> {
+    let report = analyze_collective(kernels, pool, checks, spec);
+    match report.findings.into_iter().next() {
+        None => Ok(()),
+        Some(f) => Err(f),
+    }
 }

@@ -44,6 +44,49 @@ pub(crate) enum Kind {
     BarrierExit(CellId),
 }
 
+/// Semantic dataflow effect of one event — how it transforms symbolic
+/// byte-range provenance. Extracted alongside the accesses so the
+/// `semantics` pass can replay the plan in happens-before order without
+/// re-decoding instructions. `None` on events that move no data
+/// (waits, signals, barriers).
+#[derive(Debug, Clone)]
+pub(crate) enum SemOp {
+    /// Fresh overwrite: `dst[..bytes] = src[..bytes]`
+    /// (`Copy`/`MemPut`/`PortPut`/`RawPut`).
+    Move {
+        src: (BufferId, usize),
+        dst: (BufferId, usize),
+        bytes: usize,
+    },
+    /// Accumulate: `dst = op(dst, src)` — provenance multiset union
+    /// (`Reduce`, `MemReadReduce`).
+    Accum {
+        src: (BufferId, usize),
+        dst: (BufferId, usize),
+        bytes: usize,
+    },
+    /// Three-address reduce: `dst = op(a, b)` — union of both operands,
+    /// fresh overwrite of `dst` (`ReduceInto`, `RawReducePut`).
+    Reduce2 {
+        a: (BufferId, usize),
+        b: (BufferId, usize),
+        dst: (BufferId, usize),
+        bytes: usize,
+    },
+    /// Multimem load-reduce over every member buffer (`SwitchReduce`).
+    ReduceAll {
+        srcs: Vec<(BufferId, usize)>,
+        dst: (BufferId, usize),
+        bytes: usize,
+    },
+    /// Multimem store into every member buffer (`SwitchBroadcast`).
+    Replicate {
+        src: (BufferId, usize),
+        dsts: Vec<(BufferId, usize)>,
+        bytes: usize,
+    },
+}
+
 #[derive(Debug)]
 pub(crate) struct Event {
     pub site: Site,
@@ -51,6 +94,7 @@ pub(crate) struct Event {
     pub incs: Vec<CellId>,
     pub wait: Option<WaitOn>,
     pub kind: Kind,
+    pub sem: Option<SemOp>,
 }
 
 impl Event {
@@ -61,6 +105,7 @@ impl Event {
             incs: Vec::new(),
             wait: None,
             kind: Kind::Plain,
+            sem: None,
         }
     }
 }
@@ -157,6 +202,11 @@ pub(crate) fn extract(kernels: &[Kernel]) -> Model {
                             m.name_cell(ch.peer_sem, || format!("mem_sem@{}", ch.peer_rank));
                             ev.incs.push(ch.peer_sem);
                         }
+                        ev.sem = Some(SemOp::Move {
+                            src: (ch.local_buf, *src_off),
+                            dst: (ch.remote_buf, *dst_off),
+                            bytes: *bytes,
+                        });
                     }
                     Instr::MemSignal { ch } => {
                         m.name_cell(ch.peer_sem, || format!("mem_sem@{}", ch.peer_rank));
@@ -198,6 +248,11 @@ pub(crate) fn extract(kernels: &[Kernel]) -> Model {
                             start: *local_off,
                             end: local_off + bytes,
                             write: true,
+                        });
+                        ev.sem = Some(SemOp::Accum {
+                            src: (ch.remote_buf, *remote_off),
+                            dst: (*local_buf, *local_off),
+                            bytes: *bytes,
                         });
                     }
                     Instr::PortPut {
@@ -242,6 +297,11 @@ pub(crate) fn extract(kernels: &[Kernel]) -> Model {
                             m.name_cell(ch.peer_sem, || format!("port_sem@{}", ch.peer_rank));
                             proxy_ev.incs.push(ch.peer_sem);
                         }
+                        proxy_ev.sem = Some(SemOp::Move {
+                            src: (ch.local_buf, *src_off),
+                            dst: (ch.remote_buf, *dst_off),
+                            bytes: *bytes,
+                        });
                         let push_idx = m.threads[t].events.len();
                         push_proxy(&mut m, state, t, push_idx, proxy_ev);
                     }
@@ -305,6 +365,11 @@ pub(crate) fn extract(kernels: &[Kernel]) -> Model {
                             end: dst_off + bytes,
                             write: true,
                         });
+                        ev.sem = Some(SemOp::ReduceAll {
+                            srcs: ch.members.iter().map(|&(_, b)| (b, *src_off)).collect(),
+                            dst: (*dst_buf, *dst_off),
+                            bytes: *bytes,
+                        });
                     }
                     Instr::SwitchBroadcast {
                         ch,
@@ -327,6 +392,11 @@ pub(crate) fn extract(kernels: &[Kernel]) -> Model {
                                 write: true,
                             });
                         }
+                        ev.sem = Some(SemOp::Replicate {
+                            src: (*src_buf, *src_off),
+                            dsts: ch.members.iter().map(|&(_, b)| (b, *dst_off)).collect(),
+                            bytes: *bytes,
+                        });
                     }
                     Instr::Copy {
                         src,
@@ -346,6 +416,11 @@ pub(crate) fn extract(kernels: &[Kernel]) -> Model {
                             start: *dst_off,
                             end: dst_off + bytes,
                             write: true,
+                        });
+                        ev.sem = Some(SemOp::Move {
+                            src: (*src, *src_off),
+                            dst: (*dst, *dst_off),
+                            bytes: *bytes,
                         });
                     }
                     Instr::Reduce {
@@ -367,6 +442,11 @@ pub(crate) fn extract(kernels: &[Kernel]) -> Model {
                             start: *dst_off,
                             end: dst_off + bytes,
                             write: true,
+                        });
+                        ev.sem = Some(SemOp::Accum {
+                            src: (*src, *src_off),
+                            dst: (*dst, *dst_off),
+                            bytes: *bytes,
                         });
                     }
                     Instr::RawPut {
@@ -394,6 +474,11 @@ pub(crate) fn extract(kernels: &[Kernel]) -> Model {
                             m.name_cell(sem.cell, || format!("sem@{}", sem.owner));
                             ev.incs.push(sem.cell);
                         }
+                        ev.sem = Some(SemOp::Move {
+                            src: (*src, *src_off),
+                            dst: (*dst, *dst_off),
+                            bytes: *bytes,
+                        });
                     }
                     Instr::RawReducePut {
                         a,
@@ -428,6 +513,12 @@ pub(crate) fn extract(kernels: &[Kernel]) -> Model {
                             m.name_cell(sem.cell, || format!("sem@{}", sem.owner));
                             ev.incs.push(sem.cell);
                         }
+                        ev.sem = Some(SemOp::Reduce2 {
+                            a: (*a, *a_off),
+                            b: (*b, *b_off),
+                            dst: (*dst, *dst_off),
+                            bytes: *bytes,
+                        });
                     }
                     Instr::ReduceInto {
                         a,
@@ -456,6 +547,12 @@ pub(crate) fn extract(kernels: &[Kernel]) -> Model {
                             start: *dst_off,
                             end: dst_off + bytes,
                             write: true,
+                        });
+                        ev.sem = Some(SemOp::Reduce2 {
+                            a: (*a, *a_off),
+                            b: (*b, *b_off),
+                            dst: (*dst, *dst_off),
+                            bytes: *bytes,
                         });
                     }
                     Instr::SemWait { sem } => {

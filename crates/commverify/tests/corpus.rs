@@ -8,13 +8,21 @@ mod common;
 
 #[path = "corpus/deadlock.rs"]
 mod deadlock;
+#[path = "corpus/duplicate.rs"]
+mod duplicate;
 #[path = "corpus/imbalance.rs"]
 mod imbalance;
+#[path = "corpus/misplaced.rs"]
+mod misplaced;
+#[path = "corpus/missing.rs"]
+mod missing;
 #[path = "corpus/oob.rs"]
 mod oob;
 #[path = "corpus/orphan.rs"]
 mod orphan;
 #[path = "corpus/racy.rs"]
 mod racy;
+#[path = "corpus/stale.rs"]
+mod stale;
 #[path = "corpus/unflushed.rs"]
 mod unflushed;

@@ -1,0 +1,73 @@
+//! An AllReduce plan that reduces the same peer contribution twice —
+//! numerically `2·x₁ + x₀` instead of `x₀ + x₁`. Race- and
+//! deadlock-free, so only the semantic pass can see it.
+
+use commverify::{Checks, CollectiveSpec, SpecMember, VerifyError};
+use hw::{DataType, Rank, ReduceOp};
+use mscclpp::{KernelBuilder, Protocol, Setup};
+
+use crate::common;
+
+const B: usize = 256;
+
+#[test]
+fn double_reduced_peer_contribution_is_reported() {
+    let mut engine = common::engine();
+    let mut setup = Setup::new(&mut engine);
+    let in0 = setup.alloc(Rank(0), B);
+    let in1 = setup.alloc(Rank(1), B);
+    let out0 = setup.alloc(Rank(0), B);
+    let out1 = setup.alloc(Rank(1), B);
+    let (ch0, ch1) = setup
+        .memory_channel_pair(Rank(0), out0, in1, Rank(1), out1, in0, Protocol::LL)
+        .unwrap();
+
+    // Rank 0 read-reduces rank 1's input twice (pc 1 and pc 2); rank 1
+    // runs the correct plan.
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0)
+        .copy(in0, 0, out0, 0, B)
+        .read_reduce(&ch0, 0, out0, 0, B, DataType::F32, ReduceOp::Sum)
+        .read_reduce(&ch0, 0, out0, 0, B, DataType::F32, ReduceOp::Sum);
+    let mut k1 = KernelBuilder::new(Rank(1));
+    k1.block(0).copy(in1, 0, out1, 0, B).read_reduce(
+        &ch1,
+        0,
+        out1,
+        0,
+        B,
+        DataType::F32,
+        ReduceOp::Sum,
+    );
+
+    let spec = CollectiveSpec::all_reduce(
+        vec![
+            SpecMember {
+                rank: Rank(0),
+                input: in0,
+                output: out0,
+            },
+            SpecMember {
+                rank: Rank(1),
+                input: in1,
+                output: out1,
+            },
+        ],
+        B,
+    );
+    let kernels = vec![k0.build(), k1.build()];
+    let report =
+        commverify::analyze_collective(&kernels, engine.world().pool(), &Checks::all(), &spec);
+    assert_eq!(
+        report.findings,
+        vec![VerifyError::DuplicateContribution {
+            rank: Rank(0),
+            buf: out0,
+            range: (0, B),
+            dup: Rank(1),
+            first: Some(common::site(0, 0, 1)),
+            second: Some(common::site(0, 0, 2)),
+        }],
+        "{report}"
+    );
+}

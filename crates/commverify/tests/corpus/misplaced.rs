@@ -1,0 +1,69 @@
+//! An AllGather plan that routes a chunk to the wrong output slot: the
+//! rank writes its own input where its peer's chunk belongs. Every byte
+//! is live data, so only placement tracking catches it — the report
+//! names both the expected and the actual `(rank, source offset)`.
+
+use commverify::{Checks, CollectiveSpec, SpecMember, VerifyError};
+use hw::Rank;
+use mscclpp::{KernelBuilder, Protocol, Setup};
+
+use crate::common;
+
+const B: usize = 256;
+
+#[test]
+fn own_chunk_in_the_peer_slot_is_reported() {
+    let mut engine = common::engine();
+    let mut setup = Setup::new(&mut engine);
+    let in0 = setup.alloc(Rank(0), B);
+    let in1 = setup.alloc(Rank(1), B);
+    let out0 = setup.alloc(Rank(0), 2 * B);
+    let out1 = setup.alloc(Rank(1), 2 * B);
+    let (ch0, _ch1) = setup
+        .memory_channel_pair(Rank(0), in0, out1, Rank(1), in1, out0, Protocol::LL)
+        .unwrap();
+
+    // Rank 0 fills its own slot 0 (pc 0), then writes its own input into
+    // slot 1 as well (pc 1) — where rank 1's chunk belongs — and
+    // correctly delivers slot 0 of rank 1's output (pc 2). Rank 1 fills
+    // only its own slot 1.
+    let mut k0 = KernelBuilder::new(Rank(0));
+    k0.block(0)
+        .copy(in0, 0, out0, 0, B)
+        .copy(in0, 0, out0, B, B)
+        .put(&ch0, 0, 0, B);
+    let mut k1 = KernelBuilder::new(Rank(1));
+    k1.block(0).copy(in1, 0, out1, B, B);
+
+    let spec = CollectiveSpec::all_gather(
+        vec![
+            SpecMember {
+                rank: Rank(0),
+                input: in0,
+                output: out0,
+            },
+            SpecMember {
+                rank: Rank(1),
+                input: in1,
+                output: out1,
+            },
+        ],
+        B,
+    );
+    let kernels = vec![k0.build(), k1.build()];
+    let report =
+        commverify::analyze_collective(&kernels, engine.world().pool(), &Checks::all(), &spec);
+    assert_eq!(
+        report.findings,
+        vec![VerifyError::WrongPlacement {
+            rank: Rank(0),
+            buf: out0,
+            range: (B, 2 * B),
+            want: (Rank(1), 0),
+            got: (Rank(0), 0),
+            writer: Some(common::site(0, 0, 1)),
+            origin: Some(common::site(0, 0, 1)),
+        }],
+        "{report}"
+    );
+}

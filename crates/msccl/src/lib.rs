@@ -157,19 +157,42 @@ impl MscclComm {
         self.verify.set(on);
     }
 
-    /// Runs the static verifier over the first kernel batch launched on
-    /// this communicator; later launches reuse staging FIFOs with banked
-    /// credits, where fresh-cell happens-before analysis is unsound.
-    fn maybe_verify(&self, engine: &Engine<Machine>, kernels: &[Kernel]) -> Result<()> {
+    /// Runs the static verifier — transport checks plus the semantic
+    /// dataflow pass against `spec` — over the first kernel batch
+    /// launched on this communicator; later launches reuse staging FIFOs
+    /// with banked credits, where fresh-cell happens-before analysis is
+    /// unsound.
+    fn maybe_verify(
+        &self,
+        engine: &Engine<Machine>,
+        kernels: &[Kernel],
+        spec: &commverify::CollectiveSpec,
+    ) -> Result<()> {
         if !self.verify.replace(false) {
             return Ok(());
         }
-        commverify::verify_kernels_with(
-            kernels,
-            engine.world().pool(),
-            &commverify::Checks::transport(),
-        )?;
+        let checks = commverify::Checks {
+            semantics: true,
+            ..commverify::Checks::transport()
+        };
+        commverify::verify_collective(kernels, engine.world().pool(), &checks, spec)?;
         Ok(())
+    }
+
+    /// Spec members for a full-world collective: rank `r` contributes
+    /// `inputs[r]` and receives into `outputs[r]`.
+    fn spec_members(
+        &self,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+    ) -> Vec<commverify::SpecMember> {
+        (0..self.topo.world_size())
+            .map(|r| commverify::SpecMember {
+                rank: Rank(r),
+                input: inputs[r],
+                output: outputs[r],
+            })
+            .collect()
     }
 
     /// MSCCL's size-based algorithm selection (mirrors the MSCCL
@@ -540,7 +563,9 @@ impl MscclComm {
             }
         };
         mscclpp::record_launch_mix(engine, "msccl", &kernels);
-        self.maybe_verify(engine, &kernels)?;
+        let spec =
+            commverify::CollectiveSpec::all_reduce(self.spec_members(inputs, outputs), bytes);
+        self.maybe_verify(engine, &kernels, &spec)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -566,7 +591,9 @@ impl MscclComm {
         });
         let kernels = self.all_gather_kernels(inputs, outputs, bytes, dtype, proto, nch);
         mscclpp::record_launch_mix(engine, "msccl", &kernels);
-        self.maybe_verify(engine, &kernels)?;
+        let spec =
+            commverify::CollectiveSpec::all_gather(self.spec_members(inputs, outputs), bytes);
+        self.maybe_verify(engine, &kernels, &spec)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 }

@@ -6,7 +6,7 @@
 //! crate; running both and comparing timings reproduces the paper's
 //! DSL-vs-Primitive ablation (§5.1: DSL ≈3% slower on average).
 
-use crate::program::{Buf, DslError, Program};
+use crate::program::{Buf, DeclaredCollective, DslError, Program};
 
 /// One-phase all-pairs AllReduce (1PA): every rank pushes its whole
 /// input to every peer's scratch slot and reduces everything locally.
@@ -31,6 +31,7 @@ pub fn one_phase_all_reduce(n: usize) -> Result<Program, DslError> {
             }
         }
     }
+    p.declare_collective(DeclaredCollective::AllReduce);
     Ok(p)
 }
 
@@ -67,6 +68,7 @@ pub fn two_phase_all_reduce(n: usize) -> Result<Program, DslError> {
             }
         }
     }
+    p.declare_collective(DeclaredCollective::AllReduce);
     Ok(p)
 }
 
@@ -83,6 +85,7 @@ pub fn switch_all_reduce(n: usize) -> Result<Program, DslError> {
         p.multimem_reduce((Buf::Input, r), (r, Buf::Output, r))?;
         p.multimem_broadcast((r, Buf::Output, r), (Buf::Output, r))?;
     }
+    p.declare_collective(DeclaredCollective::AllReduce);
     Ok(p)
 }
 
@@ -102,6 +105,7 @@ pub fn all_pairs_all_gather(n: usize) -> Result<Program, DslError> {
             }
         }
     }
+    p.declare_collective(DeclaredCollective::AllGather);
     Ok(p)
 }
 
@@ -141,6 +145,7 @@ pub fn ring_all_reduce(n: usize) -> Result<Program, DslError> {
             p.copy((r, Buf::Output, c), (dst, Buf::Output, c))?;
         }
     }
+    p.declare_collective(DeclaredCollective::AllReduce);
     Ok(p)
 }
 

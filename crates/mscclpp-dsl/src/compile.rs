@@ -247,14 +247,76 @@ impl Program {
 
         let kernels: Vec<Kernel> = builders.into_iter().map(KernelBuilder::build).collect();
         if opts.verify {
-            commverify::verify_kernels(&kernels, setup.engine_mut().world().pool())
-                .map_err(|e| DslError::Verify(e.to_string()))?;
+            match self.spec(inputs, outputs, in_len, out_len)? {
+                // A declared collective gets the full treatment: the
+                // semantic dataflow pass proves the compiled streams
+                // compute it, on top of the structural checks.
+                Some(spec) => commverify::verify_collective(
+                    &kernels,
+                    setup.engine_mut().world().pool(),
+                    &commverify::Checks::all(),
+                    &spec,
+                )
+                .map_err(|e| DslError::Verify(e.to_string()))?,
+                None => commverify::verify_kernels(&kernels, setup.engine_mut().world().pool())
+                    .map_err(|e| DslError::Verify(e.to_string()))?,
+            }
         }
         Ok(Executable {
             name: self.name.clone(),
             kernels,
             ov: Overheads::mscclpp_dsl(),
         })
+    }
+
+    /// Builds the `commverify` spec for the program's declared
+    /// collective, sized from the bound buffers.
+    fn spec(
+        &self,
+        inputs: &[BufferId],
+        outputs: &[BufferId],
+        in_len: usize,
+        out_len: usize,
+    ) -> Result<Option<commverify::CollectiveSpec>, DslError> {
+        let Some(decl) = self.collective else {
+            return Ok(None);
+        };
+        let member = |r: usize| commverify::SpecMember {
+            rank: Rank(r),
+            input: inputs[r],
+            output: outputs[r],
+        };
+        if inputs.len() != self.world || outputs.len() != self.world {
+            return Err(DslError::Compile(format!(
+                "declared collective needs one input and one output per rank ({} ranks)",
+                self.world
+            )));
+        }
+        let members: Vec<_> = (0..self.world).map(member).collect();
+        use crate::program::DeclaredCollective as D;
+        let spec = match decl {
+            D::AllReduce => commverify::CollectiveSpec::all_reduce(members, in_len),
+            D::AllGather => commverify::CollectiveSpec::all_gather(members, in_len),
+            D::ReduceScatter => {
+                // DSL chunking is uniform, so shards are too.
+                let shard = out_len;
+                let shards = (0..self.world).map(|j| (j * shard, shard)).collect();
+                commverify::CollectiveSpec::reduce_scatter(members, in_len, shards)
+            }
+            D::Broadcast { root } => {
+                if root >= self.world {
+                    return Err(DslError::Compile(format!(
+                        "broadcast root {root} out of range (world {})",
+                        self.world
+                    )));
+                }
+                commverify::CollectiveSpec::broadcast(members, out_len, root)
+            }
+            D::AllToAll => {
+                commverify::CollectiveSpec::all_to_all(members, in_len / self.world.max(1))
+            }
+        };
+        Ok(Some(spec))
     }
 
     /// Emits instructions for one op on one thread block.

@@ -94,6 +94,28 @@ impl From<mscclpp::Error> for DslError {
     }
 }
 
+/// The collective a DSL program claims to compute. Declaring it (see
+/// [`Program::declare_collective`]) lets the compiler run the semantic
+/// dataflow verifier over the compiled instruction streams: the program
+/// is proven to actually gather/reduce/scatter what it says, not merely
+/// to be race- and deadlock-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclaredCollective {
+    /// Every rank's output = element-wise reduction of all inputs.
+    AllReduce,
+    /// Every rank's output slot `s` = rank `s`'s input.
+    AllGather,
+    /// Rank `j`'s output = reduction of every input's shard `j`.
+    ReduceScatter,
+    /// Every rank's output = the root's input.
+    Broadcast {
+        /// The source rank.
+        root: usize,
+    },
+    /// Rank `j`'s output slot `i` = rank `i`'s input chunk `j`.
+    AllToAll,
+}
+
 /// A collective algorithm described at the chunk level.
 ///
 /// Build with the operation methods, then [`Program::compile`] against
@@ -105,6 +127,8 @@ pub struct Program {
     pub(crate) ops: Vec<Op>,
     /// Max chunk index seen per buffer kind (+1 = chunk count).
     pub(crate) chunks: [usize; 3],
+    /// What the program claims to compute, if declared.
+    pub(crate) collective: Option<DeclaredCollective>,
 }
 
 impl Program {
@@ -115,7 +139,23 @@ impl Program {
             world,
             ops: Vec::new(),
             chunks: [0; 3],
+            collective: None,
         }
+    }
+
+    /// Declares which collective this program computes. When set and
+    /// [`crate::CompileOptions::verify`] is on, the compiler checks the
+    /// compiled instruction streams *semantically* against the declared
+    /// collective (every output byte range holds exactly the declared
+    /// contributions) and rejects divergence as [`DslError::Verify`].
+    pub fn declare_collective(&mut self, collective: DeclaredCollective) -> &mut Self {
+        self.collective = Some(collective);
+        self
+    }
+
+    /// The declared collective, if any.
+    pub fn collective(&self) -> Option<DeclaredCollective> {
+        self.collective
     }
 
     /// The program name.

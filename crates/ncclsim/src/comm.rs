@@ -176,21 +176,39 @@ impl NcclComm {
         self.verify.set(on);
     }
 
-    /// Runs the static verifier over the first kernel batch launched on
-    /// this communicator. Later launches reuse the staging FIFOs with
-    /// banked credits (each launch leaves `slots` spare credits per
-    /// connection), so fresh-cell happens-before analysis is only sound
-    /// for the first one.
-    fn maybe_verify(&self, engine: &Engine<Machine>, kernels: &[Kernel]) -> Result<()> {
+    /// Runs the static verifier — transport checks plus the semantic
+    /// dataflow pass against `spec` — over the first kernel batch
+    /// launched on this communicator. Later launches reuse the staging
+    /// FIFOs with banked credits (each launch leaves `slots` spare
+    /// credits per connection), so fresh-cell happens-before analysis is
+    /// only sound for the first one.
+    fn maybe_verify(
+        &self,
+        engine: &Engine<Machine>,
+        kernels: &[Kernel],
+        spec: &commverify::CollectiveSpec,
+    ) -> Result<()> {
         if !self.verify.replace(false) {
             return Ok(());
         }
-        commverify::verify_kernels_with(
-            kernels,
-            engine.world().pool(),
-            &commverify::Checks::transport(),
-        )?;
+        let checks = commverify::Checks {
+            semantics: true,
+            ..commverify::Checks::transport()
+        };
+        commverify::verify_collective(kernels, engine.world().pool(), &checks, spec)?;
         Ok(())
+    }
+
+    /// Spec members for a full-world collective: rank `r` contributes
+    /// `input[r]` and receives into `output[r]`.
+    fn spec_members(&self, input: &[BufferId], output: &[BufferId]) -> Vec<commverify::SpecMember> {
+        (0..self.topo.world_size())
+            .map(|r| commverify::SpecMember {
+                rank: Rank(r),
+                input: input[r],
+                output: output[r],
+            })
+            .collect()
     }
 
     /// Compiles ring-AllReduce kernels (Figure 1's ReduceScatter followed
@@ -560,7 +578,11 @@ impl NcclComm {
             Algo::Tree => self.tree_all_reduce(input, output, count, dtype, op, choice.proto, nch),
         };
         mscclpp::record_launch_mix(engine, "nccl", &kernels);
-        self.maybe_verify(engine, &kernels)?;
+        let spec = commverify::CollectiveSpec::all_reduce(
+            self.spec_members(input, output),
+            count * dtype.size(),
+        );
+        self.maybe_verify(engine, &kernels, &spec)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -582,7 +604,11 @@ impl NcclComm {
         let nch = choice.channels.min(self.cfg.max_channels);
         let kernels = self.ring_all_gather(input, output, count, dtype, choice.proto, nch);
         mscclpp::record_launch_mix(engine, "nccl", &kernels);
-        self.maybe_verify(engine, &kernels)?;
+        let spec = commverify::CollectiveSpec::all_gather(
+            self.spec_members(input, output),
+            count * dtype.size(),
+        );
+        self.maybe_verify(engine, &kernels, &spec)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -605,7 +631,14 @@ impl NcclComm {
         let nch = choice.channels.min(self.cfg.max_channels);
         let kernels = self.ring_reduce_scatter(input, output, count, dtype, op, choice.proto, nch);
         mscclpp::record_launch_mix(engine, "nccl", &kernels);
-        self.maybe_verify(engine, &kernels)?;
+        let n = self.topo.world_size();
+        let shard = count * dtype.size();
+        let spec = commverify::CollectiveSpec::reduce_scatter(
+            self.spec_members(input, output),
+            n * shard,
+            (0..n).map(|i| (i * shard, shard)).collect(),
+        );
+        self.maybe_verify(engine, &kernels, &spec)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 
@@ -628,7 +661,12 @@ impl NcclComm {
         let nch = choice.channels.min(self.cfg.max_channels);
         let kernels = self.ring_broadcast(input, output, count, dtype, root, choice.proto, nch);
         mscclpp::record_launch_mix(engine, "nccl", &kernels);
-        self.maybe_verify(engine, &kernels)?;
+        let spec = commverify::CollectiveSpec::broadcast(
+            self.spec_members(input, output),
+            count * dtype.size(),
+            root.0,
+        );
+        self.maybe_verify(engine, &kernels, &spec)?;
         run_kernels(engine, &kernels, &self.ov)
     }
 }

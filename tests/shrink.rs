@@ -14,7 +14,8 @@
 //! whose root died reports the failover root instead of replaying.
 
 use collective::{
-    AllGatherAlgo, AllReduceAlgo, CollComm, PeerOrder, RecoveryOutcome, ScratchReuse,
+    AllGatherAlgo, AllReduceAlgo, AllToAllAlgo, BroadcastAlgo, CollComm, PeerOrder,
+    RecoveryOutcome, ReduceScatterAlgo, ScratchReuse,
 };
 use hw::{BufferId, DataType, EnvKind, Machine, Rank, ReduceOp};
 use sim::{Duration, Engine, FaultPlan, Time};
@@ -79,6 +80,34 @@ fn alloc_out(e: &mut Engine<Machine>, count: usize) -> Vec<BufferId> {
     alloc_out_n(e, N, count)
 }
 
+/// Semantic golden over a rebuilt epoch plan: the kernels the shrunken
+/// group would launch must *prove* their collective over the survivor
+/// spec (the replay inside the comm already went through the default-on
+/// verifier; this pins the spec shape and runs the dataflow pass
+/// standalone so a regression fails here by name).
+fn assert_plan_proves(
+    e: &Engine<Machine>,
+    kernels: &[mscclpp::Kernel],
+    spec: &commverify::CollectiveSpec,
+    group: &[Rank],
+    label: &str,
+) {
+    assert_eq!(
+        spec.members.len(),
+        group.len(),
+        "{label}: spec must span exactly the survivors"
+    );
+    for (m, &g) in spec.members.iter().zip(group) {
+        assert_eq!(m.rank, g, "{label}: spec member order follows the group");
+    }
+    let report =
+        commverify::analyze_collective(kernels, e.world().pool(), &commverify::Checks::all(), spec);
+    assert!(
+        report.is_clean(),
+        "{label}: rebuilt plan failed the semantic pass: {report}"
+    );
+}
+
 /// Kill `victim` mid-AllReduce, shrink, and check the replayed result on
 /// every survivor.
 fn shrink_allreduce_case(kind: EnvKind, algo: AllReduceAlgo, victim: usize) {
@@ -114,6 +143,24 @@ fn shrink_allreduce_case(kind: EnvKind, algo: AllReduceAlgo, victim: usize) {
         let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
         assert_eq!(got, want, "{algo:?} victim {victim} rank {}", g.0);
     }
+    let (kernels, spec) = comm
+        .plan_all_reduce_with(
+            &mut e,
+            &ins,
+            &outs,
+            COUNT,
+            DataType::F32,
+            ReduceOp::Sum,
+            algo,
+        )
+        .expect("re-plan on the shrunken epoch");
+    assert_plan_proves(
+        &e,
+        &kernels,
+        &spec,
+        &recovery.group,
+        &format!("{algo:?} victim {victim}"),
+    );
 }
 
 /// Kill `victim` mid-AllGather, shrink, and check every survivor holds
@@ -150,6 +197,16 @@ fn shrink_allgather_case(kind: EnvKind, algo: AllGatherAlgo, victim: usize) {
             }
         }
     }
+    let (kernels, spec) = comm
+        .plan_all_gather_with(&mut e, &ins, &outs, COUNT, DataType::F32, algo)
+        .expect("re-plan on the shrunken epoch");
+    assert_plan_proves(
+        &e,
+        &kernels,
+        &spec,
+        &recovery.group,
+        &format!("{algo:?} victim {victim}"),
+    );
 }
 
 #[test]
@@ -273,6 +330,24 @@ fn shrink_allreduce_multinode_case(algo: AllReduceAlgo, victims: &[usize]) {
         let got = e.world().pool().to_f32_vec(outs[g.0], DataType::F32);
         assert_eq!(got, want, "{algo:?} victims {victims:?} rank {}", g.0);
     }
+    let (kernels, spec) = comm
+        .plan_all_reduce_with(
+            &mut e,
+            &ins,
+            &outs,
+            COUNT,
+            DataType::F32,
+            ReduceOp::Sum,
+            algo,
+        )
+        .expect("re-plan on the shrunken epoch");
+    assert_plan_proves(
+        &e,
+        &kernels,
+        &spec,
+        &recovery.group,
+        &format!("{algo:?} victims {victims:?}"),
+    );
 }
 
 /// The AllGather counterpart: survivors hold every surviving chunk at
@@ -307,6 +382,16 @@ fn shrink_allgather_multinode_case(algo: AllGatherAlgo, victims: &[usize]) {
             }
         }
     }
+    let (kernels, spec) = comm
+        .plan_all_gather_with(&mut e, &ins, &outs, COUNT, DataType::F32, algo)
+        .expect("re-plan on the shrunken epoch");
+    assert_plan_proves(
+        &e,
+        &kernels,
+        &spec,
+        &recovery.group,
+        &format!("{algo:?} victims {victims:?}"),
+    );
 }
 
 #[test]
@@ -371,6 +456,24 @@ fn shrink_reduce_scatter_replays_renumbered() {
             assert_eq!(got[j], want, "rank {} shard elem {j}", g.0);
         }
     }
+    let (kernels, spec) = comm
+        .plan_reduce_scatter_with(
+            &mut e,
+            &ins,
+            &outs,
+            COUNT,
+            DataType::F32,
+            ReduceOp::Sum,
+            ReduceScatterAlgo::AllPairsHb,
+        )
+        .expect("re-plan on the shrunken epoch");
+    assert_plan_proves(
+        &e,
+        &kernels,
+        &spec,
+        &recovery.group,
+        "reduce-scatter shrink",
+    );
 }
 
 /// AllToAll replays on a shrunken epoch with position-renumbered chunks:
@@ -401,6 +504,17 @@ fn shrink_all_to_all_replays_renumbered() {
             }
         }
     }
+    let (kernels, spec) = comm
+        .plan_all_to_all_with(
+            &mut e,
+            &ins,
+            &outs,
+            chunk,
+            DataType::F32,
+            AllToAllAlgo::AllPairsHb,
+        )
+        .expect("re-plan on the shrunken epoch");
+    assert_plan_proves(&e, &kernels, &spec, &recovery.group, "all-to-all shrink");
 }
 
 /// A Broadcast interrupted by its *root's* death cannot be replayed —
@@ -430,6 +544,18 @@ fn shrink_broadcast_root_death_fails_over() {
             assert_eq!(got[i], val(root.0, i), "rank {} elem {i}", g.0);
         }
     }
+    let (kernels, spec) = comm
+        .plan_broadcast_with(
+            &mut e,
+            &ins,
+            &outs,
+            COUNT,
+            DataType::F32,
+            root,
+            BroadcastAlgo::Direct,
+        )
+        .expect("re-plan from the failover root");
+    assert_plan_proves(&e, &kernels, &spec, &recovery.group, "broadcast failover");
 }
 
 /// A Broadcast interrupted by a non-root death replays: the root's
