@@ -60,6 +60,12 @@ pub enum Case {
     },
     /// The end-to-end serving scenario (request latency percentiles).
     Serving,
+    /// SLO-aware serving at 2× the knee arrival rate: TTFT percentiles
+    /// of the admitted requests, with goodput (SLO-met completions/sec)
+    /// in `eps`. Pins the admission policy's overload behavior — a
+    /// regression here means the knee moved or shedding stopped
+    /// protecting admitted requests' deadlines.
+    ServingGoodput,
     /// An engine-throughput case: wall-clock events/sec of the DES core
     /// itself, measured on a small-message AllReduce where scheduler
     /// cost dominates data movement. Gates the simulator's own speed.
@@ -117,6 +123,9 @@ impl Case {
                 )
             }
             Case::Serving => "serving/mscclpp/A100_80G/llama2-13b".to_owned(),
+            Case::ServingGoodput => {
+                "serving-goodput/mscclpp/A100_80G/llama2-13b/2x-knee".to_owned()
+            }
             Case::EngineThroughput { target, bytes } => {
                 format!(
                     "engine/allreduce/{:?}/{}/{}B",
@@ -225,6 +234,10 @@ pub fn pinned_suite() -> Vec<Case> {
         },
         bytes: 1 << 20,
     });
+    // Goodput at 2× the knee arrival rate under SLO-aware admission:
+    // pins where the knee sits and that shedding keeps admitted
+    // requests inside their TTFT budget.
+    cases.push(Case::ServingGoodput);
     cases
 }
 
@@ -302,6 +315,46 @@ pub fn run_case(case: &Case, iters: usize) -> CaseResult {
                 max_us: rl.max_us,
                 mean_us: report.mean_latency_us,
                 eps: 0.0,
+            }
+        }
+        Case::ServingGoodput => {
+            // The same 2×-knee overload the serving test suite pins:
+            // ~77 req/s service rate at batch 8, knee ≈ 14 ms mean
+            // interarrival, overload at 7 ms. Deterministic (virtual
+            // time + seeded admission), so every field is bit-stable.
+            let mut engine = inference::ServingEngine::new(
+                EnvKind::A100_80G,
+                inference::ModelConfig::llama2_13b(),
+                16 * 1024,
+            );
+            let backend = inference::MscclppBackend::new();
+            let trace = inference::synthetic_trace(40, 96, 12, 7_000.0, 9);
+            let mut cfg =
+                inference::ServeConfig::slo_aware(8, inference::SloSpec::new(100_000.0, 12_000.0));
+            cfg.admission.max_queue_depth = 5;
+            cfg.seed = 9;
+            let report = inference::serve_trace_with(&mut engine, &backend, &trace, &cfg)
+                .expect("serving goodput run");
+            assert_eq!(
+                report.completed
+                    + report.shed
+                    + report.rejected
+                    + report.timed_out
+                    + report.evicted,
+                trace.len(),
+                "serving-goodput gate case lost a request: {report:?}"
+            );
+            assert!(report.goodput > 0.0, "overload run must keep goodput");
+            assert!(report.kv.balances(), "KV accounting out of balance");
+            CaseResult {
+                name,
+                samples: report.slo_met as u64,
+                p50_us: report.ttft.p50_us,
+                p95_us: report.ttft.p95_us,
+                p99_us: report.ttft.p99_us,
+                max_us: report.ttft.max_us,
+                mean_us: report.mean_latency_us,
+                eps: report.goodput,
             }
         }
         Case::EngineThroughput { target, bytes } => {
@@ -782,6 +835,10 @@ mod tests {
         // and the two pinned engine-throughput shapes (8-rank single
         // node and 64-rank hierarchical).
         assert!(suite.contains(&Case::Serving));
+        // The overload-goodput case rides behind the legacy serving
+        // scenario; its name pins the 2×-knee configuration.
+        assert!(suite.contains(&Case::ServingGoodput));
+        assert!(names.iter().any(|n| n.starts_with("serving-goodput/")));
         assert!(names.iter().any(|n| n.contains("A100_40G")));
         assert!(names.iter().any(|n| n.contains("H100")));
         let engine: Vec<&String> = names.iter().filter(|n| n.starts_with("engine/")).collect();

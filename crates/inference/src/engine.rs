@@ -23,7 +23,12 @@ const AUX_PER_LAYER: Duration = Duration::from_ps(45_000_000); // 45 us
 
 /// Maximum tokens processed per prefill chunk (vLLM-style chunked
 /// prefill): bounds activation memory for long-prompt batches.
-const PREFILL_CHUNK_TOKENS: usize = 8192;
+pub(crate) const PREFILL_CHUNK_TOKENS: usize = 8192;
+
+/// Fraction of free HBM (after weights and activations) given to the
+/// paged KV cache; the rest absorbs fragmentation and CUDA overheads,
+/// matching vLLM's `gpu_memory_utilization` headroom.
+const KV_FRACTION: f64 = 0.9;
 
 /// One batch configuration of Figure 10.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -204,6 +209,25 @@ impl ServingEngine {
         self.tp
     }
 
+    /// The model being served.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Tokens the paged KV cache can hold at the *current* tensor-parallel
+    /// degree: the group's total HBM minus the (TP-invariant) weight
+    /// bytes and per-rank activation buffers, derated by the
+    /// fragmentation headroom, divided by the model's per-token KV
+    /// footprint. Shrinking the group shrinks this — survivors hold more
+    /// weight shards each, leaving less room for KV.
+    pub fn kv_capacity_tokens(&self) -> usize {
+        let total = self.perf.hbm_bytes as f64 * self.tp as f64;
+        let weights = self.model.weight_bytes() as f64;
+        let acts = (self.act_cap * self.tp) as f64;
+        let free = (total - weights - acts).max(0.0);
+        ((free * KV_FRACTION) / self.model.kv_bytes_per_token() as f64) as usize
+    }
+
     /// Detects ranks the fault plan has killed and fails the serving
     /// group over to the survivors: the backend's communicator shrinks
     /// to a new epoch and subsequent steps run at the reduced
@@ -344,21 +368,39 @@ impl ServingEngine {
     ///
     /// Propagates kernel deadlocks from the communication stack.
     pub fn prefill(&mut self, backend: &dyn CommBackend, batch: BatchConfig) -> Result<StepReport> {
+        self.prefill_tokens(backend, batch.bsz * batch.seqlen, batch.bsz)
+    }
+
+    /// Times the prefill of exactly `tokens` prompt tokens spread over
+    /// `bsz` requests — the billing primitive behind [`ServingEngine::prefill`]
+    /// and the continuous-batching scheduler. Unlike a
+    /// mean-sequence-length [`BatchConfig`], this charges the *true*
+    /// per-request token sum, so a batch mixing a 1-token and a
+    /// 4096-token prompt is billed 4097 tokens, not a rounded mean.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel deadlocks from the communication stack.
+    pub fn prefill_tokens(
+        &mut self,
+        backend: &dyn CommBackend,
+        tokens: usize,
+        bsz: usize,
+    ) -> Result<StepReport> {
         // Chunked prefill (as vLLM schedules long prompts): process the
         // prompt tokens in fixed-size chunks so activation buffers stay
         // bounded.
-        let total = batch.bsz * batch.seqlen;
         let mut report = StepReport {
             compute_us: 0.0,
             comm_us: 0.0,
         };
-        let mut remaining = total;
+        let mut remaining = tokens;
         while remaining > 0 {
-            let tokens = remaining.min(PREFILL_CHUNK_TOKENS);
-            let r = self.step(backend, tokens, 0, batch.bsz)?;
+            let chunk = remaining.min(PREFILL_CHUNK_TOKENS);
+            let r = self.step(backend, chunk, 0, bsz.max(1))?;
             report.compute_us += r.compute_us;
             report.comm_us += r.comm_us;
-            remaining -= tokens;
+            remaining -= chunk;
         }
         Ok(report)
     }

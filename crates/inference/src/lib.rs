@@ -38,12 +38,20 @@
 //! # }
 //! ```
 
+pub mod admission;
 mod backend;
 mod engine;
+pub mod kv;
 mod model;
+pub mod scheduler;
 mod serve;
 
+pub use admission::{Admission, AdmissionConfig, Decision, ShedReason};
 pub use backend::{CommBackend, MscclBackend, MscclppBackend, NcclBackend};
 pub use engine::{BatchConfig, FailureClass, ServingEngine, StepReport};
+pub use kv::{KvConfig, KvStats, PagedKvManager};
 pub use model::{layer_time, GpuPerf, ModelConfig};
-pub use serve::{serve_trace, synthetic_trace, LatencyStats, Request, ServeReport};
+pub use scheduler::{ServeConfig, SloSpec};
+pub use serve::{
+    serve_trace, serve_trace_with, synthetic_trace, LatencyStats, Request, ServeReport,
+};

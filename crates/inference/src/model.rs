@@ -75,6 +75,21 @@ impl ModelConfig {
     pub fn kv_bytes_per_token_layer(&self) -> usize {
         2 * self.kv_dim() * 2
     }
+
+    /// Bytes of key+value cache per token across the whole model (all
+    /// layers, fp16) — summed over every tensor-parallel shard, so
+    /// dividing the cluster's free HBM by this gives the token capacity
+    /// of the paged KV cache.
+    pub fn kv_bytes_per_token(&self) -> usize {
+        self.layers * self.kv_bytes_per_token_layer()
+    }
+
+    /// Total weight bytes (fp16), summed over every tensor-parallel
+    /// shard: resharding to a smaller TP degree moves weights between
+    /// GPUs but never changes this total.
+    pub fn weight_bytes(&self) -> usize {
+        self.total_params() * 2
+    }
 }
 
 /// Per-GPU arithmetic throughput used by the roofline (the `hw` crate
@@ -87,6 +102,9 @@ pub struct GpuPerf {
     pub hbm_gbps: f64,
     /// Achievable fraction of peak for large GEMMs.
     pub gemm_efficiency: f64,
+    /// HBM capacity in bytes — the budget the serving engine splits
+    /// between weights, activations, and the paged KV cache.
+    pub hbm_bytes: u64,
 }
 
 impl GpuPerf {
@@ -94,21 +112,25 @@ impl GpuPerf {
     pub fn for_env(kind: hw::EnvKind) -> GpuPerf {
         match kind {
             hw::EnvKind::A100_40G => GpuPerf {
+                hbm_bytes: 40_000_000_000,
                 fp16_tflops: 312.0,
                 hbm_gbps: 1555.0,
                 gemm_efficiency: 0.45,
             },
             hw::EnvKind::A100_80G => GpuPerf {
+                hbm_bytes: 80_000_000_000,
                 fp16_tflops: 312.0,
                 hbm_gbps: 2039.0,
                 gemm_efficiency: 0.45,
             },
             hw::EnvKind::H100 => GpuPerf {
+                hbm_bytes: 80_000_000_000,
                 fp16_tflops: 989.0,
                 hbm_gbps: 3350.0,
                 gemm_efficiency: 0.45,
             },
             hw::EnvKind::MI300X => GpuPerf {
+                hbm_bytes: 192_000_000_000,
                 fp16_tflops: 1307.0,
                 hbm_gbps: 5300.0,
                 gemm_efficiency: 0.40,

@@ -4,12 +4,19 @@
 //! end-to-end time is spent in the decode phase", which is exactly where
 //! MSCCL++'s AllReduce gains land.
 //!
-//! The scheduler is a simplified vLLM loop: arriving requests are
-//! prefilled (one batch per iteration) and then join the running decode
-//! batch; each iteration decodes one token for every active request.
+//! The serving loop itself lives in [`crate::scheduler`]: a vLLM-style
+//! continuous-batching scheduler with SLO-aware admission
+//! ([`crate::admission`]) and a block-granular paged KV cache
+//! ([`crate::kv`]). This module holds the trace/report types and two
+//! entry points: [`serve_trace`] (the legacy permissive configuration —
+//! admit everything, no deadlines) and [`serve_trace_with`] (full
+//! [`ServeConfig`] control: SLOs, admission policy, KV pool shape,
+//! timeouts).
 
 use crate::backend::CommBackend;
-use crate::engine::{BatchConfig, ServingEngine};
+use crate::engine::ServingEngine;
+use crate::kv::KvStats;
+use crate::scheduler::{self, ServeConfig};
 use mscclpp::Result;
 
 /// One inference request of a serving trace.
@@ -21,6 +28,21 @@ pub struct Request {
     pub generate: usize,
     /// Arrival time in microseconds of serving-clock time.
     pub arrival_us: f64,
+    /// Shared prompt prefix, as `(prefix_id, prefix_tokens)`: requests
+    /// carrying the same id share their first `prefix_tokens` prompt
+    /// tokens, so after one of them prefills, later arrivals hit the
+    /// prefix cache and skip that prefill work. `None` for distinct
+    /// prompts.
+    pub prefix: Option<(u64, usize)>,
+}
+
+impl Request {
+    /// Tags the request as sharing prompt prefix `id` over its first
+    /// `tokens` tokens (clamped to the prompt length).
+    pub fn with_prefix(mut self, id: u64, tokens: usize) -> Request {
+        self.prefix = Some((id, tokens.min(self.prompt)));
+        self
+    }
 }
 
 /// Deterministic synthetic trace in the shape of production serving
@@ -50,6 +72,7 @@ pub fn synthetic_trace(
                 prompt: ((mean_prompt as f64) * (0.5 + next())) as usize + 1,
                 generate: ((mean_generate as f64) * (0.5 + next())) as usize + 1,
                 arrival_us: t,
+                prefix: None,
             }
         })
         .collect()
@@ -73,7 +96,7 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    fn from_hist(h: &profile::Histogram) -> Self {
+    pub(crate) fn from_hist(h: &profile::Histogram) -> Self {
         // The histogram records nanoseconds.
         LatencyStats {
             p50_us: h.p50() as f64 / 1e3,
@@ -85,6 +108,10 @@ impl LatencyStats {
 }
 
 /// Aggregate metrics of one serving run.
+///
+/// Request conservation holds for every run:
+/// `completed + shed + rejected + timed_out + evicted == trace.len()` —
+/// each request reaches exactly one typed terminal state.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeReport {
     /// Requests completed.
@@ -93,9 +120,11 @@ pub struct ServeReport {
     pub makespan_us: f64,
     /// Generated tokens per second.
     pub decode_throughput: f64,
-    /// Mean request latency (arrival → last token) in microseconds.
+    /// Mean request latency (arrival → last token) in microseconds,
+    /// from an exact running sum.
     pub mean_latency_us: f64,
-    /// 95th-percentile request latency in microseconds.
+    /// 95th-percentile request latency in microseconds (histogram
+    /// upper bound, never understated).
     pub p95_latency_us: f64,
     /// Request latency distribution (arrival → last token).
     pub request_latency: LatencyStats,
@@ -118,172 +147,72 @@ pub struct ServeReport {
     /// Tensor-parallel degree at the end of the run (smaller than the
     /// starting degree when ranks died).
     pub final_tp: usize,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Active {
-    context: usize,
-    remaining: usize,
-    arrival_us: f64,
+    /// SLO-met completions per second of serving time — the metric the
+    /// admission policy protects under overload.
+    pub goodput: f64,
+    /// Completions that met both the TTFT and TPOT budgets.
+    pub slo_met: usize,
+    /// Requests dropped by the admission policy or the hopeless-deadline
+    /// pass (typed reasons in the `serve.shed.*` counters).
+    pub shed: usize,
+    /// Requests hard-rejected at the door (queue full on arrival).
+    pub rejected: usize,
+    /// Admitted requests that hit the per-request timeout wall.
+    pub timed_out: usize,
+    /// Admitted requests evicted because the KV pool could not hold them
+    /// (typically after a capacity-shrinking rank death).
+    pub evicted: usize,
+    /// Time-to-first-token distribution over completions.
+    pub ttft: LatencyStats,
+    /// Time-per-output-token distribution over completions.
+    pub tpot: LatencyStats,
+    /// Paged-KV accounting: `allocated == freed + spilled +
+    /// lost_to_dead_rank` at exit.
+    pub kv: KvStats,
 }
 
 /// Serves `trace` with continuous batching on `engine` and returns the
-/// aggregate metrics.
+/// aggregate metrics, using the permissive legacy configuration: every
+/// request is admitted, no SLO deadlines, KV pool derived from the
+/// engine's HBM capacity model.
 ///
 /// The loop subscribes to the backend's communicator epoch: when a step
 /// fails because a rank died, [`ServingEngine::recover`] shrinks the
-/// backend to the surviving tensor-parallel degree, the in-flight batch
-/// is re-queued (the failed step reruns from scratch — its in-place
-/// partial AllReduce results were discarded by the shrink), and decoding
-/// continues. Detection-to-ready latency lands in
+/// backend to the surviving tensor-parallel degree, that rank's KV
+/// shards are lost (in-flight requests re-prefill their context or
+/// restore from a host spill copy), and decoding continues.
+/// Detection-to-ready latency lands in
 /// [`ServeReport::recovery_latency_us`].
 ///
 /// # Errors
 ///
 /// Propagates kernel deadlocks from the communication stack when no
-/// recovery is possible (no rank died, or the backend cannot shrink).
+/// recovery is possible (no rank died, or the backend cannot shrink),
+/// and [`mscclpp::Error::EpochChanged`] if the communicator epoch
+/// advanced without the loop observing it.
 pub fn serve_trace(
     engine: &mut ServingEngine,
     backend: &dyn CommBackend,
     trace: &[Request],
     max_batch: usize,
 ) -> Result<ServeReport> {
-    let mut clock_us = 0.0f64;
-    let mut decode_us = 0.0f64;
-    let mut queue: std::collections::VecDeque<Request> = trace.iter().copied().collect();
-    let mut active: Vec<Active> = Vec::new();
-    let mut latencies: Vec<f64> = Vec::new();
-    let mut req_hist = profile::Histogram::new();
-    let mut step_hist = profile::Histogram::new();
-    let mut generated_tokens = 0usize;
-    let mut recoveries = 0usize;
-    let mut recovery_latency_us = 0.0f64;
-    let mut recoveries_by_class = [0usize; 4];
-    let mut recovery_latency_us_by_class = [0.0f64; 4];
-    let mut epoch = backend.epoch();
+    scheduler::run(engine, backend, trace, &ServeConfig::permissive(max_batch))
+}
 
-    while !queue.is_empty() || !active.is_empty() {
-        // Admit arrived requests up to the batch limit, prefilling each
-        // admission batch in one go.
-        let mut admitted: Vec<Request> = Vec::new();
-        while active.len() + admitted.len() < max_batch {
-            match queue.front() {
-                Some(r) if r.arrival_us <= clock_us => {
-                    admitted.push(*r);
-                    queue.pop_front();
-                }
-                _ => break,
-            }
-        }
-        if !admitted.is_empty() {
-            let tokens: usize = admitted.iter().map(|r| r.prompt).sum();
-            let mean_prompt = tokens / admitted.len();
-            let cfg = BatchConfig {
-                bsz: admitted.len(),
-                seqlen: mean_prompt,
-            };
-            let report = match engine.prefill(backend, cfg) {
-                Ok(r) => r,
-                Err(err) => match engine.recover(backend)? {
-                    // Epoch changed: re-queue the batch by rerunning the
-                    // prefill at the shrunken tensor-parallel degree.
-                    Some((class, lat)) => {
-                        recoveries += 1;
-                        recovery_latency_us += lat;
-                        recoveries_by_class[class.index()] += 1;
-                        recovery_latency_us_by_class[class.index()] += lat;
-                        clock_us += lat;
-                        epoch = backend.epoch();
-                        engine.prefill(backend, cfg)?
-                    }
-                    None => return Err(err),
-                },
-            };
-            clock_us += report.total_us();
-            step_hist.record((report.total_us() * 1e3).round() as u64);
-            for r in admitted {
-                active.push(Active {
-                    context: r.prompt,
-                    remaining: r.generate,
-                    arrival_us: r.arrival_us,
-                });
-            }
-        }
-
-        if active.is_empty() {
-            // Idle: jump to the next arrival.
-            if let Some(r) = queue.front() {
-                clock_us = clock_us.max(r.arrival_us);
-            }
-            continue;
-        }
-
-        // One decode iteration for the whole running batch.
-        let mean_context = active.iter().map(|a| a.context).sum::<usize>() / active.len();
-        let cfg = BatchConfig {
-            bsz: active.len(),
-            seqlen: mean_context.max(1),
-        };
-        let report = match engine.decode_step(backend, cfg) {
-            Ok(r) => r,
-            Err(err) => match engine.recover(backend)? {
-                // Rank died mid-step: the batch stays active (re-queued)
-                // and the step reruns on the survivor group.
-                Some((class, lat)) => {
-                    recoveries += 1;
-                    recovery_latency_us += lat;
-                    recoveries_by_class[class.index()] += 1;
-                    recovery_latency_us_by_class[class.index()] += lat;
-                    clock_us += lat;
-                    epoch = backend.epoch();
-                    engine.decode_step(backend, cfg)?
-                }
-                None => return Err(err),
-            },
-        };
-        clock_us += report.total_us();
-        decode_us += report.total_us();
-        step_hist.record((report.total_us() * 1e3).round() as u64);
-        generated_tokens += active.len();
-        for a in &mut active {
-            a.context += 1;
-            a.remaining -= 1;
-        }
-        active.retain(|a| {
-            if a.remaining == 0 {
-                latencies.push(clock_us - a.arrival_us);
-                req_hist.record(((clock_us - a.arrival_us) * 1e3).round() as u64);
-                false
-            } else {
-                true
-            }
-        });
-    }
-
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let completed = latencies.len();
-    let mean_latency_us = latencies.iter().sum::<f64>() / completed.max(1) as f64;
-    let p95_latency_us = latencies
-        .get((completed as f64 * 0.95) as usize)
-        .or_else(|| latencies.last())
-        .copied()
-        .unwrap_or(0.0);
-    debug_assert_eq!(epoch, backend.epoch(), "unobserved epoch change");
-    Ok(ServeReport {
-        completed,
-        makespan_us: clock_us,
-        decode_throughput: generated_tokens as f64 / (clock_us / 1e6),
-        mean_latency_us,
-        p95_latency_us,
-        request_latency: LatencyStats::from_hist(&req_hist),
-        step_latency: LatencyStats::from_hist(&step_hist),
-        decode_time_fraction: decode_us / clock_us,
-        recoveries,
-        recovery_latency_us,
-        recoveries_by_class,
-        recovery_latency_us_by_class,
-        final_tp: engine.tp(),
-    })
+/// Serves `trace` under full [`ServeConfig`] control: latency SLOs,
+/// admission policy, KV pool shape, and per-request timeouts.
+///
+/// # Errors
+///
+/// As [`serve_trace`]. Overload never errors — it produces typed
+/// shed/reject/timeout/evicted outcomes in the report.
+pub fn serve_trace_with(
+    engine: &mut ServingEngine,
+    backend: &dyn CommBackend,
+    trace: &[Request],
+    cfg: &ServeConfig,
+) -> Result<ServeReport> {
+    scheduler::run(engine, backend, trace, cfg)
 }
 
 #[cfg(test)]
@@ -314,11 +243,10 @@ mod tests {
         assert!(report.decode_throughput > 0.0);
         assert!(report.p95_latency_us >= report.mean_latency_us * 0.5);
         // Histogram-backed percentiles: ordered, bounded by the exact
-        // max, and consistent with the sort-based p95 (upper-bound
-        // buckets never understate).
+        // max, and never understating.
         let rl = report.request_latency;
         assert!(rl.p50_us <= rl.p95_us && rl.p95_us <= rl.p99_us && rl.p99_us <= rl.max_us);
-        assert!(rl.p95_us >= report.p95_latency_us * 0.99);
+        assert!((rl.p95_us - report.p95_latency_us).abs() < 1e-9);
         assert!(rl.max_us > 0.0);
         let sl = report.step_latency;
         assert!(sl.p50_us > 0.0 && sl.p50_us <= sl.max_us);
@@ -331,6 +259,53 @@ mod tests {
         );
         assert_eq!(report.recoveries, 0);
         assert_eq!(report.final_tp, 8);
+        // Permissive config: nothing shed, rejected, or evicted; request
+        // conservation and KV balance hold.
+        assert_eq!(
+            report.shed + report.rejected + report.timed_out + report.evicted,
+            0
+        );
+        assert_eq!(report.slo_met, 6, "unbounded SLOs count every completion");
+        assert!(report.goodput > 0.0);
+        assert!(report.kv.balances(), "{:?}", report.kv);
+        assert!(report.kv.allocated > 0);
+        assert!(report.ttft.max_us > 0.0);
+        assert!(report.ttft.p50_us <= report.request_latency.max_us);
+        assert!(report.tpot.max_us > 0.0);
+    }
+
+    /// The prefill mis-billing regression: a batch pairing a 1-token and
+    /// a 4096-token prompt must be billed 4097 prefill tokens. The old
+    /// loop billed `bsz * mean_prompt` with a floored integer mean —
+    /// 4096 tokens for this pair, silently under-billing.
+    #[test]
+    fn prefill_is_billed_at_true_per_request_token_counts() {
+        let run = |prompts: &[usize]| {
+            let mut engine =
+                ServingEngine::new(EnvKind::A100_80G, ModelConfig::llama2_13b(), 16 * 1024);
+            let backend = MscclppBackend::new();
+            let trace: Vec<Request> = prompts
+                .iter()
+                .map(|&p| Request {
+                    prompt: p,
+                    generate: 2,
+                    arrival_us: 0.0,
+                    prefix: None,
+                })
+                .collect();
+            let report = serve_trace(&mut engine, &backend, &trace, 8).unwrap();
+            let billed = engine
+                .engine_mut()
+                .metrics()
+                .counter("serve.prefill_tokens");
+            (billed, report.makespan_us)
+        };
+        let (billed, t_4097) = run(&[1, 4096]);
+        assert_eq!(billed, 4097, "true sum, not a floored mean");
+        let (billed_even, t_4096) = run(&[2048, 2048]);
+        assert_eq!(billed_even, 4096);
+        // The extra billed token costs real serving time.
+        assert!(t_4097 > t_4096 * 0.99);
     }
 
     #[test]
@@ -368,6 +343,10 @@ mod tests {
             report.recovery_latency_us_by_class[0],
             report.recovery_latency_us
         );
+        // The dead rank's KV shards were lost and the displaced work
+        // re-prefilled; accounting still balances.
+        assert!(report.kv.balances(), "{:?}", report.kv);
+        assert!(report.kv.lost_to_dead_rank > 0);
     }
 
     #[test]
@@ -430,5 +409,46 @@ mod tests {
         let leader = FailureClass::Leader.index();
         assert_eq!(report.recoveries_by_class[leader], 1);
         assert!(report.recovery_latency_us_by_class[leader] > 0.0);
+    }
+
+    #[test]
+    fn prefix_cache_hits_skip_prefill_tokens() {
+        let run = |share_prefix: bool| {
+            let mut engine =
+                ServingEngine::new(EnvKind::A100_80G, ModelConfig::llama2_13b(), 16 * 1024);
+            let backend = MscclppBackend::new();
+            // Two requests with the same 2000-token system prompt, far
+            // enough apart that the second arrives after the first
+            // published the prefix.
+            let mk = |arrival: f64| Request {
+                prompt: 2048,
+                generate: 4,
+                arrival_us: arrival,
+                prefix: None,
+            };
+            let trace: Vec<Request> = if share_prefix {
+                vec![
+                    mk(0.0).with_prefix(42, 2000),
+                    mk(400_000.0).with_prefix(42, 2000),
+                ]
+            } else {
+                vec![mk(0.0), mk(400_000.0)]
+            };
+            let report = serve_trace(&mut engine, &backend, &trace, 8).unwrap();
+            let billed = engine
+                .engine_mut()
+                .metrics()
+                .counter("serve.prefill_tokens");
+            (report, billed)
+        };
+        let (miss_report, miss_billed) = run(false);
+        let (hit_report, hit_billed) = run(true);
+        assert_eq!(miss_report.completed, 2);
+        assert_eq!(hit_report.completed, 2);
+        assert_eq!(hit_report.kv.prefix_hits, 1);
+        assert_eq!(miss_report.kv.prefix_hits, 0);
+        // The hit skips the shared 2000 prefix tokens of request 2.
+        assert_eq!(miss_billed - hit_billed, 2000);
+        assert!(hit_report.kv.balances());
     }
 }

@@ -53,6 +53,16 @@ pub enum Error {
     /// instruction sites, buffer ranges, and (for deadlocks) the
     /// happens-before cycle.
     Verification(String),
+    /// A communicator epoch changed (a shrink happened) without the
+    /// caller observing it: work issued against the old epoch may have
+    /// been silently dropped or replayed, so results attributed to the
+    /// observed epoch cannot be trusted.
+    EpochChanged {
+        /// The epoch the caller last observed.
+        observed: u64,
+        /// The communicator's current epoch.
+        current: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -65,6 +75,11 @@ impl fmt::Display for Error {
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported on this hardware: {m}"),
             Error::Verification(m) => write!(f, "plan failed verification: {m}"),
+            Error::EpochChanged { observed, current } => write!(
+                f,
+                "communicator epoch changed unobserved: caller saw epoch {observed}, \
+                 communicator is at epoch {current}"
+            ),
         }
     }
 }

@@ -157,6 +157,21 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Occupied buckets as `(upper_bound, count)` pairs in ascending
+    /// value order — the export shape for serialized latency
+    /// distributions (e.g. the TTFT/TPOT histograms in the serving-sweep
+    /// artifact). Upper bounds are inclusive and never understate the
+    /// samples they cover; the final bucket's bound is clamped to the
+    /// exact observed max.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let max = self.max();
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(b, &c)| (bucket_high(b).min(max), u64::from(c)))
+    }
+
     /// Folds another histogram's samples into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -229,6 +244,23 @@ mod tests {
         assert_eq!(a.min(), 2);
         assert_eq!(a.max(), 1_000);
         assert!((a.mean() - (10.0 + 1_000.0 + 2.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_cover_every_sample_and_respect_the_max() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 17, 900, 900, 900, 123_456] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        // Counts sum to the sample count; bounds ascend; the last bound
+        // is the exact max.
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.last().unwrap().0, 123_456);
+        // The exact-range bucket for 3 holds both samples.
+        assert!(buckets.contains(&(3, 2)));
+        assert!(Histogram::new().buckets().next().is_none());
     }
 
     #[test]

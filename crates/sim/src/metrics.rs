@@ -119,6 +119,18 @@ impl Metrics {
         self.sorted_counters().into_iter()
     }
 
+    /// Counters whose names start with `prefix`, in name order — the
+    /// export path for a subsystem's counter family (e.g. `serve.` for
+    /// the serving scheduler, `fault.` for recovery).
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.sorted_counters()
+            .into_iter()
+            .filter(move |(name, _)| name.starts_with(prefix))
+    }
+
     /// Sum of every counter whose name starts with `prefix`.
     pub fn counter_sum(&self, prefix: &str) -> u64 {
         self.names

@@ -26,11 +26,12 @@ fn main() {
         };
         let r = serve_trace(&mut engine, backend.as_ref(), &trace, 32).expect("serve");
         println!(
-            "{name:>8}: makespan {:.1} ms | {:.0} tok/s decode | mean latency {:.1} ms | p95 {:.1} ms | decode fraction {:.0}%",
+            "{name:>8}: makespan {:.1} ms | {:.0} tok/s decode | mean latency {:.1} ms | p95 {:.1} ms | p99 TTFT {:.1} ms | decode fraction {:.0}%",
             r.makespan_us / 1e3,
             r.decode_throughput,
             r.mean_latency_us / 1e3,
             r.p95_latency_us / 1e3,
+            r.ttft.p99_us / 1e3,
             r.decode_time_fraction * 100.0
         );
         results.push(r);

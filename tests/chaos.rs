@@ -457,3 +457,77 @@ fn double_failure_during_recovery_is_deterministic() {
     assert_eq!(rec_a, rec_b, "recovery latency diverged");
     assert_eq!(drain_a, drain_b, "drain report diverged");
 }
+
+/// Overload and a mid-run rank death at once — the full graceful-
+/// degradation contract of DESIGN.md §16: serving never errors, every
+/// request reaches exactly one typed terminal state, the paged-KV
+/// accounting balances (allocated == freed + spilled + lost-to-dead-
+/// rank), and an identical-seed replay is bit-identical.
+#[test]
+fn overloaded_serving_survives_rank_death_deterministically() {
+    use inference::{
+        serve_trace_with, synthetic_trace, CommBackend, KvConfig, ModelConfig, MscclppBackend,
+        ServeConfig, ServingEngine, SloSpec,
+    };
+
+    let run_once = || {
+        // Rank 5 dies 3 ms of virtual time into the run, while arrivals
+        // come ~4x faster than the engine can serve them.
+        let plan = FaultPlan::new(23)
+            .rank_down(5, us(3_000))
+            .with_wait_timeout(Duration::from_us(300.0));
+        let mut engine = ServingEngine::with_fault_plan(
+            EnvKind::A100_80G,
+            ModelConfig::llama2_13b(),
+            16 * 1024,
+            Some(plan),
+        );
+        let backend = MscclppBackend::new();
+        let trace = synthetic_trace(24, 96, 10, 3_000.0, 7);
+        let mut cfg = ServeConfig::slo_aware(6, SloSpec::new(150_000.0, 15_000.0));
+        cfg.admission.max_queue_depth = 8;
+        cfg.timeout_us = 500_000.0;
+        // A pinned 64-block pool (scaled down by the shrink) keeps KV
+        // pressure real; the dead rank invalidates every device block.
+        cfg.kv = KvConfig {
+            total_blocks: 64,
+            ..KvConfig::default()
+        };
+        cfg.seed = 7;
+        let report = serve_trace_with(&mut engine, &backend, &trace, &cfg)
+            .expect("serving must degrade gracefully, never error");
+        let counters: Vec<(String, u64)> = engine
+            .engine_mut()
+            .metrics()
+            .counters_with_prefix("serve.")
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        (report, counters, backend.epoch())
+    };
+    let (r1, counters1, epoch1) = run_once();
+    let (r2, counters2, epoch2) = run_once();
+    assert_eq!(r1, r2, "identical-seed replay diverged");
+    assert_eq!(counters1, counters2, "serve counters diverged");
+    assert_eq!(epoch1, epoch2);
+
+    // The contract itself.
+    assert_eq!(
+        r1.completed + r1.shed + r1.rejected + r1.timed_out + r1.evicted,
+        24,
+        "a request vanished or double-counted: {r1:?}"
+    );
+    assert!(
+        r1.kv.balances(),
+        "KV accounting out of balance: {:?}",
+        r1.kv
+    );
+    assert!(r1.kv.lost_to_dead_rank > 0, "the death must cost KV blocks");
+    assert_eq!(r1.recoveries, 1, "{r1:?}");
+    assert_eq!(r1.final_tp, 7);
+    assert_eq!(epoch1, 1);
+    assert!(r1.completed > 0, "admitted work must still finish: {r1:?}");
+    assert!(
+        r1.shed + r1.rejected > 0,
+        "overload at reduced capacity must shed: {r1:?}"
+    );
+}
