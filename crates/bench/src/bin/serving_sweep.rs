@@ -10,12 +10,18 @@
 //! TTFT/TPOT budgets. Without admission, every request is admitted,
 //! the queue grows open-loop, p99 TTFT grows with offered load, and
 //! goodput collapses once queue delay eats the TTFT budget.
+//!
+//! A second artifact, `results/serve_telemetry.json`, comes from one
+//! fully-observed run at the 2×-knee admission point: the virtual-time
+//! telemetry series (counter deltas, gauges, per-resource utilization)
+//! plus the worst-offender SLO-miss exemplars with their exact blame
+//! breakdowns (DESIGN.md §17).
 
 use bench::report::write_results_json;
 use hw::EnvKind;
 use inference::{
-    serve_trace_with, synthetic_trace, ModelConfig, MscclppBackend, ServeConfig, ServeReport,
-    ServingEngine, SloSpec,
+    serve_trace_observed, serve_trace_with, synthetic_trace, ModelConfig, MscclppBackend,
+    ServeConfig, ServeReport, ServingEngine, SloSpec, TelemetryConfig,
 };
 
 const REQUESTS: usize = 48;
@@ -126,6 +132,7 @@ fn main() {
              \"rejected\":{},\"timed_out\":{},\"evicted\":{},\
              \"ttft_p50_us\":{:.3},\"ttft_p99_us\":{:.3},\
              \"tpot_p50_us\":{:.3},\"tpot_p99_us\":{:.3},\
+             \"slo_missed\":{},\
              \"kv_evictions\":{},\"kv_spilled_blocks\":{},\"kv_peak_used\":{},\
              \"prefix_hits\":{}}}",
             1e6 / p.interarrival_us,
@@ -142,6 +149,7 @@ fn main() {
             r.ttft.p99_us,
             r.tpot.p50_us,
             r.tpot.p99_us,
+            r.slo_missed,
             r.kv.evictions,
             r.kv.spilled,
             r.kv.peak_used,
@@ -150,6 +158,55 @@ fn main() {
     }
     json.push_str("]}\n");
     match write_results_json("serving_sweep.json", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write results: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // One fully-observed run of the *open-loop* control at 2× the knee:
+    // with admission off every request is admitted, queueing eats the
+    // TTFT budget, and the worst-offender exemplars show exactly where
+    // each miss's latency went (blame is dominated by `queue`). The
+    // admission-enabled point at the same rate has zero misses — that
+    // contrast is the point of the artifact.
+    const KNEE2X_US: f64 = 7_000.0;
+    let mut engine = ServingEngine::new(EnvKind::A100_80G, ModelConfig::llama2_13b(), 16 * 1024);
+    let backend = MscclppBackend::new();
+    let trace = synthetic_trace(REQUESTS, PROMPT, GENERATE, KNEE2X_US, SEED);
+    let mut cfg = ServeConfig::permissive(8);
+    cfg.slo = SloSpec::new(100_000.0, 12_000.0);
+    cfg.seed = SEED;
+    cfg.observe.telemetry = Some(TelemetryConfig::new(500.0, 4096));
+    let (report, obs) =
+        serve_trace_observed(&mut engine, &backend, &trace, &cfg).expect("observed 2x-knee run");
+    if let Some(worst) = report.worst_misses.first() {
+        println!(
+            "worst SLO miss: request {} ({:.1} ms e2e, dominant blame: {})",
+            worst.id,
+            worst.e2e_us / 1e3,
+            worst.blame.dominant().name()
+        );
+    }
+    let mut tj = format!(
+        "{{\"title\":\"serve_telemetry\",\"schema_version\":{},\
+         \"model\":\"llama2-13b\",\"env\":\"A100_80G\",\"requests\":{REQUESTS},\
+         \"prompt\":{PROMPT},\"generate\":{GENERATE},\"interarrival_us\":{KNEE2X_US:.1},\
+         \"admission\":false,\"seed\":{SEED},\"slo_missed\":{},\"worst_misses\":[",
+        bench::report::SCHEMA_VERSION,
+        report.slo_missed
+    );
+    for (i, m) in report.worst_misses.iter().enumerate() {
+        if i > 0 {
+            tj.push(',');
+        }
+        tj.push_str(&m.to_json());
+    }
+    tj.push_str("],\"telemetry\":");
+    tj.push_str(obs.telemetry_json().expect("sampler configured").trim_end());
+    tj.push_str("}\n");
+    match write_results_json("serve_telemetry.json", &tj) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => {
             eprintln!("could not write results: {e}");

@@ -219,7 +219,7 @@ pub fn observe_mscclpp_faulted(
 /// Version stamped into every JSON artifact this crate writes
 /// (`"schema_version"`). Bump when a field is added, removed, or changes
 /// meaning, and add a row to `results/README.md`.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")

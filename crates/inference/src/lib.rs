@@ -43,6 +43,7 @@ mod backend;
 mod engine;
 pub mod kv;
 mod model;
+pub mod rtrace;
 pub mod scheduler;
 mod serve;
 
@@ -51,7 +52,11 @@ pub use backend::{CommBackend, MscclBackend, MscclppBackend, NcclBackend};
 pub use engine::{BatchConfig, FailureClass, ServingEngine, StepReport};
 pub use kv::{KvConfig, KvStats, PagedKvManager};
 pub use model::{layer_time, GpuPerf, ModelConfig};
-pub use scheduler::{ServeConfig, SloSpec};
+pub use rtrace::{
+    Blame, Phase, PhaseEvent, RequestTimeline, RequestTracer, SloMiss, StepLink, Terminal,
+};
+pub use scheduler::{ObserveConfig, ServeConfig, SloSpec, TelemetryConfig};
 pub use serve::{
-    serve_trace, serve_trace_with, synthetic_trace, LatencyStats, Request, ServeReport,
+    serve_trace, serve_trace_observed, serve_trace_with, synthetic_trace, LatencyStats, Request,
+    ServeObservation, ServeReport,
 };

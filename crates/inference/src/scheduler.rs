@@ -26,7 +26,8 @@ use crate::admission::{Admission, AdmissionConfig, Decision, ShedReason};
 use crate::backend::CommBackend;
 use crate::engine::{BatchConfig, ServingEngine, PREFILL_CHUNK_TOKENS};
 use crate::kv::{KvConfig, KvError, PagedKvManager};
-use crate::serve::{LatencyStats, Request, ServeReport};
+use crate::rtrace::{Phase, RequestTracer, SloMiss, StepLink, Terminal};
+use crate::serve::{LatencyStats, Request, ServeObservation, ServeReport};
 
 /// Effective host<->device bandwidth for KV spill/restore transfers, in
 /// bytes per microsecond (~25 GB/s of pinned-memory PCIe).
@@ -57,6 +58,47 @@ impl SloSpec {
     }
 }
 
+/// Observability knobs of one serving run (DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObserveConfig {
+    /// Record per-request causal timelines and SLO-miss blame tilings
+    /// ([`crate::rtrace`]). On by default — the overhead is pinned ≤5%
+    /// by the perf gate; turn off only for overhead A/B measurements.
+    pub rtrace: bool,
+    /// Periodic virtual-time telemetry sampling over the engine's
+    /// metrics ([`sim::Sampler`]); `None` (the default) samples nothing.
+    pub telemetry: Option<TelemetryConfig>,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> ObserveConfig {
+        ObserveConfig {
+            rtrace: true,
+            telemetry: None,
+        }
+    }
+}
+
+/// Shape of the serving telemetry sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Serving-clock distance between samples, in microseconds.
+    pub period_us: f64,
+    /// Ring capacity in samples (oldest overwritten when full).
+    pub capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// A sampler taking one sample every `period_us`, keeping the most
+    /// recent `capacity` samples.
+    pub fn new(period_us: f64, capacity: usize) -> TelemetryConfig {
+        TelemetryConfig {
+            period_us,
+            capacity,
+        }
+    }
+}
+
 /// Full configuration of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
@@ -76,6 +118,8 @@ pub struct ServeConfig {
     pub timeout_us: f64,
     /// Seed for the admission policy's deterministic shed RNG.
     pub seed: u64,
+    /// Observability: request timelines and telemetry sampling.
+    pub observe: ObserveConfig,
 }
 
 impl ServeConfig {
@@ -89,6 +133,7 @@ impl ServeConfig {
             kv: KvConfig::default(),
             timeout_us: f64::INFINITY,
             seed: 0,
+            observe: ObserveConfig::default(),
         }
     }
 
@@ -101,8 +146,16 @@ impl ServeConfig {
             kv: KvConfig::default(),
             timeout_us: f64::INFINITY,
             seed: 0,
+            observe: ObserveConfig::default(),
         }
     }
+}
+
+/// Serving-clock microseconds viewed as integer picoseconds — the exact
+/// currency of blame charging (see [`crate::rtrace`]). `round` is
+/// monotone, so a nondecreasing `clock_us` never charges backwards.
+fn ps(us: f64) -> u64 {
+    (us * 1e6).round() as u64
 }
 
 /// One admitted request's scheduler state.
@@ -178,6 +231,41 @@ const SHED_REASONS: [ShedReason; 4] = [
     ShedReason::DeadlineHopeless,
 ];
 
+/// Gauge schema of the serving telemetry sampler, in sample order.
+/// These are instantaneous serving-loop values the metrics registry does
+/// not hold live (the `serve.*` counters are only published at run end).
+const SERVE_GAUGES: [&str; 7] = [
+    "serve.queue_depth",
+    "serve.running",
+    "serve.kv_used_blocks",
+    "serve.completed",
+    "serve.slo_met",
+    "serve.turned_away",
+    "serve.generated_tokens",
+];
+
+/// Engine counters the sampler tracks as deltas: collective traffic and
+/// fault-path activity, the signals that move during steps.
+const TRACKED_COUNTERS: [&str; 4] = [
+    "ops.puts",
+    "sync.waits",
+    "sync.signals",
+    "fault.degraded_transfers",
+];
+
+/// Worst-offender exemplars kept in [`ServeReport::worst_misses`].
+const TOP_K_MISSES: usize = 8;
+
+/// Inserts an exemplar into the top-k ring, worst (largest e2e) first.
+fn push_miss(misses: &mut Vec<SloMiss>, m: SloMiss) {
+    let at = misses
+        .iter()
+        .position(|x| x.e2e_us < m.e2e_us)
+        .unwrap_or(misses.len());
+    misses.insert(at, m);
+    misses.truncate(TOP_K_MISSES);
+}
+
 /// Outcome of trying to move one queued job into the running batch.
 enum Join {
     Joined(Job),
@@ -219,7 +307,8 @@ fn try_join(kv: &mut PagedKvManager, mut job: Job, kv_bpt: f64, clock_us: &mut f
 }
 
 /// Spills the running job with id `vid` to host and moves it to the
-/// recovery queue.
+/// recovery queue. The victim's transfer time is charged to its
+/// [`Phase::KvSpill`] bucket.
 fn spill_by_id(
     kv: &mut PagedKvManager,
     running: &mut Vec<Job>,
@@ -227,6 +316,7 @@ fn spill_by_id(
     vid: u64,
     kv_bpt: f64,
     clock_us: &mut f64,
+    rt: &mut RequestTracer,
 ) {
     let pos = running
         .iter()
@@ -237,7 +327,10 @@ fn spill_by_id(
     kv.spill(job.id);
     job.host_tokens = tokens;
     job.own_ready = 0;
+    let pre = ps(*clock_us);
     *clock_us += tokens as f64 * kv_bpt / HOST_LINK_BYTES_PER_US;
+    rt.charge(job.id, Phase::Queue, pre, None);
+    rt.charge(job.id, Phase::KvSpill, ps(*clock_us), None);
     recovery.push_back(job);
 }
 
@@ -255,6 +348,7 @@ enum Grow {
 
 /// Grows job `id`'s allocation to `target_own` tokens, spilling victims
 /// under oversubscription pressure.
+#[allow(clippy::too_many_arguments)]
 fn grow_or_spill(
     kv: &mut PagedKvManager,
     running: &mut Vec<Job>,
@@ -263,6 +357,7 @@ fn grow_or_spill(
     target_own: usize,
     kv_bpt: f64,
     clock_us: &mut f64,
+    rt: &mut RequestTracer,
 ) -> Grow {
     loop {
         if kv.grow_to(id, target_own).is_ok() {
@@ -276,7 +371,7 @@ fn grow_or_spill(
             .max_by_key(|j| (kv.held(j.id), j.id))
             .map(|j| j.id);
         if let Some(vid) = victim {
-            spill_by_id(kv, running, recovery, vid, kv_bpt, clock_us);
+            spill_by_id(kv, running, recovery, vid, kv_bpt, clock_us, rt);
             continue;
         }
         // Nobody else holds blocks; the last possible donor is the
@@ -291,6 +386,7 @@ fn grow_or_spill(
             .expect("grower is running");
         let job = running.remove(pos);
         kv.release(job.id);
+        rt.finish(job.id, Terminal::Evicted, ps(*clock_us));
         return Grow::Evicted;
     }
 }
@@ -310,7 +406,7 @@ pub(crate) fn run(
     backend: &dyn CommBackend,
     trace: &[Request],
     cfg: &ServeConfig,
-) -> Result<ServeReport> {
+) -> Result<(ServeReport, ServeObservation)> {
     assert!(cfg.max_batch > 0, "max_batch must be positive");
     let block_tokens = cfg.kv.block_tokens.max(1);
     let derive_blocks = cfg.kv.total_blocks == 0;
@@ -331,6 +427,25 @@ pub(crate) fn run(
     let mut recovery: VecDeque<Job> = VecDeque::new();
     let mut running: Vec<Job> = Vec::new();
     let mut epoch = backend.epoch();
+
+    // Observability (DESIGN.md §17): per-request timelines + blame, the
+    // virtual-time sampler, and the worst-offender SLO-miss ring.
+    let mut rt = RequestTracer::new(trace.len(), cfg.observe.rtrace);
+    let mut steps = 0u64;
+    let mut slo_missed = 0usize;
+    let mut misses: Vec<SloMiss> = Vec::new();
+    let mut sampler = cfg.observe.telemetry.map(|t| {
+        let mut s = sim::Sampler::new(
+            sim::SamplerConfig::new(t.period_us, t.capacity),
+            &SERVE_GAUGES,
+        );
+        let m = engine.engine_mut().metrics_mut();
+        for name in TRACKED_COUNTERS {
+            s.track_counter(m, name);
+        }
+        s.track_resources(m);
+        s
+    });
 
     let mut admitted = 0u64;
     let mut completed = 0usize;
@@ -353,7 +468,10 @@ pub(crate) fn run(
     let mut recovery_latency_us_by_class = [0.0f64; 4];
 
     while next < trace.len() || !waiting.is_empty() || !recovery.is_empty() || !running.is_empty() {
-        // 1. Admit arrivals whose time has come.
+        // 1. Admit arrivals whose time has come. The door wait
+        //    [arrival, decision] is the admission-shed-pressure bucket:
+        //    it grows exactly when the loop is too busy to turn around.
+        let door_ps = ps(clock_us);
         while next < trace.len() && trace[next].arrival_us <= clock_us {
             let r = &trace[next];
             let id = next as u64;
@@ -361,13 +479,18 @@ pub(crate) fn run(
             match adm.decide(waiting.len() + recovery.len(), kv.reserve_headroom()) {
                 Decision::Admit => {
                     admitted += 1;
+                    rt.admit(id, ps(r.arrival_us), door_ps);
                     waiting.push_back(Job::new(id, r));
                 }
                 Decision::Shed(reason) => {
                     shed += 1;
                     shed_by[shed_index(reason)] += 1;
+                    rt.turn_away(id, ps(r.arrival_us), door_ps, Terminal::Shed);
                 }
-                Decision::Reject => rejected += 1,
+                Decision::Reject => {
+                    rejected += 1;
+                    rt.turn_away(id, ps(r.arrival_us), door_ps, Terminal::Rejected);
+                }
             }
         }
 
@@ -376,8 +499,16 @@ pub(crate) fn run(
         //    jobs are exempt: they are already admitted work the
         //    graceful-degradation contract promises to finish.
         if cfg.admission.enabled && cfg.slo.ttft_us.is_finite() {
+            let now_ps = ps(clock_us);
             let before = waiting.len();
-            waiting.retain(|j| clock_us - j.arrival_us <= cfg.slo.ttft_us);
+            waiting.retain(|j| {
+                if clock_us - j.arrival_us <= cfg.slo.ttft_us {
+                    true
+                } else {
+                    rt.finish(j.id, Terminal::Shed, now_ps);
+                    false
+                }
+            });
             let dropped = before - waiting.len();
             shed += dropped;
             shed_by[shed_index(ShedReason::DeadlineHopeless)] += dropped as u64;
@@ -386,10 +517,35 @@ pub(crate) fn run(
         // 3. Hard per-request timeout: a typed terminal state, never an
         //    error. Applies to every admitted request, wherever it sits.
         if cfg.timeout_us.is_finite() {
+            let now_ps = ps(clock_us);
             let mut expired = 0usize;
+            // A timeout is a deadline violation: close the timeline,
+            // then file the exemplar with its completed blame tiling.
+            let mut expire = |j: &Job, rt: &mut RequestTracer| {
+                rt.finish(j.id, Terminal::TimedOut, now_ps);
+                slo_missed += 1;
+                if rt.enabled() {
+                    let ttft_us = j.first_token_us.map(|f| f - j.arrival_us);
+                    push_miss(
+                        &mut misses,
+                        SloMiss {
+                            id: j.id,
+                            arrival_us: j.arrival_us,
+                            e2e_us: clock_us - j.arrival_us,
+                            ttft_us,
+                            tpot_us: None,
+                            missed_ttft: ttft_us.is_none_or(|t| t > cfg.slo.ttft_us),
+                            missed_tpot: false,
+                            terminal: Terminal::TimedOut,
+                            blame: rt.blame(j.id),
+                        },
+                    );
+                }
+            };
             running.retain(|j| {
                 if clock_us - j.arrival_us > cfg.timeout_us {
                     kv.release(j.id);
+                    expire(j, &mut rt);
                     expired += 1;
                     false
                 } else {
@@ -398,6 +554,7 @@ pub(crate) fn run(
             });
             waiting.retain(|j| {
                 if clock_us - j.arrival_us > cfg.timeout_us {
+                    expire(j, &mut rt);
                     expired += 1;
                     false
                 } else {
@@ -406,6 +563,7 @@ pub(crate) fn run(
             });
             recovery.retain(|j| {
                 if clock_us - j.arrival_us > cfg.timeout_us {
+                    expire(j, &mut rt);
                     expired += 1;
                     false
                 } else {
@@ -423,8 +581,19 @@ pub(crate) fn run(
             let Some(job) = recovery.pop_front().or_else(|| waiting.pop_front()) else {
                 break;
             };
+            let jid = job.id;
+            let pre = ps(clock_us);
             match try_join(&mut kv, job, kv_bpt, &mut clock_us) {
-                Join::Joined(j) => running.push(j),
+                Join::Joined(j) => {
+                    // A restore moved KV back over the host link: the
+                    // transfer window is this request's kv-spill time.
+                    let post = ps(clock_us);
+                    if post > pre {
+                        rt.charge(jid, Phase::Queue, pre, None);
+                        rt.charge(jid, Phase::KvSpill, post, None);
+                    }
+                    running.push(j);
+                }
                 Join::Blocked(j) => {
                     if from_recovery {
                         recovery.push_front(j);
@@ -434,7 +603,10 @@ pub(crate) fn run(
                     blocked = true;
                     break;
                 }
-                Join::Never => evicted += 1,
+                Join::Never => {
+                    rt.finish(jid, Terminal::Evicted, ps(clock_us));
+                    evicted += 1;
+                }
             }
         }
         // Forced progress: nothing is running yet the head of the queue
@@ -443,9 +615,21 @@ pub(crate) fn run(
         if running.is_empty() && blocked {
             kv.drop_prefix_cache();
             if let Some(job) = recovery.pop_front().or_else(|| waiting.pop_front()) {
+                let jid = job.id;
+                let pre = ps(clock_us);
                 match try_join(&mut kv, job, kv_bpt, &mut clock_us) {
-                    Join::Joined(j) => running.push(j),
-                    Join::Blocked(_) | Join::Never => evicted += 1,
+                    Join::Joined(j) => {
+                        let post = ps(clock_us);
+                        if post > pre {
+                            rt.charge(jid, Phase::Queue, pre, None);
+                            rt.charge(jid, Phase::KvSpill, post, None);
+                        }
+                        running.push(j);
+                    }
+                    Join::Blocked(_) | Join::Never => {
+                        rt.finish(jid, Terminal::Evicted, ps(clock_us));
+                        evicted += 1;
+                    }
                 }
             }
         }
@@ -476,6 +660,7 @@ pub(crate) fn run(
                 vid,
                 kv_bpt,
                 &mut clock_us,
+                &mut rt,
             );
         }
         if running.is_empty() {
@@ -518,6 +703,7 @@ pub(crate) fn run(
                     target,
                     kv_bpt,
                     &mut clock_us,
+                    &mut rt,
                 ) {
                     Grow::Grown => grown.push((id, take)),
                     Grow::Evicted => evicted += 1,
@@ -527,11 +713,23 @@ pub(crate) fn run(
                 continue;
             }
             let tokens: usize = grown.iter().map(|&(_, t)| t).sum();
+            let pre_ps = ps(clock_us);
+            let engine_from_ps = engine.engine_mut().now().as_ps();
             match engine.prefill_tokens(backend, tokens, grown.len()) {
                 Ok(rep) => {
                     prefill_tokens_billed += tokens as u64;
                     clock_us += rep.total_us();
                     step_hist.record((rep.total_us() * 1e3).round() as u64);
+                    let post_ps = ps(clock_us);
+                    let link = Some(StepLink {
+                        step: steps,
+                        engine_from_ps,
+                        engine_to_ps: engine.engine_mut().now().as_ps(),
+                    });
+                    steps += 1;
+                    // Tile the step window exactly: compute first, the
+                    // remainder is the collective.
+                    let compute_ps = ((rep.compute_us * 1e6).round() as u64).min(post_ps - pre_ps);
                     for (id, take) in grown {
                         if let Some(j) = running.iter_mut().find(|j| j.id == id) {
                             j.own_ready += take;
@@ -541,6 +739,9 @@ pub(crate) fn run(
                                 }
                                 j.published = true;
                             }
+                            rt.charge(id, Phase::Queue, pre_ps, None);
+                            rt.charge(id, Phase::PrefillCompute, pre_ps + compute_ps, link);
+                            rt.charge(id, Phase::CollectiveComm, post_ps, link);
                         }
                     }
                     Ok(())
@@ -563,6 +764,7 @@ pub(crate) fn run(
                     target,
                     kv_bpt,
                     &mut clock_us,
+                    &mut rt,
                 ) == Grow::Evicted
                 {
                     evicted += 1;
@@ -577,19 +779,33 @@ pub(crate) fn run(
                 bsz: running.len(),
                 seqlen: mean_context.max(1),
             };
+            let pre_ps = ps(clock_us);
+            let engine_from_ps = engine.engine_mut().now().as_ps();
             match engine.decode_step(backend, batch) {
                 Ok(rep) => {
                     clock_us += rep.total_us();
                     decode_us += rep.total_us();
                     step_hist.record((rep.total_us() * 1e3).round() as u64);
                     generated_tokens += running.len();
+                    let post_ps = ps(clock_us);
+                    let link = Some(StepLink {
+                        step: steps,
+                        engine_from_ps,
+                        engine_to_ps: engine.engine_mut().now().as_ps(),
+                    });
+                    steps += 1;
+                    let compute_ps = ((rep.compute_us * 1e6).round() as u64).min(post_ps - pre_ps);
                     let mut finished: Vec<Job> = Vec::new();
                     for j in &mut running {
                         j.produced += 1;
                         j.own_ready += 1;
                         if j.first_token_us.is_none() {
                             j.first_token_us = Some(clock_us);
+                            rt.first_token(j.id, post_ps);
                         }
+                        rt.charge(j.id, Phase::Queue, pre_ps, None);
+                        rt.charge(j.id, Phase::DecodeCompute, pre_ps + compute_ps, link);
+                        rt.charge(j.id, Phase::CollectiveComm, post_ps, link);
                     }
                     running.retain_mut(|j| {
                         if j.produced >= j.generate {
@@ -612,8 +828,29 @@ pub(crate) fn run(
                             0.0
                         };
                         tpot_hist.record((tpot * 1e3).round() as u64);
-                        if ttft <= cfg.slo.ttft_us && tpot <= cfg.slo.tpot_us {
+                        rt.finish(j.id, Terminal::Completed, post_ps);
+                        let missed_ttft = ttft > cfg.slo.ttft_us;
+                        let missed_tpot = tpot > cfg.slo.tpot_us;
+                        if !missed_ttft && !missed_tpot {
                             slo_met += 1;
+                        } else {
+                            slo_missed += 1;
+                            if rt.enabled() {
+                                push_miss(
+                                    &mut misses,
+                                    SloMiss {
+                                        id: j.id,
+                                        arrival_us: j.arrival_us,
+                                        e2e_us: latency,
+                                        ttft_us: Some(ttft),
+                                        tpot_us: (j.generate > 1).then_some(tpot),
+                                        missed_ttft,
+                                        missed_tpot,
+                                        terminal: Terminal::Completed,
+                                        blame: rt.blame(j.id),
+                                    },
+                                );
+                            }
                         }
                         kv.release(j.id);
                         completed += 1;
@@ -634,7 +871,15 @@ pub(crate) fn run(
             recovery_latency_us += lat;
             recoveries_by_class[class.index()] += 1;
             recovery_latency_us_by_class[class.index()] += lat;
+            let pre_ps = ps(clock_us);
             clock_us += lat;
+            let post_ps = ps(clock_us);
+            // The stall delays every live admitted request, wherever it
+            // sits — blame the whole window on recovery for all of them.
+            for j in running.iter().chain(waiting.iter()).chain(recovery.iter()) {
+                rt.charge(j.id, Phase::Queue, pre_ps, None);
+                rt.charge(j.id, Phase::Recovery, post_ps, None);
+            }
             epoch = backend.epoch();
             let new_blocks = if derive_blocks {
                 (engine.kv_capacity_tokens() / block_tokens).max(1)
@@ -648,6 +893,32 @@ pub(crate) fn run(
                 job.prefix_hit = 0;
                 job.own_ready = 0;
                 recovery.push_back(job);
+            }
+        }
+
+        // Telemetry tick: one sample per period boundary of the serving
+        // clock — counter deltas, resource busy deltas, and the serving
+        // gauges the registry does not hold live. When engine tracing is
+        // on, the same gauges land in the engine trace as `serve.*`
+        // counter tracks.
+        if let Some(s) = sampler.as_mut() {
+            let now = sim::Time::from_ps(ps(clock_us));
+            if s.due(now) {
+                let gauges = [
+                    (waiting.len() + recovery.len()) as u64,
+                    running.len() as u64,
+                    kv.used() as u64,
+                    completed as u64,
+                    slo_met as u64,
+                    (shed + rejected) as u64,
+                    generated_tokens as u64,
+                ];
+                s.sample(now, engine.engine_mut().metrics(), &gauges);
+                if engine.engine_mut().tracing() {
+                    for (name, v) in SERVE_GAUGES.iter().zip(gauges) {
+                        engine.engine_mut().trace_counter_at(name, v, now);
+                    }
+                }
             }
         }
     }
@@ -695,9 +966,15 @@ pub(crate) fn run(
     m.inc("serve.kv_lost_blocks", ks.lost_to_dead_rank);
     m.inc("serve.prefix_hits", ks.prefix_hits);
     m.inc("serve.recoveries", recoveries as u64);
+    m.inc("serve.slo_missed", slo_missed as u64);
+    m.inc("serve.steps", steps);
 
     let secs = (clock_us / 1e6).max(1e-12);
-    Ok(ServeReport {
+    let observation = ServeObservation {
+        timelines: rt.into_timelines(),
+        telemetry: sampler,
+    };
+    let report = ServeReport {
         completed,
         makespan_us: clock_us,
         decode_throughput: generated_tokens as f64 / secs,
@@ -724,5 +1001,8 @@ pub(crate) fn run(
         ttft: LatencyStats::from_hist(&ttft_hist),
         tpot: LatencyStats::from_hist(&tpot_hist),
         kv: ks,
-    })
+        slo_missed,
+        worst_misses: misses,
+    };
+    Ok((report, observation))
 }

@@ -16,6 +16,7 @@
 use crate::backend::CommBackend;
 use crate::engine::ServingEngine;
 use crate::kv::KvStats;
+use crate::rtrace::{timelines_to_chrome_json, timelines_to_json, RequestTimeline, SloMiss};
 use crate::scheduler::{self, ServeConfig};
 use mscclpp::Result;
 
@@ -112,7 +113,7 @@ impl LatencyStats {
 /// Request conservation holds for every run:
 /// `completed + shed + rejected + timed_out + evicted == trace.len()` —
 /// each request reaches exactly one typed terminal state.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Requests completed.
     pub completed: usize,
@@ -169,6 +170,14 @@ pub struct ServeReport {
     /// Paged-KV accounting: `allocated == freed + spilled +
     /// lost_to_dead_rank` at exit.
     pub kv: KvStats,
+    /// Requests that violated a latency deadline: completions that
+    /// missed TTFT or TPOT, plus timed-out requests.
+    pub slo_missed: usize,
+    /// Worst-offender deadline violations (largest end-to-end latency
+    /// first, at most 8) with exact blame tilings
+    /// ([`crate::rtrace::Blame`]); empty when
+    /// [`crate::ObserveConfig::rtrace`] is off.
+    pub worst_misses: Vec<SloMiss>,
 }
 
 /// Serves `trace` with continuous batching on `engine` and returns the
@@ -196,7 +205,7 @@ pub fn serve_trace(
     trace: &[Request],
     max_batch: usize,
 ) -> Result<ServeReport> {
-    scheduler::run(engine, backend, trace, &ServeConfig::permissive(max_batch))
+    scheduler::run(engine, backend, trace, &ServeConfig::permissive(max_batch)).map(|(r, _)| r)
 }
 
 /// Serves `trace` under full [`ServeConfig`] control: latency SLOs,
@@ -212,6 +221,53 @@ pub fn serve_trace_with(
     trace: &[Request],
     cfg: &ServeConfig,
 ) -> Result<ServeReport> {
+    scheduler::run(engine, backend, trace, cfg).map(|(r, _)| r)
+}
+
+/// Everything a serving run observed beyond the aggregate report: the
+/// per-request causal timelines and the telemetry time series
+/// (DESIGN.md §17). Returned by [`serve_trace_observed`].
+#[derive(Debug, Clone)]
+pub struct ServeObservation {
+    /// One causal timeline per request that reached the admission door,
+    /// in id order; empty when [`crate::ObserveConfig::rtrace`] is off.
+    pub timelines: Vec<RequestTimeline>,
+    /// The telemetry sampler with its recorded ring, when
+    /// [`crate::ObserveConfig::telemetry`] was set.
+    pub telemetry: Option<sim::Sampler>,
+}
+
+impl ServeObservation {
+    /// Per-request timelines as a JSON array (exact integer
+    /// picoseconds; see `results/README.md`).
+    pub fn timelines_json(&self) -> String {
+        timelines_to_json(&self.timelines)
+    }
+
+    /// Per-request timelines as Chrome trace-event JSON — one named
+    /// Perfetto track per request, loadable beside the engine trace.
+    pub fn timelines_chrome_json(&self) -> String {
+        timelines_to_chrome_json(&self.timelines)
+    }
+
+    /// The telemetry time series as JSON (`None` when no sampler ran).
+    pub fn telemetry_json(&self) -> Option<String> {
+        self.telemetry.as_ref().map(sim::Sampler::to_json)
+    }
+}
+
+/// As [`serve_trace_with`], but also returns the request timelines and
+/// telemetry series recorded per [`ServeConfig::observe`].
+///
+/// # Errors
+///
+/// As [`serve_trace`].
+pub fn serve_trace_observed(
+    engine: &mut ServingEngine,
+    backend: &dyn CommBackend,
+    trace: &[Request],
+    cfg: &ServeConfig,
+) -> Result<(ServeReport, ServeObservation)> {
     scheduler::run(engine, backend, trace, cfg)
 }
 

@@ -247,6 +247,54 @@ mod tests {
     }
 
     #[test]
+    fn merged_quantiles_never_understate() {
+        // The never-understating quantile contract must survive merge:
+        // a merged histogram reports the same quantiles as one that
+        // recorded every sample directly, and both bound the exact
+        // order statistics of the combined set from above.
+        let mut lcg = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) % 3_000_000 + 1
+        };
+        let first: Vec<u64> = (0..500).map(|_| next()).collect();
+        let second: Vec<u64> = (0..300).map(|_| next() * 7).collect();
+
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut direct = Histogram::new();
+        for &v in &first {
+            a.record(v);
+            direct.record(v);
+        }
+        for &v in &second {
+            b.record(v);
+            direct.record(v);
+        }
+        a.merge(&b);
+
+        let mut all: Vec<u64> = first.iter().chain(second.iter()).copied().collect();
+        all.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            // Merging epochs is equivalent to one epoch's recording...
+            assert_eq!(a.quantile(q), direct.quantile(q), "q={q}");
+            // ...and never understates the exact order statistic.
+            let rank = ((all.len() as f64 * q).ceil() as usize).clamp(1, all.len());
+            let exact = all[rank - 1];
+            assert!(
+                a.quantile(q) >= exact,
+                "q={q}: merged {} understates exact {exact}",
+                a.quantile(q)
+            );
+        }
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.max(), *all.last().unwrap(), "max stays exact");
+        assert_eq!(a.min(), all[0]);
+    }
+
+    #[test]
     fn buckets_cover_every_sample_and_respect_the_max() {
         let mut h = Histogram::new();
         for v in [3u64, 3, 17, 900, 900, 900, 123_456] {

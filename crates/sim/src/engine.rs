@@ -946,6 +946,25 @@ impl<W> Engine<W> {
         self.core.metrics.set_label(resource, label);
     }
 
+    /// Whether tracing is enabled (see [`Ctx::tracing`]). Guard label
+    /// formatting for [`Engine::trace_counter_at`] behind this check.
+    pub fn tracing(&self) -> bool {
+        self.core.trace.is_some()
+    }
+
+    /// Records a named counter sample into the trace at an explicit
+    /// instant, from *outside* any process step — the injection point for
+    /// drivers that keep their own clock (e.g. a serving scheduler
+    /// stamping `serve.*` gauges at its serving-clock time). `at` may be
+    /// ahead of the engine clock; the trace stores instants verbatim.
+    /// No-op when tracing is disabled.
+    pub fn trace_counter_at(&mut self, name: &str, value: u64, at: Time) {
+        if self.core.trace.is_some() {
+            let id = self.core.intern(name);
+            self.core.record(at, 0, id, TraceEventKind::Counter(value));
+        }
+    }
+
     /// The current virtual instant.
     pub fn now(&self) -> Time {
         self.core.now

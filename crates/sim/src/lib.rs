@@ -45,6 +45,7 @@ mod fault;
 mod intern;
 mod metrics;
 mod process;
+pub mod telemetry;
 mod time;
 mod trace;
 mod vclock;
@@ -57,6 +58,7 @@ pub use engine::{
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultTarget, PathState, SimRng};
 pub use metrics::{CounterId, Metrics, ResourceStat};
 pub use process::{Process, Step};
+pub use telemetry::{Sample, Sampler, SamplerConfig};
 pub use time::{Duration, Time};
 pub use trace::{HighlightSegment, Trace, TraceEvent, TraceEventKind};
 pub use vclock::VClock;

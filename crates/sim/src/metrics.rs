@@ -100,6 +100,12 @@ impl Metrics {
             .map_or(0, |id| self.values[id as usize])
     }
 
+    /// Current value of a pre-resolved counter: one array read. The hot
+    /// read path for periodic samplers ([`crate::telemetry::Sampler`]).
+    pub fn value(&self, id: CounterId) -> u64 {
+        self.values[id.0 as usize]
+    }
+
     /// Name/value pairs sorted by name (the deterministic iteration
     /// order, regardless of first-increment order).
     fn sorted_counters(&self) -> Vec<(&str, u64)> {

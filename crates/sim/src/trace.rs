@@ -110,13 +110,44 @@ impl Trace {
 
     /// Serializes the timeline as Chrome trace-event JSON: one track per
     /// process, duration (`B`/`E`) events for steps, async (`b`/`e`)
-    /// events for explicit spans. Load the output in
-    /// <https://ui.perfetto.dev> or `chrome://tracing`.
+    /// events for explicit spans. Process/thread name metadata events
+    /// label every track with its process label (rank/proxy names, not
+    /// bare ids). Load the output in <https://ui.perfetto.dev> or
+    /// `chrome://tracing`.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("[");
+        self.push_metadata_json(&mut out);
         self.push_events_json(&mut out);
         out.push(']');
         out
+    }
+
+    /// Emits `ph:"M"` process/thread name metadata so Perfetto renders
+    /// named tracks: pid 0 is "engine", and each process's track carries
+    /// the label the process registered at spawn (first step event wins).
+    fn push_metadata_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        if self.events.is_empty() {
+            return;
+        }
+        let mut names: std::collections::BTreeMap<usize, u32> = Default::default();
+        for e in &self.events {
+            if matches!(e.kind, TraceEventKind::StepBegin | TraceEventKind::StepEnd) {
+                names.entry(e.proc_index).or_insert(e.label);
+            }
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{{\"name\":\"engine\"}}}}"
+        );
+        for (tid, label) in names {
+            let name = self.label(label).replace('"', "'");
+            let _ = write!(
+                out,
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+            );
+        }
+        out.push(',');
     }
 
     fn push_events_json(&self, out: &mut String) {
@@ -166,6 +197,7 @@ impl Trace {
     pub fn to_chrome_json_with_counters(&self, highlight: &[HighlightSegment]) -> String {
         use std::fmt::Write;
         let mut out = String::from("[");
+        self.push_metadata_json(&mut out);
         self.push_events_json(&mut out);
         if !self.events.is_empty() && !highlight.is_empty() {
             out.push(',');
@@ -287,6 +319,37 @@ mod tests {
         assert!(json.contains("\"name\":\"ticker\""));
         assert!(json.contains("\"ph\":\"B\""));
         assert!(json.contains("\"ph\":\"E\""));
+    }
+
+    #[test]
+    fn chrome_json_names_tracks_after_process_labels() {
+        let mut e = Engine::new(());
+        e.enable_tracing();
+        e.spawn(Ticker(1));
+        e.spawn(Ticker(1));
+        e.run().unwrap();
+        let trace = e.take_trace().unwrap();
+        for json in [
+            trace.to_chrome_json(),
+            trace.to_chrome_json_with_counters(&[]),
+        ] {
+            assert!(
+                json.contains("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0"),
+                "{json}"
+            );
+            assert!(
+                json.contains(
+                    "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"ticker\"}"
+                ),
+                "{json}"
+            );
+            assert!(
+                json.contains("\"tid\":1,\"args\":{\"name\":\"ticker\"}"),
+                "{json}"
+            );
+        }
+        // An empty trace emits no orphan metadata (still valid JSON).
+        assert_eq!(Trace::default().to_chrome_json(), "[]");
     }
 
     #[test]

@@ -466,8 +466,8 @@ fn double_failure_during_recovery_is_deterministic() {
 #[test]
 fn overloaded_serving_survives_rank_death_deterministically() {
     use inference::{
-        serve_trace_with, synthetic_trace, CommBackend, KvConfig, ModelConfig, MscclppBackend,
-        ServeConfig, ServingEngine, SloSpec,
+        serve_trace_observed, synthetic_trace, CommBackend, KvConfig, ModelConfig, MscclppBackend,
+        Phase, ServeConfig, ServingEngine, SloSpec, TelemetryConfig,
     };
 
     let run_once = || {
@@ -494,7 +494,8 @@ fn overloaded_serving_survives_rank_death_deterministically() {
             ..KvConfig::default()
         };
         cfg.seed = 7;
-        let report = serve_trace_with(&mut engine, &backend, &trace, &cfg)
+        cfg.observe.telemetry = Some(TelemetryConfig::new(500.0, 4096));
+        let (report, obs) = serve_trace_observed(&mut engine, &backend, &trace, &cfg)
             .expect("serving must degrade gracefully, never error");
         let counters: Vec<(String, u64)> = engine
             .engine_mut()
@@ -502,13 +503,43 @@ fn overloaded_serving_survives_rank_death_deterministically() {
             .counters_with_prefix("serve.")
             .map(|(k, v)| (k.to_owned(), v))
             .collect();
-        (report, counters, backend.epoch())
+        (report, counters, backend.epoch(), obs)
     };
-    let (r1, counters1, epoch1) = run_once();
-    let (r2, counters2, epoch2) = run_once();
+    let (r1, counters1, epoch1, obs1) = run_once();
+    let (r2, counters2, epoch2, obs2) = run_once();
     assert_eq!(r1, r2, "identical-seed replay diverged");
     assert_eq!(counters1, counters2, "serve counters diverged");
     assert_eq!(epoch1, epoch2);
+    // Observability is deterministic too: same seed ⇒ bit-identical
+    // per-request timelines and telemetry series, even across the
+    // mid-run rank death. (String equality — these are the artifacts.)
+    assert_eq!(
+        obs1.timelines_json(),
+        obs2.timelines_json(),
+        "request timelines diverged across identical-seed replays"
+    );
+    assert_eq!(
+        obs1.telemetry_json(),
+        obs2.telemetry_json(),
+        "telemetry series diverged across identical-seed replays"
+    );
+    // Every request that reached the door has a timeline that tiles its
+    // end-to-end latency exactly, and the recovery stall is visible in
+    // somebody's blame.
+    assert_eq!(obs1.timelines.len(), 24, "one timeline per request");
+    for tl in &obs1.timelines {
+        assert!(
+            tl.tiles_exactly(),
+            "request {} blame does not tile its latency",
+            tl.id
+        );
+    }
+    assert!(
+        obs1.timelines
+            .iter()
+            .any(|tl| tl.blame.get(Phase::Recovery) > 0),
+        "a mid-run rank death must charge recovery time to live requests"
+    );
 
     // The contract itself.
     assert_eq!(

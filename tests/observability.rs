@@ -219,3 +219,234 @@ fn link_bytes_match_memory_pool_traffic() {
     assert_eq!(bytes_of("egress r1"), 0);
     assert_eq!(e.world().pool().moved_bytes(), 4096);
 }
+
+// ---- Request-scoped tracing + SLO-miss attribution (DESIGN.md §17) ----
+
+/// One fully-observed open-loop serving run at ~2× the knee: admission
+/// off, so queueing blows the TTFT budget and the run produces real SLO
+/// misses to attribute.
+fn observed_overload() -> (
+    inference::ServeReport,
+    inference::ServeObservation,
+    Vec<inference::Request>,
+) {
+    use inference::{
+        serve_trace_observed, synthetic_trace, ModelConfig, MscclppBackend, ServeConfig,
+        ServingEngine, SloSpec, TelemetryConfig,
+    };
+    let mut engine = ServingEngine::new(EnvKind::A100_80G, ModelConfig::llama2_13b(), 16 * 1024);
+    let backend = MscclppBackend::new();
+    let trace = synthetic_trace(40, 96, 12, 7_000.0, 9);
+    let mut cfg = ServeConfig::permissive(8);
+    cfg.slo = SloSpec::new(100_000.0, 12_000.0);
+    cfg.seed = 9;
+    cfg.observe.telemetry = Some(TelemetryConfig::new(500.0, 2048));
+    let (report, obs) =
+        serve_trace_observed(&mut engine, &backend, &trace, &cfg).expect("observed run");
+    (report, obs, trace)
+}
+
+/// The attribution contract: every request that reached the admission
+/// door has a timeline whose typed phase windows tile its end-to-end
+/// latency *exactly* — integer picoseconds, no rounding slop — and
+/// every SLO-miss exemplar's blame buckets sum to the same number.
+#[test]
+fn every_slo_miss_blame_tiles_its_latency_exactly() {
+    let (report, obs, trace) = observed_overload();
+    assert!(report.slo_missed > 0, "overload run must miss deadlines");
+    assert!(!report.worst_misses.is_empty());
+    assert_eq!(obs.timelines.len(), trace.len(), "one timeline per request");
+    for tl in &obs.timelines {
+        assert!(
+            tl.tiles_exactly(),
+            "request {}: phase windows do not tile [arrival, end]",
+            tl.id
+        );
+        assert_eq!(
+            tl.blame.total_ps(),
+            tl.e2e_ps(),
+            "request {}: blame buckets do not sum to e2e",
+            tl.id
+        );
+    }
+    for m in &report.worst_misses {
+        let tl = obs
+            .timelines
+            .iter()
+            .find(|t| t.id == m.id)
+            .expect("every exemplar has a timeline");
+        assert_eq!(m.blame, tl.blame, "exemplar blame diverged from timeline");
+        assert_eq!(
+            m.blame.total_ps(),
+            tl.e2e_ps(),
+            "exemplar {} blame does not sum to its e2e latency",
+            m.id
+        );
+        assert!(m.missed_ttft || m.missed_tpot, "exemplar without a miss");
+    }
+    // The ring keeps the worst offenders: sorted by e2e, descending.
+    assert!(report
+        .worst_misses
+        .windows(2)
+        .all(|w| w[0].e2e_us >= w[1].e2e_us));
+    // Open-loop overload means queue time dominates the worst miss.
+    assert_eq!(
+        report.worst_misses[0].blame.dominant(),
+        inference::Phase::Queue,
+        "open-loop misses should blame queueing: {:?}",
+        report.worst_misses[0]
+    );
+}
+
+/// Exemplars survive a JSON round trip: parse(to_json) reproduces the
+/// integer blame exactly and re-serializes to the identical string.
+#[test]
+fn worst_misses_round_trip_through_json() {
+    let (report, _, _) = observed_overload();
+    assert!(!report.worst_misses.is_empty());
+    for m in &report.worst_misses {
+        let json = m.to_json();
+        let parsed = inference::SloMiss::parse(&json)
+            .unwrap_or_else(|| panic!("exemplar JSON failed to parse: {json}"));
+        assert_eq!(parsed.id, m.id);
+        assert_eq!(parsed.terminal, m.terminal);
+        assert_eq!(parsed.missed_ttft, m.missed_ttft);
+        assert_eq!(parsed.missed_tpot, m.missed_tpot);
+        assert_eq!(parsed.blame, m.blame, "blame must round-trip exactly");
+        assert_eq!(parsed.to_json(), json, "re-serialization is a fixed point");
+    }
+}
+
+/// Timelines account for every request: terminal tallies match the
+/// report's typed counts, and the Perfetto/JSON exports carry a track
+/// per request.
+#[test]
+fn timelines_cover_every_terminal_and_match_the_report() {
+    use inference::Terminal;
+    let (report, obs, trace) = observed_overload();
+    let count = |t: Terminal| obs.timelines.iter().filter(|tl| tl.terminal == t).count();
+    assert_eq!(count(Terminal::Completed), report.completed);
+    assert_eq!(count(Terminal::Shed), report.shed);
+    assert_eq!(count(Terminal::Rejected), report.rejected);
+    assert_eq!(count(Terminal::TimedOut), report.timed_out);
+    assert_eq!(count(Terminal::Evicted), report.evicted);
+    let json = obs.timelines_json();
+    assert_eq!(
+        json.matches("\"id\":").count(),
+        trace.len(),
+        "timeline JSON must cover every request"
+    );
+    let chrome = obs.timelines_chrome_json();
+    for tl in &obs.timelines {
+        assert!(
+            chrome.contains(&format!("req {} (", tl.id)),
+            "request {} missing from the Perfetto export",
+            tl.id
+        );
+    }
+}
+
+/// The virtual-time telemetry series is well-formed: strictly
+/// increasing sample times, utilization within [0, 1], and counter
+/// deltas that reconstruct real collective work.
+#[test]
+fn telemetry_series_is_wellformed_and_accounts_for_work() {
+    let (report, obs, _) = observed_overload();
+    let sampler = obs.telemetry.as_ref().expect("sampler configured");
+    assert!(!sampler.is_empty(), "sampler never fired");
+    assert_eq!(sampler.dropped(), 0, "ring sized for the whole run");
+    let samples: Vec<&sim::Sample> = sampler.samples().collect();
+    assert!(
+        samples.windows(2).all(|w| w[0].at < w[1].at),
+        "sample times must be strictly increasing"
+    );
+    // Gauge 3 is serve.completed: non-decreasing, ending at most the
+    // report's total (the final completions can land after the last
+    // period boundary).
+    let completed: Vec<u64> = samples.iter().map(|s| s.gauges[3]).collect();
+    assert!(completed.windows(2).all(|w| w[0] <= w[1]));
+    assert!(*completed.last().unwrap() <= report.completed as u64);
+    // Counter 0 is ops.puts, recorded as per-interval deltas: decode
+    // steps run real collectives, so the deltas must carry real work.
+    let puts: u64 = samples.iter().map(|s| s.counters[0]).sum();
+    assert!(puts > 0, "no collective work showed up in the series");
+    let json = sampler.to_json();
+    for (name, quoted) in [
+        ("ops.puts", "\"ops.puts\""),
+        ("serve.completed", "\"serve.completed\""),
+        ("egress r0", "\"egress r0\""),
+    ] {
+        assert!(json.contains(quoted), "{name} missing from telemetry JSON");
+    }
+}
+
+/// With engine tracing on, the serving loop mirrors its gauges into the
+/// engine trace at each sample boundary, and the Chrome export renders
+/// them as counter (`"ph":"C"`) tracks beside the collective spans —
+/// one Perfetto load shows both.
+#[test]
+fn serving_gauges_land_in_the_engine_trace_as_counter_tracks() {
+    use inference::{
+        serve_trace_observed, synthetic_trace, ModelConfig, MscclppBackend, ServeConfig,
+        ServingEngine, SloSpec, TelemetryConfig,
+    };
+    let mut engine = ServingEngine::new(EnvKind::A100_80G, ModelConfig::llama2_13b(), 16 * 1024);
+    engine.engine_mut().enable_tracing();
+    let backend = MscclppBackend::new();
+    let trace = synthetic_trace(8, 96, 8, 7_000.0, 9);
+    let mut cfg = ServeConfig::slo_aware(4, SloSpec::new(100_000.0, 12_000.0));
+    cfg.seed = 9;
+    cfg.observe.telemetry = Some(TelemetryConfig::new(500.0, 1024));
+    serve_trace_observed(&mut engine, &backend, &trace, &cfg).expect("traced serving run");
+    let t = engine.engine_mut().take_trace().expect("tracing enabled");
+    let samples = t
+        .events()
+        .iter()
+        .filter(|ev| {
+            matches!(ev.kind, sim::TraceEventKind::Counter(_))
+                && t.label(ev.label).starts_with("serve.")
+        })
+        .count();
+    assert!(
+        samples > 0,
+        "no serve.* counter samples in the engine trace"
+    );
+    let json = t.to_chrome_json_with_counters(&[]);
+    for name in ["serve.queue_depth", "serve.running", "serve.kv_used_blocks"] {
+        assert!(json.contains(name), "{name} counter track missing");
+    }
+    assert!(json.contains("\"ph\":\"C\""), "counter events missing");
+}
+
+/// Switching observability off is inert: the simulation is bit-identical
+/// (only the exemplar ring, which needs tracing, disappears) and no
+/// timelines or telemetry are recorded.
+#[test]
+fn disabling_observability_does_not_perturb_serving() {
+    use inference::{
+        serve_trace_observed, synthetic_trace, ModelConfig, MscclppBackend, ObserveConfig,
+        ServeConfig, ServingEngine, SloSpec,
+    };
+    let run = |observe: ObserveConfig| {
+        let mut engine =
+            ServingEngine::new(EnvKind::A100_80G, ModelConfig::llama2_13b(), 16 * 1024);
+        let backend = MscclppBackend::new();
+        let trace = synthetic_trace(40, 96, 12, 7_000.0, 9);
+        let mut cfg = ServeConfig::permissive(8);
+        cfg.slo = SloSpec::new(100_000.0, 12_000.0);
+        cfg.seed = 9;
+        cfg.observe = observe;
+        serve_trace_observed(&mut engine, &backend, &trace, &cfg).expect("serving run")
+    };
+    let (mut on, obs_on) = run(ObserveConfig::default());
+    let (off, obs_off) = run(ObserveConfig {
+        rtrace: false,
+        telemetry: None,
+    });
+    assert!(obs_off.timelines.is_empty());
+    assert!(obs_off.telemetry.is_none());
+    assert!(!obs_on.timelines.is_empty());
+    assert!(!on.worst_misses.is_empty());
+    on.worst_misses.clear();
+    assert_eq!(on, off, "observability changed the simulation");
+}
